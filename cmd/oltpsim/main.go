@@ -1,0 +1,71 @@
+// Command oltpsim reproduces the tables and figures of "Micro-architectural
+// Analysis of In-memory OLTP" (SIGMOD'16) on the simulated machine.
+//
+// Usage:
+//
+//	oltpsim -list
+//	oltpsim -figure 2
+//	oltpsim -figure 1,2,3 -scale quick -v
+//	oltpsim -figure all -scale default -markdown > results.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"oltpsim/internal/harness"
+)
+
+func main() {
+	var (
+		figures  = flag.String("figure", "", "figure ID(s) to reproduce, comma-separated, or 'all'")
+		scale    = flag.String("scale", "default", "scale profile: quick | default | full")
+		verbose  = flag.Bool("v", false, "print each executed experiment cell")
+		markdown = flag.Bool("markdown", false, "emit markdown tables instead of text")
+		list     = flag.Bool("list", false, "list the available figures")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("Available reproductions (paper table/figure numbers):")
+		for _, id := range harness.FigureIDs() {
+			fmt.Printf("  %s\n", id)
+		}
+		return
+	}
+	if *figures == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	sc, err := harness.ScaleByName(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	runner := harness.NewRunner(sc)
+	runner.Verbose = *verbose
+
+	var ids []string
+	if *figures == "all" {
+		ids = harness.FigureIDs()
+	} else {
+		ids = strings.Split(*figures, ",")
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		builder, ok := harness.Figures[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown figure %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		fig := builder(runner)
+		if *markdown {
+			fmt.Println(fig.Markdown())
+		} else {
+			fmt.Println(fig.String())
+		}
+	}
+}

@@ -1,0 +1,97 @@
+// Customsystem: the design-space exercise the paper's Section 8 invites —
+// assemble a hypothetical engine from the substrates and see how the
+// micro-architecture responds. Here: "what if VoltDB adopted HyPer-style
+// transaction compilation?" and "what if HyPer kept a disk-style B-tree?".
+//
+//	go run ./examples/customsystem
+package main
+
+import (
+	"fmt"
+
+	"oltpsim"
+)
+
+// compiledVoltDB is VoltDB's storage architecture (partitioned row store,
+// cache-line B+-tree, no locks) with its interpreting dispatch stack
+// replaced by compiled stored procedures.
+func compiledVoltDB() oltpsim.EngineConfig {
+	return oltpsim.EngineConfig{
+		Name:     "VoltDB+compile",
+		Storage:  oltpsim.StorageRows,
+		Index:    oltpsim.IndexCCTree64,
+		FrontEnd: oltpsim.FECompiled,
+		OtherCPI: 0.12,
+		Costs: oltpsim.CostParams{
+			NetRecv:       300,
+			DispatchBase:  150,
+			CompiledEntry: 200,
+			CompiledPerOp: 180,
+			ScanPerRow:    30,
+			TxnBegin:      150,
+			TxnCommit:     250,
+			IdxNodeBase:   60,
+			IdxPerCmpByte: 2,
+			StorageAccess: 90,
+			LogBase:       120,
+			LogPerByte:    1,
+		},
+		Regions: oltpsim.RegionSpecs{
+			Net:          oltpsim.RegionSpec{Size: 6 << 10, BPI: 4},
+			Dispatch:     oltpsim.RegionSpec{Size: 6 << 10, BPI: 4},
+			CompiledProc: oltpsim.RegionSpec{Size: 6 << 10, BPI: 4},
+			Txn:          oltpsim.RegionSpec{Size: 8 << 10, BPI: 4},
+			Index:        oltpsim.RegionSpec{Size: 10 << 10, BPI: 4},
+			Storage:      oltpsim.RegionSpec{Size: 8 << 10, BPI: 4},
+			Log:          oltpsim.RegionSpec{Size: 8 << 10, BPI: 4},
+		},
+	}
+}
+
+// btreeHyPer is HyPer's compiled front-end on top of a disk-style 8KB-page
+// B-tree and buffer pool — isolating how much of HyPer's data behaviour the
+// adaptive radix tree is responsible for.
+func btreeHyPer() oltpsim.EngineConfig {
+	cfg := compiledVoltDB()
+	cfg.Name = "HyPer+btree"
+	cfg.Storage = oltpsim.StorageHeap
+	cfg.Index = oltpsim.IndexBTree8K
+	cfg.Costs.BPFix = 120
+	cfg.Regions.BufferPool = oltpsim.RegionSpec{Size: 8 << 10, BPI: 4}
+	return cfg
+}
+
+func main() {
+	const rows = 1 << 21 // ~256MB: far beyond the 20MB LLC
+
+	configs := []func() *oltpsim.Engine{
+		func() *oltpsim.Engine { return oltpsim.NewSystem(oltpsim.VoltDB, oltpsim.SystemOptions{}) },
+		func() *oltpsim.Engine { return oltpsim.NewCustomSystem(compiledVoltDB()) },
+		func() *oltpsim.Engine { return oltpsim.NewSystem(oltpsim.HyPer, oltpsim.SystemOptions{}) },
+		func() *oltpsim.Engine { return oltpsim.NewCustomSystem(btreeHyPer()) },
+	}
+
+	fmt.Println("design-space ablation, micro read-only, 1 row/txn, data >> LLC")
+	fmt.Println()
+	fmt.Printf("%-16s  %6s  %10s  %11s  %8s  %8s\n",
+		"engine", "IPC", "instr/tx", "I-stall/kI", "LLCD/kI", "LLCD/tx")
+	fmt.Println("--------------------------------------------------------------------")
+	for _, mk := range configs {
+		e := mk()
+		w := oltpsim.NewMicro(oltpsim.MicroConfig{Rows: rows, RowsPerTx: 1})
+		res := oltpsim.Bench(e, w, oltpsim.BenchOpts{Warm: 1_500, Measure: 3_000, Seed: 3})
+		ki := res.StallsPerKI()
+		fmt.Printf("%-16s  %6.2f  %10.0f  %11.0f  %8.0f  %8.0f\n",
+			res.System, res.IPC(), res.InstructionsPerTx(), ki.Instr(),
+			ki.LLCD, res.StallsPerTx().LLCD)
+	}
+
+	fmt.Println()
+	fmt.Println("What the ablation shows (the paper's Section 8 argument): compiling")
+	fmt.Println("VoltDB's transactions erases its instruction stalls, but what is left")
+	fmt.Println("is the same long-latency data-miss wall HyPer hits — per transaction")
+	fmt.Println("the misses barely move, so per instruction they explode. And giving a")
+	fmt.Println("compiled engine a disk-style B-tree raises the per-transaction misses")
+	fmt.Println("further. Software optimizations move the bottleneck; they do not")
+	fmt.Println("remove it.")
+}

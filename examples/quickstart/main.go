@@ -1,0 +1,52 @@
+// Quickstart: build one of the paper's systems, run the micro-benchmark on
+// it, and read the simulated PMU — the sixty-second tour of the library.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"oltpsim"
+)
+
+func main() {
+	// A VoltDB-style engine: partitioned in-memory storage, cache-line-sized
+	// B+-tree nodes, a Java-ish dispatch layer, no transaction compilation.
+	e := oltpsim.NewSystem(oltpsim.VoltDB, oltpsim.SystemOptions{})
+
+	// The paper's micro-benchmark: a (key, value) table; each transaction
+	// probes one random row through the index. 1M rows ~ a working set far
+	// beyond the simulated 20MB LLC.
+	w := oltpsim.NewMicro(oltpsim.MicroConfig{
+		Rows:      1 << 20,
+		RowsPerTx: 1,
+	})
+
+	// The paper's protocol: populate, warm up, measure a counter window.
+	res := oltpsim.Bench(e, w, oltpsim.BenchOpts{
+		Warm:    2_000,
+		Measure: 5_000,
+		Seed:    42,
+	})
+
+	fmt.Printf("system:            %s\n", res.System)
+	fmt.Printf("workload:          %s\n", res.Workload)
+	fmt.Printf("rows materialized: %d (%.0f MB simulated)\n",
+		res.Rows, float64(res.DataBytes)/(1<<20))
+	fmt.Println()
+	fmt.Printf("IPC:                     %.2f   (4-wide core, ideal loop IPC 3)\n", res.IPC())
+	fmt.Printf("instructions / txn:      %.0f\n", res.InstructionsPerTx())
+	fmt.Printf("memory-stall share:      %.0f%%\n", res.MemStallFraction()*100)
+	fmt.Printf("time inside OLTP engine: %.0f%%\n", res.EngineFraction()*100)
+	fmt.Println()
+
+	ki := res.StallsPerKI()
+	fmt.Println("stall cycles per 1000 instructions (the paper's Figure 2 metric):")
+	fmt.Printf("  L1I %6.0f   L2I %6.0f   LLC-I %6.0f\n", ki.L1I, ki.L2I, ki.LLCI)
+	fmt.Printf("  L1D %6.0f   L2D %6.0f   LLC-D %6.0f\n", ki.L1D, ki.L2D, ki.LLCD)
+	fmt.Println()
+	fmt.Println("The headline of the paper in one run: despite an in-memory design,")
+	fmt.Println("more than a third of the cycles stall on memory, and IPC sits near 1")
+	fmt.Println("on a core that could retire 4 instructions per cycle.")
+}

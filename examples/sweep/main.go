@@ -1,0 +1,64 @@
+// Sweep: the paper's database-size sensitivity analysis (Figures 1-2) as a
+// library client — sweep the micro-benchmark table across the LLC-capacity
+// boundary for every system and watch who falls off the cliff.
+//
+//	go run ./examples/sweep [-rw] [-rows 10]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"oltpsim"
+)
+
+func main() {
+	rw := flag.Bool("rw", false, "run the read-write (update) variant")
+	rowsPerTx := flag.Int("rows", 1, "rows probed per transaction (1/10/100 in the paper)")
+	flag.Parse()
+
+	// Sizes straddling the simulated 20MB LLC.
+	sizes := []struct {
+		label string
+		rows  int64
+	}{
+		{"64K rows (~8MB, fits LLC)", 64 << 10},
+		{"256K rows (~32MB)", 256 << 10},
+		{"1M rows (~128MB)", 1 << 20},
+		{"2M rows (~256MB)", 2 << 20},
+	}
+
+	mode := "read-only"
+	if *rw {
+		mode = "read-write"
+	}
+	fmt.Printf("micro-benchmark %s, %d row(s)/txn\n\n", mode, *rowsPerTx)
+	fmt.Printf("%-10s  %-28s  %6s  %8s  %8s  %8s\n",
+		"system", "table size", "IPC", "I-stall", "D-stall", "LLC-D/tx")
+	fmt.Println("------------------------------------------------------------------------------")
+
+	for _, kind := range oltpsim.AllSystems() {
+		for _, sz := range sizes {
+			e := oltpsim.NewSystem(kind, oltpsim.SystemOptions{})
+			w := oltpsim.NewMicro(oltpsim.MicroConfig{
+				Rows:      sz.rows,
+				RowsPerTx: *rowsPerTx,
+				ReadWrite: *rw,
+			})
+			res := oltpsim.Bench(e, w, oltpsim.BenchOpts{
+				Warm:         1_000,
+				Measure:      2_000,
+				Seed:         7,
+				WarmPopulate: sz.rows <= 64<<10, // LLC-resident point starts warm
+			})
+			ki := res.StallsPerKI()
+			fmt.Printf("%-10s  %-28s  %6.2f  %8.0f  %8.0f  %8.0f\n",
+				kind, sz.label, res.IPC(), ki.Instr(), ki.Data(), res.StallsPerTx().LLCD)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Reading the table: instruction stalls (per kI) barely move with size;")
+	fmt.Println("long-latency LLC data stalls appear as soon as the table outgrows the")
+	fmt.Println("LLC — most violently for HyPer, whose compiled transactions leave the")
+	fmt.Println("data misses nothing to hide behind (paper sections 4.1-4.2).")
+}

@@ -1,0 +1,55 @@
+// TPC-C end to end: run the full five-transaction TPC-C mix on every system
+// archetype and break the execution down the way the paper does in Section 5
+// — IPC, per-level stalls, and time inside vs outside the OLTP engine.
+//
+//	go run ./examples/tpcc [-warehouses 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"oltpsim"
+)
+
+func main() {
+	warehouses := flag.Int("warehouses", 8, "TPC-C warehouse count")
+	flag.Parse()
+
+	fmt.Printf("TPC-C, %d warehouses, standard mix (45/43/4/4/4)\n\n", *warehouses)
+	fmt.Printf("%-10s  %6s  %10s  %8s  %8s  %8s  %8s\n",
+		"system", "IPC", "instr/tx", "L1I/kI", "LLCD/kI", "stall%", "engine%")
+	fmt.Println("------------------------------------------------------------------------")
+
+	for _, kind := range oltpsim.AllSystems() {
+		opts := oltpsim.SystemOptions{}
+		if kind == oltpsim.DBMSM {
+			// The paper runs DBMS M's TPC-C on its B-tree variant
+			// (Delivery/StockLevel need range scans).
+			opts.Index = oltpsim.IndexCCTree512
+			opts.HasIndexOverride = true
+		}
+		e := oltpsim.NewSystem(kind, opts)
+		w := oltpsim.NewTPCC(oltpsim.TPCCConfig{
+			Warehouses:           *warehouses,
+			Items:                10_000,
+			CustomersPerDistrict: 600,
+			OrdersPerDistrict:    600,
+		})
+		res := oltpsim.Bench(e, w, oltpsim.BenchOpts{
+			Warm:    150,
+			Measure: 400,
+			Seed:    11,
+		})
+		ki := res.StallsPerKI()
+		fmt.Printf("%-10s  %6.2f  %10.0f  %8.0f  %8.0f  %7.0f%%  %7.0f%%\n",
+			kind, res.IPC(), res.InstructionsPerTx(),
+			ki.L1I, ki.LLCD,
+			res.MemStallFraction()*100, res.EngineFraction()*100)
+	}
+
+	fmt.Println()
+	fmt.Println("Paper section 5.2: TPC-C's longer transactions and index scans raise")
+	fmt.Println("instruction locality (lower L1I stalls than TPC-B or 1-row probes),")
+	fmt.Println("while its many low-reuse rows bring HyPer's LLC data misses back.")
+}

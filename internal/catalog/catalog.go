@@ -1,0 +1,165 @@
+// Package catalog defines table schemas and the fixed-width row format used
+// by every storage substrate. Rows are encoded directly into the simulated
+// arena, so reading or writing a field produces the corresponding simulated
+// memory traffic.
+package catalog
+
+import (
+	"fmt"
+
+	"oltpsim/internal/simmem"
+)
+
+// ColType is the type of a column.
+type ColType int
+
+// Column types. The paper's micro-benchmark uses two Long columns and, in the
+// data-type experiment (Figure 15), two 50-byte String columns.
+const (
+	// TypeLong is a 64-bit integer, 8 bytes.
+	TypeLong ColType = iota
+	// TypeString is a fixed-width byte string; its width comes from Column.Width.
+	TypeString
+)
+
+// Column describes one column of a schema.
+type Column struct {
+	Name  string
+	Type  ColType
+	Width int // bytes for TypeString; ignored for TypeLong
+}
+
+// Size returns the on-row width of the column in bytes.
+func (c Column) Size() int {
+	if c.Type == TypeLong {
+		return 8
+	}
+	return c.Width
+}
+
+// Schema is an ordered list of columns with precomputed field offsets.
+type Schema struct {
+	Name    string
+	Columns []Column
+	offsets []int
+	rowSize int
+}
+
+// NewSchema builds a schema and computes the row layout. Fields are packed in
+// declaration order with no padding; the row as a whole is aligned by the
+// storage layer.
+func NewSchema(name string, cols ...Column) *Schema {
+	s := &Schema{Name: name, Columns: cols, offsets: make([]int, len(cols))}
+	off := 0
+	for i, c := range cols {
+		s.offsets[i] = off
+		off += c.Size()
+	}
+	s.rowSize = off
+	return s
+}
+
+// RowSize returns the encoded width of one row in bytes.
+func (s *Schema) RowSize() int { return s.rowSize }
+
+// Offset returns the byte offset of column col within a row.
+func (s *Schema) Offset(col int) int { return s.offsets[col] }
+
+// ColumnIndex returns the index of the named column, or -1.
+func (s *Schema) ColumnIndex(name string) int {
+	for i, c := range s.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Value is one field value: a Long or a String, depending on the column type.
+type Value struct {
+	I int64
+	S []byte
+}
+
+// LongVal wraps an integer value.
+func LongVal(v int64) Value { return Value{I: v} }
+
+// StringVal wraps a string value.
+func StringVal(s []byte) Value { return Value{S: s} }
+
+// Row is a decoded row: one Value per column.
+type Row []Value
+
+// WriteRow encodes row at addr in the arena according to the schema.
+func (s *Schema) WriteRow(m *simmem.Arena, addr simmem.Addr, row Row) {
+	if len(row) != len(s.Columns) {
+		panic(fmt.Sprintf("catalog: row has %d values, schema %q has %d columns",
+			len(row), s.Name, len(s.Columns)))
+	}
+	for i, c := range s.Columns {
+		fa := addr + simmem.Addr(s.offsets[i])
+		switch c.Type {
+		case TypeLong:
+			m.WriteU64(fa, uint64(row[i].I))
+		case TypeString:
+			buf := make([]byte, c.Width)
+			copy(buf, row[i].S)
+			m.WriteBytes(fa, buf)
+		}
+	}
+}
+
+// ReadRow decodes the row at addr.
+func (s *Schema) ReadRow(m *simmem.Arena, addr simmem.Addr) Row {
+	row := make(Row, len(s.Columns))
+	for i := range s.Columns {
+		row[i] = s.ReadField(m, addr, i)
+	}
+	return row
+}
+
+// ReadField decodes column col of the row at addr.
+func (s *Schema) ReadField(m *simmem.Arena, addr simmem.Addr, col int) Value {
+	c := s.Columns[col]
+	fa := addr + simmem.Addr(s.offsets[col])
+	switch c.Type {
+	case TypeLong:
+		return Value{I: int64(m.ReadU64(fa))}
+	default:
+		buf := make([]byte, c.Width)
+		m.ReadBytes(fa, buf)
+		return Value{S: buf}
+	}
+}
+
+// WriteField encodes column col of the row at addr.
+func (s *Schema) WriteField(m *simmem.Arena, addr simmem.Addr, col int, v Value) {
+	c := s.Columns[col]
+	fa := addr + simmem.Addr(s.offsets[col])
+	switch c.Type {
+	case TypeLong:
+		m.WriteU64(fa, uint64(v.I))
+	default:
+		buf := make([]byte, c.Width)
+		copy(buf, v.S)
+		m.WriteBytes(fa, buf)
+	}
+}
+
+// EncodeKeyLong converts an integer key to its 8-byte big-endian index
+// representation, which preserves numeric order under bytewise comparison.
+func EncodeKeyLong(k int64) []byte {
+	u := uint64(k)
+	return []byte{
+		byte(u >> 56), byte(u >> 48), byte(u >> 40), byte(u >> 32),
+		byte(u >> 24), byte(u >> 16), byte(u >> 8), byte(u),
+	}
+}
+
+// DecodeKeyLong inverts EncodeKeyLong.
+func DecodeKeyLong(b []byte) int64 {
+	_ = b[7]
+	return int64(uint64(b[0])<<56 | uint64(b[1])<<48 | uint64(b[2])<<40 |
+		uint64(b[3])<<32 | uint64(b[4])<<24 | uint64(b[5])<<16 |
+		uint64(b[6])<<8 | uint64(b[7]))
+}

@@ -1,0 +1,127 @@
+package catalog
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"oltpsim/internal/simmem"
+)
+
+func microSchema() *Schema {
+	return NewSchema("micro",
+		Column{Name: "key", Type: TypeLong},
+		Column{Name: "val", Type: TypeLong},
+	)
+}
+
+func stringSchema() *Schema {
+	return NewSchema("micro_str",
+		Column{Name: "key", Type: TypeString, Width: 50},
+		Column{Name: "val", Type: TypeString, Width: 50},
+	)
+}
+
+func TestSchemaLayout(t *testing.T) {
+	s := microSchema()
+	if s.RowSize() != 16 {
+		t.Errorf("RowSize = %d, want 16", s.RowSize())
+	}
+	if s.Offset(0) != 0 || s.Offset(1) != 8 {
+		t.Errorf("offsets = %d,%d", s.Offset(0), s.Offset(1))
+	}
+	str := stringSchema()
+	if str.RowSize() != 100 {
+		t.Errorf("string RowSize = %d, want 100", str.RowSize())
+	}
+}
+
+func TestColumnIndex(t *testing.T) {
+	s := microSchema()
+	if s.ColumnIndex("val") != 1 {
+		t.Error("ColumnIndex(val) != 1")
+	}
+	if s.ColumnIndex("nope") != -1 {
+		t.Error("ColumnIndex(nope) != -1")
+	}
+}
+
+func TestRowRoundTripLong(t *testing.T) {
+	m := simmem.New()
+	s := microSchema()
+	addr := m.AllocData(s.RowSize(), 8)
+	s.WriteRow(m, addr, Row{LongVal(-7), LongVal(99)})
+	got := s.ReadRow(m, addr)
+	if got[0].I != -7 || got[1].I != 99 {
+		t.Errorf("round trip = %+v", got)
+	}
+}
+
+func TestRowRoundTripString(t *testing.T) {
+	m := simmem.New()
+	s := stringSchema()
+	addr := m.AllocData(s.RowSize(), 8)
+	s.WriteRow(m, addr, Row{StringVal([]byte("hello")), StringVal([]byte("world"))})
+	got := s.ReadRow(m, addr)
+	if !bytes.Equal(got[0].S[:5], []byte("hello")) {
+		t.Errorf("key = %q", got[0].S)
+	}
+	if len(got[0].S) != 50 {
+		t.Errorf("string width = %d, want padded to 50", len(got[0].S))
+	}
+}
+
+func TestFieldUpdate(t *testing.T) {
+	m := simmem.New()
+	s := microSchema()
+	addr := m.AllocData(s.RowSize(), 8)
+	s.WriteRow(m, addr, Row{LongVal(1), LongVal(2)})
+	s.WriteField(m, addr, 1, LongVal(42))
+	if got := s.ReadField(m, addr, 1).I; got != 42 {
+		t.Errorf("field = %d", got)
+	}
+	if got := s.ReadField(m, addr, 0).I; got != 1 {
+		t.Errorf("neighbour field clobbered: %d", got)
+	}
+}
+
+func TestWriteRowArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on arity mismatch")
+		}
+	}()
+	m := simmem.New()
+	s := microSchema()
+	s.WriteRow(m, m.AllocData(16, 8), Row{LongVal(1)})
+}
+
+func TestEncodeKeyLongOrderPreserving(t *testing.T) {
+	// Bytewise comparison of encoded keys must agree with numeric order for
+	// non-negative keys (the only keys the workloads use).
+	f := func(a, b uint32) bool {
+		ka := EncodeKeyLong(int64(a))
+		kb := EncodeKeyLong(int64(b))
+		cmp := bytes.Compare(ka, kb)
+		switch {
+		case a < b:
+			return cmp < 0
+		case a > b:
+			return cmp > 0
+		default:
+			return cmp == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeDecodeKeyLong(t *testing.T) {
+	f := func(k int64) bool {
+		return DecodeKeyLong(EncodeKeyLong(k)) == k
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

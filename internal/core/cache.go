@@ -1,0 +1,142 @@
+package core
+
+// AccessClass distinguishes instruction from data traffic in the per-level
+// counters, mirroring the I/D split in the paper's stall breakdowns.
+type AccessClass int
+
+// Access classes.
+const (
+	ClassInstr AccessClass = iota
+	ClassData
+	numClasses
+)
+
+// CacheStats counts accesses and misses for one access class.
+type CacheStats struct {
+	Accesses uint64
+	Misses   uint64
+}
+
+// Cache is a set-associative cache with true-LRU replacement. Lines are
+// identified by line IDs (virtual address >> LineShift). The zero value is
+// not usable; construct with NewCache.
+type Cache struct {
+	geom CacheGeom
+	sets int
+	ways int
+	// tags[set*ways+way] holds lineID+1; 0 means invalid. Within a set, way 0
+	// is the most recently used and way ways-1 the least recently used, so a
+	// hit moves the entry to the front of its set slice.
+	tags []uint64
+
+	stats [numClasses]CacheStats
+}
+
+// NewCache builds a cache with the given geometry.
+func NewCache(g CacheGeom) *Cache {
+	sets := g.Sets()
+	if sets <= 0 || sets&(sets-1) != 0 {
+		// Non-power-of-two set counts are allowed (the 20MB/20-way LLC has
+		// 16384 sets, which is a power of two; but keep modulo general).
+		if sets <= 0 {
+			panic("core: cache geometry yields no sets")
+		}
+	}
+	return &Cache{
+		geom: g,
+		sets: sets,
+		ways: g.Assoc,
+		tags: make([]uint64, sets*g.Assoc),
+	}
+}
+
+// Geom returns the cache geometry.
+func (c *Cache) Geom() CacheGeom { return c.geom }
+
+// Stats returns the access/miss counters for the given class.
+func (c *Cache) Stats(class AccessClass) CacheStats { return c.stats[class] }
+
+// ResetStats zeroes the counters without touching cache contents.
+func (c *Cache) ResetStats() { c.stats = [numClasses]CacheStats{} }
+
+func (c *Cache) setIndex(lineID uint64) int {
+	if c.sets&(c.sets-1) == 0 {
+		return int(lineID & uint64(c.sets-1))
+	}
+	return int(lineID % uint64(c.sets))
+}
+
+// Access looks up lineID, filling it on a miss, and returns whether it hit.
+// The counters for the given class are updated.
+func (c *Cache) Access(lineID uint64, class AccessClass) bool {
+	c.stats[class].Accesses++
+	if c.touch(lineID) {
+		return true
+	}
+	c.stats[class].Misses++
+	c.fill(lineID)
+	return false
+}
+
+// Probe reports whether lineID is resident without updating counters or LRU
+// state. Intended for tests and coherence checks.
+func (c *Cache) Probe(lineID uint64) bool {
+	tag := lineID + 1
+	base := c.setIndex(lineID) * c.ways
+	set := c.tags[base : base+c.ways]
+	for _, t := range set {
+		if t == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// touch returns true and promotes the line to MRU if present.
+func (c *Cache) touch(lineID uint64) bool {
+	tag := lineID + 1
+	base := c.setIndex(lineID) * c.ways
+	set := c.tags[base : base+c.ways]
+	for i, t := range set {
+		if t == tag {
+			copy(set[1:i+1], set[:i])
+			set[0] = tag
+			return true
+		}
+	}
+	return false
+}
+
+// fill inserts lineID as MRU, evicting the LRU way.
+func (c *Cache) fill(lineID uint64) {
+	base := c.setIndex(lineID) * c.ways
+	set := c.tags[base : base+c.ways]
+	copy(set[1:], set[:c.ways-1])
+	set[0] = lineID + 1
+}
+
+// FillQuiet inserts lineID without counting an access or miss. Used by the
+// instruction prefetcher.
+func (c *Cache) FillQuiet(lineID uint64) {
+	if c.touch(lineID) {
+		return
+	}
+	c.fill(lineID)
+}
+
+// Invalidate removes lineID if present and reports whether it was resident.
+// Used by the coherence directory.
+func (c *Cache) Invalidate(lineID uint64) bool {
+	tag := lineID + 1
+	base := c.setIndex(lineID) * c.ways
+	set := c.tags[base : base+c.ways]
+	for i, t := range set {
+		if t == tag {
+			// Shift the remainder up and clear the LRU slot.
+			copy(set[i:], set[i+1:])
+			set[c.ways-1] = 0
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,82 @@
+// Package core implements the micro-architectural measurement apparatus that
+// replaces the hardware performance counters (Intel VTune on Ivy Bridge) used
+// by the paper "Micro-architectural Analysis of In-memory OLTP" (SIGMOD'16).
+//
+// It provides:
+//
+//   - set-associative, LRU cache models with per-class (instruction/data)
+//     accounting;
+//   - a hierarchy of per-core L1I/L1D and unified L2 caches in front of a
+//     shared last-level cache, with the geometry and miss penalties of the
+//     paper's Table 1, plus an invalidation-based coherence step for the
+//     multi-threaded experiments (paper section 7);
+//   - a code-region model: engine components register address ranges in the
+//     simulated code segment, and executing a component streams instruction
+//     fetches for that range through the I-side hierarchy;
+//   - a CPU execution context that retires instructions, accumulates stall
+//     cycles, and attributes both to code modules (for the paper's
+//     "inside/outside the OLTP engine" breakdown, Figure 7);
+//   - a simulated PMU: counter snapshots and the derived metrics the paper
+//     reports (IPC, stall cycles per 1000 instructions, stall cycles per
+//     transaction), computed exactly as described in the paper's Section 3:
+//     stall cycles are miss counts multiplied by the per-level penalty and
+//     reported side by side.
+package core
+
+// CacheGeom describes one cache level.
+type CacheGeom struct {
+	// SizeBytes is the total capacity.
+	SizeBytes int
+	// LineBytes is the cache-line size (64 on the paper's machine).
+	LineBytes int
+	// Assoc is the set associativity.
+	Assoc int
+	// MissPenalty is the stall-cycle cost of missing at this level, i.e. the
+	// latency of fetching from the next level, per the paper's Table 1.
+	MissPenalty int
+}
+
+// Sets returns the number of sets in the cache.
+func (g CacheGeom) Sets() int { return g.SizeBytes / (g.LineBytes * g.Assoc) }
+
+// HierarchyConfig describes the full memory hierarchy of the simulated server.
+type HierarchyConfig struct {
+	// Cores is the number of simulated cores (each with private L1I, L1D, L2).
+	Cores int
+	// L1I, L1D, L2 are per-core; LLC is shared by all cores.
+	L1I, L1D, L2, LLC CacheGeom
+	// IPrefetchLines is the depth of the sequential next-line instruction
+	// prefetcher: on an L1I miss the following N lines are filled quietly.
+	// Modern front-ends prefetch aggressively; 2 is a conservative default.
+	IPrefetchLines int
+	// Coherence enables the invalidation-based coherence directory for the
+	// private data caches. Only meaningful with Cores > 1.
+	Coherence bool
+}
+
+// IvyBridge returns the hierarchy of the paper's server (Table 1): a two-socket
+// Intel Xeon E5-2640 v2. Per core: 32KB L1I and 32KB L1D with an 8-cycle miss
+// latency, 256KB L2 with a 19-cycle miss latency; shared 20MB LLC with a
+// 167-cycle miss latency (the paper's average of local and remote memory).
+func IvyBridge(cores int) HierarchyConfig {
+	return HierarchyConfig{
+		Cores:          cores,
+		L1I:            CacheGeom{SizeBytes: 32 << 10, LineBytes: 64, Assoc: 8, MissPenalty: 8},
+		L1D:            CacheGeom{SizeBytes: 32 << 10, LineBytes: 64, Assoc: 8, MissPenalty: 8},
+		L2:             CacheGeom{SizeBytes: 256 << 10, LineBytes: 64, Assoc: 8, MissPenalty: 19},
+		LLC:            CacheGeom{SizeBytes: 20 << 20, LineBytes: 64, Assoc: 20, MissPenalty: 167},
+		IPrefetchLines: 1,
+		Coherence:      cores > 1,
+	}
+}
+
+// BaseIPC is the instructions-per-cycle of a loop with no cache misses,
+// as measured by the paper on the 4-wide Ivy Bridge core ("The IPC value for
+// this program after its cold start is 3").
+const BaseIPC = 3.0
+
+// LineShift is log2 of the cache-line size used throughout the simulator.
+const LineShift = 6
+
+// LineBytes is the cache-line size used throughout the simulator.
+const LineBytes = 1 << LineShift

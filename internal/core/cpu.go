@@ -1,0 +1,155 @@
+package core
+
+import "oltpsim/internal/simmem"
+
+// ModuleStats accumulates retired instructions and stall cycles attributed to
+// one module on one CPU.
+type ModuleStats struct {
+	Instructions uint64
+	IStallCycles uint64
+	DStallCycles uint64
+}
+
+// CPU is the execution context of one simulated core: it retires
+// instructions, streams instruction fetches for the code regions it executes,
+// and attributes events to modules. Data-side events arrive through the
+// Machine's arena tracer while this CPU is current.
+type CPU struct {
+	ID   int
+	hier *Hierarchy
+
+	Instructions uint64
+	IStallCycles uint64
+	DStallCycles uint64
+	TxCount      uint64
+
+	perModule [NumModules]ModuleStats
+	curMod    Module
+}
+
+// Exec retires instrs instructions of region r, streaming the corresponding
+// instruction fetches through the I-cache hierarchy: the hot prefix of the
+// invocation path plus, for regions with HotFrac < 1, a rotating window over
+// the cold remainder of the region (data-dependent branch paths). Subsequent
+// data accesses are attributed to r's module until the next Exec call.
+func (c *CPU) Exec(r *Region, instrs int) {
+	if instrs <= 0 {
+		return
+	}
+	nLines := int(float64(instrs) * r.BytesPerInstr / LineBytes)
+	if nLines < 1 {
+		nLines = 1
+	}
+	if nLines > r.lines {
+		nLines = r.lines
+	}
+	hot := nLines
+	if r.HotFrac < 1 {
+		hot = int(float64(nLines) * r.HotFrac)
+	}
+	stall := 0
+	if hot > 0 {
+		stall += c.hier.FetchCode(c.ID, r.Base, hot)
+	}
+	if cold := nLines - hot; cold > 0 {
+		span := r.lines - hot
+		if cold > span {
+			cold = span
+		}
+		if span > 0 {
+			start := hot + r.rot%span
+			first := cold
+			if start+first > r.lines {
+				first = r.lines - start
+			}
+			stall += c.hier.FetchCode(c.ID, r.Base+simmem.Addr(start*LineBytes), first)
+			if rest := cold - first; rest > 0 {
+				stall += c.hier.FetchCode(c.ID, r.Base+simmem.Addr(hot*LineBytes), rest)
+			}
+			r.rot = (r.rot + cold) % span
+		}
+	}
+	c.Instructions += uint64(instrs)
+	c.IStallCycles += uint64(stall)
+	ms := &c.perModule[r.Mod]
+	ms.Instructions += uint64(instrs)
+	ms.IStallCycles += uint64(stall)
+	c.curMod = r.Mod
+}
+
+// ExecLoop retires iters x instrsPerIter instructions of a loop whose body
+// belongs to r. The body's lines are fetched once (later iterations hit L1I
+// by construction), which models tight loops such as memcmp or scan bodies.
+func (c *CPU) ExecLoop(r *Region, iters, instrsPerIter int) {
+	if iters <= 0 || instrsPerIter <= 0 {
+		return
+	}
+	nLines := int(float64(instrsPerIter) * r.BytesPerInstr / LineBytes)
+	if nLines < 1 {
+		nLines = 1
+	}
+	if nLines > r.lines {
+		nLines = r.lines
+	}
+	stall := c.hier.FetchCode(c.ID, r.Base, nLines)
+	c.Instructions += uint64(iters) * uint64(instrsPerIter)
+	c.IStallCycles += uint64(stall)
+	ms := &c.perModule[r.Mod]
+	ms.Instructions += uint64(iters) * uint64(instrsPerIter)
+	ms.IStallCycles += uint64(stall)
+	c.curMod = r.Mod
+}
+
+// CurrentModule returns the module of the most recently executed region.
+func (c *CPU) CurrentModule() Module { return c.curMod }
+
+// ModuleStats returns the accumulated statistics for module m.
+func (c *CPU) ModuleStats(m Module) ModuleStats { return c.perModule[m] }
+
+// Machine bundles the arena, the cache hierarchy and one CPU per simulated
+// core, and routes arena data accesses to the currently executing CPU. It is
+// the top-level object a system archetype is built on.
+type Machine struct {
+	Arena *simmem.Arena
+	Hier  *Hierarchy
+	CPUs  []*CPU
+
+	cur *CPU
+}
+
+// NewMachine builds a machine with the given hierarchy configuration and a
+// fresh arena, attaches itself as the arena's tracer, and selects core 0.
+func NewMachine(cfg HierarchyConfig) *Machine {
+	m := &Machine{
+		Arena: simmem.New(),
+		Hier:  NewHierarchy(cfg),
+	}
+	m.CPUs = make([]*CPU, m.Hier.Cores())
+	for i := range m.CPUs {
+		m.CPUs[i] = &CPU{ID: i, hier: m.Hier}
+	}
+	m.cur = m.CPUs[0]
+	m.Arena.SetTracer(m)
+	return m
+}
+
+// OnData implements simmem.Tracer: it charges the access to the current CPU
+// and attributes the stall cycles to that CPU's current module.
+func (m *Machine) OnData(addr simmem.Addr, size int, write bool) {
+	c := m.cur
+	stall := m.Hier.DataAccess(c.ID, addr, size, write)
+	if stall != 0 {
+		c.DStallCycles += uint64(stall)
+		c.perModule[c.curMod].DStallCycles += uint64(stall)
+	}
+}
+
+// SetCurrent selects the CPU that subsequent Exec calls and data accesses
+// belong to. The simulation is single-OS-threaded; logical cores are
+// interleaved by the harness, which keeps counter attribution exact (the
+// problem hardware counters have with Go's scheduler, per the reproduction
+// notes, does not arise).
+func (m *Machine) SetCurrent(cpuID int) { m.cur = m.CPUs[cpuID] }
+
+// Current returns the currently selected CPU.
+func (m *Machine) Current() *CPU { return m.cur }

@@ -1,0 +1,209 @@
+package core
+
+import "oltpsim/internal/simmem"
+
+// MissCounts holds per-level, per-class miss counters for one core — the raw
+// events a hardware PMU would report.
+type MissCounts struct {
+	L1IAcc, L1IMiss uint64
+	L2IMiss         uint64
+	LLCIMiss        uint64
+
+	L1DAcc, L1DMiss uint64
+	L2DMiss         uint64
+	LLCDMiss        uint64
+
+	Invalidations uint64 // coherence invalidations this core caused
+	IPrefetches   uint64 // quiet line fills issued by the I-prefetcher
+}
+
+// Add accumulates other into m.
+func (m *MissCounts) Add(other MissCounts) {
+	m.L1IAcc += other.L1IAcc
+	m.L1IMiss += other.L1IMiss
+	m.L2IMiss += other.L2IMiss
+	m.LLCIMiss += other.LLCIMiss
+	m.L1DAcc += other.L1DAcc
+	m.L1DMiss += other.L1DMiss
+	m.L2DMiss += other.L2DMiss
+	m.LLCDMiss += other.LLCDMiss
+	m.Invalidations += other.Invalidations
+	m.IPrefetches += other.IPrefetches
+}
+
+// Sub returns m minus other (counter delta between two snapshots).
+func (m MissCounts) Sub(other MissCounts) MissCounts {
+	return MissCounts{
+		L1IAcc: m.L1IAcc - other.L1IAcc, L1IMiss: m.L1IMiss - other.L1IMiss,
+		L2IMiss: m.L2IMiss - other.L2IMiss, LLCIMiss: m.LLCIMiss - other.LLCIMiss,
+		L1DAcc: m.L1DAcc - other.L1DAcc, L1DMiss: m.L1DMiss - other.L1DMiss,
+		L2DMiss: m.L2DMiss - other.L2DMiss, LLCDMiss: m.LLCDMiss - other.LLCDMiss,
+		Invalidations: m.Invalidations - other.Invalidations,
+		IPrefetches:   m.IPrefetches - other.IPrefetches,
+	}
+}
+
+type coreCaches struct {
+	l1i *Cache
+	l1d *Cache
+	l2  *Cache
+}
+
+// Hierarchy is the simulated memory hierarchy: per-core private L1I/L1D/L2 in
+// front of a shared LLC, with optional invalidation-based coherence between
+// the private data caches.
+type Hierarchy struct {
+	cfg    HierarchyConfig
+	cores  []coreCaches
+	llc    *Cache
+	counts []MissCounts
+
+	// dir maps a data line to the bitmask of cores whose private caches may
+	// hold it. Only maintained when coherence is enabled.
+	dir map[uint64]uint32
+}
+
+// NewHierarchy builds the hierarchy described by cfg.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	if cfg.Cores <= 0 {
+		cfg.Cores = 1
+	}
+	if cfg.Cores > 32 {
+		panic("core: at most 32 simulated cores supported")
+	}
+	h := &Hierarchy{
+		cfg:    cfg,
+		cores:  make([]coreCaches, cfg.Cores),
+		llc:    NewCache(cfg.LLC),
+		counts: make([]MissCounts, cfg.Cores),
+	}
+	for i := range h.cores {
+		h.cores[i] = coreCaches{
+			l1i: NewCache(cfg.L1I),
+			l1d: NewCache(cfg.L1D),
+			l2:  NewCache(cfg.L2),
+		}
+	}
+	if cfg.Coherence && cfg.Cores > 1 {
+		h.dir = make(map[uint64]uint32)
+	}
+	return h
+}
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
+
+// Cores returns the number of simulated cores.
+func (h *Hierarchy) Cores() int { return len(h.cores) }
+
+// Counts returns a copy of the per-core miss counters for core.
+func (h *Hierarchy) Counts(core int) MissCounts { return h.counts[core] }
+
+// TotalCounts returns the miss counters summed across all cores.
+func (h *Hierarchy) TotalCounts() MissCounts {
+	var t MissCounts
+	for i := range h.counts {
+		t.Add(h.counts[i])
+	}
+	return t
+}
+
+// FetchCode streams nLines of instruction fetch starting at the line
+// containing addr through core's I-side hierarchy and returns the stall
+// cycles incurred (miss count x per-level penalty, as in the paper).
+func (h *Hierarchy) FetchCode(core int, addr simmem.Addr, nLines int) int {
+	cc := &h.cores[core]
+	ct := &h.counts[core]
+	stall := 0
+	line := uint64(addr) >> LineShift
+	for i := 0; i < nLines; i++ {
+		id := line + uint64(i)
+		ct.L1IAcc++
+		if cc.l1i.Access(id, ClassInstr) {
+			continue
+		}
+		ct.L1IMiss++
+		stall += h.cfg.L1I.MissPenalty
+		if !cc.l2.Access(id, ClassInstr) {
+			ct.L2IMiss++
+			stall += h.cfg.L2.MissPenalty
+			if !h.llc.Access(id, ClassInstr) {
+				ct.LLCIMiss++
+				stall += h.cfg.LLC.MissPenalty
+			}
+		}
+		// Sequential next-line prefetch: fill the following lines quietly so
+		// straight-line code does not miss on every line.
+		for p := 1; p <= h.cfg.IPrefetchLines; p++ {
+			pid := id + uint64(p)
+			cc.l1i.FillQuiet(pid)
+			cc.l2.FillQuiet(pid)
+			h.llc.FillQuiet(pid)
+			ct.IPrefetches++
+		}
+	}
+	return stall
+}
+
+// DataAccess sends a data access of size bytes at addr through core's D-side
+// hierarchy and returns the stall cycles incurred. Writes invalidate copies
+// of the line in other cores' private caches when coherence is enabled, and
+// allocate lines quietly: store misses drain through the store buffer
+// without stalling retirement on an out-of-order core, so (like the
+// load-centric counter methodology the paper uses) they contribute neither
+// miss counts nor stall cycles — only future locality.
+func (h *Hierarchy) DataAccess(core int, addr simmem.Addr, size int, write bool) int {
+	if size <= 0 {
+		return 0
+	}
+	cc := &h.cores[core]
+	ct := &h.counts[core]
+	stall := 0
+	first := uint64(addr) >> LineShift
+	last := (uint64(addr) + uint64(size) - 1) >> LineShift
+	for id := first; id <= last; id++ {
+		ct.L1DAcc++
+		if h.dir != nil && write {
+			if mask := h.dir[id]; mask & ^(uint32(1)<<core) != 0 {
+				for other := range h.cores {
+					if other == core || mask&(uint32(1)<<other) == 0 {
+						continue
+					}
+					if h.cores[other].l1d.Invalidate(id) {
+						ct.Invalidations++
+					}
+					if h.cores[other].l2.Invalidate(id) {
+						ct.Invalidations++
+					}
+				}
+				h.dir[id] = uint32(1) << core
+			}
+		}
+		if write {
+			cc.l1d.FillQuiet(id)
+			cc.l2.FillQuiet(id)
+			h.llc.FillQuiet(id)
+			if h.dir != nil {
+				h.dir[id] |= uint32(1) << core
+			}
+			continue
+		}
+		if cc.l1d.Access(id, ClassData) {
+			continue
+		}
+		ct.L1DMiss++
+		stall += h.cfg.L1D.MissPenalty
+		if !cc.l2.Access(id, ClassData) {
+			ct.L2DMiss++
+			stall += h.cfg.L2.MissPenalty
+			if !h.llc.Access(id, ClassData) {
+				ct.LLCDMiss++
+				stall += h.cfg.LLC.MissPenalty
+			}
+		}
+		if h.dir != nil {
+			h.dir[id] |= uint32(1) << core
+		}
+	}
+	return stall
+}

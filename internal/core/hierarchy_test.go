@@ -1,0 +1,223 @@
+package core
+
+import (
+	"testing"
+
+	"oltpsim/internal/simmem"
+)
+
+func smallHierCfg(cores int) HierarchyConfig {
+	return HierarchyConfig{
+		Cores:          cores,
+		L1I:            CacheGeom{SizeBytes: 1 << 10, LineBytes: 64, Assoc: 2, MissPenalty: 8},
+		L1D:            CacheGeom{SizeBytes: 1 << 10, LineBytes: 64, Assoc: 2, MissPenalty: 8},
+		L2:             CacheGeom{SizeBytes: 8 << 10, LineBytes: 64, Assoc: 4, MissPenalty: 19},
+		LLC:            CacheGeom{SizeBytes: 64 << 10, LineBytes: 64, Assoc: 8, MissPenalty: 167},
+		IPrefetchLines: 0,
+		Coherence:      cores > 1,
+	}
+}
+
+func TestDataAccessMissPath(t *testing.T) {
+	h := NewHierarchy(smallHierCfg(1))
+	addr := simmem.DataBase
+
+	// Cold: misses at every level: 8 + 19 + 167.
+	if got := h.DataAccess(0, addr, 8, false); got != 194 {
+		t.Errorf("cold access stall = %d, want 194", got)
+	}
+	// Hot: L1D hit, no stalls.
+	if got := h.DataAccess(0, addr, 8, false); got != 0 {
+		t.Errorf("hot access stall = %d, want 0", got)
+	}
+	ct := h.Counts(0)
+	if ct.L1DMiss != 1 || ct.L2DMiss != 1 || ct.LLCDMiss != 1 {
+		t.Errorf("miss counts = %+v", ct)
+	}
+	if ct.L1DAcc != 2 {
+		t.Errorf("L1D accesses = %d, want 2", ct.L1DAcc)
+	}
+}
+
+func TestDataAccessSpansLines(t *testing.T) {
+	h := NewHierarchy(smallHierCfg(1))
+	// 100 bytes starting 10 bytes before a line boundary touches 3 lines.
+	addr := simmem.DataBase + 64 - 10
+	h.DataAccess(0, addr, 100, false)
+	if got := h.Counts(0).L1DAcc; got != 3 {
+		t.Errorf("lines touched = %d, want 3", got)
+	}
+}
+
+func TestFetchCodeL1IAndPenalties(t *testing.T) {
+	h := NewHierarchy(smallHierCfg(1))
+	addr := simmem.CodeBase
+	// 4 cold lines: each 8+19+167.
+	if got := h.FetchCode(0, addr, 4); got != 4*194 {
+		t.Errorf("cold fetch stall = %d, want %d", got, 4*194)
+	}
+	if got := h.FetchCode(0, addr, 4); got != 0 {
+		t.Errorf("warm fetch stall = %d, want 0", got)
+	}
+	ct := h.Counts(0)
+	if ct.L1IMiss != 4 || ct.LLCIMiss != 4 {
+		t.Errorf("counts = %+v", ct)
+	}
+}
+
+func TestInstructionPrefetchReducesMisses(t *testing.T) {
+	cfg := smallHierCfg(1)
+	noPf := NewHierarchy(cfg)
+	cfg.IPrefetchLines = 2
+	pf := NewHierarchy(cfg)
+
+	const lines = 16
+	noPf.FetchCode(0, simmem.CodeBase, lines)
+	pf.FetchCode(0, simmem.CodeBase, lines)
+
+	mNo := noPf.Counts(0).L1IMiss
+	mPf := pf.Counts(0).L1IMiss
+	if mNo != lines {
+		t.Fatalf("no-prefetch misses = %d, want %d", mNo, lines)
+	}
+	if mPf >= mNo {
+		t.Errorf("prefetch did not reduce misses: %d >= %d", mPf, mNo)
+	}
+	// With depth 2, a sequential stream should miss roughly every 3rd line.
+	if mPf > lines/2 {
+		t.Errorf("prefetch misses = %d, want <= %d for depth-2 sequential", mPf, lines/2)
+	}
+	if pf.Counts(0).IPrefetches == 0 {
+		t.Error("prefetch counter not incremented")
+	}
+}
+
+func TestSharedLLCAcrossCores(t *testing.T) {
+	h := NewHierarchy(smallHierCfg(2))
+	addr := simmem.DataBase
+	h.DataAccess(0, addr, 8, false) // core 0 pulls line into shared LLC
+	// Core 1 misses its private caches but hits the shared LLC: 8 + 19.
+	if got := h.DataAccess(1, addr, 8, false); got != 27 {
+		t.Errorf("core-1 stall = %d, want 27 (LLC hit)", got)
+	}
+	if got := h.Counts(1).LLCDMiss; got != 0 {
+		t.Errorf("core-1 LLC misses = %d, want 0", got)
+	}
+}
+
+func TestCoherenceInvalidation(t *testing.T) {
+	h := NewHierarchy(smallHierCfg(2))
+	addr := simmem.DataBase
+
+	h.DataAccess(0, addr, 8, false) // core 0 caches the line
+	h.DataAccess(1, addr, 8, true)  // core 1 writes: invalidates core 0's copy
+
+	if got := h.Counts(1).Invalidations; got == 0 {
+		t.Fatal("write to shared line caused no invalidations")
+	}
+	// Core 0 must now miss its private caches (line was invalidated) but can
+	// hit the shared LLC.
+	stall := h.DataAccess(0, addr, 8, false)
+	if stall == 0 {
+		t.Error("core 0 hit a line that should have been invalidated")
+	}
+	if got := h.Counts(0).LLCDMiss; got != 1 {
+		t.Errorf("core 0 LLC misses = %d, want 1 (only the original cold miss)", got)
+	}
+}
+
+func TestNoCoherenceSingleCore(t *testing.T) {
+	h := NewHierarchy(smallHierCfg(1))
+	addr := simmem.DataBase
+	h.DataAccess(0, addr, 8, true)
+	h.DataAccess(0, addr, 8, true)
+	if got := h.Counts(0).Invalidations; got != 0 {
+		t.Errorf("single-core run recorded %d invalidations", got)
+	}
+}
+
+func TestCPUExecAccounting(t *testing.T) {
+	m := NewMachine(smallHierCfg(1))
+	cs := NewCodeSpace(m.Arena)
+	r := cs.NewRegion("probe", ModIndex, 4096, 4)
+
+	cpu := m.Current()
+	cpu.Exec(r, 160) // 160 instr x 4 B = 640 B = 10 lines
+	if cpu.Instructions != 160 {
+		t.Errorf("instructions = %d", cpu.Instructions)
+	}
+	if got := m.Hier.Counts(0).L1IAcc; got != 10 {
+		t.Errorf("fetched lines = %d, want 10", got)
+	}
+	if cpu.IStallCycles == 0 {
+		t.Error("cold execution produced no instruction stalls")
+	}
+	ms := cpu.ModuleStats(ModIndex)
+	if ms.Instructions != 160 || ms.IStallCycles != cpu.IStallCycles {
+		t.Errorf("module attribution = %+v", ms)
+	}
+}
+
+func TestCPUExecCappedByRegionSize(t *testing.T) {
+	m := NewMachine(smallHierCfg(1))
+	cs := NewCodeSpace(m.Arena)
+	r := cs.NewRegion("tiny", ModParser, 128, 4) // 2 lines
+	m.Current().Exec(r, 10000)
+	if got := m.Hier.Counts(0).L1IAcc; got != 2 {
+		t.Errorf("fetched lines = %d, want region cap 2", got)
+	}
+}
+
+func TestCPUExecLoopFetchesBodyOnce(t *testing.T) {
+	m := NewMachine(smallHierCfg(1))
+	cs := NewCodeSpace(m.Arena)
+	r := cs.NewRegion("memcmp", ModIndex, 1024, 4)
+	cpu := m.Current()
+	cpu.ExecLoop(r, 50, 16) // 800 instructions, body = 1 line
+	if cpu.Instructions != 800 {
+		t.Errorf("instructions = %d, want 800", cpu.Instructions)
+	}
+	if got := m.Hier.Counts(0).L1IAcc; got != 1 {
+		t.Errorf("fetched lines = %d, want 1 (body fetched once)", got)
+	}
+}
+
+func TestMachineRoutesDataToCurrentCPU(t *testing.T) {
+	m := NewMachine(smallHierCfg(2))
+	m.Arena.EnableTracing(true)
+	a := m.Arena.AllocData(64, 64)
+
+	m.SetCurrent(1)
+	m.Arena.WriteU64(a, 1)
+	if got := m.Hier.Counts(1).L1DAcc; got != 1 {
+		t.Errorf("core 1 accesses = %d, want 1", got)
+	}
+	if got := m.Hier.Counts(0).L1DAcc; got != 0 {
+		t.Errorf("core 0 accesses = %d, want 0", got)
+	}
+	// Stores allocate quietly; the subsequent load must hit without stalls.
+	if got := m.Arena.ReadU64(a); got != 1 {
+		t.Errorf("read back %d", got)
+	}
+	if m.CPUs[1].DStallCycles != 0 {
+		t.Error("load after allocating store stalled")
+	}
+	if got := m.Hier.Counts(1).L1DMiss; got != 0 {
+		t.Errorf("store-warmed load missed: %d", got)
+	}
+}
+
+func TestDataStallModuleAttribution(t *testing.T) {
+	m := NewMachine(smallHierCfg(1))
+	cs := NewCodeSpace(m.Arena)
+	idx := cs.NewRegion("idx", ModIndex, 1024, 4)
+	m.Arena.EnableTracing(true)
+	a := m.Arena.AllocData(64, 64)
+
+	cpu := m.Current()
+	cpu.Exec(idx, 10) // current module is now ModIndex
+	m.Arena.ReadU64(a)
+	if got := cpu.ModuleStats(ModIndex).DStallCycles; got == 0 {
+		t.Error("data stall not attributed to current module")
+	}
+}

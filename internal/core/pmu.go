@@ -1,0 +1,203 @@
+package core
+
+// Snapshot is a point-in-time reading of the simulated PMU: retired
+// instructions, completed transactions, per-level miss counters, and
+// per-module attribution, summed over the requested cores.
+type Snapshot struct {
+	Instructions uint64
+	TxCount      uint64
+	Misses       MissCounts
+	Modules      [NumModules]ModuleStats
+}
+
+// Snapshot reads the counters of every core.
+func (m *Machine) Snapshot() Snapshot {
+	var s Snapshot
+	for _, c := range m.CPUs {
+		s.Instructions += c.Instructions
+		s.TxCount += c.TxCount
+		for i := range c.perModule {
+			s.Modules[i].Instructions += c.perModule[i].Instructions
+			s.Modules[i].IStallCycles += c.perModule[i].IStallCycles
+			s.Modules[i].DStallCycles += c.perModule[i].DStallCycles
+		}
+	}
+	s.Misses = m.Hier.TotalCounts()
+	return s
+}
+
+// SnapshotCore reads the counters of a single core — the paper's
+// multi-threaded experiments report per-worker-thread counters and average
+// them (section 3, "Measurements").
+func (m *Machine) SnapshotCore(core int) Snapshot {
+	c := m.CPUs[core]
+	var s Snapshot
+	s.Instructions = c.Instructions
+	s.TxCount = c.TxCount
+	for i := range c.perModule {
+		s.Modules[i] = c.perModule[i]
+	}
+	s.Misses = m.Hier.Counts(core)
+	return s
+}
+
+// Sub returns the counter delta s minus before.
+func (s Snapshot) Sub(before Snapshot) Snapshot {
+	d := Snapshot{
+		Instructions: s.Instructions - before.Instructions,
+		TxCount:      s.TxCount - before.TxCount,
+		Misses:       s.Misses.Sub(before.Misses),
+	}
+	for i := range s.Modules {
+		d.Modules[i] = ModuleStats{
+			Instructions: s.Modules[i].Instructions - before.Modules[i].Instructions,
+			IStallCycles: s.Modules[i].IStallCycles - before.Modules[i].IStallCycles,
+			DStallCycles: s.Modules[i].DStallCycles - before.Modules[i].DStallCycles,
+		}
+	}
+	return d
+}
+
+// StallCycles is the six-way stall breakdown the paper plots: stall cycles
+// attributed to instruction and data misses at each level of the hierarchy,
+// computed as miss count x per-level penalty (paper section 3,
+// "Measurements"). The components overlap on a real out-of-order core, which
+// is why the paper draws them side by side rather than stacked; this model
+// sums them into total cycles, which is the same first-order approximation.
+type StallCycles struct {
+	L1I, L2I, LLCI float64
+	L1D, L2D, LLCD float64
+}
+
+// Instr returns the instruction-side stall cycles.
+func (s StallCycles) Instr() float64 { return s.L1I + s.L2I + s.LLCI }
+
+// Data returns the data-side stall cycles.
+func (s StallCycles) Data() float64 { return s.L1D + s.L2D + s.LLCD }
+
+// Total returns all stall cycles.
+func (s StallCycles) Total() float64 { return s.Instr() + s.Data() }
+
+// Scale returns s with every component multiplied by f.
+func (s StallCycles) Scale(f float64) StallCycles {
+	return StallCycles{
+		L1I: s.L1I * f, L2I: s.L2I * f, LLCI: s.LLCI * f,
+		L1D: s.L1D * f, L2D: s.L2D * f, LLCD: s.LLCD * f,
+	}
+}
+
+// Measurement is a measured window (a counter delta) plus the machine
+// parameters needed to derive the paper's metrics.
+type Measurement struct {
+	// Delta is the counter difference between the end and start of the
+	// measured window.
+	Delta Snapshot
+	// Config is the hierarchy configuration (for the per-level penalties).
+	Config HierarchyConfig
+	// BaseCPI is the no-miss cycles-per-instruction: 1/BaseIPC plus the
+	// system's non-memory stall component (branch mispredictions, dependency
+	// chains), a per-archetype constant.
+	BaseCPI float64
+}
+
+// NewMeasurement derives a measurement from two snapshots.
+func NewMeasurement(before, after Snapshot, cfg HierarchyConfig, baseCPI float64) Measurement {
+	return Measurement{Delta: after.Sub(before), Config: cfg, BaseCPI: baseCPI}
+}
+
+// Stalls returns the absolute stall-cycle breakdown for the window.
+func (m Measurement) Stalls() StallCycles {
+	d := m.Delta.Misses
+	return StallCycles{
+		L1I:  float64(d.L1IMiss) * float64(m.Config.L1I.MissPenalty),
+		L2I:  float64(d.L2IMiss) * float64(m.Config.L2.MissPenalty),
+		LLCI: float64(d.LLCIMiss) * float64(m.Config.LLC.MissPenalty),
+		L1D:  float64(d.L1DMiss) * float64(m.Config.L1D.MissPenalty),
+		L2D:  float64(d.L2DMiss) * float64(m.Config.L2.MissPenalty),
+		LLCD: float64(d.LLCDMiss) * float64(m.Config.LLC.MissPenalty),
+	}
+}
+
+// Cycles returns the modeled execution cycles of the window:
+// instructions x base CPI + all stall cycles.
+func (m Measurement) Cycles() float64 {
+	return float64(m.Delta.Instructions)*m.BaseCPI + m.Stalls().Total()
+}
+
+// IPC returns instructions retired per cycle.
+func (m Measurement) IPC() float64 {
+	cy := m.Cycles()
+	if cy == 0 {
+		return 0
+	}
+	return float64(m.Delta.Instructions) / cy
+}
+
+// StallsPerKI returns stall cycles per 1000 instructions, the unit of the
+// paper's Figures 2, 5, 9, 11, 13-15, 18, 19.
+func (m Measurement) StallsPerKI() StallCycles {
+	if m.Delta.Instructions == 0 {
+		return StallCycles{}
+	}
+	return m.Stalls().Scale(1000 / float64(m.Delta.Instructions))
+}
+
+// StallsPerTx returns stall cycles per transaction, the unit of the paper's
+// Figures 3, 6, 12.
+func (m Measurement) StallsPerTx() StallCycles {
+	if m.Delta.TxCount == 0 {
+		return StallCycles{}
+	}
+	return m.Stalls().Scale(1 / float64(m.Delta.TxCount))
+}
+
+// InstructionsPerTx returns the mean retired instructions per transaction.
+func (m Measurement) InstructionsPerTx() float64 {
+	if m.Delta.TxCount == 0 {
+		return 0
+	}
+	return float64(m.Delta.Instructions) / float64(m.Delta.TxCount)
+}
+
+// MemStallFraction returns the fraction of execution cycles spent in memory
+// stalls (the paper's ">50% of execution time goes to memory stalls").
+func (m Measurement) MemStallFraction() float64 {
+	cy := m.Cycles()
+	if cy == 0 {
+		return 0
+	}
+	return m.Stalls().Total() / cy
+}
+
+// ModuleCycles returns the modeled cycles attributed to module mod.
+func (m Measurement) ModuleCycles(mod Module) float64 {
+	ms := m.Delta.Modules[mod]
+	return float64(ms.Instructions)*m.BaseCPI +
+		float64(ms.IStallCycles) + float64(ms.DStallCycles)
+}
+
+// EngineFraction returns the share of execution time spent inside the OLTP
+// engine (paper Figure 7).
+func (m Measurement) EngineFraction() float64 {
+	var in, total float64
+	for mod := Module(0); mod < NumModules; mod++ {
+		cy := m.ModuleCycles(mod)
+		total += cy
+		if mod.InsideEngine() {
+			in += cy
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return in / total
+}
+
+// TxPerMCycle returns throughput in transactions per million cycles.
+func (m Measurement) TxPerMCycle() float64 {
+	cy := m.Cycles()
+	if cy == 0 {
+		return 0
+	}
+	return float64(m.Delta.TxCount) / cy * 1e6
+}

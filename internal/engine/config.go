@@ -1,0 +1,167 @@
+// Package engine composes the substrates (storage, indexes, concurrency
+// control, logging, SQL front-end, compiled procedures) into a configurable
+// OLTP engine, on top of the micro-architectural machine in internal/core.
+// The five archetypes of the paper (Shore-MT, DBMS D, VoltDB, HyPer, DBMS M)
+// are configurations of this engine, defined in internal/systems.
+//
+// Workloads register stored procedures (Go closures over the transaction op
+// API) and invoke them; every op flows through the configured component
+// stack, producing both real data traffic in the simulated memory hierarchy
+// and the configured instruction stream for each component it crosses.
+package engine
+
+import "oltpsim/internal/core"
+
+// StorageKind selects the tuple storage substrate.
+type StorageKind int
+
+// Storage kinds.
+const (
+	// StorageHeap stores rows in slotted 8KB pages behind a buffer pool
+	// (disk-based archetypes).
+	StorageHeap StorageKind = iota
+	// StorageRows stores rows in a cache-line-conscious in-memory row store.
+	StorageRows
+	// StorageMVCC stores rows in the row store behind multiversion record
+	// anchors (DBMS M).
+	StorageMVCC
+)
+
+// IndexKind selects the primary index implementation.
+type IndexKind int
+
+// Index kinds.
+const (
+	// IndexBTree8K is the disk-style B+-tree on 8KB buffer-pool pages.
+	IndexBTree8K IndexKind = iota
+	// IndexCCTree64 is the cache-conscious B+-tree with line-sized nodes
+	// (VoltDB).
+	IndexCCTree64
+	// IndexCCTree512 is the cache-conscious B+-tree with 512-byte nodes
+	// (DBMS M's B-tree variant).
+	IndexCCTree512
+	// IndexHash is the bucket-chained hash index (DBMS M).
+	IndexHash
+	// IndexART is the adaptive radix tree (HyPer).
+	IndexART
+)
+
+// FrontEnd selects how requests reach the engine.
+type FrontEnd int
+
+// Front-end kinds.
+const (
+	// FEHardcoded models Shore-MT's Shore-Kits style hard-coded C++
+	// transaction plans: a thin dispatch straight into the storage manager.
+	FEHardcoded FrontEnd = iota
+	// FESQLPerRequest models DBMS D: every statement of every transaction is
+	// parsed and optimized when it executes (ad-hoc SQL through the full
+	// commercial stack).
+	FESQLPerRequest
+	// FEDispatch models VoltDB: a Java-side dispatch/serialization layer and
+	// plan-cache lookup in front of an interpreting execution engine;
+	// statements are planned once at procedure registration.
+	FEDispatch
+	// FECompiled models HyPer and DBMS M's compiled mode: stored procedures
+	// are compiled to a small dedicated code region; per-statement work runs
+	// from that region.
+	FECompiled
+)
+
+// CostParams are the per-component instruction budgets of an archetype:
+// how many instructions each component retires per unit of work. They encode
+// the paper's qualitative inventory (which layers exist and how heavy they
+// are); everything data-side is measured, not parameterized.
+type CostParams struct {
+	// NetRecv is per-request network/session work.
+	NetRecv int
+	// ParsePerToken is parser instructions per SQL token (FESQLPerRequest).
+	ParsePerToken int
+	// OptimizeBase/OptimizePerPred are optimizer instructions per statement.
+	OptimizeBase    int
+	OptimizePerPred int
+	// DispatchBase is the per-request dispatch/deserialization layer
+	// (VoltDB's Java front-end, DBMS M's legacy session management).
+	DispatchBase int
+	// PlanExecPerOp is the interpreting executor's cost per database
+	// operation (tree-walking for FESQLPerRequest/FEDispatch/FEHardcoded).
+	PlanExecPerOp int
+	// CompiledPerOp is the compiled procedure's cost per database operation.
+	CompiledPerOp int
+	// CompiledEntry is the compiled procedure's fixed entry/exit cost.
+	CompiledEntry int
+	// ScanPerRow is the per-row cost inside a scan loop.
+	ScanPerRow int
+	// TxnBegin/TxnCommit are transaction management costs.
+	TxnBegin  int
+	TxnCommit int
+	// LockAcquire/LockRelease are per-lock lock-manager costs.
+	LockAcquire int
+	LockRelease int
+	// BPFix is the buffer-pool cost per page fix.
+	BPFix int
+	// IdxNodeBase/IdxPerCmpByte are index costs per node visit.
+	IdxNodeBase   int
+	IdxPerCmpByte int
+	// StorageAccess is the tuple-layer cost per field read/write.
+	StorageAccess int
+	// LogBase/LogPerByte are logging costs per record.
+	LogBase    int
+	LogPerByte int
+	// MVCCRead/MVCCCommit are version-manager costs.
+	MVCCRead   int
+	MVCCCommit int
+}
+
+// RegionSpec sizes one component's code region.
+type RegionSpec struct {
+	// Size is the component's total static code footprint in bytes (the
+	// cold remainder beyond each invocation's path models rarely-taken
+	// branches and version-spanning patches).
+	Size int
+	// BPI is the effective code bytes consumed per retired instruction
+	// (see core.Region.BytesPerInstr).
+	BPI float64
+	// Hot is the fraction of each invocation's fetched lines shared across
+	// invocations (see core.Region.HotFrac). 0 defaults to 1 (fully hot).
+	Hot float64
+}
+
+// RegionSpecs sizes every component region of an archetype.
+type RegionSpecs struct {
+	Net, Parser, Optimizer, Dispatch, PlanExec RegionSpec
+	Txn, Lock, BufferPool, Index, Storage, Log RegionSpec
+	MVCC                                       RegionSpec
+	// CompiledProc sizes the per-procedure compiled code regions
+	// (FECompiled).
+	CompiledProc RegionSpec
+}
+
+// Config assembles an archetype.
+type Config struct {
+	// Name identifies the archetype in reports.
+	Name string
+	// Machine is the simulated hardware.
+	Machine core.HierarchyConfig
+	// Partitions is the number of data partitions (VoltDB/HyPer style;
+	// 1 for non-partitioned engines).
+	Partitions int
+	// Storage, Index, FrontEnd pick the substrates.
+	Storage StorageKind
+	Index   IndexKind
+	// FrontEnd picks the request path.
+	FrontEnd FrontEnd
+	// UseLocks enables the centralized 2PL lock manager.
+	UseLocks bool
+	// BufferPoolMB sizes the buffer pool for StorageHeap (0 = automatic:
+	// grows to hold the data set, as in the paper's memory-resident setups).
+	BufferPoolFrames int
+	// LogBufBytes sizes the asynchronous log buffer.
+	LogBufBytes int
+	// OtherCPI is the non-memory stall component added to the base CPI
+	// (branch mispredictions, dependencies) — per-archetype constant.
+	OtherCPI float64
+	// Costs and Regions are the instruction-side calibration.
+	Costs   CostParams
+	Regions RegionSpecs
+}

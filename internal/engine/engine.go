@@ -1,0 +1,377 @@
+package engine
+
+import (
+	"fmt"
+
+	"oltpsim/internal/catalog"
+	"oltpsim/internal/core"
+	"oltpsim/internal/index"
+	"oltpsim/internal/storage"
+	"oltpsim/internal/txn"
+	"oltpsim/internal/wal"
+)
+
+// Engine is one configured OLTP system running on a simulated machine.
+type Engine struct {
+	cfg  Config
+	mach *core.Machine
+	cs   *core.CodeSpace
+
+	// Component code regions.
+	rNet, rParser, rOptimizer, rDispatch, rPlanExec *core.Region
+	rTxn, rLock, rBP, rIdx, rStorage, rLog, rMVCC   *core.Region
+
+	lm   *txn.LockManager
+	mv   *txn.MVCC
+	bp   *storage.BufferPool
+	logs []*wal.Log // one per partition (partitioned engines log per site)
+
+	tables  []*Table
+	byName  map[string]*Table
+	procs   map[string]*Procedure
+	sqlText map[string]string // cached op -> SQL text (FESQLPerRequest)
+
+	txnSeq  uint64
+	meter   *idxMeter
+	Aborts  uint64
+	curCPU  *core.CPU
+	baseCPI float64
+}
+
+// Table is one logical table, possibly sharded across partitions.
+type Table struct {
+	ID       int
+	Name     string
+	Schema   *catalog.Schema
+	KeyCols  []int
+	KeyWidth int
+	// Replicated tables keep a full copy per partition (read-mostly tables
+	// such as TPC-C's item table, which VoltDB-style systems replicate to
+	// keep transactions single-sited). Load inserts into every shard;
+	// transactions read their own partition's copy.
+	Replicated bool
+	shards     []shard
+	e          *Engine
+}
+
+// SetReplicated marks the table as replicated across partitions. It must be
+// called before any rows are loaded.
+func (t *Table) SetReplicated() *Table {
+	if t.Count() != 0 {
+		panic(fmt.Sprintf("engine: SetReplicated on non-empty table %q", t.Name))
+	}
+	t.Replicated = true
+	return t
+}
+
+type shard struct {
+	idx  index.Index
+	rows *storage.RowStore
+	heap *storage.HeapFile
+}
+
+// New builds an engine from cfg on a fresh simulated machine.
+func New(cfg Config) *Engine {
+	if cfg.Partitions <= 0 {
+		cfg.Partitions = 1
+	}
+	if cfg.LogBufBytes == 0 {
+		cfg.LogBufBytes = 1 << 20
+	}
+	mach := core.NewMachine(cfg.Machine)
+	e := &Engine{
+		cfg:     cfg,
+		mach:    mach,
+		cs:      core.NewCodeSpace(mach.Arena),
+		byName:  make(map[string]*Table),
+		procs:   make(map[string]*Procedure),
+		sqlText: make(map[string]string),
+		curCPU:  mach.Current(),
+		baseCPI: 1.0/core.BaseIPC + cfg.OtherCPI,
+	}
+	r := cfg.Regions
+	mk := func(name string, mod core.Module, spec RegionSpec) *core.Region {
+		if spec.Size <= 0 {
+			spec.Size = 4096
+		}
+		if spec.BPI <= 0 {
+			spec.BPI = 4
+		}
+		if spec.Hot <= 0 || spec.Hot > 1 {
+			spec.Hot = 1
+		}
+		return e.cs.NewRegionHot(name, mod, spec.Size, spec.BPI, spec.Hot)
+	}
+	e.rNet = mk("net", core.ModNetwork, r.Net)
+	e.rParser = mk("parser", core.ModParser, r.Parser)
+	e.rOptimizer = mk("optimizer", core.ModOptimizer, r.Optimizer)
+	e.rDispatch = mk("dispatch", core.ModDispatch, r.Dispatch)
+	e.rPlanExec = mk("planexec", core.ModPlanExec, r.PlanExec)
+	e.rTxn = mk("txnmgr", core.ModTxnMgr, r.Txn)
+	e.rLock = mk("lockmgr", core.ModLockMgr, r.Lock)
+	e.rBP = mk("bufferpool", core.ModBufferPool, r.BufferPool)
+	e.rIdx = mk("index", core.ModIndex, r.Index)
+	e.rStorage = mk("storage", core.ModStorage, r.Storage)
+	e.rLog = mk("logging", core.ModLogging, r.Log)
+	e.rMVCC = mk("mvcc", core.ModMVCC, r.MVCC)
+
+	if cfg.UseLocks {
+		e.lm = txn.NewLockManager(mach.Arena, 1<<14)
+	}
+	if cfg.Storage == StorageMVCC {
+		e.mv = txn.NewMVCC(mach.Arena)
+	}
+	if cfg.Storage == StorageHeap {
+		frames := cfg.BufferPoolFrames
+		if frames <= 0 {
+			frames = 1 << 17 // 1 GiB of 8KB frames: memory-resident setups
+		}
+		e.bp = storage.NewBufferPool(mach.Arena, frames)
+	}
+	e.logs = make([]*wal.Log, cfg.Partitions)
+	for i := range e.logs {
+		e.logs[i] = wal.NewLog(mach.Arena, cfg.LogBufBytes)
+	}
+	e.meter = &idxMeter{e: e}
+	return e
+}
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Machine returns the underlying simulated machine.
+func (e *Engine) Machine() *core.Machine { return e.mach }
+
+// BaseCPI returns the engine's no-miss cycles per instruction.
+func (e *Engine) BaseCPI() float64 { return e.baseCPI }
+
+// Partitions returns the number of data partitions.
+func (e *Engine) Partitions() int { return e.cfg.Partitions }
+
+// LockManager exposes the lock manager (nil unless UseLocks).
+func (e *Engine) LockManager() *txn.LockManager { return e.lm }
+
+// MVCC exposes the version manager (nil unless StorageMVCC).
+func (e *Engine) MVCC() *txn.MVCC { return e.mv }
+
+// BufferPool exposes the buffer pool (nil unless StorageHeap).
+func (e *Engine) BufferPool() *storage.BufferPool { return e.bp }
+
+// Log exposes the partition-local WAL.
+func (e *Engine) Log(part int) *wal.Log { return e.logs[part] }
+
+// SetCore selects the simulated core that subsequent invocations run on.
+func (e *Engine) SetCore(cpu int) {
+	e.mach.SetCurrent(cpu)
+	e.curCPU = e.mach.Current()
+}
+
+// CreateOrderedTable is CreateTable for tables whose access paths include
+// range scans. If the engine's configured index kind is unordered (hash),
+// the table falls back to the archetype's ordered index: the cache-conscious
+// B-tree for in-memory engines, the 8KB-page B-tree for disk engines. This
+// mirrors DBMS M, which implements both a hash index and a B-tree variant
+// and indexes scannable tables with the latter.
+func (e *Engine) CreateOrderedTable(schema *catalog.Schema, keyCols ...string) *Table {
+	if e.cfg.Index != IndexHash {
+		return e.CreateTable(schema, keyCols...)
+	}
+	fallback := IndexCCTree512
+	if e.cfg.Storage == StorageHeap {
+		fallback = IndexBTree8K
+	}
+	return e.createTable(schema, fallback, keyCols...)
+}
+
+// CreateTable registers a table whose primary index covers keyCols in order.
+func (e *Engine) CreateTable(schema *catalog.Schema, keyCols ...string) *Table {
+	return e.createTable(schema, e.cfg.Index, keyCols...)
+}
+
+func (e *Engine) createTable(schema *catalog.Schema, idxKind IndexKind, keyCols ...string) *Table {
+	if _, dup := e.byName[schema.Name]; dup {
+		panic(fmt.Sprintf("engine: duplicate table %q", schema.Name))
+	}
+	t := &Table{
+		ID:     len(e.tables) + 1,
+		Name:   schema.Name,
+		Schema: schema,
+		e:      e,
+	}
+	for _, kc := range keyCols {
+		ci := schema.ColumnIndex(kc)
+		if ci < 0 {
+			panic(fmt.Sprintf("engine: key column %q not in table %q", kc, schema.Name))
+		}
+		t.KeyCols = append(t.KeyCols, ci)
+		t.KeyWidth += schema.Columns[ci].Size()
+	}
+	if t.KeyWidth == 0 {
+		panic(fmt.Sprintf("engine: table %q needs at least one key column", schema.Name))
+	}
+	t.shards = make([]shard, e.cfg.Partitions)
+	for i := range t.shards {
+		t.shards[i] = e.newShard(t, idxKind)
+	}
+	e.tables = append(e.tables, t)
+	e.byName[schema.Name] = t
+	return t
+}
+
+func (e *Engine) newShard(t *Table, idxKind IndexKind) shard {
+	var s shard
+	switch e.cfg.Storage {
+	case StorageHeap:
+		s.heap = storage.NewHeapFile(e.mach.Arena, e.bp, t.Schema)
+	default:
+		s.rows = storage.NewRowStore(e.mach.Arena, t.Schema)
+	}
+	switch idxKind {
+	case IndexBTree8K:
+		s.idx = index.NewBTree(e.mach.Arena, e.bp, t.KeyWidth)
+	case IndexCCTree64:
+		// Line-sized nodes for narrow keys; wide (string) keys get at least
+		// four entries per node so fanout stays reasonable.
+		s.idx = index.NewCCTree(e.mach.Arena, t.KeyWidth, max(64, 16+4*(t.KeyWidth+8)))
+	case IndexCCTree512:
+		s.idx = index.NewCCTree(e.mach.Arena, t.KeyWidth, max(512, 16+4*(t.KeyWidth+8)))
+	case IndexHash:
+		s.idx = index.NewHashIndex(e.mach.Arena, t.KeyWidth, 1<<20)
+	case IndexART:
+		s.idx = index.NewART(e.mach.Arena, t.KeyWidth)
+	default:
+		panic("engine: unknown index kind")
+	}
+	s.idx.SetMeter(e.meter)
+	return s
+}
+
+// Table returns the named table.
+func (e *Engine) Table(name string) *Table {
+	t := e.byName[name]
+	if t == nil {
+		panic(fmt.Sprintf("engine: no table %q", name))
+	}
+	return t
+}
+
+// Tables lists all tables.
+func (e *Engine) Tables() []*Table { return e.tables }
+
+// EncodeKey builds the index key bytes for the key column values (in key
+// order). Long values use the order-preserving big-endian encoding.
+func (t *Table) EncodeKey(keyVals []catalog.Value) []byte {
+	if len(keyVals) != len(t.KeyCols) {
+		panic(fmt.Sprintf("engine: table %q key arity %d, want %d",
+			t.Name, len(keyVals), len(t.KeyCols)))
+	}
+	key := make([]byte, 0, t.KeyWidth)
+	for i, ci := range t.KeyCols {
+		col := t.Schema.Columns[ci]
+		switch col.Type {
+		case catalog.TypeLong:
+			key = append(key, catalog.EncodeKeyLong(keyVals[i].I)...)
+		case catalog.TypeString:
+			buf := make([]byte, col.Width)
+			copy(buf, keyVals[i].S)
+			key = append(key, buf...)
+		}
+	}
+	return key
+}
+
+// PartitionOf routes a key to a partition: Long keys partition by value
+// modulo the partition count; other keys by a hash of the first key column.
+func (t *Table) PartitionOf(keyVals []catalog.Value) int {
+	n := len(t.shards)
+	if n == 1 {
+		return 0
+	}
+	c := t.Schema.Columns[t.KeyCols[0]]
+	if c.Type == catalog.TypeLong {
+		v := keyVals[0].I
+		if v < 0 {
+			v = -v
+		}
+		return int(v % int64(n))
+	}
+	var h uint64 = 1469598103934665603
+	for _, b := range keyVals[0].S {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return int(h % uint64(n))
+}
+
+// Count returns the total row count across shards.
+func (t *Table) Count() uint64 {
+	var n uint64
+	for i := range t.shards {
+		n += t.shards[i].idx.Count()
+	}
+	return n
+}
+
+// IndexHeightHint reports the primary index height of shard 0 when the index
+// is a tree (0 otherwise); used by reports and tests.
+func (t *Table) IndexHeightHint() int {
+	switch ix := t.shards[0].idx.(type) {
+	case *index.BTree:
+		return ix.Height()
+	case *index.CCTree:
+		return ix.Height()
+	}
+	return 0
+}
+
+// Load bulk-inserts a row during population: no concurrency control, no
+// logging, no front-end, and (by convention) tracing disabled by the caller.
+// The row's partition is derived from its key; replicated tables load a copy
+// into every partition.
+func (t *Table) Load(row catalog.Row) {
+	keyVals := make([]catalog.Value, len(t.KeyCols))
+	for i, ci := range t.KeyCols {
+		keyVals[i] = row[ci]
+	}
+	if t.Replicated {
+		for p := range t.shards {
+			t.loadShard(&t.shards[p], keyVals, row)
+		}
+		return
+	}
+	t.loadShard(&t.shards[t.PartitionOf(keyVals)], keyVals, row)
+}
+
+func (t *Table) loadShard(sh *shard, keyVals []catalog.Value, row catalog.Row) {
+	key := t.EncodeKey(keyVals)
+	switch t.e.cfg.Storage {
+	case StorageHeap:
+		rid, err := sh.heap.Insert(row)
+		if err != nil {
+			panic(err)
+		}
+		sh.idx.Insert(key, uint64(rid))
+	case StorageRows:
+		addr := sh.rows.Insert(row)
+		sh.idx.Insert(key, uint64(addr))
+	case StorageMVCC:
+		addr := sh.rows.Insert(row)
+		anchor := t.e.mv.NewAnchor(addr)
+		sh.idx.Insert(key, uint64(anchor))
+	}
+}
+
+// idxMeter translates index node visits into instruction execution on the
+// index code region of the engine's current core. It is quiet while tracing
+// is off (bulk population), mirroring how data accesses are untraced then.
+type idxMeter struct {
+	e *Engine
+}
+
+func (m *idxMeter) NodeVisit(cmpBytes int) {
+	if !m.e.mach.Arena.Tracing() {
+		return
+	}
+	c := m.e.cfg.Costs
+	m.e.curCPU.Exec(m.e.rIdx, c.IdxNodeBase+c.IdxPerCmpByte*cmpBytes)
+}

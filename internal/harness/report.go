@@ -1,0 +1,90 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"oltpsim/internal/core"
+)
+
+// Figure is one rendered table/figure reproduction.
+type Figure struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// String renders the figure as an aligned text table.
+func (f *Figure) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== Figure %s: %s ==\n", f.ID, f.Title)
+	widths := make([]int, len(f.Header))
+	for i, h := range f.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range f.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(f.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range f.Rows {
+		writeRow(row)
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Markdown renders the figure as a GitHub-flavored markdown table.
+func (f *Figure) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### Figure %s: %s\n\n", f.ID, f.Title)
+	b.WriteString("| " + strings.Join(f.Header, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(f.Header)) + "\n")
+	for _, row := range f.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "\n*%s*\n", n)
+	}
+	return b.String()
+}
+
+// stallHeader is the six-component breakdown header the paper's stall
+// figures share.
+func stallHeader(prefix ...string) []string {
+	return append(prefix, "L1I", "L2I", "LLC-I", "L1D", "L2D", "LLC-D", "Total")
+}
+
+func stallCells(s core.StallCycles) []string {
+	return []string{
+		f0(s.L1I), f0(s.L2I), f0(s.LLCI),
+		f0(s.L1D), f0(s.L2D), f0(s.LLCD), f0(s.Total()),
+	}
+}
+
+func f0(v float64) string  { return fmt.Sprintf("%.0f", v) }
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.0f%%", v*100) }

@@ -1,0 +1,644 @@
+package index
+
+import (
+	"bytes"
+	"fmt"
+
+	"oltpsim/internal/simmem"
+)
+
+// ART is an adaptive radix tree (Leis et al., ICDE'13), the index HyPer uses
+// in the paper. Inner nodes adapt among four sizes (Node4/16/48/256) and
+// compress common prefixes, so a probe touches few, small nodes — the upper
+// levels stay cache-resident, leaving roughly one long-latency miss per
+// probe on huge tables. Leaves store the full key (lazy expansion) plus the
+// 64-bit value.
+//
+// Prefixes are stored optimistically: up to 8 prefix bytes live in the node
+// header; longer prefixes are verified against a descendant leaf when needed.
+// Deletion removes entries without path collapsing (structure may retain
+// one-child nodes after deletes; lookups remain correct).
+//
+// Layouts (arena-resident, 64-byte aligned):
+//
+//	leaf:    kind(1) pad(7) | value(8) | key(kw)
+//	header:  kind(1) n(1) prefixLen(2) pad(4) | prefix(8)
+//	node4:   header | 4 key bytes + pad(4) | 4 children (8 each)
+//	node16:  header | 16 key bytes         | 16 children
+//	node48:  header | 256 child-index bytes| 48 children
+//	node256: header | 256 children
+type ART struct {
+	m     *simmem.Arena
+	meter Meter
+
+	kw    int
+	root  simmem.Addr
+	count uint64
+}
+
+// Node kinds.
+const (
+	artLeaf = iota
+	artNode4
+	artNode16
+	artNode48
+	artNode256
+)
+
+const artHdr = 16
+
+// NewART creates an empty adaptive radix tree over fixed keyWidth-byte keys.
+func NewART(m *simmem.Arena, keyWidth int) *ART {
+	if keyWidth <= 0 || keyWidth > 64 {
+		panic(fmt.Sprintf("index: art key width %d", keyWidth))
+	}
+	return &ART{m: m, meter: nopMeter{}, kw: keyWidth}
+}
+
+// Name implements Index.
+func (t *ART) Name() string { return "art" }
+
+// KeyWidth implements Index.
+func (t *ART) KeyWidth() int { return t.kw }
+
+// Count implements Index.
+func (t *ART) Count() uint64 { return t.count }
+
+// SetMeter implements Index.
+func (t *ART) SetMeter(m Meter) { t.meter = meterOrNop(m) }
+
+func (t *ART) kind(n simmem.Addr) int { return int(t.m.ReadU32(n) & 0xff) }
+
+func (t *ART) newLeaf(key []byte, val uint64) simmem.Addr {
+	n := t.m.AllocData(artHdr+t.kw, 64)
+	t.m.WriteU64(n, artLeaf)
+	t.m.WriteU64(n+8, val)
+	t.m.WriteBytes(n+16, key)
+	return n
+}
+
+func (t *ART) leafKey(n simmem.Addr, buf []byte) []byte {
+	t.m.ReadBytes(n+16, buf[:t.kw])
+	return buf[:t.kw]
+}
+
+func (t *ART) leafVal(n simmem.Addr) uint64 { return t.m.ReadU64(n + 8) }
+
+// header helpers ------------------------------------------------------------
+//
+// The header word packs kind (bits 0-7), nChildren (bits 8-17, so a full
+// Node256 with 256 children fits), and prefixLen (bits 18-31).
+
+func (t *ART) nChildren(n simmem.Addr) int { return int(t.m.ReadU32(n) >> 8 & 0x3ff) }
+
+func (t *ART) setHeader(n simmem.Addr, kind, nChildren, prefixLen int) {
+	t.m.WriteU32(n, uint32(kind)|uint32(nChildren)<<8|uint32(prefixLen)<<18)
+}
+
+func (t *ART) prefixLen(n simmem.Addr) int { return int(t.m.ReadU32(n) >> 18) }
+
+func (t *ART) storedPrefix(n simmem.Addr, buf []byte) []byte {
+	pl := t.prefixLen(n)
+	if pl > 8 {
+		pl = 8
+	}
+	t.m.ReadBytes(n+8, buf[:pl])
+	return buf[:pl]
+}
+
+func (t *ART) setPrefix(n simmem.Addr, prefix []byte) {
+	var b [8]byte
+	copy(b[:], prefix)
+	t.m.WriteBytes(n+8, b[:])
+	w := t.m.ReadU32(n)
+	t.m.WriteU32(n, w&0x3ffff|uint32(len(prefix))<<18)
+}
+
+// node size/offset helpers ---------------------------------------------------
+
+func artAlloc(kind int) int {
+	switch kind {
+	case artNode4:
+		return artHdr + 8 + 4*8 // keys padded to 8
+	case artNode16:
+		return artHdr + 16 + 16*8
+	case artNode48:
+		return artHdr + 256 + 48*8
+	case artNode256:
+		return artHdr + 256*8
+	}
+	panic("art: bad kind")
+}
+
+func (t *ART) newNode(kind int) simmem.Addr {
+	n := t.m.AllocData(artAlloc(kind), 64)
+	t.setHeader(n, kind, 0, 0)
+	if kind == artNode48 {
+		// Zero child-index map (fresh arena memory is already zero, but the
+		// node may reuse address space conceptually; be explicit).
+		zero := make([]byte, 256)
+		t.m.WriteBytes(n+artHdr, zero)
+	}
+	return n
+}
+
+// findChild returns the child pointer for byte b, or 0.
+func (t *ART) findChild(n simmem.Addr, b byte) simmem.Addr {
+	switch t.kind(n) {
+	case artNode4:
+		nc := t.nChildren(n)
+		var keys [4]byte
+		t.m.ReadBytes(n+artHdr, keys[:])
+		for i := 0; i < nc; i++ {
+			if keys[i] == b {
+				return simmem.Addr(t.m.ReadU64(n + artHdr + 8 + simmem.Addr(i*8)))
+			}
+		}
+	case artNode16:
+		nc := t.nChildren(n)
+		var keys [16]byte
+		t.m.ReadBytes(n+artHdr, keys[:])
+		for i := 0; i < nc; i++ {
+			if keys[i] == b {
+				return simmem.Addr(t.m.ReadU64(n + artHdr + 16 + simmem.Addr(i*8)))
+			}
+		}
+	case artNode48:
+		var idx [1]byte
+		t.m.ReadBytes(n+artHdr+simmem.Addr(b), idx[:])
+		if idx[0] == 0 {
+			return 0
+		}
+		return simmem.Addr(t.m.ReadU64(n + artHdr + 256 + simmem.Addr(int(idx[0])-1)*8))
+	case artNode256:
+		return simmem.Addr(t.m.ReadU64(n + artHdr + simmem.Addr(b)*8))
+	}
+	return 0
+}
+
+// setChild overwrites the existing child pointer for byte b.
+func (t *ART) setChild(n simmem.Addr, b byte, child simmem.Addr) {
+	switch t.kind(n) {
+	case artNode4:
+		nc := t.nChildren(n)
+		var keys [4]byte
+		t.m.ReadBytes(n+artHdr, keys[:])
+		for i := 0; i < nc; i++ {
+			if keys[i] == b {
+				t.m.WriteU64(n+artHdr+8+simmem.Addr(i*8), uint64(child))
+				return
+			}
+		}
+	case artNode16:
+		nc := t.nChildren(n)
+		var keys [16]byte
+		t.m.ReadBytes(n+artHdr, keys[:])
+		for i := 0; i < nc; i++ {
+			if keys[i] == b {
+				t.m.WriteU64(n+artHdr+16+simmem.Addr(i*8), uint64(child))
+				return
+			}
+		}
+	case artNode48:
+		var idx [1]byte
+		t.m.ReadBytes(n+artHdr+simmem.Addr(b), idx[:])
+		if idx[0] != 0 {
+			t.m.WriteU64(n+artHdr+256+simmem.Addr(int(idx[0])-1)*8, uint64(child))
+			return
+		}
+	case artNode256:
+		t.m.WriteU64(n+artHdr+simmem.Addr(b)*8, uint64(child))
+		return
+	}
+	panic("art: setChild on absent byte")
+}
+
+// addChild inserts a new child, growing the node if full. Returns the node
+// address (possibly a new, larger node).
+func (t *ART) addChild(n simmem.Addr, b byte, child simmem.Addr) simmem.Addr {
+	switch t.kind(n) {
+	case artNode4:
+		nc := t.nChildren(n)
+		if nc < 4 {
+			var keys [4]byte
+			t.m.ReadBytes(n+artHdr, keys[:])
+			pos := 0
+			for pos < nc && keys[pos] < b {
+				pos++
+			}
+			copy(keys[pos+1:], keys[pos:nc])
+			keys[pos] = b
+			t.m.WriteBytes(n+artHdr, keys[:])
+			for i := nc; i > pos; i-- {
+				t.m.WriteU64(n+artHdr+8+simmem.Addr(i*8),
+					t.m.ReadU64(n+artHdr+8+simmem.Addr((i-1)*8)))
+			}
+			t.m.WriteU64(n+artHdr+8+simmem.Addr(pos*8), uint64(child))
+			t.bumpChildren(n, nc+1)
+			return n
+		}
+		return t.growAndAdd(n, artNode16, b, child)
+	case artNode16:
+		nc := t.nChildren(n)
+		if nc < 16 {
+			var keys [16]byte
+			t.m.ReadBytes(n+artHdr, keys[:])
+			pos := 0
+			for pos < nc && keys[pos] < b {
+				pos++
+			}
+			copy(keys[pos+1:], keys[pos:nc])
+			keys[pos] = b
+			t.m.WriteBytes(n+artHdr, keys[:])
+			for i := nc; i > pos; i-- {
+				t.m.WriteU64(n+artHdr+16+simmem.Addr(i*8),
+					t.m.ReadU64(n+artHdr+16+simmem.Addr((i-1)*8)))
+			}
+			t.m.WriteU64(n+artHdr+16+simmem.Addr(pos*8), uint64(child))
+			t.bumpChildren(n, nc+1)
+			return n
+		}
+		return t.growAndAdd(n, artNode48, b, child)
+	case artNode48:
+		nc := t.nChildren(n)
+		if nc < 48 {
+			t.m.WriteBytes(n+artHdr+simmem.Addr(b), []byte{byte(nc + 1)})
+			t.m.WriteU64(n+artHdr+256+simmem.Addr(nc*8), uint64(child))
+			t.bumpChildren(n, nc+1)
+			return n
+		}
+		return t.growAndAdd(n, artNode256, b, child)
+	case artNode256:
+		t.m.WriteU64(n+artHdr+simmem.Addr(b)*8, uint64(child))
+		t.bumpChildren(n, t.nChildren(n)+1)
+		return n
+	}
+	panic("art: addChild on leaf")
+}
+
+func (t *ART) bumpChildren(n simmem.Addr, nc int) {
+	w := t.m.ReadU32(n)
+	t.m.WriteU32(n, w&^uint32(0x3ff<<8)|uint32(nc)<<8)
+}
+
+// growAndAdd copies node n into a larger kind and adds (b, child).
+func (t *ART) growAndAdd(n simmem.Addr, newKind int, b byte, child simmem.Addr) simmem.Addr {
+	bigger := t.newNode(newKind)
+	// Copy prefix.
+	var pb [8]byte
+	t.m.ReadBytes(n+8, pb[:])
+	t.m.WriteBytes(bigger+8, pb[:])
+	w := t.m.ReadU32(n)
+	t.m.WriteU32(bigger, uint32(newKind)|w&(0x3fff<<18)) // keep prefixLen, reset count
+
+	t.forEachChild(n, func(cb byte, c simmem.Addr) bool {
+		t.addChild(bigger, cb, c)
+		return true
+	})
+	return t.addChild(bigger, b, child)
+}
+
+// forEachChild visits children in ascending byte order.
+func (t *ART) forEachChild(n simmem.Addr, fn func(b byte, child simmem.Addr) bool) {
+	switch t.kind(n) {
+	case artNode4, artNode16:
+		nc := t.nChildren(n)
+		width, childBase := 4, 8 // node4 keys padded to 8 bytes
+		if t.kind(n) == artNode16 {
+			width, childBase = 16, 16
+		}
+		keys := make([]byte, width)
+		t.m.ReadBytes(n+artHdr, keys)
+		for i := 0; i < nc; i++ {
+			c := simmem.Addr(t.m.ReadU64(n + artHdr + simmem.Addr(childBase) + simmem.Addr(i*8)))
+			if !fn(keys[i], c) {
+				return
+			}
+		}
+	case artNode48:
+		idx := make([]byte, 256)
+		t.m.ReadBytes(n+artHdr, idx)
+		for b := 0; b < 256; b++ {
+			if idx[b] == 0 {
+				continue
+			}
+			c := simmem.Addr(t.m.ReadU64(n + artHdr + 256 + simmem.Addr(int(idx[b])-1)*8))
+			if !fn(byte(b), c) {
+				return
+			}
+		}
+	case artNode256:
+		for b := 0; b < 256; b++ {
+			c := simmem.Addr(t.m.ReadU64(n + artHdr + simmem.Addr(b)*8))
+			if c == 0 {
+				continue
+			}
+			if !fn(byte(b), c) {
+				return
+			}
+		}
+	}
+}
+
+// minLeaf descends to the smallest leaf under n (used to recover full
+// prefixes beyond the 8 stored bytes).
+func (t *ART) minLeaf(n simmem.Addr) simmem.Addr {
+	for t.kind(n) != artLeaf {
+		var first simmem.Addr
+		t.forEachChild(n, func(_ byte, c simmem.Addr) bool {
+			first = c
+			return false
+		})
+		if first == 0 {
+			panic("art: inner node with no children")
+		}
+		n = first
+	}
+	return n
+}
+
+// fullPrefix returns the complete prefix bytes of node n at depth.
+func (t *ART) fullPrefix(n simmem.Addr, depth int) []byte {
+	pl := t.prefixLen(n)
+	buf := make([]byte, pl)
+	if pl <= 8 {
+		t.m.ReadBytes(n+8, buf)
+		return buf
+	}
+	leaf := t.minLeaf(n)
+	lk := make([]byte, t.kw)
+	t.leafKey(leaf, lk)
+	copy(buf, lk[depth:depth+pl])
+	return buf
+}
+
+// Lookup implements Index.
+func (t *ART) Lookup(key []byte) (uint64, bool) {
+	t.checkKey(key)
+	n := t.root
+	depth := 0
+	var pbuf [8]byte
+	for n != 0 {
+		t.meter.NodeVisit(8)
+		if t.kind(n) == artLeaf {
+			lk := make([]byte, t.kw)
+			if bytes.Equal(t.leafKey(n, lk), key) {
+				return t.leafVal(n), true
+			}
+			return 0, false
+		}
+		pl := t.prefixLen(n)
+		if pl > 0 {
+			stored := t.storedPrefix(n, pbuf[:])
+			if depth+pl > t.kw {
+				return 0, false
+			}
+			if !bytes.Equal(stored, key[depth:depth+len(stored)]) {
+				return 0, false
+			}
+			depth += pl // bytes beyond 8 verified at the leaf
+		}
+		if depth >= t.kw {
+			return 0, false
+		}
+		n = t.findChild(n, key[depth])
+		depth++
+	}
+	return 0, false
+}
+
+// Insert implements Index.
+func (t *ART) Insert(key []byte, val uint64) {
+	t.checkKey(key)
+	if t.root == 0 {
+		t.root = t.newLeaf(key, val)
+		t.count++
+		return
+	}
+	newRoot, inserted := t.insertRec(t.root, key, val, 0)
+	t.root = newRoot
+	if inserted {
+		t.count++
+	}
+}
+
+func (t *ART) insertRec(n simmem.Addr, key []byte, val uint64, depth int) (simmem.Addr, bool) {
+	t.meter.NodeVisit(8)
+	if t.kind(n) == artLeaf {
+		lk := make([]byte, t.kw)
+		t.leafKey(n, lk)
+		if bytes.Equal(lk, key) {
+			t.m.WriteU64(n+8, val)
+			return n, false
+		}
+		// Split at the first divergent byte >= depth.
+		d := depth
+		for lk[d] == key[d] {
+			d++
+		}
+		nn := t.newNode(artNode4)
+		t.setPrefix(nn, key[depth:d])
+		t.addChild(nn, lk[d], n)
+		t.addChild(nn, key[d], t.newLeaf(key, val))
+		return nn, true
+	}
+
+	pl := t.prefixLen(n)
+	if pl > 0 {
+		full := t.fullPrefix(n, depth)
+		mismatch := -1
+		for i := 0; i < pl; i++ {
+			if full[i] != key[depth+i] {
+				mismatch = i
+				break
+			}
+		}
+		if mismatch >= 0 {
+			// Split the prefix at the mismatch.
+			nn := t.newNode(artNode4)
+			t.setPrefix(nn, key[depth:depth+mismatch])
+			// Truncate n's prefix to the part after the mismatch byte.
+			t.setPrefix(n, full[mismatch+1:])
+			t.addChild(nn, full[mismatch], n)
+			t.addChild(nn, key[depth+mismatch], t.newLeaf(key, val))
+			return nn, true
+		}
+		depth += pl
+	}
+
+	b := key[depth]
+	child := t.findChild(n, b)
+	if child != 0 {
+		nc, ins := t.insertRec(child, key, val, depth+1)
+		if nc != child {
+			t.setChild(n, b, nc)
+		}
+		return n, ins
+	}
+	return t.addChild(n, b, t.newLeaf(key, val)), true
+}
+
+// Delete implements Index (no path collapsing).
+func (t *ART) Delete(key []byte) bool {
+	t.checkKey(key)
+	if t.root == 0 {
+		return false
+	}
+	newRoot, deleted := t.deleteRec(t.root, key, 0)
+	t.root = newRoot
+	if deleted {
+		t.count--
+	}
+	return deleted
+}
+
+func (t *ART) deleteRec(n simmem.Addr, key []byte, depth int) (simmem.Addr, bool) {
+	t.meter.NodeVisit(8)
+	if t.kind(n) == artLeaf {
+		lk := make([]byte, t.kw)
+		if bytes.Equal(t.leafKey(n, lk), key) {
+			return 0, true
+		}
+		return n, false
+	}
+	pl := t.prefixLen(n)
+	if pl > 0 {
+		var pbuf [8]byte
+		stored := t.storedPrefix(n, pbuf[:])
+		if depth+pl > t.kw || !bytes.Equal(stored, key[depth:depth+len(stored)]) {
+			return n, false
+		}
+		depth += pl
+	}
+	if depth >= t.kw {
+		return n, false
+	}
+	b := key[depth]
+	child := t.findChild(n, b)
+	if child == 0 {
+		return n, false
+	}
+	nc, deleted := t.deleteRec(child, key, depth+1)
+	if !deleted {
+		return n, false
+	}
+	if nc == 0 {
+		t.removeChild(n, b)
+		if t.nChildren(n) == 0 {
+			return 0, true
+		}
+	} else if nc != child {
+		t.setChild(n, b, nc)
+	}
+	return n, true
+}
+
+func (t *ART) removeChild(n simmem.Addr, b byte) {
+	switch t.kind(n) {
+	case artNode4, artNode16:
+		width, childBase := 4, 8
+		if t.kind(n) == artNode16 {
+			width, childBase = 16, 16
+		}
+		nc := t.nChildren(n)
+		keys := make([]byte, width)
+		t.m.ReadBytes(n+artHdr, keys)
+		for i := 0; i < nc; i++ {
+			if keys[i] != b {
+				continue
+			}
+			copy(keys[i:], keys[i+1:nc])
+			t.m.WriteBytes(n+artHdr, keys)
+			for j := i; j < nc-1; j++ {
+				t.m.WriteU64(n+artHdr+simmem.Addr(childBase)+simmem.Addr(j*8),
+					t.m.ReadU64(n+artHdr+simmem.Addr(childBase)+simmem.Addr((j+1)*8)))
+			}
+			t.bumpChildren(n, nc-1)
+			return
+		}
+	case artNode48:
+		var idx [1]byte
+		t.m.ReadBytes(n+artHdr+simmem.Addr(b), idx[:])
+		if idx[0] == 0 {
+			return
+		}
+		hole := int(idx[0]) - 1
+		nc := t.nChildren(n)
+		t.m.WriteBytes(n+artHdr+simmem.Addr(b), []byte{0})
+		// Compact: move the last child into the hole.
+		if hole != nc-1 {
+			last := t.m.ReadU64(n + artHdr + 256 + simmem.Addr((nc-1)*8))
+			t.m.WriteU64(n+artHdr+256+simmem.Addr(hole*8), last)
+			// Find which byte mapped to the last slot and repoint it.
+			idxMap := make([]byte, 256)
+			t.m.ReadBytes(n+artHdr, idxMap)
+			for bb := 0; bb < 256; bb++ {
+				if int(idxMap[bb]) == nc {
+					t.m.WriteBytes(n+artHdr+simmem.Addr(bb), []byte{byte(hole + 1)})
+					break
+				}
+			}
+		}
+		t.bumpChildren(n, nc-1)
+	case artNode256:
+		t.m.WriteU64(n+artHdr+simmem.Addr(b)*8, 0)
+		t.bumpChildren(n, t.nChildren(n)-1)
+	}
+}
+
+// Scan implements OrderedIndex.
+func (t *ART) Scan(from []byte, fn func(key []byte, val uint64) bool) {
+	t.checkKey(from)
+	if t.root == 0 {
+		return
+	}
+	t.scanRec(t.root, from, 0, fn)
+}
+
+// scanRec returns false when iteration should stop. from == nil means the
+// whole subtree qualifies.
+func (t *ART) scanRec(n simmem.Addr, from []byte, depth int, fn func([]byte, uint64) bool) bool {
+	t.meter.NodeVisit(8)
+	if t.kind(n) == artLeaf {
+		lk := make([]byte, t.kw)
+		t.leafKey(n, lk)
+		if from != nil && bytes.Compare(lk, from) < 0 {
+			return true
+		}
+		return fn(lk, t.leafVal(n))
+	}
+	pl := t.prefixLen(n)
+	if pl > 0 && from != nil {
+		full := t.fullPrefix(n, depth)
+		c := bytes.Compare(full, from[depth:depth+pl])
+		if c > 0 {
+			from = nil
+		} else if c < 0 {
+			return true // entire subtree below the bound
+		}
+	}
+	depth += pl
+	var low byte
+	if from != nil {
+		low = from[depth]
+	}
+	ok := true
+	t.forEachChild(n, func(b byte, c simmem.Addr) bool {
+		if from != nil && b < low {
+			return true
+		}
+		childFrom := from
+		if from != nil && b > low {
+			childFrom = nil
+		}
+		ok = t.scanRec(c, childFrom, depth+1, fn)
+		return ok
+	})
+	return ok
+}
+
+func (t *ART) checkKey(key []byte) {
+	if len(key) != t.kw {
+		panic(fmt.Sprintf("index: art key len %d, want %d", len(key), t.kw))
+	}
+}

@@ -1,0 +1,81 @@
+package index
+
+import (
+	"testing"
+
+	"oltpsim/internal/catalog"
+	"oltpsim/internal/simmem"
+	"oltpsim/internal/storage"
+)
+
+// Index micro-benchmarks: wall-clock cost of simulated index operations
+// (these bound how fast the experiment harness can run).
+
+const benchKeys = 1 << 17
+
+func benchIndexes(b *testing.B) map[string]Index {
+	b.Helper()
+	m1, m2, m3, m4 := simmem.New(), simmem.New(), simmem.New(), simmem.New()
+	bp := storage.NewBufferPool(m1, 1<<15)
+	return map[string]Index{
+		"btree8k":  NewBTree(m1, bp, 8),
+		"cctree64": NewCCTree(m2, 8, 64),
+		"hash":     NewHashIndex(m3, 8, benchKeys),
+		"art":      NewART(m4, 8),
+	}
+}
+
+func BenchmarkIndexInsert(b *testing.B) {
+	for name, idx := range benchIndexes(b) {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				k := uint64(i) % (benchKeys * 4)
+				idx.Insert(key8(k), k)
+			}
+		})
+	}
+}
+
+func BenchmarkIndexLookup(b *testing.B) {
+	for name, idx := range benchIndexes(b) {
+		for i := uint64(0); i < benchKeys; i++ {
+			idx.Insert(key8(i), i)
+		}
+		b.Run(name, func(b *testing.B) {
+			var hits uint64
+			for i := 0; i < b.N; i++ {
+				k := uint64(i*2654435761) % benchKeys
+				if _, ok := idx.Lookup(key8(k)); ok {
+					hits++
+				}
+			}
+			if hits == 0 {
+				b.Fatal("no hits")
+			}
+		})
+	}
+}
+
+func BenchmarkOrderedScan100(b *testing.B) {
+	m := simmem.New()
+	tr := NewCCTree(m, 8, 256)
+	for i := uint64(0); i < benchKeys; i++ {
+		tr.Insert(key8(i), i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		tr.Scan(key8(uint64(i)%(benchKeys-200)), func(k []byte, v uint64) bool {
+			n++
+			return n < 100
+		})
+	}
+}
+
+func BenchmarkKeyEncode(b *testing.B) {
+	var sink byte
+	for i := 0; i < b.N; i++ {
+		sink ^= catalog.EncodeKeyLong(int64(i))[7]
+	}
+	_ = sink
+}

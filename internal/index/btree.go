@@ -1,0 +1,377 @@
+package index
+
+import (
+	"bytes"
+	"fmt"
+
+	"oltpsim/internal/simmem"
+	"oltpsim/internal/storage"
+)
+
+// BTree is a disk-style B+-tree: 8KB nodes allocated from a buffer pool and
+// reached through page-table probes, the index of the disk-based archetypes
+// (the paper: "DBMS D uses a traditional B-tree with page size of 8KB",
+// Shore-MT a non-cache-conscious B-tree). Every node visit pays a buffer-pool
+// fix (hash probe in the arena) plus an in-page binary search whose key reads
+// touch several cache lines of the 8KB page — which is why the paper sees
+// high long-latency data stalls for these systems on large tables.
+//
+// Node layout (within an 8KB frame):
+//
+//	off 0: type (1: 0=leaf, 1=inner) | pad (1) | nKeys (2, LE) | pad (4)
+//	off 8: leaf: right-sibling pageID; inner: leftmost-child pageID
+//	off 16: entries: key (keyWidth bytes) + 8-byte value/child pageID
+//
+// Deletion is lazy (no rebalancing/merging), a common storage-manager
+// simplification; underfull nodes remain valid.
+type BTree struct {
+	m     *simmem.Arena
+	bp    *storage.BufferPool
+	meter Meter
+
+	kw     int
+	esize  int
+	cap    int
+	root   uint64
+	height int
+	count  uint64
+}
+
+const btHdr = 16
+
+// NewBTree creates an empty B+-tree for fixed keyWidth-byte keys.
+func NewBTree(m *simmem.Arena, bp *storage.BufferPool, keyWidth int) *BTree {
+	if keyWidth <= 0 || keyWidth > 256 {
+		panic(fmt.Sprintf("index: btree key width %d", keyWidth))
+	}
+	t := &BTree{m: m, bp: bp, meter: nopMeter{}, kw: keyWidth, esize: keyWidth + 8}
+	t.cap = (storage.PageSize - btHdr) / t.esize
+	root, addr, err := bp.NewPage()
+	if err != nil {
+		panic("index: cannot allocate btree root: " + err.Error())
+	}
+	t.initNode(addr, true)
+	bp.UnfixAddr(addr, true)
+	t.root = root
+	t.height = 1
+	return t
+}
+
+// Name implements Index.
+func (t *BTree) Name() string { return "btree8k" }
+
+// KeyWidth implements Index.
+func (t *BTree) KeyWidth() int { return t.kw }
+
+// Count implements Index.
+func (t *BTree) Count() uint64 { return t.count }
+
+// SetMeter implements Index.
+func (t *BTree) SetMeter(m Meter) { t.meter = meterOrNop(m) }
+
+// Height returns the number of levels (1 = a single leaf).
+func (t *BTree) Height() int { return t.height }
+
+func (t *BTree) initNode(addr simmem.Addr, leaf bool) {
+	var ty byte = 1
+	if leaf {
+		ty = 0
+	}
+	t.m.WriteU64(addr, uint64(ty)) // type + zero nKeys in one word
+	t.m.WriteU64(addr+8, 0)
+}
+
+func (t *BTree) isLeaf(addr simmem.Addr) bool { return t.m.ReadU32(addr)&0xff == 0 }
+
+func (t *BTree) nKeys(addr simmem.Addr) int { return int(t.m.ReadU32(addr) >> 16) }
+
+func (t *BTree) setNKeys(addr simmem.Addr, n int) {
+	w := t.m.ReadU32(addr)
+	t.m.WriteU32(addr, w&0xffff|uint32(n)<<16)
+}
+
+func (t *BTree) entry(addr simmem.Addr, i int) simmem.Addr {
+	return addr + btHdr + simmem.Addr(i*t.esize)
+}
+
+func (t *BTree) keyAt(addr simmem.Addr, i int, buf []byte) []byte {
+	t.m.ReadBytes(t.entry(addr, i), buf[:t.kw])
+	return buf[:t.kw]
+}
+
+func (t *BTree) valAt(addr simmem.Addr, i int) uint64 {
+	return t.m.ReadU64(t.entry(addr, i) + simmem.Addr(t.kw))
+}
+
+func (t *BTree) setValAt(addr simmem.Addr, i int, v uint64) {
+	t.m.WriteU64(t.entry(addr, i)+simmem.Addr(t.kw), v)
+}
+
+// lowerBound returns the first index whose key >= key, and whether an exact
+// match exists, charging the meter for the comparisons performed.
+func (t *BTree) lowerBound(addr simmem.Addr, n int, key []byte) (int, bool) {
+	scratch := make([]byte, t.kw)
+	lo, hi := 0, n
+	cmpBytes := 0
+	found := false
+	for lo < hi {
+		mid := (lo + hi) / 2
+		cmpBytes += t.kw
+		c := bytes.Compare(t.keyAt(addr, mid, scratch), key)
+		switch {
+		case c < 0:
+			lo = mid + 1
+		case c > 0:
+			hi = mid
+		default:
+			found = true
+			hi = mid
+		}
+	}
+	t.meter.NodeVisit(cmpBytes)
+	return lo, found
+}
+
+// childFor returns the child pageID to follow for key in inner node addr.
+func (t *BTree) childFor(addr simmem.Addr, key []byte) (uint64, int) {
+	n := t.nKeys(addr)
+	lb, found := t.lowerBound(addr, n, key)
+	i := lb - 1
+	if found {
+		i = lb // keys equal to a separator live in the right subtree
+	}
+	if i < 0 {
+		return t.m.ReadU64(addr + 8), -1
+	}
+	return t.valAt(addr, i), i
+}
+
+// Lookup implements Index.
+func (t *BTree) Lookup(key []byte) (uint64, bool) {
+	t.checkKey(key)
+	pageID := t.root
+	for level := 0; level < t.height-1; level++ {
+		addr, err := t.bp.Fix(pageID)
+		if err != nil {
+			panic(err)
+		}
+		child, _ := t.childFor(addr, key)
+		t.bp.UnfixAddr(addr, false)
+		pageID = child
+	}
+	addr, err := t.bp.Fix(pageID)
+	if err != nil {
+		panic(err)
+	}
+	defer t.bp.UnfixAddr(addr, false)
+	n := t.nKeys(addr)
+	lb, found := t.lowerBound(addr, n, key)
+	if !found {
+		return 0, false
+	}
+	return t.valAt(addr, lb), true
+}
+
+// Insert implements Index. Descent splits full children preemptively so a
+// parent always has room for a separator.
+func (t *BTree) Insert(key []byte, val uint64) {
+	t.checkKey(key)
+	// Split a full root first.
+	rootAddr, err := t.bp.Fix(t.root)
+	if err != nil {
+		panic(err)
+	}
+	if t.nKeys(rootAddr) >= t.cap {
+		newRootID, newRootAddr, err := t.bp.NewPage()
+		if err != nil {
+			panic(err)
+		}
+		t.initNode(newRootAddr, false)
+		t.m.WriteU64(newRootAddr+8, t.root)
+		t.splitChild(newRootAddr, -1, t.root, rootAddr)
+		t.bp.UnfixAddr(rootAddr, true)
+		rootAddr = newRootAddr
+		t.root = newRootID
+		t.height++
+	}
+
+	// Descend; rootAddr holds the fixed current node.
+	cur := rootAddr
+	for !t.isLeaf(cur) {
+		childID, _ := t.childFor(cur, key)
+		childAddr, err := t.bp.Fix(childID)
+		if err != nil {
+			panic(err)
+		}
+		if t.nKeys(childAddr) >= t.cap {
+			t.splitChild(cur, 0, childID, childAddr)
+			t.bp.UnfixAddr(childAddr, true)
+			// Re-choose: the separator may send us right.
+			childID, _ = t.childFor(cur, key)
+			childAddr, err = t.bp.Fix(childID)
+			if err != nil {
+				panic(err)
+			}
+		}
+		t.bp.UnfixAddr(cur, true)
+		cur = childAddr
+	}
+
+	n := t.nKeys(cur)
+	lb, found := t.lowerBound(cur, n, key)
+	if found {
+		t.setValAt(cur, lb, val)
+		t.bp.UnfixAddr(cur, true)
+		return
+	}
+	t.shiftRight(cur, lb, n)
+	t.m.WriteBytes(t.entry(cur, lb), key)
+	t.setValAt(cur, lb, val)
+	t.setNKeys(cur, n+1)
+	t.count++
+	t.bp.UnfixAddr(cur, true)
+}
+
+// shiftRight opens a gap at position pos in a node with n entries.
+func (t *BTree) shiftRight(addr simmem.Addr, pos, n int) {
+	if pos >= n {
+		return
+	}
+	size := (n - pos) * t.esize
+	buf := make([]byte, size)
+	t.m.ReadBytes(t.entry(addr, pos), buf)
+	t.m.WriteBytes(t.entry(addr, pos+1), buf)
+}
+
+// splitChild splits the full child (fixed at childAddr) of parent (fixed at
+// parentAddr) and inserts the separator into the parent. parentPos is unused
+// beyond documentation; the separator position is recomputed.
+func (t *BTree) splitChild(parentAddr simmem.Addr, _ int, childID uint64, childAddr simmem.Addr) {
+	rightID, rightAddr, err := t.bp.NewPage()
+	if err != nil {
+		panic(err)
+	}
+	leaf := t.isLeaf(childAddr)
+	t.initNode(rightAddr, leaf)
+	n := t.nKeys(childAddr)
+	mid := n / 2
+
+	sep := make([]byte, t.kw)
+	if leaf {
+		// Right gets entries[mid:]; separator is right's first key.
+		t.keyAt(childAddr, mid, sep)
+		moved := n - mid
+		buf := make([]byte, moved*t.esize)
+		t.m.ReadBytes(t.entry(childAddr, mid), buf)
+		t.m.WriteBytes(t.entry(rightAddr, 0), buf)
+		t.setNKeys(rightAddr, moved)
+		t.setNKeys(childAddr, mid)
+		// Chain siblings.
+		t.m.WriteU64(rightAddr+8, t.m.ReadU64(childAddr+8))
+		t.m.WriteU64(childAddr+8, rightID)
+	} else {
+		// Separator key[mid] moves up; its child becomes right's leftmost.
+		t.keyAt(childAddr, mid, sep)
+		t.m.WriteU64(rightAddr+8, t.valAt(childAddr, mid))
+		moved := n - mid - 1
+		if moved > 0 {
+			buf := make([]byte, moved*t.esize)
+			t.m.ReadBytes(t.entry(childAddr, mid+1), buf)
+			t.m.WriteBytes(t.entry(rightAddr, 0), buf)
+		}
+		t.setNKeys(rightAddr, moved)
+		t.setNKeys(childAddr, mid)
+	}
+
+	// Insert (sep, rightID) into the parent.
+	pn := t.nKeys(parentAddr)
+	lb, _ := t.lowerBound(parentAddr, pn, sep)
+	t.shiftRight(parentAddr, lb, pn)
+	t.m.WriteBytes(t.entry(parentAddr, lb), sep)
+	t.setValAt(parentAddr, lb, rightID)
+	t.setNKeys(parentAddr, pn+1)
+	_ = childID
+	t.bp.UnfixAddr(rightAddr, true)
+}
+
+// Delete implements Index (lazy: no merging).
+func (t *BTree) Delete(key []byte) bool {
+	t.checkKey(key)
+	pageID := t.root
+	for level := 0; level < t.height-1; level++ {
+		addr, err := t.bp.Fix(pageID)
+		if err != nil {
+			panic(err)
+		}
+		child, _ := t.childFor(addr, key)
+		t.bp.UnfixAddr(addr, false)
+		pageID = child
+	}
+	addr, err := t.bp.Fix(pageID)
+	if err != nil {
+		panic(err)
+	}
+	n := t.nKeys(addr)
+	lb, found := t.lowerBound(addr, n, key)
+	if !found {
+		t.bp.UnfixAddr(addr, false)
+		return false
+	}
+	if lb < n-1 {
+		size := (n - lb - 1) * t.esize
+		buf := make([]byte, size)
+		t.m.ReadBytes(t.entry(addr, lb+1), buf)
+		t.m.WriteBytes(t.entry(addr, lb), buf)
+	}
+	t.setNKeys(addr, n-1)
+	t.count--
+	t.bp.UnfixAddr(addr, true)
+	return true
+}
+
+// Scan implements OrderedIndex.
+func (t *BTree) Scan(from []byte, fn func(key []byte, val uint64) bool) {
+	t.checkKey(from)
+	pageID := t.root
+	for level := 0; level < t.height-1; level++ {
+		addr, err := t.bp.Fix(pageID)
+		if err != nil {
+			panic(err)
+		}
+		child, _ := t.childFor(addr, from)
+		t.bp.UnfixAddr(addr, false)
+		pageID = child
+	}
+	keyBuf := make([]byte, t.kw)
+	first := true
+	for pageID != 0 {
+		addr, err := t.bp.Fix(pageID)
+		if err != nil {
+			panic(err)
+		}
+		n := t.nKeys(addr)
+		start := 0
+		if first {
+			start, _ = t.lowerBound(addr, n, from)
+			first = false
+		} else {
+			t.meter.NodeVisit(0)
+		}
+		for i := start; i < n; i++ {
+			t.keyAt(addr, i, keyBuf)
+			if !fn(keyBuf, t.valAt(addr, i)) {
+				t.bp.UnfixAddr(addr, false)
+				return
+			}
+		}
+		next := t.m.ReadU64(addr + 8)
+		t.bp.UnfixAddr(addr, false)
+		pageID = next
+	}
+}
+
+func (t *BTree) checkKey(key []byte) {
+	if len(key) != t.kw {
+		panic(fmt.Sprintf("index: btree key len %d, want %d", len(key), t.kw))
+	}
+}

@@ -1,0 +1,293 @@
+package index
+
+import (
+	"bytes"
+	"fmt"
+
+	"oltpsim/internal/simmem"
+)
+
+// CCTree is a cache-conscious B+-tree: nodes are small multiples of the
+// cache-line size, allocated line-aligned straight from the arena and linked
+// by virtual addresses (no buffer pool, no page table). VoltDB's tree ("node
+// size tuned to the last-level cache line size", per the paper) uses 64-byte
+// nodes; DBMS M's cache-conscious B-tree variant uses a few lines per node.
+//
+// Node layout:
+//
+//	off 0: type (1: 0=leaf, 1=inner) | pad (1) | nKeys (2, LE) | pad (4)
+//	off 8: leaf: right-sibling address; inner: leftmost-child address
+//	off 16: entries: key (keyWidth bytes) + 8-byte value/child address
+//
+// Deletion is lazy (no rebalancing).
+type CCTree struct {
+	m     *simmem.Arena
+	meter Meter
+
+	kw       int
+	esize    int
+	nodeSize int
+	cap      int
+
+	root   simmem.Addr
+	height int
+	count  uint64
+}
+
+const ccHdr = 16
+
+// NewCCTree creates an empty cache-conscious B+-tree with the given node
+// size (rounded up to a cache-line multiple and to hold at least two
+// entries).
+func NewCCTree(m *simmem.Arena, keyWidth, nodeSize int) *CCTree {
+	if keyWidth <= 0 || keyWidth > 256 {
+		panic(fmt.Sprintf("index: cctree key width %d", keyWidth))
+	}
+	esize := keyWidth + 8
+	min := ccHdr + 2*esize
+	if nodeSize < min {
+		nodeSize = min
+	}
+	nodeSize = (nodeSize + 63) &^ 63
+	t := &CCTree{m: m, meter: nopMeter{}, kw: keyWidth, esize: esize, nodeSize: nodeSize}
+	t.cap = (nodeSize - ccHdr) / esize
+	t.root = t.newNode(true)
+	t.height = 1
+	return t
+}
+
+// Name implements Index.
+func (t *CCTree) Name() string { return fmt.Sprintf("cctree%d", t.nodeSize) }
+
+// KeyWidth implements Index.
+func (t *CCTree) KeyWidth() int { return t.kw }
+
+// Count implements Index.
+func (t *CCTree) Count() uint64 { return t.count }
+
+// SetMeter implements Index.
+func (t *CCTree) SetMeter(m Meter) { t.meter = meterOrNop(m) }
+
+// Height returns the number of levels (1 = a single leaf).
+func (t *CCTree) Height() int { return t.height }
+
+// NodeSize returns the node size in bytes.
+func (t *CCTree) NodeSize() int { return t.nodeSize }
+
+func (t *CCTree) newNode(leaf bool) simmem.Addr {
+	addr := t.m.AllocData(t.nodeSize, 64)
+	var ty uint64 = 1
+	if leaf {
+		ty = 0
+	}
+	t.m.WriteU64(addr, ty)
+	t.m.WriteU64(addr+8, 0)
+	return addr
+}
+
+func (t *CCTree) isLeaf(addr simmem.Addr) bool { return t.m.ReadU32(addr)&0xff == 0 }
+func (t *CCTree) nKeys(addr simmem.Addr) int   { return int(t.m.ReadU32(addr) >> 16) }
+
+func (t *CCTree) setNKeys(addr simmem.Addr, n int) {
+	w := t.m.ReadU32(addr)
+	t.m.WriteU32(addr, w&0xffff|uint32(n)<<16)
+}
+
+func (t *CCTree) entry(addr simmem.Addr, i int) simmem.Addr {
+	return addr + ccHdr + simmem.Addr(i*t.esize)
+}
+
+func (t *CCTree) keyAt(addr simmem.Addr, i int, buf []byte) []byte {
+	t.m.ReadBytes(t.entry(addr, i), buf[:t.kw])
+	return buf[:t.kw]
+}
+
+func (t *CCTree) valAt(addr simmem.Addr, i int) uint64 {
+	return t.m.ReadU64(t.entry(addr, i) + simmem.Addr(t.kw))
+}
+
+func (t *CCTree) setValAt(addr simmem.Addr, i int, v uint64) {
+	t.m.WriteU64(t.entry(addr, i)+simmem.Addr(t.kw), v)
+}
+
+func (t *CCTree) lowerBound(addr simmem.Addr, n int, key []byte) (int, bool) {
+	scratch := make([]byte, t.kw)
+	lo, hi := 0, n
+	cmpBytes := 0
+	found := false
+	for lo < hi {
+		mid := (lo + hi) / 2
+		cmpBytes += t.kw
+		c := bytes.Compare(t.keyAt(addr, mid, scratch), key)
+		switch {
+		case c < 0:
+			lo = mid + 1
+		case c > 0:
+			hi = mid
+		default:
+			found = true
+			hi = mid
+		}
+	}
+	t.meter.NodeVisit(cmpBytes)
+	return lo, found
+}
+
+func (t *CCTree) childFor(addr simmem.Addr, key []byte) simmem.Addr {
+	n := t.nKeys(addr)
+	lb, found := t.lowerBound(addr, n, key)
+	i := lb - 1
+	if found {
+		i = lb
+	}
+	if i < 0 {
+		return simmem.Addr(t.m.ReadU64(addr + 8))
+	}
+	return simmem.Addr(t.valAt(addr, i))
+}
+
+// Lookup implements Index.
+func (t *CCTree) Lookup(key []byte) (uint64, bool) {
+	t.checkKey(key)
+	addr := t.root
+	for level := 0; level < t.height-1; level++ {
+		addr = t.childFor(addr, key)
+	}
+	n := t.nKeys(addr)
+	lb, found := t.lowerBound(addr, n, key)
+	if !found {
+		return 0, false
+	}
+	return t.valAt(addr, lb), true
+}
+
+// Insert implements Index with preemptive splitting.
+func (t *CCTree) Insert(key []byte, val uint64) {
+	t.checkKey(key)
+	if t.nKeys(t.root) >= t.cap {
+		newRoot := t.newNode(false)
+		t.m.WriteU64(newRoot+8, uint64(t.root))
+		t.splitChild(newRoot, t.root)
+		t.root = newRoot
+		t.height++
+	}
+	cur := t.root
+	for !t.isLeaf(cur) {
+		child := t.childFor(cur, key)
+		if t.nKeys(child) >= t.cap {
+			t.splitChild(cur, child)
+			child = t.childFor(cur, key)
+		}
+		cur = child
+	}
+	n := t.nKeys(cur)
+	lb, found := t.lowerBound(cur, n, key)
+	if found {
+		t.setValAt(cur, lb, val)
+		return
+	}
+	t.shiftRight(cur, lb, n)
+	t.m.WriteBytes(t.entry(cur, lb), key)
+	t.setValAt(cur, lb, val)
+	t.setNKeys(cur, n+1)
+	t.count++
+}
+
+func (t *CCTree) shiftRight(addr simmem.Addr, pos, n int) {
+	if pos >= n {
+		return
+	}
+	size := (n - pos) * t.esize
+	buf := make([]byte, size)
+	t.m.ReadBytes(t.entry(addr, pos), buf)
+	t.m.WriteBytes(t.entry(addr, pos+1), buf)
+}
+
+func (t *CCTree) splitChild(parent, child simmem.Addr) {
+	right := t.newNode(t.isLeaf(child))
+	n := t.nKeys(child)
+	mid := n / 2
+	sep := make([]byte, t.kw)
+	if t.isLeaf(child) {
+		t.keyAt(child, mid, sep)
+		moved := n - mid
+		buf := make([]byte, moved*t.esize)
+		t.m.ReadBytes(t.entry(child, mid), buf)
+		t.m.WriteBytes(t.entry(right, 0), buf)
+		t.setNKeys(right, moved)
+		t.setNKeys(child, mid)
+		t.m.WriteU64(right+8, t.m.ReadU64(child+8))
+		t.m.WriteU64(child+8, uint64(right))
+	} else {
+		t.keyAt(child, mid, sep)
+		t.m.WriteU64(right+8, t.valAt(child, mid))
+		moved := n - mid - 1
+		if moved > 0 {
+			buf := make([]byte, moved*t.esize)
+			t.m.ReadBytes(t.entry(child, mid+1), buf)
+			t.m.WriteBytes(t.entry(right, 0), buf)
+		}
+		t.setNKeys(right, moved)
+		t.setNKeys(child, mid)
+	}
+	pn := t.nKeys(parent)
+	lb, _ := t.lowerBound(parent, pn, sep)
+	t.shiftRight(parent, lb, pn)
+	t.m.WriteBytes(t.entry(parent, lb), sep)
+	t.setValAt(parent, lb, uint64(right))
+	t.setNKeys(parent, pn+1)
+}
+
+// Delete implements Index (lazy).
+func (t *CCTree) Delete(key []byte) bool {
+	t.checkKey(key)
+	addr := t.root
+	for level := 0; level < t.height-1; level++ {
+		addr = t.childFor(addr, key)
+	}
+	n := t.nKeys(addr)
+	lb, found := t.lowerBound(addr, n, key)
+	if !found {
+		return false
+	}
+	if lb < n-1 {
+		size := (n - lb - 1) * t.esize
+		buf := make([]byte, size)
+		t.m.ReadBytes(t.entry(addr, lb+1), buf)
+		t.m.WriteBytes(t.entry(addr, lb), buf)
+	}
+	t.setNKeys(addr, n-1)
+	t.count--
+	return true
+}
+
+// Scan implements OrderedIndex.
+func (t *CCTree) Scan(from []byte, fn func(key []byte, val uint64) bool) {
+	t.checkKey(from)
+	addr := t.root
+	for level := 0; level < t.height-1; level++ {
+		addr = t.childFor(addr, from)
+	}
+	keyBuf := make([]byte, t.kw)
+	start, _ := t.lowerBound(addr, t.nKeys(addr), from)
+	for addr != 0 {
+		n := t.nKeys(addr)
+		for i := start; i < n; i++ {
+			t.keyAt(addr, i, keyBuf)
+			if !fn(keyBuf, t.valAt(addr, i)) {
+				return
+			}
+		}
+		addr = simmem.Addr(t.m.ReadU64(addr + 8))
+		start = 0
+		if addr != 0 {
+			t.meter.NodeVisit(0)
+		}
+	}
+}
+
+func (t *CCTree) checkKey(key []byte) {
+	if len(key) != t.kw {
+		panic(fmt.Sprintf("index: cctree key len %d, want %d", len(key), t.kw))
+	}
+}

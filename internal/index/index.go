@@ -1,0 +1,61 @@
+// Package index defines the index interface shared by the four index
+// implementations the paper's systems use:
+//
+//   - btree: a disk-style B+-tree on 8KB buffer-pool pages (Shore-MT, DBMS D);
+//   - cctree: a cache-conscious B+-tree with cache-line-multiple nodes
+//     (VoltDB, tuned to the cache-line size; DBMS M's B-tree variant);
+//   - hash: a bucket-chained hash index (DBMS M for micro-benchmarks/TPC-B);
+//   - art: an adaptive radix tree (HyPer).
+//
+// All index state lives in the simulated arena: traversals produce the exact
+// data-side cache behaviour the paper attributes to each structure.
+package index
+
+// Index is a unique-key ordered (except hash) index from fixed-width byte
+// keys to 64-bit values (row addresses or RIDs).
+type Index interface {
+	// Name identifies the implementation for reports.
+	Name() string
+	// KeyWidth returns the fixed key width in bytes.
+	KeyWidth() int
+	// Insert adds key -> val, replacing any existing value.
+	Insert(key []byte, val uint64)
+	// Lookup returns the value for key.
+	Lookup(key []byte) (uint64, bool)
+	// Delete removes key and reports whether it was present.
+	Delete(key []byte) bool
+	// Count returns the number of live entries.
+	Count() uint64
+	// SetMeter attaches a work meter (may be nil).
+	SetMeter(Meter)
+}
+
+// OrderedIndex additionally supports ascending range scans.
+type OrderedIndex interface {
+	Index
+	// Scan visits entries with key >= from in ascending key order until fn
+	// returns false.
+	Scan(from []byte, fn func(key []byte, val uint64) bool)
+}
+
+// Meter receives the computational work of index operations so the engine
+// archetypes can charge instruction retire/fetch costs for them. Data-side
+// memory traffic needs no meter: it flows through the arena automatically.
+type Meter interface {
+	// NodeVisit reports that one node/bucket was visited, comparing
+	// cmpBytes bytes of key material.
+	NodeVisit(cmpBytes int)
+}
+
+// nopMeter is used when no meter is attached.
+type nopMeter struct{}
+
+func (nopMeter) NodeVisit(int) {}
+
+// meterOrNop normalizes a possibly-nil meter.
+func meterOrNop(m Meter) Meter {
+	if m == nil {
+		return nopMeter{}
+	}
+	return m
+}

@@ -1,0 +1,254 @@
+// Package simmem provides the simulated virtual-memory arena that every
+// database substrate in this repository allocates from and accesses through.
+//
+// The arena serves two purposes:
+//
+//  1. It is a real allocator with real backing bytes: indexes, pages, lock
+//     tables, version chains and log buffers store their state here, so the
+//     engines genuinely execute against it.
+//  2. Every read and write is reported, at its virtual address, to an attached
+//     Tracer (the simulated cache hierarchy in internal/core). This is the
+//     data-side event stream that replaces the hardware performance counters
+//     used by the paper.
+//
+// Tracing can be switched off (Population of multi-hundred-megabyte databases
+// runs untraced for speed) and on (warm-up and measured benchmark windows).
+package simmem
+
+import "fmt"
+
+// Addr is a virtual address in the simulated address space.
+type Addr uint64
+
+// Segment bases. Code and data live far apart so instruction fetches and data
+// accesses can never alias in the simulated caches.
+const (
+	// CodeBase is the start of the simulated code segment. Code has no
+	// backing bytes; only its addresses matter (instruction fetch).
+	CodeBase Addr = 0x0000_0000_1000_0000
+	// DataBase is the start of the simulated data segment.
+	DataBase Addr = 0x0000_4000_0000_0000
+)
+
+const (
+	pageShift = 16 // 64 KiB backing pages, allocated lazily
+	pageSize  = 1 << pageShift
+	pageMask  = pageSize - 1
+)
+
+// Tracer receives one event per data access. Implemented by the cache
+// hierarchy in internal/core.
+type Tracer interface {
+	// OnData is called for every traced data read/write. addr is the first
+	// byte accessed and size the number of bytes (the tracer splits the
+	// access into cache lines).
+	OnData(addr Addr, size int, write bool)
+}
+
+// Arena is a simulated virtual address space with lazily materialized backing
+// pages. The zero value is not usable; call New.
+type Arena struct {
+	tracer  Tracer
+	tracing bool
+
+	codeTop Addr
+	dataTop Addr
+
+	pages map[Addr]*[pageSize]byte
+
+	// Single-entry page translation cache for the hot access path.
+	lastPageID Addr
+	lastPage   *[pageSize]byte
+
+	dataAllocated uint64
+}
+
+// New returns an empty arena with no tracer attached.
+func New() *Arena {
+	return &Arena{
+		codeTop:    CodeBase,
+		dataTop:    DataBase,
+		pages:      make(map[Addr]*[pageSize]byte),
+		lastPageID: ^Addr(0),
+	}
+}
+
+// SetTracer attaches t; accesses are only reported while tracing is enabled.
+func (m *Arena) SetTracer(t Tracer) { m.tracer = t }
+
+// EnableTracing turns access reporting on or off. Population code disables
+// tracing; measurement windows enable it.
+func (m *Arena) EnableTracing(on bool) { m.tracing = on }
+
+// Tracing reports whether accesses are currently being reported.
+func (m *Arena) Tracing() bool { return m.tracing && m.tracer != nil }
+
+// DataAllocated returns the number of data-segment bytes handed out so far.
+func (m *Arena) DataAllocated() uint64 { return m.dataAllocated }
+
+// AllocCode reserves size bytes in the code segment, aligned to 4 KiB, and
+// returns the base address. Code bytes have no backing storage.
+func (m *Arena) AllocCode(size int) Addr {
+	if size <= 0 {
+		panic(fmt.Sprintf("simmem: AllocCode size %d", size))
+	}
+	const codeAlign = 4096
+	base := (m.codeTop + codeAlign - 1) &^ (codeAlign - 1)
+	m.codeTop = base + Addr(size)
+	return base
+}
+
+// AllocData reserves size bytes in the data segment with the given alignment
+// (which must be a power of two, at least 1) and returns the base address.
+func (m *Arena) AllocData(size, align int) Addr {
+	if size <= 0 {
+		panic(fmt.Sprintf("simmem: AllocData size %d", size))
+	}
+	if align <= 0 || align&(align-1) != 0 {
+		panic(fmt.Sprintf("simmem: AllocData alignment %d", align))
+	}
+	base := (m.dataTop + Addr(align) - 1) &^ (Addr(align) - 1)
+	m.dataTop = base + Addr(size)
+	m.dataAllocated += uint64(size)
+	return base
+}
+
+func (m *Arena) page(id Addr) *[pageSize]byte {
+	if id == m.lastPageID {
+		return m.lastPage
+	}
+	p := m.pages[id]
+	if p == nil {
+		p = new([pageSize]byte)
+		m.pages[id] = p
+	}
+	m.lastPageID, m.lastPage = id, p
+	return p
+}
+
+func (m *Arena) trace(addr Addr, size int, write bool) {
+	if m.tracing && m.tracer != nil {
+		m.tracer.OnData(addr, size, write)
+	}
+}
+
+// Touch reports an access of size bytes at addr without moving any data. It
+// is used by substrates that keep bookkeeping state in Go for speed but still
+// owe the cache hierarchy the corresponding memory traffic.
+func (m *Arena) Touch(addr Addr, size int, write bool) {
+	m.trace(addr, size, write)
+}
+
+// ReadU64 reads a little-endian uint64 at addr.
+func (m *Arena) ReadU64(addr Addr) uint64 {
+	m.trace(addr, 8, false)
+	off := int(addr & pageMask)
+	if off+8 <= pageSize {
+		p := m.page(addr >> pageShift)
+		return leU64(p[off : off+8 : off+8])
+	}
+	var buf [8]byte
+	m.readSlow(addr, buf[:])
+	return leU64(buf[:])
+}
+
+// WriteU64 writes a little-endian uint64 at addr.
+func (m *Arena) WriteU64(addr Addr, v uint64) {
+	m.trace(addr, 8, true)
+	off := int(addr & pageMask)
+	if off+8 <= pageSize {
+		p := m.page(addr >> pageShift)
+		putLeU64(p[off:off+8:off+8], v)
+		return
+	}
+	var buf [8]byte
+	putLeU64(buf[:], v)
+	m.writeSlow(addr, buf[:])
+}
+
+// ReadU32 reads a little-endian uint32 at addr.
+func (m *Arena) ReadU32(addr Addr) uint32 {
+	m.trace(addr, 4, false)
+	off := int(addr & pageMask)
+	if off+4 <= pageSize {
+		p := m.page(addr >> pageShift)
+		b := p[off : off+4 : off+4]
+		return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+	}
+	var buf [4]byte
+	m.readSlow(addr, buf[:])
+	return uint32(buf[0]) | uint32(buf[1])<<8 | uint32(buf[2])<<16 | uint32(buf[3])<<24
+}
+
+// WriteU32 writes a little-endian uint32 at addr.
+func (m *Arena) WriteU32(addr Addr, v uint32) {
+	m.trace(addr, 4, true)
+	off := int(addr & pageMask)
+	if off+4 <= pageSize {
+		p := m.page(addr >> pageShift)
+		b := p[off : off+4 : off+4]
+		b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+		return
+	}
+	var buf [4]byte
+	buf[0], buf[1], buf[2], buf[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	m.writeSlow(addr, buf[:])
+}
+
+// ReadBytes fills dst with the bytes at addr.
+func (m *Arena) ReadBytes(addr Addr, dst []byte) {
+	if len(dst) == 0 {
+		return
+	}
+	m.trace(addr, len(dst), false)
+	m.readSlow(addr, dst)
+}
+
+// WriteBytes stores src at addr.
+func (m *Arena) WriteBytes(addr Addr, src []byte) {
+	if len(src) == 0 {
+		return
+	}
+	m.trace(addr, len(src), true)
+	m.writeSlow(addr, src)
+}
+
+func (m *Arena) readSlow(addr Addr, dst []byte) {
+	for len(dst) > 0 {
+		off := int(addr & pageMask)
+		n := pageSize - off
+		if n > len(dst) {
+			n = len(dst)
+		}
+		p := m.page(addr >> pageShift)
+		copy(dst[:n], p[off:off+n])
+		dst = dst[n:]
+		addr += Addr(n)
+	}
+}
+
+func (m *Arena) writeSlow(addr Addr, src []byte) {
+	for len(src) > 0 {
+		off := int(addr & pageMask)
+		n := pageSize - off
+		if n > len(src) {
+			n = len(src)
+		}
+		p := m.page(addr >> pageShift)
+		copy(p[off:off+n], src[:n])
+		src = src[n:]
+		addr += Addr(n)
+	}
+}
+
+func leU64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putLeU64(b []byte, v uint64) {
+	_ = b[7]
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	b[4], b[5], b[6], b[7] = byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56)
+}

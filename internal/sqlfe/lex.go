@@ -1,0 +1,106 @@
+// Package sqlfe implements the SQL front-end layer: a tokenizer, a
+// recursive-descent parser and a rule-based planner for the small SQL dialect
+// the workloads use. In the paper's terms this is the code *outside* the OLTP
+// engine — query parsing and optimization — whose instruction footprint
+// dominates execution for the disk-based commercial system (DBMS D parses
+// ad-hoc SQL per request) and is paid once at stored-procedure definition
+// time by the in-memory systems.
+package sqlfe
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TokKind classifies a token.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString
+	TokParam  // ?
+	TokSymbol // punctuation and operators
+)
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Text string
+	Pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "UPDATE": true,
+	"SET": true, "INSERT": true, "INTO": true, "VALUES": true, "DELETE": true,
+	"LIMIT": true,
+}
+
+// Lex tokenizes sql. It returns the token stream (terminated by TokEOF) or an
+// error for characters outside the dialect.
+func Lex(sql string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(sql)
+	for i < n {
+		c := sql[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case isAlpha(c):
+			j := i
+			for j < n && (isAlpha(sql[j]) || isDigit(sql[j]) || sql[j] == '_') {
+				j++
+			}
+			word := sql[i:j]
+			kind := TokIdent
+			if keywords[strings.ToUpper(word)] {
+				kind = TokKeyword
+				word = strings.ToUpper(word)
+			}
+			toks = append(toks, Token{kind, word, i})
+			i = j
+		case isDigit(c) || (c == '-' && i+1 < n && isDigit(sql[i+1])):
+			j := i + 1
+			for j < n && isDigit(sql[j]) {
+				j++
+			}
+			toks = append(toks, Token{TokNumber, sql[i:j], i})
+			i = j
+		case c == '\'':
+			j := i + 1
+			for j < n && sql[j] != '\'' {
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("sqlfe: unterminated string literal at %d", i)
+			}
+			toks = append(toks, Token{TokString, sql[i+1 : j], i})
+			i = j + 1
+		case c == '?':
+			toks = append(toks, Token{TokParam, "?", i})
+			i++
+		case c == '>' || c == '<':
+			if i+1 < n && sql[i+1] == '=' {
+				toks = append(toks, Token{TokSymbol, sql[i : i+2], i})
+				i += 2
+			} else {
+				toks = append(toks, Token{TokSymbol, sql[i : i+1], i})
+				i++
+			}
+		case strings.ContainsRune("=,()*+-", rune(c)):
+			toks = append(toks, Token{TokSymbol, sql[i : i+1], i})
+			i++
+		default:
+			return nil, fmt.Errorf("sqlfe: unexpected character %q at %d", c, i)
+		}
+	}
+	toks = append(toks, Token{TokEOF, "", n})
+	return toks, nil
+}
+
+func isAlpha(c byte) bool { return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' }
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }

@@ -1,0 +1,354 @@
+package sqlfe
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// StmtKind classifies a parsed statement.
+type StmtKind int
+
+// Statement kinds.
+const (
+	StmtSelect StmtKind = iota
+	StmtUpdate
+	StmtInsert
+	StmtDelete
+)
+
+// CmpOp is a comparison operator in a WHERE predicate.
+type CmpOp int
+
+// Comparison operators.
+const (
+	CmpEq CmpOp = iota
+	CmpGe
+	CmpLe
+	CmpGt
+	CmpLt
+)
+
+// String renders the operator.
+func (op CmpOp) String() string {
+	return [...]string{"=", ">=", "<=", ">", "<"}[op]
+}
+
+// Pred is one WHERE conjunct: column op ? (parameters only; the dialect has
+// no literal predicates, matching prepared-statement workloads).
+type Pred struct {
+	Col string
+	Op  CmpOp
+	// ParamIdx is the 0-based index of the '?' this predicate binds.
+	ParamIdx int
+}
+
+// SetClause is one UPDATE assignment: Col = ? or Col = Col + ?.
+type SetClause struct {
+	Col      string
+	Additive bool // true for col = col + ?
+	ParamIdx int
+}
+
+// Stmt is the AST of one statement.
+type Stmt struct {
+	Kind  StmtKind
+	Table string
+
+	// SELECT: projected columns ("*" allowed as the single entry).
+	Cols []string
+	// UPDATE: assignments.
+	Sets []SetClause
+	// INSERT: number of VALUES parameters.
+	InsertArity int
+	// WHERE conjuncts (SELECT/UPDATE/DELETE).
+	Where []Pred
+	// LIMIT for SELECT; 0 = none.
+	Limit int
+
+	// NumTokens is the size of the token stream (a proxy for parse work).
+	NumTokens int
+	// NumParams is the number of '?' placeholders.
+	NumParams int
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+	nPar int
+}
+
+// Parse lexes and parses sql.
+func Parse(sql string) (*Stmt, error) {
+	toks, err := Lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var s *Stmt
+	switch {
+	case p.peekKeyword("SELECT"):
+		s, err = p.parseSelect()
+	case p.peekKeyword("UPDATE"):
+		s, err = p.parseUpdate()
+	case p.peekKeyword("INSERT"):
+		s, err = p.parseInsert()
+	case p.peekKeyword("DELETE"):
+		s, err = p.parseDelete()
+	default:
+		return nil, fmt.Errorf("sqlfe: statement must start with SELECT/UPDATE/INSERT/DELETE, got %q", p.cur().Text)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != TokEOF {
+		return nil, fmt.Errorf("sqlfe: trailing input at %d: %q", p.cur().Pos, p.cur().Text)
+	}
+	s.NumTokens = len(toks)
+	s.NumParams = p.nPar
+	return s, nil
+}
+
+func (p *parser) cur() Token { return p.toks[p.pos] }
+
+func (p *parser) advance() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) peekKeyword(kw string) bool {
+	t := p.cur()
+	return t.Kind == TokKeyword && t.Text == kw
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.peekKeyword(kw) {
+		return fmt.Errorf("sqlfe: expected %s at %d, got %q", kw, p.cur().Pos, p.cur().Text)
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	t := p.cur()
+	if t.Kind != TokSymbol || t.Text != sym {
+		return fmt.Errorf("sqlfe: expected %q at %d, got %q", sym, t.Pos, t.Text)
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.cur()
+	if t.Kind != TokIdent {
+		return "", fmt.Errorf("sqlfe: expected identifier at %d, got %q", t.Pos, t.Text)
+	}
+	p.advance()
+	return t.Text, nil
+}
+
+func (p *parser) param() (int, error) {
+	if p.cur().Kind != TokParam {
+		return 0, fmt.Errorf("sqlfe: expected ? at %d, got %q", p.cur().Pos, p.cur().Text)
+	}
+	p.advance()
+	idx := p.nPar
+	p.nPar++
+	return idx, nil
+}
+
+func (p *parser) parseSelect() (*Stmt, error) {
+	p.advance() // SELECT
+	s := &Stmt{Kind: StmtSelect}
+	if p.cur().Kind == TokSymbol && p.cur().Text == "*" {
+		p.advance()
+		s.Cols = []string{"*"}
+	} else {
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			s.Cols = append(s.Cols, col)
+			if p.cur().Kind == TokSymbol && p.cur().Text == "," {
+				p.advance()
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	tbl, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	s.Table = tbl
+	if err := p.parseWhere(s); err != nil {
+		return nil, err
+	}
+	if p.peekKeyword("LIMIT") {
+		p.advance()
+		t := p.cur()
+		if t.Kind != TokNumber {
+			return nil, fmt.Errorf("sqlfe: LIMIT needs a number at %d", t.Pos)
+		}
+		n, err := strconv.Atoi(t.Text)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("sqlfe: bad LIMIT %q", t.Text)
+		}
+		p.advance()
+		s.Limit = n
+	}
+	return s, nil
+}
+
+func (p *parser) parseUpdate() (*Stmt, error) {
+	p.advance() // UPDATE
+	s := &Stmt{Kind: StmtUpdate}
+	tbl, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	s.Table = tbl
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("="); err != nil {
+			return nil, err
+		}
+		sc := SetClause{Col: col}
+		// col = col + ?  (additive) or  col = ?.
+		if p.cur().Kind == TokIdent && p.cur().Text == col {
+			p.advance()
+			if err := p.expectSymbol("+"); err != nil {
+				return nil, err
+			}
+			sc.Additive = true
+		}
+		idx, err := p.param()
+		if err != nil {
+			return nil, err
+		}
+		sc.ParamIdx = idx
+		s.Sets = append(s.Sets, sc)
+		if p.cur().Kind == TokSymbol && p.cur().Text == "," {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if err := p.parseWhere(s); err != nil {
+		return nil, err
+	}
+	if len(s.Where) == 0 {
+		return nil, fmt.Errorf("sqlfe: UPDATE without WHERE is not supported")
+	}
+	return s, nil
+}
+
+func (p *parser) parseInsert() (*Stmt, error) {
+	p.advance() // INSERT
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	s := &Stmt{Kind: StmtInsert}
+	tbl, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	s.Table = tbl
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	for {
+		if _, err := p.param(); err != nil {
+			return nil, err
+		}
+		s.InsertArity++
+		if p.cur().Kind == TokSymbol && p.cur().Text == "," {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (p *parser) parseDelete() (*Stmt, error) {
+	p.advance() // DELETE
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	s := &Stmt{Kind: StmtDelete}
+	tbl, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	s.Table = tbl
+	if err := p.parseWhere(s); err != nil {
+		return nil, err
+	}
+	if len(s.Where) == 0 {
+		return nil, fmt.Errorf("sqlfe: DELETE without WHERE is not supported")
+	}
+	return s, nil
+}
+
+func (p *parser) parseWhere(s *Stmt) error {
+	if !p.peekKeyword("WHERE") {
+		return nil
+	}
+	p.advance()
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return err
+		}
+		t := p.cur()
+		if t.Kind != TokSymbol {
+			return fmt.Errorf("sqlfe: expected comparison at %d", t.Pos)
+		}
+		var op CmpOp
+		switch t.Text {
+		case "=":
+			op = CmpEq
+		case ">=":
+			op = CmpGe
+		case "<=":
+			op = CmpLe
+		case ">":
+			op = CmpGt
+		case "<":
+			op = CmpLt
+		default:
+			return fmt.Errorf("sqlfe: unsupported operator %q at %d", t.Text, t.Pos)
+		}
+		p.advance()
+		idx, err := p.param()
+		if err != nil {
+			return err
+		}
+		s.Where = append(s.Where, Pred{Col: col, Op: op, ParamIdx: idx})
+		if p.peekKeyword("AND") {
+			p.advance()
+			continue
+		}
+		break
+	}
+	return nil
+}

@@ -1,0 +1,175 @@
+package sqlfe
+
+import "fmt"
+
+// CatalogView is what the planner needs to know about the database: it is
+// implemented by the engine layer.
+type CatalogView interface {
+	// TableID resolves a table name.
+	TableID(name string) (int, bool)
+	// ColumnNames lists the columns of the table in schema order.
+	ColumnNames(table string) []string
+	// KeyColumns lists the primary index key columns in key order.
+	KeyColumns(table string) []string
+}
+
+// PlanKind classifies an executable plan.
+type PlanKind int
+
+// Plan kinds.
+const (
+	PlanPointGet PlanKind = iota
+	PlanRangeScan
+	PlanPointUpdate
+	PlanInsert
+	PlanPointDelete
+)
+
+// String names the plan kind.
+func (k PlanKind) String() string {
+	return [...]string{"point-get", "range-scan", "point-update", "insert", "point-delete"}[k]
+}
+
+// PlannedSet is a resolved UPDATE assignment.
+type PlannedSet struct {
+	ColIdx   int
+	Additive bool
+	ParamIdx int
+}
+
+// Plan is the executable form of a statement: every column resolved to an
+// index, every predicate matched against the table's primary index.
+type Plan struct {
+	Kind    PlanKind
+	Table   string
+	TableID int
+
+	// KeyParams holds, per key column (in key order), the parameter index
+	// that binds it. For PlanRangeScan the final key column is bound by a
+	// >= predicate; for point plans all are equality predicates.
+	KeyParams []int
+	// Cols are projected column indexes for selects.
+	Cols []int
+	// Sets are update assignments.
+	Sets []PlannedSet
+	// Limit bounds range scans (0 = unbounded).
+	Limit int
+	// InsertArity is the number of inserted values.
+	InsertArity int
+}
+
+// BuildPlan resolves stmt against cat. It performs the planner's work of
+// matching WHERE conjuncts to the primary index columns (the only access
+// path in this storage engine family).
+func BuildPlan(stmt *Stmt, cat CatalogView) (*Plan, error) {
+	tid, ok := cat.TableID(stmt.Table)
+	if !ok {
+		return nil, fmt.Errorf("sqlfe: unknown table %q", stmt.Table)
+	}
+	cols := cat.ColumnNames(stmt.Table)
+	colIdx := func(name string) (int, error) {
+		for i, c := range cols {
+			if c == name {
+				return i, nil
+			}
+		}
+		return 0, fmt.Errorf("sqlfe: unknown column %q in table %q", name, stmt.Table)
+	}
+
+	p := &Plan{Table: stmt.Table, TableID: tid, Limit: stmt.Limit}
+
+	switch stmt.Kind {
+	case StmtInsert:
+		p.Kind = PlanInsert
+		if stmt.InsertArity != len(cols) {
+			return nil, fmt.Errorf("sqlfe: INSERT arity %d, table %q has %d columns",
+				stmt.InsertArity, stmt.Table, len(cols))
+		}
+		p.InsertArity = stmt.InsertArity
+		return p, nil
+
+	case StmtSelect:
+		if len(stmt.Cols) == 1 && stmt.Cols[0] == "*" {
+			for i := range cols {
+				p.Cols = append(p.Cols, i)
+			}
+		} else {
+			for _, c := range stmt.Cols {
+				ci, err := colIdx(c)
+				if err != nil {
+					return nil, err
+				}
+				p.Cols = append(p.Cols, ci)
+			}
+		}
+	case StmtUpdate:
+		for _, sc := range stmt.Sets {
+			ci, err := colIdx(sc.Col)
+			if err != nil {
+				return nil, err
+			}
+			p.Sets = append(p.Sets, PlannedSet{ColIdx: ci, Additive: sc.Additive, ParamIdx: sc.ParamIdx})
+		}
+	case StmtDelete:
+		// nothing extra
+	}
+
+	// Match WHERE conjuncts against the primary key columns in order.
+	keyCols := cat.KeyColumns(stmt.Table)
+	byCol := make(map[string]Pred, len(stmt.Where))
+	for _, pr := range stmt.Where {
+		if _, err := colIdx(pr.Col); err != nil {
+			return nil, err
+		}
+		if _, dup := byCol[pr.Col]; dup {
+			return nil, fmt.Errorf("sqlfe: duplicate predicate on %q", pr.Col)
+		}
+		byCol[pr.Col] = pr
+	}
+
+	ranged := false
+	for i, kc := range keyCols {
+		pr, ok := byCol[kc]
+		if !ok {
+			return nil, fmt.Errorf("sqlfe: no predicate on key column %q of %q", kc, stmt.Table)
+		}
+		delete(byCol, kc)
+		switch pr.Op {
+		case CmpEq:
+			p.KeyParams = append(p.KeyParams, pr.ParamIdx)
+		case CmpGe:
+			if i != len(keyCols)-1 {
+				return nil, fmt.Errorf("sqlfe: range predicate on %q must be on the last key column", kc)
+			}
+			p.KeyParams = append(p.KeyParams, pr.ParamIdx)
+			ranged = true
+		default:
+			return nil, fmt.Errorf("sqlfe: unsupported operator %v on key column %q", pr.Op, kc)
+		}
+	}
+	if len(byCol) > 0 {
+		for c := range byCol {
+			return nil, fmt.Errorf("sqlfe: predicate on non-key column %q (no secondary indexes)", c)
+		}
+	}
+
+	switch stmt.Kind {
+	case StmtSelect:
+		if ranged || stmt.Limit > 0 {
+			p.Kind = PlanRangeScan
+		} else {
+			p.Kind = PlanPointGet
+		}
+	case StmtUpdate:
+		if ranged {
+			return nil, fmt.Errorf("sqlfe: ranged UPDATE not supported")
+		}
+		p.Kind = PlanPointUpdate
+	case StmtDelete:
+		if ranged {
+			return nil, fmt.Errorf("sqlfe: ranged DELETE not supported")
+		}
+		p.Kind = PlanPointDelete
+	}
+	return p, nil
+}

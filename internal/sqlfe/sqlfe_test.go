@@ -1,0 +1,228 @@
+package sqlfe
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("SELECT val FROM micro WHERE key = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []TokKind{TokKeyword, TokIdent, TokKeyword, TokIdent, TokKeyword,
+		TokIdent, TokSymbol, TokParam, TokEOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens, want %d: %+v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %+v, want kind %d", i, toks[i], k)
+		}
+	}
+}
+
+func TestLexOperatorsAndLiterals(t *testing.T) {
+	toks, err := Lex("a >= ? AND b <= -42 'str'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, tok := range toks[:len(toks)-1] {
+		texts = append(texts, tok.Text)
+	}
+	want := []string{"a", ">=", "?", "AND", "b", "<=", "-42", "str"}
+	if strings.Join(texts, "|") != strings.Join(want, "|") {
+		t.Errorf("tokens = %v, want %v", texts, want)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, sql := range []string{"a @ b", "x 'unterminated"} {
+		if _, err := Lex(sql); err == nil {
+			t.Errorf("Lex(%q) succeeded", sql)
+		}
+	}
+}
+
+func TestParseSelect(t *testing.T) {
+	s, err := Parse("SELECT val FROM micro WHERE key = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind != StmtSelect || s.Table != "micro" || len(s.Cols) != 1 || s.Cols[0] != "val" {
+		t.Errorf("stmt = %+v", s)
+	}
+	if len(s.Where) != 1 || s.Where[0].Col != "key" || s.Where[0].Op != CmpEq {
+		t.Errorf("where = %+v", s.Where)
+	}
+	if s.NumParams != 1 || s.NumTokens == 0 {
+		t.Errorf("params=%d tokens=%d", s.NumParams, s.NumTokens)
+	}
+}
+
+func TestParseSelectRangeLimit(t *testing.T) {
+	s, err := Parse("SELECT * FROM orders WHERE o_key >= ? LIMIT 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Limit != 10 || s.Where[0].Op != CmpGe || s.Cols[0] != "*" {
+		t.Errorf("stmt = %+v", s)
+	}
+}
+
+func TestParseUpdateAdditive(t *testing.T) {
+	s, err := Parse("UPDATE accounts SET balance = balance + ? WHERE id = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind != StmtUpdate || len(s.Sets) != 1 {
+		t.Fatalf("stmt = %+v", s)
+	}
+	if !s.Sets[0].Additive || s.Sets[0].ParamIdx != 0 {
+		t.Errorf("set = %+v", s.Sets[0])
+	}
+	if s.Where[0].ParamIdx != 1 {
+		t.Errorf("where param = %d", s.Where[0].ParamIdx)
+	}
+}
+
+func TestParseInsertDelete(t *testing.T) {
+	s, err := Parse("INSERT INTO history VALUES (?, ?, ?, ?)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind != StmtInsert || s.InsertArity != 4 {
+		t.Errorf("stmt = %+v", s)
+	}
+	s, err = Parse("DELETE FROM new_order WHERE no_key = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind != StmtDelete || s.Table != "new_order" {
+		t.Errorf("stmt = %+v", s)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"DROP TABLE x",
+		"SELECT FROM t",
+		"SELECT a FROM t WHERE",
+		"UPDATE t SET a = ?",          // no WHERE
+		"DELETE FROM t",               // no WHERE
+		"SELECT a FROM t LIMIT 0",     // bad limit
+		"SELECT a FROM t WHERE a ! ?", // bad char
+		"SELECT a FROM t extra",       // trailing
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) succeeded", sql)
+		}
+	}
+}
+
+type fakeCat struct{}
+
+func (fakeCat) TableID(name string) (int, bool) {
+	switch name {
+	case "micro":
+		return 1, true
+	case "orders":
+		return 2, true
+	}
+	return 0, false
+}
+
+func (fakeCat) ColumnNames(table string) []string {
+	switch table {
+	case "micro":
+		return []string{"key", "val"}
+	case "orders":
+		return []string{"w", "d", "o", "c"}
+	}
+	return nil
+}
+
+func (fakeCat) KeyColumns(table string) []string {
+	switch table {
+	case "micro":
+		return []string{"key"}
+	case "orders":
+		return []string{"w", "d", "o"}
+	}
+	return nil
+}
+
+func TestPlanPointGet(t *testing.T) {
+	s, err := Parse("SELECT val FROM micro WHERE key = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := BuildPlan(s, fakeCat{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Kind != PlanPointGet || p.TableID != 1 {
+		t.Errorf("plan = %+v", p)
+	}
+	if len(p.Cols) != 1 || p.Cols[0] != 1 {
+		t.Errorf("cols = %v", p.Cols)
+	}
+	if len(p.KeyParams) != 1 || p.KeyParams[0] != 0 {
+		t.Errorf("key params = %v", p.KeyParams)
+	}
+}
+
+func TestPlanCompositeKeyAndRange(t *testing.T) {
+	s, err := Parse("SELECT c FROM orders WHERE w = ? AND d = ? AND o >= ? LIMIT 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := BuildPlan(s, fakeCat{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Kind != PlanRangeScan || p.Limit != 5 {
+		t.Errorf("plan = %+v", p)
+	}
+	if len(p.KeyParams) != 3 {
+		t.Errorf("key params = %v", p.KeyParams)
+	}
+}
+
+func TestPlanUpdate(t *testing.T) {
+	s, err := Parse("UPDATE micro SET val = val + ? WHERE key = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := BuildPlan(s, fakeCat{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Kind != PlanPointUpdate || len(p.Sets) != 1 || !p.Sets[0].Additive || p.Sets[0].ColIdx != 1 {
+		t.Errorf("plan = %+v", p)
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	bad := []string{
+		"SELECT val FROM nosuch WHERE key = ?",                     // unknown table
+		"SELECT zzz FROM micro WHERE key = ?",                      // unknown column
+		"SELECT val FROM micro WHERE val = ?",                      // non-key predicate
+		"SELECT c FROM orders WHERE w = ?",                         // incomplete composite key
+		"SELECT c FROM orders WHERE w >= ? AND d = ? AND o = ?",    // range not last
+		"INSERT INTO micro VALUES (?)",                             // arity mismatch
+		"UPDATE orders SET c = ? WHERE w = ? AND d = ? AND o >= ?", // ranged update
+	}
+	for _, sql := range bad {
+		s, err := Parse(sql)
+		if err != nil {
+			continue // parse-level rejection also fine for some
+		}
+		if _, err := BuildPlan(s, fakeCat{}); err == nil {
+			t.Errorf("BuildPlan(%q) succeeded", sql)
+		}
+	}
+}

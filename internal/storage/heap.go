@@ -1,0 +1,133 @@
+package storage
+
+import (
+	"oltpsim/internal/simmem"
+
+	"oltpsim/internal/catalog"
+)
+
+// RID identifies a record in a heap file: pageID<<16 | slot.
+type RID uint64
+
+// NewRID packs a page ID and slot into a RID.
+func NewRID(pageID uint64, slot int) RID { return RID(pageID<<16 | uint64(slot)&0xffff) }
+
+// Page returns the page ID component.
+func (r RID) Page() uint64 { return uint64(r) >> 16 }
+
+// Slot returns the slot component.
+func (r RID) Slot() int { return int(uint64(r) & 0xffff) }
+
+// HeapFile stores fixed-width rows in slotted pages through a buffer pool —
+// the tuple storage of the disk-based archetypes.
+type HeapFile struct {
+	m      *simmem.Arena
+	bp     *BufferPool
+	schema *catalog.Schema
+
+	lastPage uint64 // page currently accepting inserts (0 = none)
+	count    uint64
+}
+
+// NewHeapFile creates an empty heap file backed by bp.
+func NewHeapFile(m *simmem.Arena, bp *BufferPool, schema *catalog.Schema) *HeapFile {
+	return &HeapFile{m: m, bp: bp, schema: schema}
+}
+
+// Schema returns the heap file's schema.
+func (h *HeapFile) Schema() *catalog.Schema { return h.schema }
+
+// Count returns the number of rows inserted.
+func (h *HeapFile) Count() uint64 { return h.count }
+
+// Insert appends row and returns its RID.
+func (h *HeapFile) Insert(row catalog.Row) (RID, error) {
+	rec := make([]byte, h.schema.RowSize())
+	// Encode through a scratch page region so the final copy into the page is
+	// the only traced write of the tuple bytes.
+	encodeRow(h.schema, row, rec)
+
+	if h.lastPage != 0 {
+		base, err := h.bp.Fix(h.lastPage)
+		if err != nil {
+			return 0, err
+		}
+		if slot, ok := PageInsert(h.m, base, rec); ok {
+			h.count++
+			rid := NewRID(h.lastPage, slot)
+			h.bp.UnfixAddr(base, true)
+			return rid, nil
+		}
+		h.bp.UnfixAddr(base, false)
+	}
+	pageID, base, err := h.bp.NewPage()
+	if err != nil {
+		return 0, err
+	}
+	slot, ok := PageInsert(h.m, base, rec)
+	if !ok {
+		h.bp.UnfixAddr(base, false)
+		panic("storage: row does not fit an empty page")
+	}
+	h.lastPage = pageID
+	h.count++
+	h.bp.UnfixAddr(base, true)
+	return NewRID(pageID, slot), nil
+}
+
+// Fix pins the record's page and returns the record's address. The caller
+// must Unfix when done.
+func (h *HeapFile) Fix(rid RID) (simmem.Addr, error) {
+	base, err := h.bp.Fix(rid.Page())
+	if err != nil {
+		return 0, err
+	}
+	addr, _ := PageRecord(h.m, base, rid.Slot())
+	return addr, nil
+}
+
+// Unfix releases the pin taken by Fix.
+func (h *HeapFile) Unfix(rid RID, dirtied bool) {
+	h.bp.Unfix(rid.Page(), dirtied)
+}
+
+// ReadField reads one column of the record at rid, handling fix/unfix.
+func (h *HeapFile) ReadField(rid RID, col int) (catalog.Value, error) {
+	addr, err := h.Fix(rid)
+	if err != nil {
+		return catalog.Value{}, err
+	}
+	v := h.schema.ReadField(h.m, addr, col)
+	h.Unfix(rid, false)
+	return v, nil
+}
+
+// WriteField updates one column of the record at rid, handling fix/unfix.
+func (h *HeapFile) WriteField(rid RID, col int, v catalog.Value) error {
+	addr, err := h.Fix(rid)
+	if err != nil {
+		return err
+	}
+	h.schema.WriteField(h.m, addr, col, v)
+	h.Unfix(rid, true)
+	return nil
+}
+
+// encodeRow serializes row into buf (no arena traffic).
+func encodeRow(s *catalog.Schema, row catalog.Row, buf []byte) {
+	for i, c := range s.Columns {
+		off := s.Offset(i)
+		switch c.Type {
+		case catalog.TypeLong:
+			v := uint64(row[i].I)
+			for b := 0; b < 8; b++ {
+				buf[off+b] = byte(v >> (8 * b))
+			}
+		case catalog.TypeString:
+			n := copy(buf[off:off+c.Width], row[i].S)
+			for ; n < c.Width; n++ {
+				buf[off+n] = 0
+			}
+		}
+	}
+}

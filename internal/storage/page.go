@@ -1,0 +1,96 @@
+// Package storage provides the physical storage substrates the engine
+// archetypes are built on: slotted disk pages, a buffer pool with a
+// hash-based page table and clock eviction (the disk-based archetypes), heap
+// files, and a cache-line-conscious in-memory row store (the in-memory
+// archetypes). All state lives in the simulated arena, so every page-table
+// probe, slot lookup and tuple copy produces simulated memory traffic.
+package storage
+
+import (
+	"fmt"
+
+	"oltpsim/internal/simmem"
+)
+
+// PageSize is the disk page size used by the disk-based archetypes (the
+// paper notes DBMS D uses a traditional B-tree with 8KB pages).
+const PageSize = 8192
+
+// Slotted page layout (all little-endian):
+//
+//	offset 0:  pageID   (8 bytes)
+//	offset 8:  nSlots   (4 bytes)
+//	offset 12: freeEnd  (4 bytes)  end of the record area (records grow down)
+//	offset 16: slot[0], slot[1], ...  each 4 bytes: recordOffset<<16 | length
+const (
+	pageHdrSize   = 16
+	slotEntrySize = 4
+)
+
+// InitPage formats the page at base as an empty slotted page.
+func InitPage(m *simmem.Arena, base simmem.Addr, pageID uint64) {
+	m.WriteU64(base, pageID)
+	m.WriteU32(base+8, 0)
+	m.WriteU32(base+12, PageSize)
+}
+
+// PageID returns the page ID stored in the header.
+func PageID(m *simmem.Arena, base simmem.Addr) uint64 { return m.ReadU64(base) }
+
+// PageSlotCount returns the number of slots in the page.
+func PageSlotCount(m *simmem.Arena, base simmem.Addr) int {
+	return int(m.ReadU32(base + 8))
+}
+
+// PageFreeSpace returns the usable bytes left for one more record and its slot.
+func PageFreeSpace(m *simmem.Arena, base simmem.Addr) int {
+	n := int(m.ReadU32(base + 8))
+	freeEnd := int(m.ReadU32(base + 12))
+	used := pageHdrSize + n*slotEntrySize
+	free := freeEnd - used - slotEntrySize
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// PageInsert appends a record and returns its slot number, or ok=false if the
+// page cannot hold it.
+func PageInsert(m *simmem.Arena, base simmem.Addr, rec []byte) (slot int, ok bool) {
+	if len(rec) == 0 || len(rec) > PageSize-pageHdrSize-slotEntrySize {
+		return 0, false
+	}
+	n := int(m.ReadU32(base + 8))
+	freeEnd := int(m.ReadU32(base + 12))
+	slotEnd := pageHdrSize + (n+1)*slotEntrySize
+	if freeEnd-len(rec) < slotEnd {
+		return 0, false
+	}
+	recOff := freeEnd - len(rec)
+	m.WriteBytes(base+simmem.Addr(recOff), rec)
+	m.WriteU32(base+simmem.Addr(pageHdrSize+n*slotEntrySize),
+		uint32(recOff)<<16|uint32(len(rec)))
+	m.WriteU32(base+8, uint32(n+1))
+	m.WriteU32(base+12, uint32(recOff))
+	return n, true
+}
+
+// PageRecord returns the address and length of the record in slot.
+func PageRecord(m *simmem.Arena, base simmem.Addr, slot int) (simmem.Addr, int) {
+	n := int(m.ReadU32(base + 8))
+	if slot < 0 || slot >= n {
+		panic(fmt.Sprintf("storage: slot %d out of range (page has %d)", slot, n))
+	}
+	e := m.ReadU32(base + simmem.Addr(pageHdrSize+slot*slotEntrySize))
+	return base + simmem.Addr(e>>16), int(e & 0xffff)
+}
+
+// PageRead copies the record in slot into dst and returns its length.
+func PageRead(m *simmem.Arena, base simmem.Addr, slot int, dst []byte) int {
+	addr, n := PageRecord(m, base, slot)
+	if n > len(dst) {
+		n = len(dst)
+	}
+	m.ReadBytes(addr, dst[:n])
+	return n
+}

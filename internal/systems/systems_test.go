@@ -1,0 +1,150 @@
+package systems
+
+import (
+	"testing"
+
+	"oltpsim/internal/engine"
+)
+
+func TestKindNamesAndPredicates(t *testing.T) {
+	cases := []struct {
+		k           Kind
+		name        string
+		inMem, part bool
+	}{
+		{ShoreMT, "Shore-MT", false, false},
+		{DBMSD, "DBMS D", false, false},
+		{VoltDB, "VoltDB", true, true},
+		{HyPer, "HyPer", true, true},
+		{DBMSM, "DBMS M", true, false},
+	}
+	for _, c := range cases {
+		if c.k.String() != c.name {
+			t.Errorf("%v name = %q", c.k, c.k.String())
+		}
+		if c.k.InMemory() != c.inMem {
+			t.Errorf("%v InMemory = %v", c.k, c.k.InMemory())
+		}
+		if c.k.Partitioned() != c.part {
+			t.Errorf("%v Partitioned = %v", c.k, c.k.Partitioned())
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Error("out-of-range kind name empty")
+	}
+	if len(All()) != 5 {
+		t.Errorf("All() = %v", All())
+	}
+}
+
+func TestArchetypeConstruction(t *testing.T) {
+	for _, k := range All() {
+		e := New(k, Options{})
+		cfg := e.Config()
+		if cfg.Name == "" {
+			t.Errorf("%v: empty name", k)
+		}
+		if cfg.OtherCPI <= 0 || cfg.OtherCPI > 1 {
+			t.Errorf("%v: OtherCPI %v out of range", k, cfg.OtherCPI)
+		}
+		if e.Partitions() != 1 {
+			t.Errorf("%v: single-core default should have 1 partition", k)
+		}
+		// Substrate wiring matches the paper's inventory.
+		switch k {
+		case ShoreMT, DBMSD:
+			if e.BufferPool() == nil || e.LockManager() == nil {
+				t.Errorf("%v: disk archetype missing buffer pool or lock manager", k)
+			}
+		case VoltDB, HyPer:
+			if e.BufferPool() != nil || e.LockManager() != nil || e.MVCC() != nil {
+				t.Errorf("%v: partitioned archetype has spurious CC substrates", k)
+			}
+		case DBMSM:
+			if e.MVCC() == nil {
+				t.Errorf("DBMS M missing MVCC")
+			}
+		}
+	}
+}
+
+func TestPartitionedDefaults(t *testing.T) {
+	for _, k := range []Kind{VoltDB, HyPer} {
+		e := New(k, Options{Cores: 4})
+		if e.Partitions() != 4 {
+			t.Errorf("%v with 4 cores: partitions = %d, want one per core", k, e.Partitions())
+		}
+	}
+	e := New(DBMSM, Options{Cores: 4, Partitions: 4})
+	if e.Partitions() != 1 {
+		t.Errorf("non-partitioned system accepted partitions: %d", e.Partitions())
+	}
+}
+
+func TestCompilationAblationConfig(t *testing.T) {
+	on := New(DBMSM, Options{})
+	off := New(DBMSM, Options{DisableCompilation: true})
+	if on.Config().FrontEnd != engine.FECompiled {
+		t.Error("DBMS M default should be compiled")
+	}
+	if off.Config().FrontEnd == engine.FECompiled {
+		t.Error("DisableCompilation kept the compiled front-end")
+	}
+	if on.Config().Name == off.Config().Name {
+		t.Error("ablation configs share a name (breaks result labeling)")
+	}
+}
+
+func TestIndexOverride(t *testing.T) {
+	e := New(DBMSM, Options{Index: engine.IndexCCTree512, HasIndexOverride: true})
+	if e.Config().Index != engine.IndexCCTree512 {
+		t.Errorf("index override ignored: %v", e.Config().Index)
+	}
+	d := New(DBMSM, Options{})
+	if d.Config().Index != engine.IndexHash {
+		t.Errorf("DBMS M default index = %v, want hash (paper: micro/TPC-B)", d.Config().Index)
+	}
+}
+
+// TestRegionBudgetsCoverInvocations checks a calibration invariant: every
+// archetype's region holds at least the hot prefix of one invocation (the
+// cold remainder may saturate the region — that is the model for components
+// whose whole code body is swept per call — but a hot path larger than its
+// region would silently shrink).
+func TestRegionBudgetsCoverInvocations(t *testing.T) {
+	check := func(k Kind, name string, instr int, spec engine.RegionSpec) {
+		if instr <= 0 {
+			return
+		}
+		bpi := spec.BPI
+		if bpi <= 0 {
+			bpi = 4
+		}
+		hot := spec.Hot
+		if hot <= 0 || hot > 1 {
+			hot = 1
+		}
+		size := spec.Size
+		if size <= 0 {
+			size = 4096
+		}
+		if need := float64(instr) * bpi * hot; need > float64(size) {
+			t.Errorf("%v: %s hot path %d x %.0fB x %.2f = %.0fKB exceeds region %dKB",
+				k, name, instr, bpi, hot, need/1024, size/1024)
+		}
+	}
+	for _, k := range All() {
+		cfg := New(k, Options{}).Config()
+		c, r := cfg.Costs, cfg.Regions
+		check(k, "net", c.NetRecv, r.Net)
+		check(k, "dispatch", c.DispatchBase, r.Dispatch)
+		check(k, "planexec", c.PlanExecPerOp, r.PlanExec)
+		check(k, "txn", c.TxnBegin+c.TxnCommit, r.Txn)
+		check(k, "lock", c.LockAcquire, r.Lock)
+		check(k, "bufferpool", c.BPFix, r.BufferPool)
+		check(k, "storage", c.StorageAccess, r.Storage)
+		check(k, "log", c.LogBase+c.LogPerByte*128, r.Log)
+		check(k, "optimizer", c.OptimizeBase+4*c.OptimizePerPred, r.Optimizer)
+		check(k, "parser", 16*c.ParsePerToken, r.Parser)
+	}
+}

@@ -1,0 +1,234 @@
+// Package txn provides the concurrency-control substrates of the engine
+// archetypes: the centralized two-phase-locking lock manager the paper's
+// disk-based systems use (a shared, arena-resident lock table whose entries
+// bounce between cores in multi-threaded runs), and the multiversion
+// optimistic scheme of DBMS M.
+package txn
+
+import (
+	"errors"
+	"fmt"
+
+	"oltpsim/internal/simmem"
+)
+
+// LockMode is the requested access mode.
+type LockMode int
+
+// Lock modes: hierarchical intent locks on tables, S/X on rows.
+const (
+	LockIS LockMode = iota
+	LockIX
+	LockS
+	LockX
+)
+
+// compatible reports mode compatibility per the standard hierarchy matrix.
+func compatible(held, req LockMode) bool {
+	switch held {
+	case LockIS:
+		return req != LockX
+	case LockIX:
+		return req == LockIS || req == LockIX
+	case LockS:
+		return req == LockIS || req == LockS
+	case LockX:
+		return false
+	}
+	return false
+}
+
+// ErrLockConflict is returned when a lock is held in an incompatible mode by
+// another transaction.
+var ErrLockConflict = errors.New("txn: lock conflict")
+
+// Lock-table entry layout (32 bytes):
+//
+//	off 0:  lockID+1 (8)   0 = empty
+//	off 8:  mode (1) | pad (3) | holderCount (4)
+//	off 16: owner txn of the newest grant (8)
+//	off 24: pad
+const lockEntrySize = 32
+
+// LockManager is a centralized lock table, the scalability bottleneck the
+// paper cites for traditional systems. The table is arena-resident: every
+// acquire/release probes and writes shared cache lines.
+type LockManager struct {
+	m     *simmem.Arena
+	table simmem.Addr
+	mask  uint64
+
+	held map[uint64][]heldLock // txnID -> locks (2PL bookkeeping)
+
+	// Stats.
+	Acquires, Conflicts, Upgrades uint64
+}
+
+type heldLock struct {
+	id   uint64
+	mode LockMode
+}
+
+// NewLockManager creates a lock table with capacity slots (rounded up to a
+// power of two).
+func NewLockManager(m *simmem.Arena, capacity int) *LockManager {
+	n := uint64(64)
+	for n < uint64(capacity) {
+		n *= 2
+	}
+	return &LockManager{
+		m:     m,
+		table: m.AllocData(int(n)*lockEntrySize, 64),
+		mask:  n - 1,
+		held:  make(map[uint64][]heldLock),
+	}
+}
+
+func (lm *LockManager) slot(i uint64) simmem.Addr {
+	return lm.table + simmem.Addr(i)*lockEntrySize
+}
+
+// Acquire takes lockID in the given mode for txnID. Re-acquiring a lock the
+// transaction already holds is a no-op (or an upgrade for S->X).
+func (lm *LockManager) Acquire(txnID, lockID uint64, mode LockMode) error {
+	h := hashLock(lockID)
+	var tombstone simmem.Addr
+	for probe := uint64(0); ; probe++ {
+		if probe > lm.mask {
+			if tombstone != 0 {
+				lm.grantAt(tombstone, txnID, lockID, mode)
+				return nil
+			}
+			return fmt.Errorf("txn: lock table full acquiring %d", lockID)
+		}
+		s := lm.slot((h + probe) & lm.mask)
+		key := lm.m.ReadU64(s)
+		if key == ^uint64(0) {
+			if tombstone == 0 {
+				tombstone = s
+			}
+			continue
+		}
+		if key == lockID+1 {
+			w := lm.m.ReadU64(s + 8)
+			heldMode := LockMode(w & 0xff)
+			count := uint32(w >> 32)
+			owner := lm.m.ReadU64(s + 16)
+			if owner == txnID && count == 1 {
+				// Sole holder: same mode is a no-op, stronger mode upgrades.
+				if mode > heldMode {
+					lm.m.WriteU64(s+8, uint64(mode)|1<<32)
+					lm.Upgrades++
+					lm.replaceHeld(txnID, lockID, mode)
+				}
+				return nil
+			}
+			if !compatible(heldMode, mode) {
+				lm.Conflicts++
+				return ErrLockConflict
+			}
+			// Compatible share: bump count; record the strongest mode.
+			newMode := heldMode
+			if mode > newMode {
+				newMode = mode
+			}
+			lm.m.WriteU64(s+8, uint64(newMode)|uint64(count+1)<<32)
+			lm.m.WriteU64(s+16, txnID)
+			lm.noteHeld(txnID, lockID, mode)
+			return nil
+		}
+		if key == 0 {
+			if tombstone != 0 {
+				s = tombstone
+			}
+			lm.grantAt(s, txnID, lockID, mode)
+			return nil
+		}
+	}
+}
+
+func (lm *LockManager) grantAt(s simmem.Addr, txnID, lockID uint64, mode LockMode) {
+	lm.m.WriteU64(s, lockID+1)
+	lm.m.WriteU64(s+8, uint64(mode)|1<<32)
+	lm.m.WriteU64(s+16, txnID)
+	lm.noteHeld(txnID, lockID, mode)
+}
+
+func (lm *LockManager) noteHeld(txnID, lockID uint64, mode LockMode) {
+	lm.Acquires++
+	lm.held[txnID] = append(lm.held[txnID], heldLock{lockID, mode})
+}
+
+func (lm *LockManager) replaceHeld(txnID, lockID uint64, mode LockMode) {
+	hs := lm.held[txnID]
+	for i := range hs {
+		if hs[i].id == lockID {
+			hs[i].mode = mode
+			return
+		}
+	}
+}
+
+// Holds reports whether txnID holds lockID.
+func (lm *LockManager) Holds(txnID, lockID uint64) bool {
+	for _, h := range lm.held[txnID] {
+		if h.id == lockID {
+			return true
+		}
+	}
+	return false
+}
+
+// HeldCount returns the number of locks txnID holds.
+func (lm *LockManager) HeldCount(txnID uint64) int { return len(lm.held[txnID]) }
+
+// ReleaseAll releases every lock held by txnID (commit/abort in strict 2PL).
+func (lm *LockManager) ReleaseAll(txnID uint64) {
+	for _, h := range lm.held[txnID] {
+		lm.release(h.id)
+	}
+	delete(lm.held, txnID)
+}
+
+func (lm *LockManager) release(lockID uint64) {
+	h := hashLock(lockID)
+	for probe := uint64(0); probe <= lm.mask; probe++ {
+		s := lm.slot((h + probe) & lm.mask)
+		key := lm.m.ReadU64(s)
+		if key == 0 {
+			return // never acquired (should not happen)
+		}
+		if key != lockID+1 {
+			continue
+		}
+		w := lm.m.ReadU64(s + 8)
+		count := uint32(w >> 32)
+		if count <= 1 {
+			// Tombstone the entry; linear-probe chains stay intact because
+			// lookups skip non-matching, non-zero slots.
+			lm.m.WriteU64(s, ^uint64(0))
+			lm.m.WriteU64(s+8, 0)
+			return
+		}
+		lm.m.WriteU64(s+8, w&0xff|uint64(count-1)<<32)
+		return
+	}
+}
+
+// RowLockID builds a lock ID for a row of a table. The high bit is reserved
+// for table locks.
+func RowLockID(tableID uint32, key uint64) uint64 {
+	return hashLock(uint64(tableID)<<40^key) &^ (1 << 63)
+}
+
+// TableLockID builds a lock ID for a whole table.
+func TableLockID(tableID uint32) uint64 { return uint64(tableID) | 1<<63 }
+
+func hashLock(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

@@ -1,0 +1,240 @@
+package txn
+
+import (
+	"testing"
+
+	"oltpsim/internal/simmem"
+)
+
+func TestLockCompatibilityMatrix(t *testing.T) {
+	cases := []struct {
+		held, req LockMode
+		want      bool
+	}{
+		{LockIS, LockIS, true}, {LockIS, LockIX, true}, {LockIS, LockS, true}, {LockIS, LockX, false},
+		{LockIX, LockIS, true}, {LockIX, LockIX, true}, {LockIX, LockS, false}, {LockIX, LockX, false},
+		{LockS, LockIS, true}, {LockS, LockS, true}, {LockS, LockIX, false}, {LockS, LockX, false},
+		{LockX, LockIS, false}, {LockX, LockS, false}, {LockX, LockX, false},
+	}
+	for _, c := range cases {
+		if got := compatible(c.held, c.req); got != c.want {
+			t.Errorf("compatible(%v, %v) = %v, want %v", c.held, c.req, got, c.want)
+		}
+	}
+}
+
+func TestLockAcquireReleaseCycle(t *testing.T) {
+	m := simmem.New()
+	lm := NewLockManager(m, 1024)
+
+	if err := lm.Acquire(1, 100, LockX); err != nil {
+		t.Fatal(err)
+	}
+	if !lm.Holds(1, 100) {
+		t.Error("Holds = false after acquire")
+	}
+	if err := lm.Acquire(2, 100, LockS); err != ErrLockConflict {
+		t.Errorf("conflicting acquire err = %v", err)
+	}
+	lm.ReleaseAll(1)
+	if lm.Holds(1, 100) {
+		t.Error("Holds = true after release")
+	}
+	if err := lm.Acquire(2, 100, LockS); err != nil {
+		t.Errorf("acquire after release: %v", err)
+	}
+	lm.ReleaseAll(2)
+}
+
+func TestLockSharedReaders(t *testing.T) {
+	m := simmem.New()
+	lm := NewLockManager(m, 1024)
+	for txn := uint64(1); txn <= 5; txn++ {
+		if err := lm.Acquire(txn, 7, LockS); err != nil {
+			t.Fatalf("reader %d: %v", txn, err)
+		}
+	}
+	if err := lm.Acquire(9, 7, LockX); err != ErrLockConflict {
+		t.Errorf("writer vs readers err = %v", err)
+	}
+	for txn := uint64(1); txn <= 5; txn++ {
+		lm.ReleaseAll(txn)
+	}
+	if err := lm.Acquire(9, 7, LockX); err != nil {
+		t.Errorf("writer after readers gone: %v", err)
+	}
+}
+
+func TestLockReacquireAndUpgrade(t *testing.T) {
+	m := simmem.New()
+	lm := NewLockManager(m, 1024)
+	if err := lm.Acquire(1, 5, LockS); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.Acquire(1, 5, LockS); err != nil {
+		t.Errorf("reacquire same mode: %v", err)
+	}
+	if err := lm.Acquire(1, 5, LockX); err != nil {
+		t.Errorf("sole-holder upgrade: %v", err)
+	}
+	if lm.Upgrades != 1 {
+		t.Errorf("upgrades = %d", lm.Upgrades)
+	}
+	if err := lm.Acquire(2, 5, LockS); err != ErrLockConflict {
+		t.Errorf("reader vs upgraded X: %v", err)
+	}
+	lm.ReleaseAll(1)
+}
+
+func TestLockIntentHierarchy(t *testing.T) {
+	m := simmem.New()
+	lm := NewLockManager(m, 1024)
+	tbl := TableLockID(3)
+	if err := lm.Acquire(1, tbl, LockIX); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.Acquire(2, tbl, LockIX); err != nil {
+		t.Errorf("IX+IX should be compatible: %v", err)
+	}
+	if err := lm.Acquire(3, tbl, LockS); err != ErrLockConflict {
+		t.Errorf("S vs IX should conflict: %v", err)
+	}
+	lm.ReleaseAll(1)
+	lm.ReleaseAll(2)
+}
+
+func TestLockTableTombstoneReuse(t *testing.T) {
+	m := simmem.New()
+	lm := NewLockManager(m, 64)
+	// Many acquire/release cycles across more distinct IDs than slots would
+	// fail if tombstones were never reused.
+	for round := 0; round < 50; round++ {
+		txn := uint64(round + 1)
+		for k := uint64(0); k < 32; k++ {
+			if err := lm.Acquire(txn, uint64(round*100)+k, LockX); err != nil {
+				t.Fatalf("round %d key %d: %v", round, k, err)
+			}
+		}
+		lm.ReleaseAll(txn)
+	}
+}
+
+func TestRowAndTableLockIDsDisjoint(t *testing.T) {
+	seen := map[uint64]bool{}
+	for tbl := uint32(0); tbl < 8; tbl++ {
+		id := TableLockID(tbl)
+		if id&(1<<63) == 0 {
+			t.Errorf("table lock %d missing high bit", tbl)
+		}
+		seen[id] = true
+	}
+	for tbl := uint32(0); tbl < 8; tbl++ {
+		for k := uint64(0); k < 1000; k++ {
+			id := RowLockID(tbl, k)
+			if id&(1<<63) != 0 {
+				t.Fatalf("row lock (%d,%d) collides with table-lock space", tbl, k)
+			}
+			if seen[id] {
+				t.Fatalf("row lock (%d,%d) duplicates another lock ID", tbl, k)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestMVCCReadYourOwnSnapshot(t *testing.T) {
+	m := simmem.New()
+	v := NewMVCC(m)
+	rowV1 := m.AllocData(16, 8)
+	m.WriteU64(rowV1, 111)
+	anchor := v.NewAnchor(rowV1)
+
+	tx1 := v.Begin()
+	got, ok := tx1.Read(anchor)
+	if !ok || got != rowV1 {
+		t.Fatalf("read = %#x,%v", got, ok)
+	}
+
+	// Writer installs a new version.
+	rowV2 := m.AllocData(16, 8)
+	m.WriteU64(rowV2, 222)
+	w := v.Begin()
+	w.StageWrite(anchor, rowV2)
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// tx1's snapshot must still see v1 through the chain.
+	got, ok = tx1.Read(anchor)
+	if !ok || got != rowV1 {
+		t.Errorf("old snapshot read = %#x, want v1 %#x", got, rowV1)
+	}
+	// A new transaction sees v2.
+	tx2 := v.Begin()
+	got, ok = tx2.Read(anchor)
+	if !ok || got != rowV2 {
+		t.Errorf("new snapshot read = %#x, want v2 %#x", got, rowV2)
+	}
+	if v.ChainLength(anchor) != 2 {
+		t.Errorf("chain length = %d", v.ChainLength(anchor))
+	}
+}
+
+func TestMVCCValidationFailure(t *testing.T) {
+	m := simmem.New()
+	v := NewMVCC(m)
+	row := m.AllocData(16, 8)
+	anchor := v.NewAnchor(row)
+
+	reader := v.Begin()
+	reader.Read(anchor)
+
+	// A concurrent writer commits between reader's read and commit.
+	w := v.Begin()
+	w.StageWrite(anchor, m.AllocData(16, 8))
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	reader.StageWrite(anchor, m.AllocData(16, 8))
+	if err := reader.Commit(); err != ErrValidation {
+		t.Errorf("commit err = %v, want ErrValidation", err)
+	}
+	if v.Aborts != 1 {
+		t.Errorf("aborts = %d", v.Aborts)
+	}
+}
+
+func TestMVCCBlindWriteChain(t *testing.T) {
+	m := simmem.New()
+	v := NewMVCC(m)
+	anchor := v.NewAnchor(m.AllocData(16, 8))
+	for i := 0; i < 10; i++ {
+		w := v.Begin()
+		w.StageWrite(anchor, m.AllocData(16, 8))
+		if err := w.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := v.ChainLength(anchor); got != 11 {
+		t.Errorf("chain length = %d, want 11", got)
+	}
+	if v.Commits != 10 {
+		t.Errorf("commits = %d", v.Commits)
+	}
+}
+
+func TestMVCCAbortInstallsNothing(t *testing.T) {
+	m := simmem.New()
+	v := NewMVCC(m)
+	row := m.AllocData(16, 8)
+	anchor := v.NewAnchor(row)
+	tx := v.Begin()
+	tx.StageWrite(anchor, m.AllocData(16, 8))
+	tx.Abort()
+	tx2 := v.Begin()
+	got, ok := tx2.Read(anchor)
+	if !ok || got != row {
+		t.Errorf("read after abort = %#x, want original %#x", got, row)
+	}
+}

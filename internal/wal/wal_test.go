@@ -1,0 +1,96 @@
+package wal
+
+import (
+	"testing"
+
+	"oltpsim/internal/simmem"
+)
+
+func TestLogAppendAndLSNs(t *testing.T) {
+	m := simmem.New()
+	l := NewLog(m, 1<<16)
+	row := m.AllocData(64, 8)
+	m.WriteU64(row, 42)
+
+	lsn1 := l.Append(1, RecUpdate, row, 16)
+	lsn2 := l.Commit(1)
+	if lsn2 != lsn1+1 {
+		t.Errorf("LSNs not monotonic: %d then %d", lsn1, lsn2)
+	}
+	if l.Records != 2 {
+		t.Errorf("records = %d", l.Records)
+	}
+	if l.BytesLogged != 24+16+24 {
+		t.Errorf("bytes = %d", l.BytesLogged)
+	}
+	if l.BufferedBytes() == 0 {
+		t.Error("buffer empty after appends")
+	}
+}
+
+func TestLogRecordContents(t *testing.T) {
+	m := simmem.New()
+	l := NewLog(m, 1<<16)
+	row := m.AllocData(16, 8)
+	m.WriteU64(row, 0xfeed)
+	m.WriteU64(row+8, 0xbeef)
+	l.Append(9, RecInsert, row, 16)
+
+	// The record lands at buffer start: header then payload.
+	if got := m.ReadU64(l.buf); got != 1 {
+		t.Errorf("LSN in record = %d", got)
+	}
+	if got := m.ReadU64(l.buf + 8); got != 9 {
+		t.Errorf("txnID in record = %d", got)
+	}
+	if got := m.ReadU32(l.buf + 16); RecordKind(got) != RecInsert {
+		t.Errorf("kind = %d", got)
+	}
+	if got := m.ReadU32(l.buf + 20); got != 16 {
+		t.Errorf("payload len = %d", got)
+	}
+	if got := m.ReadU64(l.buf + 24); got != 0xfeed {
+		t.Errorf("payload[0] = %#x", got)
+	}
+	if got := m.ReadU64(l.buf + 32); got != 0xbeef {
+		t.Errorf("payload[1] = %#x", got)
+	}
+}
+
+func TestLogAsyncFlushRecyclesBuffer(t *testing.T) {
+	m := simmem.New()
+	l := NewLog(m, 4096)
+	row := m.AllocData(256, 8)
+	for i := 0; i < 100; i++ { // 100 x (24+256) >> 4096
+		l.Append(uint64(i), RecUpdate, row, 256)
+	}
+	if l.Flushes == 0 {
+		t.Error("no flushes despite overflowing the buffer")
+	}
+	if l.BufferedBytes() > 4096 {
+		t.Errorf("buffered bytes %d exceed buffer", l.BufferedBytes())
+	}
+	if l.Records != 100 {
+		t.Errorf("records = %d", l.Records)
+	}
+}
+
+func TestLogAppendBytes(t *testing.T) {
+	m := simmem.New()
+	l := NewLog(m, 1<<16)
+	l.AppendBytes(3, RecDelete, []byte{1, 2, 3, 4})
+	if l.Records != 1 || l.BytesLogged != 24+4 {
+		t.Errorf("records=%d bytes=%d", l.Records, l.BytesLogged)
+	}
+}
+
+func TestLogOversizedPayloadPanics(t *testing.T) {
+	m := simmem.New()
+	l := NewLog(m, 4096)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for oversized record")
+		}
+	}()
+	l.Append(1, RecUpdate, m.AllocData(8, 8), 1<<20)
+}

@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"fmt"
+
+	"oltpsim/internal/catalog"
+	"oltpsim/internal/engine"
+)
+
+// MicroConfig parameterizes the paper's micro-benchmark (section 4): a table
+// of (key, value) pairs; the read-only variant probes N random rows per
+// transaction through the index, the read-write variant updates them.
+type MicroConfig struct {
+	// Rows is the table cardinality (the paper varies it to set the database
+	// size: 1MB ... 100GB).
+	Rows int64
+	// RowsPerTx is the work per transaction (the paper uses 1, 10, 100).
+	RowsPerTx int
+	// ReadWrite selects the update variant (paper's appendix).
+	ReadWrite bool
+	// StringKeys switches both columns to String(50) (paper section 6.2).
+	StringKeys bool
+}
+
+// StringColWidth is the paper's String column width ("two 50 bytes String
+// columns instead of two Long columns").
+const StringColWidth = 50
+
+// Micro is the micro-benchmark workload.
+type Micro struct {
+	cfg MicroConfig
+	tbl *engine.Table
+}
+
+// NewMicro validates cfg and returns the workload.
+func NewMicro(cfg MicroConfig) *Micro {
+	if cfg.Rows <= 0 {
+		panic("workload: micro needs Rows > 0")
+	}
+	if cfg.RowsPerTx <= 0 {
+		cfg.RowsPerTx = 1
+	}
+	return &Micro{cfg: cfg}
+}
+
+// Config returns the workload parameters.
+func (w *Micro) Config() MicroConfig { return w.cfg }
+
+// Name implements Workload.
+func (w *Micro) Name() string {
+	mode := "ro"
+	if w.cfg.ReadWrite {
+		mode = "rw"
+	}
+	typ := "long"
+	if w.cfg.StringKeys {
+		typ = "string"
+	}
+	return fmt.Sprintf("micro-%s-%s-%drow", mode, typ, w.cfg.RowsPerTx)
+}
+
+// Table exposes the micro table (available after Setup).
+func (w *Micro) Table() *engine.Table { return w.tbl }
+
+// ProcName is the registered procedure's name.
+func (w *Micro) ProcName() string {
+	if w.cfg.ReadWrite {
+		return "micro_rw"
+	}
+	return "micro_ro"
+}
+
+// Setup implements Workload.
+func (w *Micro) Setup(e *engine.Engine) {
+	var schema *catalog.Schema
+	if w.cfg.StringKeys {
+		schema = catalog.NewSchema("micro",
+			catalog.Column{Name: "key", Type: catalog.TypeString, Width: StringColWidth},
+			catalog.Column{Name: "val", Type: catalog.TypeString, Width: StringColWidth},
+		)
+	} else {
+		schema = catalog.NewSchema("micro",
+			catalog.Column{Name: "key", Type: catalog.TypeLong},
+			catalog.Column{Name: "val", Type: catalog.TypeLong},
+		)
+	}
+	w.tbl = e.CreateTable(schema, "key")
+
+	n := w.cfg.RowsPerTx
+	if w.cfg.ReadWrite {
+		e.Register("micro_rw", func(tx *engine.Tx) error {
+			for i := 0; i < n; i++ {
+				// args: n keys then n new values
+				if err := tx.Update(w.tbl, tx.Args()[i:i+1], 1, tx.Args()[n+i]); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		return
+	}
+	e.Register("micro_ro", func(tx *engine.Tx) error {
+		for i := 0; i < n; i++ {
+			if _, err := tx.Get(w.tbl, tx.Args()[i:i+1], 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// Populate implements Workload.
+func (w *Micro) Populate(e *engine.Engine) {
+	for i := int64(0); i < w.cfg.Rows; i++ {
+		w.tbl.Load(catalog.Row{w.keyVal(i), w.payloadVal(i)})
+	}
+}
+
+// keyVal builds the key column value for logical key i.
+func (w *Micro) keyVal(i int64) catalog.Value {
+	if !w.cfg.StringKeys {
+		return long(i)
+	}
+	return catalog.StringVal(stringKey(i))
+}
+
+func (w *Micro) payloadVal(i int64) catalog.Value {
+	if !w.cfg.StringKeys {
+		return long(i * 3)
+	}
+	return catalog.StringVal(stringKey(i * 3))
+}
+
+// stringKey renders i as a fixed-width printable key. Keys are generated so
+// that their byte order matches numeric order, like the Long encoding.
+func stringKey(i int64) []byte {
+	b := make([]byte, StringColWidth)
+	copy(b, fmt.Sprintf("k%024d-payload-padding-xx", i))
+	return b
+}
+
+// Gen implements Workload. Generated keys stay within the caller's partition
+// (key mod parts == part), matching the paper's single-site configuration.
+func (w *Micro) Gen(r *Rand, part, parts int) Call {
+	if parts > 1 && w.cfg.StringKeys {
+		panic("workload: string-key micro supports only single-partition runs")
+	}
+	n := w.cfg.RowsPerTx
+	args := make([]catalog.Value, 0, 2*n)
+	for i := 0; i < n; i++ {
+		var k int64
+		if parts > 1 {
+			span := w.cfg.Rows / int64(parts)
+			k = r.Int63n(span)*int64(parts) + int64(part)
+		} else {
+			k = r.Int63n(w.cfg.Rows)
+		}
+		args = append(args, w.keyVal(k))
+	}
+	if w.cfg.ReadWrite {
+		for i := 0; i < n; i++ {
+			args = append(args, w.payloadVal(r.Int63n(w.cfg.Rows)))
+		}
+	}
+	return Call{Proc: w.ProcName(), Args: args}
+}

@@ -1,0 +1,133 @@
+package workload
+
+import (
+	"fmt"
+
+	"oltpsim/internal/catalog"
+	"oltpsim/internal/engine"
+)
+
+// TPCBConfig scales TPC-B. The spec couples cardinalities to the branch
+// count: 10 tellers and 100,000 accounts per branch — exactly the skew the
+// paper leans on when explaining TPC-B's data locality (branches and tellers
+// stay cache-resident, accounts do not).
+type TPCBConfig struct {
+	Branches int
+	// AccountsPerBranch defaults to the spec's 100,000; tests shrink it.
+	AccountsPerBranch int
+}
+
+// TellersPerBranch is fixed by the TPC-B specification.
+const TellersPerBranch = 10
+
+// TPCB is the TPC-B workload: one transaction type, AccountUpdate.
+type TPCB struct {
+	cfg TPCBConfig
+
+	branch, teller, account, history *engine.Table
+	histSeq                          []int64 // per-partition history sequence
+}
+
+// NewTPCB validates cfg and returns the workload.
+func NewTPCB(cfg TPCBConfig) *TPCB {
+	if cfg.Branches <= 0 {
+		cfg.Branches = 1
+	}
+	if cfg.AccountsPerBranch <= 0 {
+		cfg.AccountsPerBranch = 100_000
+	}
+	return &TPCB{cfg: cfg}
+}
+
+// Config returns the workload parameters.
+func (w *TPCB) Config() TPCBConfig { return w.cfg }
+
+// Name implements Workload.
+func (w *TPCB) Name() string { return fmt.Sprintf("tpcb-%db", w.cfg.Branches) }
+
+// Accounts returns the total account count.
+func (w *TPCB) Accounts() int64 {
+	return int64(w.cfg.Branches) * int64(w.cfg.AccountsPerBranch)
+}
+
+// Setup implements Workload.
+func (w *TPCB) Setup(e *engine.Engine) {
+	w.branch = e.CreateTable(catalog.NewSchema("branch",
+		catalog.Column{Name: "b_id", Type: catalog.TypeLong},
+		catalog.Column{Name: "b_balance", Type: catalog.TypeLong},
+	), "b_id")
+	w.teller = e.CreateTable(catalog.NewSchema("teller",
+		catalog.Column{Name: "t_id", Type: catalog.TypeLong},
+		catalog.Column{Name: "t_b_id", Type: catalog.TypeLong},
+		catalog.Column{Name: "t_balance", Type: catalog.TypeLong},
+	), "t_id")
+	w.account = e.CreateTable(catalog.NewSchema("account",
+		catalog.Column{Name: "a_id", Type: catalog.TypeLong},
+		catalog.Column{Name: "a_b_id", Type: catalog.TypeLong},
+		catalog.Column{Name: "a_balance", Type: catalog.TypeLong},
+	), "a_id")
+	w.history = e.CreateTable(catalog.NewSchema("history",
+		catalog.Column{Name: "h_id", Type: catalog.TypeLong},
+		catalog.Column{Name: "h_b_id", Type: catalog.TypeLong},
+		catalog.Column{Name: "h_t_id", Type: catalog.TypeLong},
+		catalog.Column{Name: "h_a_id", Type: catalog.TypeLong},
+		catalog.Column{Name: "h_delta", Type: catalog.TypeLong},
+	), "h_id")
+	w.histSeq = make([]int64, e.Partitions())
+
+	e.Register("account_update", func(tx *engine.Tx) error {
+		bID, tID, aID := tx.ArgI(0), tx.ArgI(1), tx.ArgI(2)
+		delta, hID := tx.ArgI(3), tx.ArgI(4)
+		if err := tx.UpdateAdd(w.account, []catalog.Value{long(aID)}, 2, delta); err != nil {
+			return err
+		}
+		if err := tx.UpdateAdd(w.teller, []catalog.Value{long(tID)}, 2, delta); err != nil {
+			return err
+		}
+		if err := tx.UpdateAdd(w.branch, []catalog.Value{long(bID)}, 1, delta); err != nil {
+			return err
+		}
+		return tx.Insert(w.history, catalog.Row{
+			long(hID), long(bID), long(tID), long(aID), long(delta),
+		})
+	})
+}
+
+// Populate implements Workload.
+func (w *TPCB) Populate(e *engine.Engine) {
+	for b := 0; b < w.cfg.Branches; b++ {
+		w.branch.Load(catalog.Row{long(int64(b)), long(0)})
+	}
+	for t := 0; t < w.cfg.Branches*TellersPerBranch; t++ {
+		w.teller.Load(catalog.Row{long(int64(t)), long(int64(t / TellersPerBranch)), long(0)})
+	}
+	apb := int64(w.cfg.AccountsPerBranch)
+	for a := int64(0); a < w.Accounts(); a++ {
+		w.account.Load(catalog.Row{long(a), long(a / apb), long(0)})
+	}
+}
+
+// Gen implements Workload. TPC-B is used single-partition in the paper's
+// experiments; cross-partition generation is rejected.
+func (w *TPCB) Gen(r *Rand, part, parts int) Call {
+	if parts > 1 {
+		panic("workload: TPC-B supports only single-partition runs (as in the paper)")
+	}
+	b := int64(r.Intn(w.cfg.Branches))
+	t := b*TellersPerBranch + int64(r.Intn(TellersPerBranch))
+	a := b*int64(w.cfg.AccountsPerBranch) + r.Int63n(int64(w.cfg.AccountsPerBranch))
+	delta := r.Int63n(1_999_999) - 999_999
+	for len(w.histSeq) <= part {
+		w.histSeq = append(w.histSeq, 0)
+	}
+	w.histSeq[part]++
+	return Call{Proc: "account_update", Args: []catalog.Value{
+		long(b), long(t), long(a), long(delta), long(w.histSeq[part]),
+	}}
+}
+
+// Tables exposes the four TPC-B tables (after Setup): branch, teller,
+// account, history.
+func (w *TPCB) Tables() (branch, teller, account, history *engine.Table) {
+	return w.branch, w.teller, w.account, w.history
+}

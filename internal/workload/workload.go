@@ -1,0 +1,77 @@
+// Package workload implements the paper's three workloads against the
+// engine's stored-procedure API:
+//
+//   - the micro-benchmark (section 4): a two-column table, read-only and
+//     read-write variants, 1/10/100 rows per transaction, Long or String(50)
+//     columns;
+//   - TPC-B (section 5.1): the AccountUpdate banking transaction;
+//   - TPC-C (section 5.2): all five transaction types over nine tables with
+//     the standard mix.
+//
+// Workload generators are deterministic (seeded splitmix64), and can be
+// constrained to a single partition so that partitioned engines run
+// single-sited transactions, as the paper configures VoltDB.
+package workload
+
+import (
+	"oltpsim/internal/catalog"
+	"oltpsim/internal/engine"
+)
+
+// Call is one generated transaction request.
+type Call struct {
+	Proc string
+	Args []catalog.Value
+}
+
+// Workload builds schema+procedures on an engine, populates it, and
+// generates transaction requests.
+type Workload interface {
+	// Name identifies the workload in reports.
+	Name() string
+	// Setup creates tables and registers stored procedures.
+	Setup(e *engine.Engine)
+	// Populate bulk-loads the initial database. Callers disable arena
+	// tracing around it (the paper populates before measuring).
+	Populate(e *engine.Engine)
+	// Gen produces the next transaction for the given partition (engines
+	// with one partition always receive part 0).
+	Gen(r *Rand, part, parts int) Call
+}
+
+// Rand is a deterministic splitmix64 generator; experiments are reproducible
+// bit-for-bit across runs.
+type Rand struct{ s uint64 }
+
+// NewRand seeds a generator.
+func NewRand(seed uint64) *Rand { return &Rand{s: seed ^ 0x9e3779b97f4a7c15} }
+
+// Next returns the next 64 random bits.
+func (r *Rand) Next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform int in [0, n).
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("workload: Intn with n <= 0")
+	}
+	return int(r.Next() % uint64(n))
+}
+
+// Int63n returns a uniform int64 in [0, n).
+func (r *Rand) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("workload: Int63n with n <= 0")
+	}
+	return int64(r.Next() % uint64(n))
+}
+
+// Range returns a uniform int in [lo, hi] inclusive.
+func (r *Rand) Range(lo, hi int) int { return lo + r.Intn(hi-lo+1) }
+
+func long(v int64) catalog.Value { return catalog.LongVal(v) }

@@ -1,0 +1,286 @@
+package workload_test
+
+import (
+	"testing"
+
+	"oltpsim/internal/catalog"
+	"oltpsim/internal/engine"
+	"oltpsim/internal/systems"
+	"oltpsim/internal/workload"
+)
+
+func run(t *testing.T, e *engine.Engine, w workload.Workload, txns int, seed uint64) {
+	t.Helper()
+	w.Setup(e)
+	w.Populate(e)
+	e.Machine().Arena.EnableTracing(true)
+	r := workload.NewRand(seed)
+	for i := 0; i < txns; i++ {
+		call := w.Gen(r, 0, 1)
+		if err := e.Invoke(0, call.Proc, call.Args...); err != nil {
+			t.Fatalf("txn %d (%s): %v", i, call.Proc, err)
+		}
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := workload.NewRand(7), workload.NewRand(7)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if workload.NewRand(7).Next() == workload.NewRand(8).Next() {
+		t.Error("different seeds collided on first draw")
+	}
+}
+
+func TestRandRanges(t *testing.T) {
+	r := workload.NewRand(3)
+	for i := 0; i < 10000; i++ {
+		if v := r.Intn(10); v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if v := r.Range(5, 15); v < 5 || v > 15 {
+			t.Fatalf("Range out of range: %d", v)
+		}
+		if v := r.Int63n(1 << 40); v < 0 || v >= 1<<40 {
+			t.Fatalf("Int63n out of range: %d", v)
+		}
+	}
+}
+
+func TestMicroROAllSystems(t *testing.T) {
+	for _, kind := range systems.All() {
+		t.Run(kind.String(), func(t *testing.T) {
+			e := systems.New(kind, systems.Options{})
+			w := workload.NewMicro(workload.MicroConfig{Rows: 5000, RowsPerTx: 10})
+			run(t, e, w, 50, 1)
+			if got := e.Machine().CPUs[0].TxCount; got != 50 {
+				t.Errorf("committed %d txns", got)
+			}
+			if e.Aborts != 0 {
+				t.Errorf("aborts = %d", e.Aborts)
+			}
+		})
+	}
+}
+
+func TestMicroRWUpdatesStick(t *testing.T) {
+	e := systems.New(systems.HyPer, systems.Options{})
+	w := workload.NewMicro(workload.MicroConfig{Rows: 1000, RowsPerTx: 5, ReadWrite: true})
+	run(t, e, w, 100, 2)
+	// Log must have seen update records.
+	if e.Log(0).Records == 0 {
+		t.Error("no log records written by read-write micro")
+	}
+}
+
+func TestMicroStringKeys(t *testing.T) {
+	for _, kind := range []systems.Kind{systems.VoltDB, systems.HyPer, systems.DBMSM} {
+		t.Run(kind.String(), func(t *testing.T) {
+			e := systems.New(kind, systems.Options{})
+			w := workload.NewMicro(workload.MicroConfig{Rows: 2000, RowsPerTx: 1, StringKeys: true})
+			run(t, e, w, 50, 3)
+			if got := e.Machine().CPUs[0].TxCount; got != 50 {
+				t.Errorf("committed %d txns", got)
+			}
+		})
+	}
+}
+
+func TestMicroPartitionedGen(t *testing.T) {
+	w := workload.NewMicro(workload.MicroConfig{Rows: 4000, RowsPerTx: 10})
+	r := workload.NewRand(4)
+	for part := 0; part < 4; part++ {
+		call := w.Gen(r, part, 4)
+		for _, a := range call.Args {
+			if a.I%4 != int64(part) {
+				t.Fatalf("key %d generated for partition %d", a.I, part)
+			}
+		}
+	}
+}
+
+func TestTPCBBalanceConservation(t *testing.T) {
+	for _, kind := range systems.All() {
+		t.Run(kind.String(), func(t *testing.T) {
+			e := systems.New(kind, systems.Options{})
+			w := workload.NewTPCB(workload.TPCBConfig{Branches: 4, AccountsPerBranch: 1000})
+			run(t, e, w, 200, 5)
+
+			// Sum of branch balances must equal sum of teller balances and
+			// the total of history deltas (TPC-B's consistency condition).
+			branch, teller, _, history := w.Tables()
+			var branchSum, tellerSum, histSum int64
+			readAll := func(tbl *engine.Table, col int, rows int64, sum *int64) {
+				e.Register("chk_"+tbl.Name, func(tx *engine.Tx) error {
+					for i := int64(0); i < rows; i++ {
+						v, err := tx.Get(tbl, []catalog.Value{catalog.LongVal(i)}, col)
+						if err != nil {
+							return err
+						}
+						*sum += v.I
+					}
+					return nil
+				})
+				if err := e.Invoke(0, "chk_"+tbl.Name); err != nil {
+					t.Fatal(err)
+				}
+			}
+			readAll(branch, 1, 4, &branchSum)
+			readAll(teller, 2, 40, &tellerSum)
+			nHist := int64(e.Log(0).Records) // upper bound; use index count instead
+			_ = nHist
+			e.Register("chk_hist", func(tx *engine.Tx) error {
+				for i := int64(1); i <= 200; i++ {
+					v, err := tx.Get(history, []catalog.Value{catalog.LongVal(i)}, 4)
+					if err != nil {
+						return err
+					}
+					histSum += v.I
+				}
+				return nil
+			})
+			if err := e.Invoke(0, "chk_hist"); err != nil {
+				t.Fatal(err)
+			}
+			if branchSum != tellerSum || branchSum != histSum {
+				t.Errorf("balances diverged: branch=%d teller=%d history=%d",
+					branchSum, tellerSum, histSum)
+			}
+		})
+	}
+}
+
+func tpccSystem(kind systems.Kind) *engine.Engine {
+	opts := systems.Options{}
+	if kind == systems.DBMSM {
+		// The paper: "we use ... the B-tree index for TPC-C" (scans needed).
+		opts.Index = engine.IndexCCTree512
+		opts.HasIndexOverride = true
+	}
+	return systems.New(kind, opts)
+}
+
+func TestTPCCAllSystemsAllTxnTypes(t *testing.T) {
+	for _, kind := range systems.All() {
+		t.Run(kind.String(), func(t *testing.T) {
+			e := tpccSystem(kind)
+			w := workload.NewTPCC(workload.TPCCConfig{
+				Warehouses: 1, Items: 500, CustomersPerDistrict: 50, OrdersPerDistrict: 50,
+			})
+			run(t, e, w, 300, 6)
+			if got := e.Machine().CPUs[0].TxCount; got != 300 {
+				t.Errorf("committed %d txns, aborts=%d", got, e.Aborts)
+			}
+		})
+	}
+}
+
+func TestTPCCNewOrderAdvancesDistrictAndInserts(t *testing.T) {
+	e := tpccSystem(systems.HyPer)
+	w := workload.NewTPCC(workload.TPCCConfig{
+		Warehouses: 1, Items: 200, CustomersPerDistrict: 20, OrdersPerDistrict: 20,
+	})
+	w.Setup(e)
+	w.Populate(e)
+	e.Machine().Arena.EnableTracing(true)
+
+	tables := w.Tables()
+	ordersBefore := tables["orders"].Count()
+	noBefore := tables["new_order"].Count()
+	olBefore := tables["order_line"].Count()
+
+	// Direct NewOrder with known ol_cnt = 5.
+	args := []catalog.Value{
+		catalog.LongVal(1), catalog.LongVal(1), catalog.LongVal(1), catalog.LongVal(5),
+	}
+	for i := 0; i < 5; i++ {
+		args = append(args, catalog.LongVal(int64(i+1)), catalog.LongVal(3))
+	}
+	if err := e.Invoke(0, "new_order", args...); err != nil {
+		t.Fatal(err)
+	}
+	if got := tables["orders"].Count() - ordersBefore; got != 1 {
+		t.Errorf("orders grew by %d", got)
+	}
+	if got := tables["new_order"].Count() - noBefore; got != 1 {
+		t.Errorf("new_order grew by %d", got)
+	}
+	if got := tables["order_line"].Count() - olBefore; got != 5 {
+		t.Errorf("order_line grew by %d", got)
+	}
+}
+
+func TestTPCCDeliveryDrainsNewOrders(t *testing.T) {
+	e := tpccSystem(systems.VoltDB)
+	w := workload.NewTPCC(workload.TPCCConfig{
+		Warehouses: 1, Items: 200, CustomersPerDistrict: 20, OrdersPerDistrict: 20,
+	})
+	w.Setup(e)
+	w.Populate(e)
+	e.Machine().Arena.EnableTracing(true)
+	tables := w.Tables()
+
+	before := tables["new_order"].Count()
+	if before == 0 {
+		t.Fatal("population seeded no pending new orders")
+	}
+	if err := e.Invoke(0, "delivery", catalog.LongVal(1), catalog.LongVal(3)); err != nil {
+		t.Fatal(err)
+	}
+	after := tables["new_order"].Count()
+	// One delivery clears at most one order per district.
+	if after >= before {
+		t.Errorf("delivery removed nothing: %d -> %d", before, after)
+	}
+	if before-after > workload.DistrictsPerWarehouse {
+		t.Errorf("delivery removed too many: %d", before-after)
+	}
+}
+
+func TestTPCCPartitionedMultiWarehouse(t *testing.T) {
+	e := systems.New(systems.VoltDB, systems.Options{Cores: 2, Partitions: 2})
+	w := workload.NewTPCC(workload.TPCCConfig{
+		Warehouses: 4, Items: 200, CustomersPerDistrict: 20, OrdersPerDistrict: 20,
+	})
+	w.Setup(e)
+	w.Populate(e)
+	e.Machine().Arena.EnableTracing(true)
+	r := workload.NewRand(7)
+	for i := 0; i < 100; i++ {
+		part := i % 2
+		e.SetCore(part)
+		call := w.Gen(r, part, 2)
+		if err := e.Invoke(part, call.Proc, call.Args...); err != nil {
+			t.Fatalf("txn %d (%s) on part %d: %v", i, call.Proc, part, err)
+		}
+	}
+	total := e.Machine().CPUs[0].TxCount + e.Machine().CPUs[1].TxCount
+	if total != 100 {
+		t.Errorf("committed %d", total)
+	}
+}
+
+func TestTPCCMixProportions(t *testing.T) {
+	w := workload.NewTPCC(workload.TPCCConfig{Warehouses: 2, Items: 100,
+		CustomersPerDistrict: 10, OrdersPerDistrict: 10})
+	r := workload.NewRand(9)
+	counts := map[string]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[w.Gen(r, 0, 1).Proc]++
+	}
+	check := func(proc string, pct int) {
+		got := float64(counts[proc]) / n * 100
+		if got < float64(pct)-1.5 || got > float64(pct)+1.5 {
+			t.Errorf("%s = %.1f%%, want ~%d%%", proc, got, pct)
+		}
+	}
+	check("new_order", workload.MixNewOrder)
+	check("payment", workload.MixPayment)
+	check("order_status", workload.MixOrderStatus)
+	check("delivery", workload.MixDelivery)
+	check("stock_level", workload.MixStockLevel)
+}

@@ -1,0 +1,114 @@
+package oltpsim_test
+
+// Black-box tests of the public API: everything a downstream user calls.
+
+import (
+	"strings"
+	"testing"
+
+	"oltpsim"
+)
+
+func TestPublicBenchRoundTrip(t *testing.T) {
+	e := oltpsim.NewSystem(oltpsim.HyPer, oltpsim.SystemOptions{})
+	w := oltpsim.NewMicro(oltpsim.MicroConfig{Rows: 20_000, RowsPerTx: 1})
+	res := oltpsim.Bench(e, w, oltpsim.BenchOpts{Warm: 100, Measure: 300, Seed: 5})
+	if res.System != "HyPer" {
+		t.Errorf("system = %q", res.System)
+	}
+	if res.IPC() <= 0 || res.IPC() > 4 {
+		t.Errorf("IPC = %v", res.IPC())
+	}
+	if res.InstructionsPerTx() <= 0 {
+		t.Error("no instructions measured")
+	}
+	if res.Rows == 0 || res.DataBytes == 0 {
+		t.Errorf("rows=%d bytes=%d", res.Rows, res.DataBytes)
+	}
+}
+
+func TestPublicAllSystems(t *testing.T) {
+	kinds := oltpsim.AllSystems()
+	if len(kinds) != 5 {
+		t.Fatalf("AllSystems = %v", kinds)
+	}
+	names := map[string]bool{}
+	for _, k := range kinds {
+		names[k.String()] = true
+	}
+	for _, want := range []string{"Shore-MT", "DBMS D", "VoltDB", "HyPer", "DBMS M"} {
+		if !names[want] {
+			t.Errorf("missing system %q", want)
+		}
+	}
+}
+
+func TestPublicCustomSystem(t *testing.T) {
+	cfg := oltpsim.EngineConfig{
+		Name:     "toy",
+		Storage:  oltpsim.StorageRows,
+		Index:    oltpsim.IndexART,
+		FrontEnd: oltpsim.FECompiled,
+		Costs: oltpsim.CostParams{
+			NetRecv: 100, CompiledEntry: 100, CompiledPerOp: 100,
+			TxnBegin: 50, TxnCommit: 50, IdxNodeBase: 20,
+			StorageAccess: 40, LogBase: 40,
+		},
+	}
+	e := oltpsim.NewCustomSystem(cfg)
+	w := oltpsim.NewTPCB(oltpsim.TPCBConfig{Branches: 1, AccountsPerBranch: 500})
+	res := oltpsim.Bench(e, w, oltpsim.BenchOpts{Warm: 50, Measure: 200, Seed: 1})
+	if res.System != "toy" {
+		t.Errorf("system = %q", res.System)
+	}
+	if res.IPC() <= 0 {
+		t.Error("custom system measured nothing")
+	}
+}
+
+func TestPublicFigureRegistry(t *testing.T) {
+	ids := oltpsim.FigureIDs()
+	if len(ids) < 28 { // T1 + figures 1..27
+		t.Fatalf("only %d figures registered", len(ids))
+	}
+	if _, err := oltpsim.ReproduceFigure("nope", oltpsim.QuickScale()); err == nil {
+		t.Error("unknown figure accepted")
+	}
+	fig, err := oltpsim.ReproduceFigure("T1", oltpsim.QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(fig.String(), "Ivy Bridge") {
+		t.Error("Table 1 content missing")
+	}
+}
+
+func TestPublicRunnerSharesCells(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs experiment cells")
+	}
+	r := oltpsim.NewRunner(oltpsim.QuickScale())
+	fig3, err := oltpsim.BuildFigure(r, "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig3.Rows) != 5 {
+		t.Errorf("figure 3 rows = %d", len(fig3.Rows))
+	}
+	// Figure 22 (the RW twin) and a re-render reuse the runner's cache; this
+	// just must not error and must render the same shape.
+	fig22, err := oltpsim.BuildFigure(r, "22")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig22.Rows) != len(fig3.Rows) {
+		t.Errorf("figure 22 rows = %d, want %d", len(fig22.Rows), len(fig3.Rows))
+	}
+}
+
+func TestPublicIvyBridgeConfig(t *testing.T) {
+	cfg := oltpsim.IvyBridge(2)
+	if cfg.Cores != 2 || cfg.LLC.SizeBytes != 20<<20 {
+		t.Errorf("IvyBridge(2) = %+v", cfg)
+	}
+}
