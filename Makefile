@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build vet test race bench figures
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench runs the figure and index benchmarks once each and writes
+# BENCH_<date>.json (see scripts/bench.sh), seeding the perf trajectory.
+bench:
+	./scripts/bench.sh
+
+figures:
+	$(GO) run ./cmd/oltpsim -figure all -scale quick

@@ -7,12 +7,14 @@
 //	oltpsim -figure 2
 //	oltpsim -figure 1,2,3 -scale quick -v
 //	oltpsim -figure all -scale default -markdown > results.md
+//	oltpsim -figure all -scale quick -workers 8
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"oltpsim/internal/harness"
@@ -22,6 +24,7 @@ func main() {
 	var (
 		figures  = flag.String("figure", "", "figure ID(s) to reproduce, comma-separated, or 'all'")
 		scale    = flag.String("scale", "default", "scale profile: quick | default | full")
+		workers  = flag.Int("workers", runtime.NumCPU(), "experiment cells to simulate concurrently (1 = serial)")
 		verbose  = flag.Bool("v", false, "print each executed experiment cell")
 		markdown = flag.Bool("markdown", false, "emit markdown tables instead of text")
 		list     = flag.Bool("list", false, "list the available figures")
@@ -47,25 +50,37 @@ func main() {
 	}
 	runner := harness.NewRunner(sc)
 	runner.Verbose = *verbose
+	runner.Workers = *workers
 
 	var ids []string
 	if *figures == "all" {
 		ids = harness.FigureIDs()
 	} else {
-		ids = strings.Split(*figures, ",")
-	}
-	for _, id := range ids {
-		id = strings.TrimSpace(id)
-		builder, ok := harness.Figures[id]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown figure %q (use -list)\n", id)
-			os.Exit(2)
+		for _, id := range strings.Split(*figures, ",") {
+			ids = append(ids, strings.TrimSpace(id))
 		}
-		fig := builder(runner)
+	}
+	// All requested figures build concurrently against the shared worker
+	// pool; cells shared between figures are simulated once, and the output
+	// below is printed in request order, identical to a -workers 1 run.
+	figs, err := harness.BuildFigures(runner, ids)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v (use -list)\n", err)
+		os.Exit(2)
+	}
+	for _, fig := range figs {
 		if *markdown {
 			fmt.Println(fig.Markdown())
 		} else {
 			fmt.Println(fig.String())
 		}
+	}
+	if *verbose {
+		effective := *workers
+		if effective <= 0 {
+			effective = runtime.GOMAXPROCS(0)
+		}
+		fmt.Fprintf(os.Stderr, "(%d experiment cells simulated, %d workers)\n",
+			runner.CellsExecuted(), effective)
 	}
 }

@@ -1,0 +1,3 @@
+module oltpsim
+
+go 1.24

@@ -109,6 +109,11 @@ func (c *CPU) ModuleStats(m Module) ModuleStats { return c.perModule[m] }
 // Machine bundles the arena, the cache hierarchy and one CPU per simulated
 // core, and routes arena data accesses to the currently executing CPU. It is
 // the top-level object a system archetype is built on.
+//
+// A Machine is not safe for concurrent use: simulated cores are logical —
+// the harness interleaves them from one goroutine via SetCurrent — and the
+// concurrent experiment runner gets its parallelism from giving every cell
+// its own Machine, never from sharing one.
 type Machine struct {
 	Arena *simmem.Arena
 	Hier  *Hierarchy

@@ -12,6 +12,12 @@ import (
 )
 
 // Engine is one configured OLTP system running on a simulated machine.
+//
+// An Engine (with its Machine, arena, and every substrate built on them) is
+// confined to a single goroutine: nothing in this package takes locks, and
+// nothing is shared between Engine instances. The experiment harness runs
+// cells concurrently by giving each its own Engine; keep any new state
+// instance-scoped (no package-level mutable variables) to preserve that.
 type Engine struct {
 	cfg  Config
 	mach *core.Machine

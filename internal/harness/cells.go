@@ -2,6 +2,9 @@ package harness
 
 import (
 	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
 
 	"oltpsim/internal/core"
 	"oltpsim/internal/engine"
@@ -31,8 +34,12 @@ type CellSpec struct {
 	Seed         uint64
 }
 
+// cacheKey covers every CellSpec field that shapes the measurement except
+// NewWorkload, which Key must describe: two specs with equal keys share one
+// cached (and single-flighted) Result within a Runner.
 func (s CellSpec) cacheKey() string {
-	return fmt.Sprintf("%s|%+v|%s|c%d", s.Sys, s.SysOpts, s.Key, s.Cores)
+	return fmt.Sprintf("%s|%+v|%s|c%d|w%d|m%d|s%d|wp%v",
+		s.Sys, s.SysOpts, s.Key, s.Cores, s.Warm, s.Measure, s.Seed, s.WarmPopulate)
 }
 
 // Result is one measured cell: per-worker measurements (one for
@@ -118,30 +125,35 @@ func (r *Result) TxPerMCycle() float64 {
 	return s
 }
 
-// Runner executes and caches experiment cells at one scale.
+// Runner executes and caches experiment cells at one scale. Cells run on a
+// worker pool of up to Workers goroutines (see pool.go); each cell is
+// confined to its own Engine/Machine instance, so results are deterministic
+// and independent of scheduling.
 type Runner struct {
 	Scale Scale
 	// Verbose, when set, prints one line per executed (non-cached) cell.
 	Verbose bool
-	cache   map[string]*Result
+	// Workers caps the number of cells simulating concurrently. Zero or
+	// negative means GOMAXPROCS. Set it before the first Run/RunAll call.
+	Workers int
+
+	initOnce sync.Once
+	sem      chan struct{}
+	mu       sync.Mutex
+	cache    map[string]*cellEntry
+	printMu  sync.Mutex
+	executed atomic.Int64
 }
 
 // NewRunner creates a runner for the given scale.
 func NewRunner(s Scale) *Runner {
-	return &Runner{Scale: s, cache: make(map[string]*Result)}
+	return &Runner{Scale: s, cache: make(map[string]*cellEntry)}
 }
 
-// Run executes (or returns the cached measurement of) one cell.
-func (r *Runner) Run(spec CellSpec) *Result {
-	key := spec.cacheKey()
-	if res, ok := r.cache[key]; ok {
-		return res
-	}
-	res := r.execute(spec)
-	r.cache[key] = res
-	return res
-}
-
+// execute simulates one cell on the calling goroutine. Everything it builds —
+// engine, machine, arena, workload, rng — is cell-local, and the workload
+// stream is seeded from the spec alone, so the measurement depends only on
+// the spec and the scale, never on which worker runs it or when.
 func (r *Runner) execute(spec CellSpec) *Result {
 	cores := spec.Cores
 	if cores <= 0 {
@@ -152,17 +164,19 @@ func (r *Runner) execute(spec CellSpec) *Result {
 	e := systems.New(spec.Sys, opts)
 	w := spec.NewWorkload(e.Partitions())
 
-	if r.Verbose {
-		fmt.Printf("  cell: %-10s %-24s cores=%d ... ", spec.Sys, w.Name(), cores)
-	}
 	res := Bench(e, w, BenchOpts{
 		Warm:         scaleTx(spec.Warm, r.Scale.TxFactor),
 		Measure:      scaleTx(spec.Measure, r.Scale.TxFactor),
 		Seed:         spec.Seed ^ 0xabcdef,
 		WarmPopulate: spec.WarmPopulate,
 	})
+	r.executed.Add(1)
 	if r.Verbose {
-		fmt.Printf("IPC %.2f, %.0f MB\n", res.IPC(), float64(res.DataBytes)/(1<<20))
+		// Diagnostics go to stderr so `-markdown > results.md` stays clean.
+		r.printMu.Lock()
+		fmt.Fprintf(os.Stderr, "  cell: %-10s %-24s cores=%d  IPC %.2f, %.0f MB\n",
+			spec.Sys, w.Name(), cores, res.IPC(), float64(res.DataBytes)/(1<<20))
+		r.printMu.Unlock()
 	}
 	return res
 }

@@ -43,6 +43,44 @@ func FigureIDs() []string {
 	return ids
 }
 
+// figRow is one declared figure row: the cell that produces it plus the
+// leading label cells identifying it on the figure's axes.
+type figRow struct {
+	labels []string
+	spec   CellSpec
+}
+
+// cellList accumulates a figure's rows in presentation order.
+type cellList struct {
+	rows []figRow
+}
+
+func (c *cellList) add(spec CellSpec, labels ...string) {
+	c.rows = append(c.rows, figRow{labels: labels, spec: spec})
+}
+
+// render submits every declared cell to the runner's worker pool at once and
+// renders the rows in declaration order, so the figure is identical to a
+// serial run regardless of worker count.
+func (c *cellList) render(r *Runner, cells func(*Result) []string) [][]string {
+	specs := make([]CellSpec, len(c.rows))
+	for i := range c.rows {
+		specs[i] = c.rows[i].spec
+	}
+	results := r.RunAll(specs)
+	out := make([][]string, len(c.rows))
+	for i := range c.rows {
+		out[i] = append(append([]string{}, c.rows[i].labels...), cells(results[i])...)
+	}
+	return out
+}
+
+func ipcCell(res *Result) []string { return []string{f2(res.IPC())} }
+
+func stallsPerKICells(res *Result) []string { return stallCells(res.StallsPerKI()) }
+
+func stallsPerTxCells(res *Result) []string { return stallCells(res.StallsPerTx()) }
+
 // TableT1 prints the simulated server parameters (paper Table 1).
 func TableT1(r *Runner) *Figure {
 	cfg := core.IvyBridge(1)
@@ -79,12 +117,13 @@ func microIPCBySize(r *Runner, rw bool) *Figure {
 		Title:  fmt.Sprintf("Effect of database size on IPC (micro, %s, 1 row/txn)", mode),
 		Header: []string{"System", "Size", "IPC"},
 	}
+	var cl cellList
 	for _, sys := range systems.All() {
 		for _, size := range SizeLabels() {
-			res := r.Run(r.MicroCell(sys, size, 1, rw, false))
-			f.Rows = append(f.Rows, []string{sys.String(), string(size), f2(res.IPC())})
+			cl.add(r.MicroCell(sys, size, 1, rw, false), sys.String(), string(size))
 		}
 	}
+	f.Rows = cl.render(r, ipcCell)
 	f.Notes = append(f.Notes, "paper: IPC barely reaches 1 of 4; drops once data outgrows the 20MB LLC")
 	return f
 }
@@ -105,13 +144,13 @@ func microStallsBySize(r *Runner, rw bool) *Figure {
 		Title:  fmt.Sprintf("Stall cycles per k-instruction vs database size (micro, %s)", mode),
 		Header: stallHeader("System", "Size"),
 	}
+	var cl cellList
 	for _, sys := range systems.All() {
 		for _, size := range SizeLabels() {
-			res := r.Run(r.MicroCell(sys, size, 1, rw, false))
-			f.Rows = append(f.Rows,
-				append([]string{sys.String(), string(size)}, stallCells(res.StallsPerKI())...))
+			cl.add(r.MicroCell(sys, size, 1, rw, false), sys.String(), string(size))
 		}
 	}
+	f.Rows = cl.render(r, stallsPerKICells)
 	f.Notes = append(f.Notes, "paper: L1I stalls dominate everywhere except HyPer; HyPer's LLC-D per kI explodes beyond LLC capacity")
 	return f
 }
@@ -132,11 +171,11 @@ func microStallsPerTx(r *Runner, rw bool) *Figure {
 		Title:  fmt.Sprintf("Stall cycles per transaction at 100GB (micro, %s, 1 row/txn)", mode),
 		Header: stallHeader("System"),
 	}
+	var cl cellList
 	for _, sys := range systems.All() {
-		res := r.Run(r.MicroCell(sys, Size100GB, 1, rw, false))
-		f.Rows = append(f.Rows,
-			append([]string{sys.String()}, stallCells(res.StallsPerTx())...))
+		cl.add(r.MicroCell(sys, Size100GB, 1, rw, false), sys.String())
 	}
+	f.Rows = cl.render(r, stallsPerTxCells)
 	f.Notes = append(f.Notes, "paper: HyPer's LLC-D flips from worst per-kI to among the best per-txn; DBMS D's instruction stalls are the largest")
 	return f
 }
@@ -159,12 +198,13 @@ func microIPCByWork(r *Runner, rw bool) *Figure {
 		Title:  fmt.Sprintf("Effect of work per transaction on IPC (micro, %s, 100GB)", mode),
 		Header: []string{"System", "Rows/txn", "IPC"},
 	}
+	var cl cellList
 	for _, sys := range systems.All() {
 		for _, n := range workRows {
-			res := r.Run(r.MicroCell(sys, Size100GB, n, rw, false))
-			f.Rows = append(f.Rows, []string{sys.String(), fmt.Sprint(n), f2(res.IPC())})
+			cl.add(r.MicroCell(sys, Size100GB, n, rw, false), sys.String(), fmt.Sprint(n))
 		}
 	}
+	f.Rows = cl.render(r, ipcCell)
 	f.Notes = append(f.Notes, "paper: disk-based IPC rises slightly with work per txn; in-memory IPC falls")
 	return f
 }
@@ -194,17 +234,17 @@ func microStallsByWork(r *Runner, rw bool, perTx bool) *Figure {
 		Title:  fmt.Sprintf("Stall cycles per %s vs work per transaction (micro, %s, 100GB)", unit, mode),
 		Header: stallHeader("System", "Rows/txn"),
 	}
+	var cl cellList
 	for _, sys := range systems.All() {
 		for _, n := range workRows {
-			res := r.Run(r.MicroCell(sys, Size100GB, n, rw, false))
-			s := res.StallsPerKI()
-			if perTx {
-				s = res.StallsPerTx()
-			}
-			f.Rows = append(f.Rows,
-				append([]string{sys.String(), fmt.Sprint(n)}, stallCells(s)...))
+			cl.add(r.MicroCell(sys, Size100GB, n, rw, false), sys.String(), fmt.Sprint(n))
 		}
 	}
+	cells := stallsPerKICells
+	if perTx {
+		cells = stallsPerTxCells
+	}
+	f.Rows = cl.render(r, cells)
 	if perTx {
 		f.Notes = append(f.Notes, "paper: LLC-D per txn grows ~linearly with rows probed; Shore-MT largest (non-cache-conscious index)")
 	} else {
@@ -232,12 +272,15 @@ func Fig07(r *Runner) *Figure {
 		Title:  "Share of time inside the OLTP engine vs work per transaction (micro RO, 100GB)",
 		Header: []string{"System", "Rows/txn", "Inside engine"},
 	}
+	var cl cellList
 	for _, sys := range []systems.Kind{systems.DBMSD, systems.VoltDB, systems.DBMSM} {
 		for _, n := range workRows {
-			res := r.Run(r.MicroCell(sys, Size100GB, n, false, false))
-			f.Rows = append(f.Rows, []string{sys.String(), fmt.Sprint(n), pct(res.EngineFraction())})
+			cl.add(r.MicroCell(sys, Size100GB, n, false, false), sys.String(), fmt.Sprint(n))
 		}
 	}
+	f.Rows = cl.render(r, func(res *Result) []string {
+		return []string{pct(res.EngineFraction())}
+	})
 	f.Notes = append(f.Notes, "paper: engine share grows with rows/txn; smallest growth for DBMS D (heavy outside-engine stack)")
 	return f
 }
@@ -249,10 +292,11 @@ func Fig08(r *Runner) *Figure {
 		Title:  "IPC while running TPC-B (100GB)",
 		Header: []string{"System", "IPC"},
 	}
+	var cl cellList
 	for _, sys := range systems.All() {
-		res := r.Run(r.TPCBCell(sys, Size100GB))
-		f.Rows = append(f.Rows, []string{sys.String(), f2(res.IPC())})
+		cl.add(r.TPCBCell(sys, Size100GB), sys.String())
 	}
+	f.Rows = cl.render(r, ipcCell)
 	f.Notes = append(f.Notes, "paper: IPC above the 1-row micro-benchmark thanks to branch/teller/history locality; HyPer highest")
 	return f
 }
@@ -264,12 +308,22 @@ func Fig09(r *Runner) *Figure {
 		Title:  "Stall cycles per k-instruction while running TPC-B (100GB)",
 		Header: stallHeader("System"),
 	}
+	var cl cellList
 	for _, sys := range systems.All() {
-		res := r.Run(r.TPCBCell(sys, Size100GB))
-		f.Rows = append(f.Rows, append([]string{sys.String()}, stallCells(res.StallsPerKI())...))
+		cl.add(r.TPCBCell(sys, Size100GB), sys.String())
 	}
+	f.Rows = cl.render(r, stallsPerKICells)
 	f.Notes = append(f.Notes, "paper: instruction stalls dominate for every system; no severe long-latency data misses")
 	return f
+}
+
+// tpccAllSystems declares the shared TPC-C cells behind Figures 10-12.
+func tpccAllSystems(r *Runner) cellList {
+	var cl cellList
+	for _, sys := range systems.All() {
+		cl.add(r.TPCCCell(sys, systems.Options{}, Size100GB, 1), sys.String())
+	}
+	return cl
 }
 
 // Fig10 reproduces Figure 10: TPC-C IPC.
@@ -279,10 +333,8 @@ func Fig10(r *Runner) *Figure {
 		Title:  "IPC while running TPC-C (100GB)",
 		Header: []string{"System", "IPC"},
 	}
-	for _, sys := range systems.All() {
-		res := r.Run(r.TPCCCell(sys, systems.Options{}, Size100GB, 1))
-		f.Rows = append(f.Rows, []string{sys.String(), f2(res.IPC())})
-	}
+	cl := tpccAllSystems(r)
+	f.Rows = cl.render(r, ipcCell)
 	return f
 }
 
@@ -293,10 +345,8 @@ func Fig11(r *Runner) *Figure {
 		Title:  "Stall cycles per k-instruction while running TPC-C (100GB)",
 		Header: stallHeader("System"),
 	}
-	for _, sys := range systems.All() {
-		res := r.Run(r.TPCCCell(sys, systems.Options{}, Size100GB, 1))
-		f.Rows = append(f.Rows, append([]string{sys.String()}, stallCells(res.StallsPerKI())...))
-	}
+	cl := tpccAllSystems(r)
+	f.Rows = cl.render(r, stallsPerKICells)
 	f.Notes = append(f.Notes, "paper: instruction stalls well below TPC-B (longer txns, scan loops); HyPer's LLC-D reappears")
 	return f
 }
@@ -308,10 +358,8 @@ func Fig12(r *Runner) *Figure {
 		Title:  "Stall cycles per transaction while running TPC-C (100GB)",
 		Header: stallHeader("System"),
 	}
-	for _, sys := range systems.All() {
-		res := r.Run(r.TPCCCell(sys, systems.Options{}, Size100GB, 1))
-		f.Rows = append(f.Rows, append([]string{sys.String()}, stallCells(res.StallsPerTx())...))
-	}
+	cl := tpccAllSystems(r)
+	f.Rows = cl.render(r, stallsPerTxCells)
 	return f
 }
 
@@ -342,11 +390,11 @@ func indexCompileMicro(r *Runner, rw bool) *Figure {
 		Title:  fmt.Sprintf("DBMS M index/compilation ablation, micro %s 10 rows (100GB), stalls per k-instruction", mode),
 		Header: stallHeader("Configuration"),
 	}
+	var cl cellList
 	for _, c := range dbmsMConfigs() {
-		spec := r.MicroCellOpts(systems.DBMSM, c.Opts, Size100GB, 10, rw, 1)
-		res := r.Run(spec)
-		f.Rows = append(f.Rows, append([]string{c.Label}, stallCells(res.StallsPerKI())...))
+		cl.add(r.MicroCellOpts(systems.DBMSM, c.Opts, Size100GB, 10, rw, 1), c.Label)
 	}
+	f.Rows = cl.render(r, stallsPerKICells)
 	f.Notes = append(f.Notes, "paper: compilation halves instruction stalls; the B-tree has 2-4x the hash index's LLC-D stalls")
 	return f
 }
@@ -364,10 +412,11 @@ func Fig14(r *Runner) *Figure {
 		Title:  "DBMS M index/compilation ablation, TPC-C (100GB), stalls per k-instruction",
 		Header: stallHeader("Configuration"),
 	}
+	var cl cellList
 	for _, c := range dbmsMConfigs() {
-		res := r.Run(r.TPCCCell(systems.DBMSM, c.Opts, Size100GB, 1))
-		f.Rows = append(f.Rows, append([]string{c.Label}, stallCells(res.StallsPerKI())...))
+		cl.add(r.TPCCCell(systems.DBMSM, c.Opts, Size100GB, 1), c.Label)
 	}
+	f.Rows = cl.render(r, stallsPerKICells)
 	f.Notes = append(f.Notes,
 		"hash configuration keeps the B-tree on the scanned tables (order_line/new_order), as DBMS M's dual-index design allows",
 		"paper: compilation cuts instruction stalls for both; no significant data stalls for TPC-C either way")
@@ -384,17 +433,17 @@ func dataTypeFig(r *Runner, rw bool) *Figure {
 		Title:  fmt.Sprintf("String vs Long columns, micro %s 1 row (100GB), stalls per k-instruction", mode),
 		Header: stallHeader("System", "Type"),
 	}
+	var cl cellList
 	for _, sys := range []systems.Kind{systems.VoltDB, systems.HyPer, systems.DBMSM} {
 		for _, str := range []bool{true, false} {
 			label := "Long"
 			if str {
 				label = "String"
 			}
-			res := r.Run(r.MicroCell(sys, Size100GB, 1, rw, str))
-			f.Rows = append(f.Rows,
-				append([]string{sys.String(), label}, stallCells(res.StallsPerKI())...))
+			cl.add(r.MicroCell(sys, Size100GB, 1, rw, str), sys.String(), label)
 		}
 	}
+	f.Rows = cl.render(r, stallsPerKICells)
 	f.Notes = append(f.Notes, "paper: LLC-D per kI lower for String on the tree-indexed systems (better spatial locality per compare); no real change for hash-indexed DBMS M")
 	return f
 }
@@ -409,6 +458,26 @@ func Fig27(r *Runner) *Figure { return dataTypeFig(r, true) }
 // excludes HyPer, whose demo build was single-threaded).
 var mtSystems = []systems.Kind{systems.ShoreMT, systems.DBMSD, systems.VoltDB, systems.DBMSM}
 
+// mtMicroCells declares the shared multi-threaded micro cells of
+// Figures 16/18.
+func mtMicroCells(r *Runner) cellList {
+	var cl cellList
+	for _, sys := range mtSystems {
+		cl.add(r.MicroCellOpts(sys, systems.Options{}, Size100GB, 1, false, r.Scale.MTCores), sys.String())
+	}
+	return cl
+}
+
+// mtTPCCCells declares the shared multi-threaded TPC-C cells of
+// Figures 17/19.
+func mtTPCCCells(r *Runner) cellList {
+	var cl cellList
+	for _, sys := range mtSystems {
+		cl.add(r.TPCCCell(sys, systems.Options{}, Size100GB, r.Scale.MTCores), sys.String())
+	}
+	return cl
+}
+
 // Fig16 reproduces Figure 16: multi-threaded IPC, micro RO.
 func Fig16(r *Runner) *Figure {
 	f := &Figure{
@@ -416,10 +485,8 @@ func Fig16(r *Runner) *Figure {
 		Title:  fmt.Sprintf("Multi-threaded IPC, micro RO 1 row (100GB, %d cores)", r.Scale.MTCores),
 		Header: []string{"System", "IPC"},
 	}
-	for _, sys := range mtSystems {
-		res := r.Run(r.MicroCellOpts(sys, systems.Options{}, Size100GB, 1, false, r.Scale.MTCores))
-		f.Rows = append(f.Rows, []string{sys.String(), f2(res.IPC())})
-	}
+	cl := mtMicroCells(r)
+	f.Rows = cl.render(r, ipcCell)
 	f.Notes = append(f.Notes, "paper: multi-threaded IPC stays below 1, matching the single-threaded conclusions")
 	return f
 }
@@ -431,10 +498,8 @@ func Fig17(r *Runner) *Figure {
 		Title:  fmt.Sprintf("Multi-threaded IPC, TPC-C (100GB, %d cores)", r.Scale.MTCores),
 		Header: []string{"System", "IPC"},
 	}
-	for _, sys := range mtSystems {
-		res := r.Run(r.TPCCCell(sys, systems.Options{}, Size100GB, r.Scale.MTCores))
-		f.Rows = append(f.Rows, []string{sys.String(), f2(res.IPC())})
-	}
+	cl := mtTPCCCells(r)
+	f.Rows = cl.render(r, ipcCell)
 	return f
 }
 
@@ -445,10 +510,8 @@ func Fig18(r *Runner) *Figure {
 		Title:  fmt.Sprintf("Multi-threaded stall cycles per k-instruction, micro RO 1 row (100GB, %d cores)", r.Scale.MTCores),
 		Header: stallHeader("System"),
 	}
-	for _, sys := range mtSystems {
-		res := r.Run(r.MicroCellOpts(sys, systems.Options{}, Size100GB, 1, false, r.Scale.MTCores))
-		f.Rows = append(f.Rows, append([]string{sys.String()}, stallCells(res.StallsPerKI())...))
-	}
+	cl := mtMicroCells(r)
+	f.Rows = cl.render(r, stallsPerKICells)
 	return f
 }
 
@@ -459,10 +522,8 @@ func Fig19(r *Runner) *Figure {
 		Title:  fmt.Sprintf("Multi-threaded stall cycles per k-instruction, TPC-C (100GB, %d cores)", r.Scale.MTCores),
 		Header: stallHeader("System"),
 	}
-	for _, sys := range mtSystems {
-		res := r.Run(r.TPCCCell(sys, systems.Options{}, Size100GB, r.Scale.MTCores))
-		f.Rows = append(f.Rows, append([]string{sys.String()}, stallCells(res.StallsPerKI())...))
-	}
+	cl := mtTPCCCells(r)
+	f.Rows = cl.render(r, stallsPerKICells)
 	f.Notes = append(f.Notes, "paper: same stall profile as the single-threaded runs")
 	return f
 }

@@ -64,16 +64,19 @@ func TestSizingModelMatchesArena(t *testing.T) {
 	const target = 8 << 20 // label: 8MB
 	rows := MicroRows(target, false)
 	for _, sys := range systems.All() {
-		e := systems.New(sys, systems.Options{})
-		before := e.Machine().Arena.DataAllocated() // pre-allocated pools etc.
-		w := workload.NewMicro(workload.MicroConfig{Rows: rows, RowsPerTx: 1})
-		w.Setup(e)
-		w.Populate(e)
-		got := float64(e.Machine().Arena.DataAllocated() - before)
-		if got > 2.8*float64(target) {
-			t.Errorf("%s: %d-row micro allocated %.1fMB for an 8MB label (model too optimistic)",
-				sys, rows, got/(1<<20))
-		}
+		t.Run(sys.String(), func(t *testing.T) {
+			t.Parallel() // each subtest owns its engine/machine/arena
+			e := systems.New(sys, systems.Options{})
+			before := e.Machine().Arena.DataAllocated() // pre-allocated pools etc.
+			w := workload.NewMicro(workload.MicroConfig{Rows: rows, RowsPerTx: 1})
+			w.Setup(e)
+			w.Populate(e)
+			got := float64(e.Machine().Arena.DataAllocated() - before)
+			if got > 2.8*float64(target) {
+				t.Errorf("%s: %d-row micro allocated %.1fMB for an 8MB label (model too optimistic)",
+					sys, rows, got/(1<<20))
+			}
+		})
 	}
 }
 
@@ -182,7 +185,7 @@ func TestFigureBuildersAtQuickScale(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs experiment cells")
 	}
-	r := sharedRunnerFor(t)
+	r := runner(t)
 	for _, id := range []string{"T1", "3", "7", "9", "12", "26"} {
 		fig := Figures[id](r)
 		if fig.ID != id {
@@ -199,10 +202,3 @@ func TestFigureBuildersAtQuickScale(t *testing.T) {
 	}
 }
 
-func sharedRunnerFor(t *testing.T) *Runner {
-	t.Helper()
-	sharedRunnerOnce.Do(func() {
-		sharedRunner = NewRunner(QuickScale())
-	})
-	return sharedRunner
-}

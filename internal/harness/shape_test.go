@@ -6,6 +6,7 @@ package harness
 // numbers, which is also how the paper's conclusions are stated.
 
 import (
+	"flag"
 	"sync"
 	"testing"
 
@@ -18,6 +19,11 @@ var (
 )
 
 // runner returns a process-wide runner so all shape tests share cached cells.
+// On a full-suite run the first caller prefetches every cell the tests below
+// consult through the worker pool, so the package's dominant cost —
+// simulating ~40 quick-scale cells — runs GOMAXPROCS-wide instead of
+// serially, test by test. A filtered run (`go test -run Foo`) skips the
+// prefetch and computes only the cells its tests actually read.
 func runner(t *testing.T) *Runner {
 	t.Helper()
 	if testing.Short() {
@@ -25,8 +31,42 @@ func runner(t *testing.T) *Runner {
 	}
 	sharedRunnerOnce.Do(func() {
 		sharedRunner = NewRunner(QuickScale())
+		if f := flag.Lookup("test.run"); f == nil || f.Value.String() == "" {
+			sharedRunner.RunAll(shapeTestCells(sharedRunner))
+		}
 	})
 	return sharedRunner
+}
+
+// shapeTestCells declares the union of cells the shape tests (and the figure
+// smoke test in harness_test.go) measure.
+func shapeTestCells(r *Runner) []CellSpec {
+	var specs []CellSpec
+	for _, sys := range systems.All() {
+		specs = append(specs,
+			r.MicroCell(sys, Size1MB, 1, false, false),
+			r.MicroCell(sys, Size100GB, 1, false, false),
+			r.MicroCell(sys, Size100GB, 100, false, false),
+			r.MicroCell(sys, Size100GB, 1, true, false),
+			r.TPCBCell(sys, Size100GB),
+			r.TPCCCell(sys, systems.Options{}, Size100GB, 1),
+		)
+	}
+	for _, sys := range []systems.Kind{systems.DBMSD, systems.VoltDB, systems.DBMSM} {
+		specs = append(specs, r.MicroCell(sys, Size100GB, 10, false, false))
+	}
+	for _, sys := range []systems.Kind{systems.VoltDB, systems.HyPer, systems.DBMSM} {
+		specs = append(specs, r.MicroCell(sys, Size100GB, 1, false, true))
+	}
+	for _, c := range dbmsMConfigs() {
+		specs = append(specs,
+			r.MicroCellOpts(systems.DBMSM, c.Opts, Size100GB, 10, false, 1),
+			r.MicroCellOpts(systems.DBMSM, c.Opts, Size100GB, 10, true, 1))
+	}
+	for _, sys := range mtSystems {
+		specs = append(specs, r.MicroCellOpts(sys, systems.Options{}, Size100GB, 1, false, r.Scale.MTCores))
+	}
+	return specs
 }
 
 func microRO(r *Runner, sys systems.Kind, size SizeLabel, rows int) *Result {

@@ -83,7 +83,10 @@ type Options struct {
 	BufferPoolFrames int
 }
 
-// New builds a fresh instance of the archetype.
+// New builds a fresh instance of the archetype. Every call returns a fully
+// independent engine on its own simulated machine — the configs below are
+// built from scratch per call, so concurrent experiment cells never share
+// state through this package.
 func New(kind Kind, opts Options) *engine.Engine {
 	if opts.Cores <= 0 {
 		opts.Cores = 1

@@ -181,10 +181,19 @@ func DefaultScale() Scale { return harness.DefaultScale() }
 type Figure = harness.Figure
 
 // Runner executes and caches experiment cells; use one Runner across
-// figures that share cells.
+// figures that share cells. Cells run on a worker pool of up to
+// Runner.Workers goroutines (default GOMAXPROCS) with a single-flight cache,
+// so concurrent figures sharing cells compute each cell exactly once and
+// Runner.RunAll returns results in spec order — output is bit-identical to a
+// serial run.
 type Runner = harness.Runner
 
-// NewRunner creates an experiment runner at the given scale.
+// CellSpec declares one experiment cell (system, workload, run shape) for
+// Runner.Run / Runner.RunAll.
+type CellSpec = harness.CellSpec
+
+// NewRunner creates an experiment runner at the given scale. Set
+// Runner.Workers before the first Run call to bound cell concurrency.
 func NewRunner(s Scale) *Runner { return harness.NewRunner(s) }
 
 // FigureIDs lists the reproducible paper tables/figures ("T1", "1".."27").
@@ -194,6 +203,13 @@ func FigureIDs() []string { return harness.FigureIDs() }
 // For several figures sharing cells, create a Runner and use BuildFigure.
 func ReproduceFigure(id string, s Scale) (*Figure, error) {
 	return BuildFigure(NewRunner(s), id)
+}
+
+// BuildFigures renders several figures concurrently against one shared
+// runner (cells shared between figures are simulated once); the returned
+// slice matches ids order.
+func BuildFigures(r *Runner, ids []string) ([]*Figure, error) {
+	return harness.BuildFigures(r, ids)
 }
 
 // BuildFigure renders one paper figure using r's cell cache.

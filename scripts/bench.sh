@@ -1,0 +1,19 @@
+#!/bin/sh
+# bench.sh — run the repository's benchmarks and record them as JSON.
+#
+# Runs the root figure benchmarks (one reproduction per paper figure, quick
+# scale) and the internal/index micro-benchmarks with -benchmem, then
+# converts the raw `go test -bench` output into BENCH_<date>.json via
+# cmd/benchjson. Each committed BENCH_*.json is one point on the repo's
+# performance trajectory.
+set -eu
+cd "$(dirname "$0")/.."
+
+date="$(date +%Y-%m-%d)"
+out="BENCH_${date}.json"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench . -benchmem -benchtime 1x . ./internal/index | tee "$raw"
+go run ./cmd/benchjson -out "$out" < "$raw"
+echo "wrote $out"
