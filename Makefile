@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench figures
+.PHONY: build vet test race bench bench-compare figures
 
 build:
 	$(GO) build ./...
@@ -14,10 +14,16 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench runs the figure and index benchmarks once each and writes
-# BENCH_<date>.json (see scripts/bench.sh), seeding the perf trajectory.
+# bench runs the figure and index benchmarks once each, writes
+# BENCH_<date>.json (see scripts/bench.sh), and prints an informational
+# comparison against the previously committed record.
 bench:
 	./scripts/bench.sh
+
+# bench-compare strictly diffs two recorded benchmark files and fails on
+# >25% ns/op or allocs/op regressions: make bench-compare OLD=a.json NEW=b.json
+bench-compare:
+	$(GO) run ./cmd/benchjson -compare $(OLD) $(NEW)
 
 figures:
 	$(GO) run ./cmd/oltpsim -figure all -scale quick

@@ -1,0 +1,68 @@
+package oltpsim
+
+import (
+	"testing"
+
+	"oltpsim/internal/workload"
+)
+
+// TestMicroTxZeroAllocs gates the zero-allocation steady state of the full
+// transaction path: after the paper's measurement protocol has warmed an
+// engine, invoking one more micro-benchmark transaction must not allocate,
+// for every archetype. The engine recycles its Tx value, scratch arena, lock
+// bitmap, MVCC context and statement caches across invocations; a regression
+// here puts the Go allocator back on the per-access hot path.
+func TestMicroTxZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector shadow bookkeeping allocates; gate runs without -race")
+	}
+	for _, sys := range AllSystems() {
+		for _, rw := range []bool{false, true} {
+			name := sys.String() + "/ro"
+			if rw {
+				name = sys.String() + "/rw"
+			}
+			t.Run(name, func(t *testing.T) {
+				e := NewSystem(sys, SystemOptions{})
+				w := NewMicro(MicroConfig{Rows: 1 << 12, RowsPerTx: 1, ReadWrite: rw})
+				// Populate, warm up, and run a measured window exactly as the
+				// harness does; the engine is left warm with tracing enabled.
+				Bench(e, w, BenchOpts{Warm: 50, Measure: 100, Seed: 11})
+
+				rng := workload.NewRand(99)
+				call := w.Gen(rng, 0, e.Partitions())
+				// One untimed invocation settles remaining lazy capacity
+				// (scratch high-water marks, map buckets).
+				if err := e.Invoke(0, call.Proc, call.Args...); err != nil {
+					t.Fatal(err)
+				}
+				avg := testing.AllocsPerRun(200, func() {
+					if err := e.Invoke(0, call.Proc, call.Args...); err != nil {
+						t.Fatal(err)
+					}
+				})
+				if avg != 0 {
+					t.Errorf("%s: steady-state micro transaction allocates %.2f objects/op, want 0",
+						name, avg)
+				}
+			})
+		}
+	}
+}
+
+// TestGenZeroAllocs checks that the workload generator itself is
+// allocation-free in steady state (its argument buffer is recycled).
+func TestGenZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector shadow bookkeeping allocates; gate runs without -race")
+	}
+	w := NewMicro(MicroConfig{Rows: 1 << 12, RowsPerTx: 10})
+	rng := workload.NewRand(7)
+	w.Gen(rng, 0, 1)
+	avg := testing.AllocsPerRun(200, func() {
+		w.Gen(rng, 0, 1)
+	})
+	if avg != 0 {
+		t.Errorf("micro Gen allocates %.2f objects/op, want 0", avg)
+	}
+}

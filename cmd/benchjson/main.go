@@ -3,6 +3,14 @@
 // (see scripts/bench.sh and the `make bench` target).
 //
 //	go test -run '^$' -bench . -benchmem ./... | benchjson -out BENCH_2026-07-29.json
+//
+// With -compare it diffs two recorded files instead, printing per-benchmark
+// ns/op, B/op and allocs/op deltas, and exits non-zero when any benchmark
+// regresses by more than -threshold (fractional, default 0.25) on ns/op or
+// allocs/op:
+//
+//	benchjson -compare BENCH_old.json BENCH_new.json
+//	benchjson -compare -threshold 0.10 BENCH_old.json BENCH_new.json
 package main
 
 import (
@@ -37,7 +45,17 @@ type Record struct {
 
 func main() {
 	out := flag.String("out", "", "output path (default stdout)")
+	compare := flag.Bool("compare", false, "compare two recorded files: benchjson -compare old.json new.json")
+	threshold := flag.Float64("threshold", 0.25, "with -compare: fail when ns/op or allocs/op regress by more than this fraction")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *threshold))
+	}
 
 	rec := Record{
 		GoVersion: runtime.Version(),
@@ -75,6 +93,96 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// runCompare prints per-benchmark ns/op, B/op and allocs/op deltas between
+// two recorded files and returns the process exit code: 1 when any benchmark
+// present in both files regresses beyond threshold on ns/op or allocs/op,
+// 0 otherwise. Benchmarks present in only one file are listed but never fail
+// the comparison.
+func runCompare(oldPath, newPath string, threshold float64) int {
+	oldRec, err := readRecord(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	newRec, err := readRecord(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	oldBy := make(map[string]Benchmark, len(oldRec.Benchmarks))
+	for _, b := range oldRec.Benchmarks {
+		oldBy[b.Name] = b
+	}
+
+	fmt.Printf("%-40s %12s %12s %12s\n", "benchmark", "ns/op", "B/op", "allocs/op")
+	failed := false
+	seen := make(map[string]bool, len(newRec.Benchmarks))
+	for _, nb := range newRec.Benchmarks {
+		seen[nb.Name] = true
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			fmt.Printf("%-40s %12s %12s %12s  (new)\n", nb.Name, "-", "-", "-")
+			continue
+		}
+		cells := make([]string, 0, 3)
+		bad := false
+		for _, unit := range []string{"ns/op", "B/op", "allocs/op"} {
+			ov, okOld := ob.Metrics[unit]
+			nv, okNew := nb.Metrics[unit]
+			if !okOld || !okNew {
+				cells = append(cells, "-")
+				continue
+			}
+			cells = append(cells, deltaString(ov, nv))
+			gate := unit == "ns/op" || unit == "allocs/op"
+			// A zero old value (e.g. the zero-alloc steady state) regresses
+			// on any nonzero new value; otherwise apply the fractional gate.
+			if gate && ((ov == 0 && nv > 0) || (ov > 0 && nv > ov*(1+threshold))) {
+				bad = true
+			}
+		}
+		mark := ""
+		if bad {
+			mark = "  REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-40s %12s %12s %12s%s\n", nb.Name, cells[0], cells[1], cells[2], mark)
+	}
+	for _, ob := range oldRec.Benchmarks {
+		if !seen[ob.Name] {
+			fmt.Printf("%-40s %12s %12s %12s  (removed)\n", ob.Name, "-", "-", "-")
+		}
+	}
+	if failed {
+		fmt.Printf("\nFAIL: at least one benchmark regressed more than %.0f%% on ns/op or allocs/op\n",
+			threshold*100)
+		return 1
+	}
+	fmt.Printf("\nOK: no benchmark regressed more than %.0f%% on ns/op or allocs/op\n", threshold*100)
+	return 0
+}
+
+// deltaString renders old->new as a signed percentage ("-37.2%"), or "0%"
+// when unchanged; a zero old value renders the absolute new value.
+func deltaString(ov, nv float64) string {
+	if ov == 0 {
+		return fmt.Sprintf("=%g", nv)
+	}
+	return fmt.Sprintf("%+.1f%%", (nv-ov)/ov*100)
+}
+
+func readRecord(path string) (Record, error) {
+	var rec Record
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rec, err
+	}
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return rec, fmt.Errorf("%s: %v", path, err)
+	}
+	return rec, nil
 }
 
 // parseLine parses one `BenchmarkName-P  N  v1 unit1  v2 unit2 ...` line.

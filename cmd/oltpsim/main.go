@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"oltpsim/internal/harness"
@@ -28,6 +29,8 @@ func main() {
 		verbose  = flag.Bool("v", false, "print each executed experiment cell")
 		markdown = flag.Bool("markdown", false, "emit markdown tables instead of text")
 		list     = flag.Bool("list", false, "list the available figures")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
 
@@ -60,6 +63,43 @@ func main() {
 			ids = append(ids, strings.TrimSpace(id))
 		}
 	}
+	for _, id := range ids {
+		if _, ok := harness.Figures[id]; !ok {
+			fmt.Fprintf(os.Stderr, "harness: unknown figure %q (use -list)\n", id)
+			os.Exit(2)
+		}
+	}
+
+	// Profiling starts only after flag/figure/scale validation so no error
+	// path can os.Exit past the deferred profile writes below.
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oltpsim: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "oltpsim: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "oltpsim: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "oltpsim: -memprofile: %v\n", err)
+			}
+		}()
+	}
+
 	// All requested figures build concurrently against the shared worker
 	// pool; cells shared between figures are simulated once, and the output
 	// below is printed in request order, identical to a -workers 1 run.

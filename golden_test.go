@@ -1,0 +1,63 @@
+package oltpsim
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestGoldenFiguresQuickScale locks the rendered output of
+// `oltpsim -figure all -scale quick` (text and markdown) to committed golden
+// files. The simulation is deterministic by construction, so any divergence
+// means a change altered modeled behavior — the performance work on the
+// simulator hot path carries a hard byte-identity invariant, and this is its
+// gate. Regenerate the goldens (deliberately, with review) via:
+//
+//	go run ./cmd/oltpsim -figure all -scale quick > testdata/golden_quick.txt
+//	go run ./cmd/oltpsim -figure all -scale quick -markdown > testdata/golden_quick.md
+func TestGoldenFiguresQuickScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full quick-scale figure build; skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("full quick-scale figure build; too slow under the race detector")
+	}
+	r := NewRunner(QuickScale())
+	figs, err := BuildFigures(r, FigureIDs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var text, md strings.Builder
+	for _, fig := range figs {
+		text.WriteString(fig.String())
+		text.WriteByte('\n')
+		md.WriteString(fig.Markdown())
+		md.WriteByte('\n')
+	}
+	compareGolden(t, "testdata/golden_quick.txt", text.String())
+	compareGolden(t, "testdata/golden_quick.md", md.String())
+}
+
+func compareGolden(t *testing.T, path, got string) {
+	t.Helper()
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file: %v", err)
+	}
+	if got == string(want) {
+		return
+	}
+	gotLines := strings.Split(got, "\n")
+	wantLines := strings.Split(string(want), "\n")
+	n := len(gotLines)
+	if len(wantLines) < n {
+		n = len(wantLines)
+	}
+	for i := 0; i < n; i++ {
+		if gotLines[i] != wantLines[i] {
+			t.Fatalf("%s: first divergence at line %d:\n got: %q\nwant: %q",
+				path, i+1, gotLines[i], wantLines[i])
+		}
+	}
+	t.Fatalf("%s: output length differs: got %d lines, want %d", path, len(gotLines), len(wantLines))
+}

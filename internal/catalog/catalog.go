@@ -38,11 +38,14 @@ func (c Column) Size() int {
 }
 
 // Schema is an ordered list of columns with precomputed field offsets.
+// A Schema carries a small internal pad buffer for fixed-width string writes,
+// so it is confined to a single goroutine like the engine it belongs to.
 type Schema struct {
 	Name    string
 	Columns []Column
 	offsets []int
 	rowSize int
+	pad     []byte // reusable zero-padding buffer for string-column writes
 }
 
 // NewSchema builds a schema and computes the row layout. Fields are packed in
@@ -90,6 +93,79 @@ func StringVal(s []byte) Value { return Value{S: s} }
 // Row is a decoded row: one Value per column.
 type Row []Value
 
+// Scratch is a bump allocator for transaction-lifetime row and byte buffers.
+// The engine resets it at each transaction (or bulk-load row) boundary, so
+// steady-state operation allocates nothing: buffers handed out remain valid
+// until the next Reset, and the backing arrays are reused across resets once
+// they have grown to the high-water mark. A nil *Scratch falls back to plain
+// allocation, which keeps the decode helpers usable without an engine.
+type Scratch struct {
+	vals []Value
+	buf  []byte
+}
+
+// Reset reclaims every buffer handed out since the last Reset.
+func (sc *Scratch) Reset() {
+	sc.vals = sc.vals[:0]
+	sc.buf = sc.buf[:0]
+}
+
+// Row returns an n-value row valid until the next Reset. The values are
+// unspecified (callers fill every element).
+func (sc *Scratch) Row(n int) Row {
+	if sc == nil {
+		return make(Row, n)
+	}
+	if len(sc.vals)+n > cap(sc.vals) {
+		// Grow into a fresh backing array; rows handed out earlier keep the
+		// old one alive until the transaction ends.
+		c := 2 * (len(sc.vals) + n)
+		if c < 64 {
+			c = 64
+		}
+		sc.vals = make([]Value, 0, c)
+	}
+	l := len(sc.vals)
+	sc.vals = sc.vals[:l+n]
+	return Row(sc.vals[l : l+n : l+n])
+}
+
+// Bytes returns an n-byte zeroed buffer valid until the next Reset. Callers
+// rely on the zero fill (key padding, insert log images).
+func (sc *Scratch) Bytes(n int) []byte {
+	if sc == nil {
+		return make([]byte, n)
+	}
+	if len(sc.buf)+n > cap(sc.buf) {
+		c := 2 * (len(sc.buf) + n)
+		if c < 256 {
+			c = 256
+		}
+		sc.buf = make([]byte, 0, c)
+	}
+	l := len(sc.buf)
+	sc.buf = sc.buf[:l+n]
+	b := sc.buf[l : l+n : l+n]
+	for i := range b {
+		b[i] = 0
+	}
+	return b
+}
+
+// padded returns v.S zero-padded to width in the schema's reusable buffer
+// (valid until the next padded call).
+func (s *Schema) padded(v Value, width int) []byte {
+	if cap(s.pad) < width {
+		s.pad = make([]byte, width)
+	}
+	buf := s.pad[:width]
+	n := copy(buf, v.S)
+	for ; n < width; n++ {
+		buf[n] = 0
+	}
+	return buf
+}
+
 // WriteRow encodes row at addr in the arena according to the schema.
 func (s *Schema) WriteRow(m *simmem.Arena, addr simmem.Addr, row Row) {
 	if len(row) != len(s.Columns) {
@@ -102,31 +178,40 @@ func (s *Schema) WriteRow(m *simmem.Arena, addr simmem.Addr, row Row) {
 		case TypeLong:
 			m.WriteU64(fa, uint64(row[i].I))
 		case TypeString:
-			buf := make([]byte, c.Width)
-			copy(buf, row[i].S)
-			m.WriteBytes(fa, buf)
+			m.WriteBytes(fa, s.padded(row[i], c.Width))
 		}
 	}
 }
 
 // ReadRow decodes the row at addr.
 func (s *Schema) ReadRow(m *simmem.Arena, addr simmem.Addr) Row {
-	row := make(Row, len(s.Columns))
+	return s.ReadRowS(m, addr, nil)
+}
+
+// ReadRowS is ReadRow decoding into buffers from sc (nil sc allocates).
+func (s *Schema) ReadRowS(m *simmem.Arena, addr simmem.Addr, sc *Scratch) Row {
+	row := sc.Row(len(s.Columns))
 	for i := range s.Columns {
-		row[i] = s.ReadField(m, addr, i)
+		row[i] = s.ReadFieldS(m, addr, i, sc)
 	}
 	return row
 }
 
 // ReadField decodes column col of the row at addr.
 func (s *Schema) ReadField(m *simmem.Arena, addr simmem.Addr, col int) Value {
+	return s.ReadFieldS(m, addr, col, nil)
+}
+
+// ReadFieldS is ReadField decoding string columns into a buffer from sc
+// (nil sc allocates).
+func (s *Schema) ReadFieldS(m *simmem.Arena, addr simmem.Addr, col int, sc *Scratch) Value {
 	c := s.Columns[col]
 	fa := addr + simmem.Addr(s.offsets[col])
 	switch c.Type {
 	case TypeLong:
 		return Value{I: int64(m.ReadU64(fa))}
 	default:
-		buf := make([]byte, c.Width)
+		buf := sc.Bytes(c.Width)
 		m.ReadBytes(fa, buf)
 		return Value{S: buf}
 	}
@@ -140,20 +225,25 @@ func (s *Schema) WriteField(m *simmem.Arena, addr simmem.Addr, col int, v Value)
 	case TypeLong:
 		m.WriteU64(fa, uint64(v.I))
 	default:
-		buf := make([]byte, c.Width)
-		copy(buf, v.S)
-		m.WriteBytes(fa, buf)
+		m.WriteBytes(fa, s.padded(v, c.Width))
 	}
 }
 
 // EncodeKeyLong converts an integer key to its 8-byte big-endian index
 // representation, which preserves numeric order under bytewise comparison.
 func EncodeKeyLong(k int64) []byte {
+	b := make([]byte, 8)
+	PutKeyLong(b, k)
+	return b
+}
+
+// PutKeyLong writes the 8-byte big-endian index encoding of k into dst
+// (the allocation-free form of EncodeKeyLong).
+func PutKeyLong(dst []byte, k int64) {
 	u := uint64(k)
-	return []byte{
-		byte(u >> 56), byte(u >> 48), byte(u >> 40), byte(u >> 32),
-		byte(u >> 24), byte(u >> 16), byte(u >> 8), byte(u),
-	}
+	_ = dst[7]
+	dst[0], dst[1], dst[2], dst[3] = byte(u>>56), byte(u>>48), byte(u>>40), byte(u>>32)
+	dst[4], dst[5], dst[6], dst[7] = byte(u>>24), byte(u>>16), byte(u>>8), byte(u)
 }
 
 // DecodeKeyLong inverts EncodeKeyLong.

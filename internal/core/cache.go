@@ -24,6 +24,12 @@ type Cache struct {
 	geom CacheGeom
 	sets int
 	ways int
+	// setMask is sets-1 when the set count is a power of two (the common
+	// case, letting setIndex use a mask instead of a modulo); pow2 records
+	// which path applies. Both are fixed at construction so the per-access
+	// path never re-tests the geometry.
+	setMask uint64
+	pow2    bool
 	// tags[set*ways+way] holds lineID+1; 0 means invalid. Within a set, way 0
 	// is the most recently used and way ways-1 the least recently used, so a
 	// hit moves the entry to the front of its set slice.
@@ -32,21 +38,20 @@ type Cache struct {
 	stats [numClasses]CacheStats
 }
 
-// NewCache builds a cache with the given geometry.
+// NewCache builds a cache with the given geometry. Non-power-of-two set
+// counts are allowed (setIndex falls back to a modulo for them).
 func NewCache(g CacheGeom) *Cache {
 	sets := g.Sets()
-	if sets <= 0 || sets&(sets-1) != 0 {
-		// Non-power-of-two set counts are allowed (the 20MB/20-way LLC has
-		// 16384 sets, which is a power of two; but keep modulo general).
-		if sets <= 0 {
-			panic("core: cache geometry yields no sets")
-		}
+	if sets <= 0 {
+		panic("core: cache geometry yields no sets")
 	}
 	return &Cache{
-		geom: g,
-		sets: sets,
-		ways: g.Assoc,
-		tags: make([]uint64, sets*g.Assoc),
+		geom:    g,
+		sets:    sets,
+		ways:    g.Assoc,
+		setMask: uint64(sets - 1),
+		pow2:    sets&(sets-1) == 0,
+		tags:    make([]uint64, sets*g.Assoc),
 	}
 }
 
@@ -60,21 +65,32 @@ func (c *Cache) Stats(class AccessClass) CacheStats { return c.stats[class] }
 func (c *Cache) ResetStats() { c.stats = [numClasses]CacheStats{} }
 
 func (c *Cache) setIndex(lineID uint64) int {
-	if c.sets&(c.sets-1) == 0 {
-		return int(lineID & uint64(c.sets-1))
+	if c.pow2 {
+		return int(lineID & c.setMask)
 	}
 	return int(lineID % uint64(c.sets))
 }
 
 // Access looks up lineID, filling it on a miss, and returns whether it hit.
-// The counters for the given class are updated.
+// The counters for the given class are updated. The set is scanned and
+// updated in place (one base computation per access, no move on an MRU hit).
 func (c *Cache) Access(lineID uint64, class AccessClass) bool {
 	c.stats[class].Accesses++
-	if c.touch(lineID) {
-		return true
+	tag := lineID + 1
+	base := c.setIndex(lineID) * c.ways
+	set := c.tags[base : base+c.ways]
+	for i, t := range set {
+		if t == tag {
+			if i != 0 {
+				copy(set[1:i+1], set[:i])
+				set[0] = tag
+			}
+			return true
+		}
 	}
 	c.stats[class].Misses++
-	c.fill(lineID)
+	copy(set[1:], set[:c.ways-1])
+	set[0] = tag
 	return false
 }
 
@@ -92,36 +108,23 @@ func (c *Cache) Probe(lineID uint64) bool {
 	return false
 }
 
-// touch returns true and promotes the line to MRU if present.
-func (c *Cache) touch(lineID uint64) bool {
+// FillQuiet inserts lineID without counting an access or miss. Used by the
+// instruction prefetcher.
+func (c *Cache) FillQuiet(lineID uint64) {
 	tag := lineID + 1
 	base := c.setIndex(lineID) * c.ways
 	set := c.tags[base : base+c.ways]
 	for i, t := range set {
 		if t == tag {
-			copy(set[1:i+1], set[:i])
-			set[0] = tag
-			return true
+			if i != 0 {
+				copy(set[1:i+1], set[:i])
+				set[0] = tag
+			}
+			return
 		}
 	}
-	return false
-}
-
-// fill inserts lineID as MRU, evicting the LRU way.
-func (c *Cache) fill(lineID uint64) {
-	base := c.setIndex(lineID) * c.ways
-	set := c.tags[base : base+c.ways]
 	copy(set[1:], set[:c.ways-1])
-	set[0] = lineID + 1
-}
-
-// FillQuiet inserts lineID without counting an access or miss. Used by the
-// instruction prefetcher.
-func (c *Cache) FillQuiet(lineID uint64) {
-	if c.touch(lineID) {
-		return
-	}
-	c.fill(lineID)
+	set[0] = tag
 }
 
 // Invalidate removes lineID if present and reports whether it was resident.

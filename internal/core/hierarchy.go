@@ -60,7 +60,57 @@ type Hierarchy struct {
 
 	// dir maps a data line to the bitmask of cores whose private caches may
 	// hold it. Only maintained when coherence is enabled.
-	dir map[uint64]uint32
+	dir *directory
+}
+
+// The coherence directory is a two-level paged slice keyed by data line ID
+// relative to the data segment base: a top-level slice of pages, each page
+// covering dirPageSize lines. Lookups are two dependent loads instead of a
+// map probe on the per-access hot path; pages materialize lazily, so only
+// line ranges that are actually written cost memory.
+const (
+	dirPageShift = 14
+	dirPageSize  = 1 << dirPageShift
+	dirPageMask  = dirPageSize - 1
+)
+
+type dirPage [dirPageSize]uint32
+
+type directory struct {
+	base  uint64 // line ID of the data segment base
+	pages []*dirPage
+}
+
+func newDirectory() *directory {
+	return &directory{base: uint64(simmem.DataBase) >> LineShift}
+}
+
+// get returns the sharer mask for line id (0 when never recorded).
+func (d *directory) get(id uint64) uint32 {
+	idx := id - d.base
+	pi := idx >> dirPageShift
+	if pi >= uint64(len(d.pages)) || d.pages[pi] == nil {
+		return 0
+	}
+	return d.pages[pi][idx&dirPageMask]
+}
+
+// set stores the sharer mask for line id, materializing its page.
+func (d *directory) set(id uint64, mask uint32) {
+	idx := id - d.base
+	if id < d.base {
+		panic("core: coherence directory access below the data segment")
+	}
+	pi := idx >> dirPageShift
+	for pi >= uint64(len(d.pages)) {
+		d.pages = append(d.pages, nil)
+	}
+	p := d.pages[pi]
+	if p == nil {
+		p = new(dirPage)
+		d.pages[pi] = p
+	}
+	p[idx&dirPageMask] = mask
 }
 
 // NewHierarchy builds the hierarchy described by cfg.
@@ -85,7 +135,7 @@ func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
 		}
 	}
 	if cfg.Coherence && cfg.Cores > 1 {
-		h.dir = make(map[uint64]uint32)
+		h.dir = newDirectory()
 	}
 	return h
 }
@@ -114,20 +164,21 @@ func (h *Hierarchy) TotalCounts() MissCounts {
 func (h *Hierarchy) FetchCode(core int, addr simmem.Addr, nLines int) int {
 	cc := &h.cores[core]
 	ct := &h.counts[core]
+	l1i, l2, llc := cc.l1i, cc.l2, h.llc
 	stall := 0
 	line := uint64(addr) >> LineShift
 	for i := 0; i < nLines; i++ {
 		id := line + uint64(i)
 		ct.L1IAcc++
-		if cc.l1i.Access(id, ClassInstr) {
+		if l1i.Access(id, ClassInstr) {
 			continue
 		}
 		ct.L1IMiss++
 		stall += h.cfg.L1I.MissPenalty
-		if !cc.l2.Access(id, ClassInstr) {
+		if !l2.Access(id, ClassInstr) {
 			ct.L2IMiss++
 			stall += h.cfg.L2.MissPenalty
-			if !h.llc.Access(id, ClassInstr) {
+			if !llc.Access(id, ClassInstr) {
 				ct.LLCIMiss++
 				stall += h.cfg.LLC.MissPenalty
 			}
@@ -136,9 +187,9 @@ func (h *Hierarchy) FetchCode(core int, addr simmem.Addr, nLines int) int {
 		// straight-line code does not miss on every line.
 		for p := 1; p <= h.cfg.IPrefetchLines; p++ {
 			pid := id + uint64(p)
-			cc.l1i.FillQuiet(pid)
-			cc.l2.FillQuiet(pid)
-			h.llc.FillQuiet(pid)
+			l1i.FillQuiet(pid)
+			l2.FillQuiet(pid)
+			llc.FillQuiet(pid)
 			ct.IPrefetches++
 		}
 	}
@@ -164,7 +215,7 @@ func (h *Hierarchy) DataAccess(core int, addr simmem.Addr, size int, write bool)
 	for id := first; id <= last; id++ {
 		ct.L1DAcc++
 		if h.dir != nil && write {
-			if mask := h.dir[id]; mask & ^(uint32(1)<<core) != 0 {
+			if mask := h.dir.get(id); mask & ^(uint32(1)<<core) != 0 {
 				for other := range h.cores {
 					if other == core || mask&(uint32(1)<<other) == 0 {
 						continue
@@ -176,7 +227,7 @@ func (h *Hierarchy) DataAccess(core int, addr simmem.Addr, size int, write bool)
 						ct.Invalidations++
 					}
 				}
-				h.dir[id] = uint32(1) << core
+				h.dir.set(id, uint32(1)<<core)
 			}
 		}
 		if write {
@@ -184,7 +235,7 @@ func (h *Hierarchy) DataAccess(core int, addr simmem.Addr, size int, write bool)
 			cc.l2.FillQuiet(id)
 			h.llc.FillQuiet(id)
 			if h.dir != nil {
-				h.dir[id] |= uint32(1) << core
+				h.dir.set(id, h.dir.get(id)|uint32(1)<<core)
 			}
 			continue
 		}
@@ -202,7 +253,7 @@ func (h *Hierarchy) DataAccess(core int, addr simmem.Addr, size int, write bool)
 			}
 		}
 		if h.dir != nil {
-			h.dir[id] |= uint32(1) << core
+			h.dir.set(id, h.dir.get(id)|uint32(1)<<core)
 		}
 	}
 	return stall

@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// raceEnabled reports that this binary was built with -race; the
+// AllocsPerRun gates are skipped there (race shadow bookkeeping allocates).
+const raceEnabled = true

@@ -32,16 +32,26 @@ type Engine struct {
 	bp   *storage.BufferPool
 	logs []*wal.Log // one per partition (partitioned engines log per site)
 
-	tables  []*Table
-	byName  map[string]*Table
-	procs   map[string]*Procedure
-	sqlText map[string]string // cached op -> SQL text (FESQLPerRequest)
+	tables []*Table
+	byName map[string]*Table
+	procs  map[string]*Procedure
 
 	txnSeq  uint64
 	meter   *idxMeter
 	Aborts  uint64
 	curCPU  *core.CPU
 	baseCPI float64
+
+	// Transaction-scoped reusable state. One transaction is active on an
+	// engine at a time (the documented single-goroutine confinement), so
+	// Invoke recycles one Tx value, one MVCC context, one statement-seen set
+	// and one scratch arena across transactions — the steady state of the
+	// hot path allocates nothing.
+	scratch  catalog.Scratch
+	txv      Tx
+	mvtx     txn.MVTx
+	seenStmt map[string]bool // FESQLPerRequest: statements parsed this tx
+	locked   []bool          // table ID -> intent lock held this tx
 }
 
 // Table is one logical table, possibly sharded across partitions.
@@ -58,6 +68,7 @@ type Table struct {
 	Replicated bool
 	shards     []shard
 	e          *Engine
+	stmts      [numOpKinds]*stmtInfo // cached SQL text+shape per op kind
 }
 
 // SetReplicated marks the table as replicated across partitions. It must be
@@ -91,9 +102,11 @@ func New(cfg Config) *Engine {
 		cs:      core.NewCodeSpace(mach.Arena),
 		byName:  make(map[string]*Table),
 		procs:   make(map[string]*Procedure),
-		sqlText: make(map[string]string),
 		curCPU:  mach.Current(),
 		baseCPI: 1.0/core.BaseIPC + cfg.OtherCPI,
+	}
+	if cfg.FrontEnd == FESQLPerRequest {
+		e.seenStmt = make(map[string]bool, 8)
 	}
 	r := cfg.Regions
 	mk := func(name string, mod core.Module, spec RegionSpec) *core.Region {
@@ -265,22 +278,26 @@ func (e *Engine) Table(name string) *Table {
 func (e *Engine) Tables() []*Table { return e.tables }
 
 // EncodeKey builds the index key bytes for the key column values (in key
-// order). Long values use the order-preserving big-endian encoding.
+// order). Long values use the order-preserving big-endian encoding. The key
+// is built in the engine's transaction scratch arena: it stays valid until
+// the end of the current transaction (or bulk-load row), and nothing
+// downstream retains it (indexes and the log copy key bytes into the arena).
 func (t *Table) EncodeKey(keyVals []catalog.Value) []byte {
 	if len(keyVals) != len(t.KeyCols) {
 		panic(fmt.Sprintf("engine: table %q key arity %d, want %d",
 			t.Name, len(keyVals), len(t.KeyCols)))
 	}
-	key := make([]byte, 0, t.KeyWidth)
+	key := t.e.scratch.Bytes(t.KeyWidth) // zeroed: string columns pad with 0
+	off := 0
 	for i, ci := range t.KeyCols {
 		col := t.Schema.Columns[ci]
 		switch col.Type {
 		case catalog.TypeLong:
-			key = append(key, catalog.EncodeKeyLong(keyVals[i].I)...)
+			catalog.PutKeyLong(key[off:off+8], keyVals[i].I)
+			off += 8
 		case catalog.TypeString:
-			buf := make([]byte, col.Width)
-			copy(buf, keyVals[i].S)
-			key = append(key, buf...)
+			copy(key[off:off+col.Width], keyVals[i].S)
+			off += col.Width
 		}
 	}
 	return key
@@ -335,7 +352,8 @@ func (t *Table) IndexHeightHint() int {
 // The row's partition is derived from its key; replicated tables load a copy
 // into every partition.
 func (t *Table) Load(row catalog.Row) {
-	keyVals := make([]catalog.Value, len(t.KeyCols))
+	t.e.scratch.Reset() // no transaction active during bulk load
+	keyVals := t.e.scratch.Row(len(t.KeyCols))
 	for i, ci := range t.KeyCols {
 		keyVals[i] = row[ci]
 	}

@@ -26,13 +26,15 @@ type Tx struct {
 	args []catalog.Value
 	proc *Procedure
 
-	mtx        *txn.MVTx
-	tableLocks map[int]bool
+	mtx *txn.MVTx
+	// tableLocks marks tables whose intent lock this transaction already
+	// holds (indexed by table ID; backed by the engine's reusable slice).
+	tableLocks []bool
 	// seenStmt caches statements already parsed within this transaction
 	// (FESQLPerRequest): the first execution of each distinct statement pays
 	// the full parse+optimize path, repeats re-bind parameters only. This is
 	// what makes longer transactions amortize the SQL stack, the effect the
-	// paper measures in Figure 7.
+	// paper measures in Figure 7. Backed by the engine's reusable map.
 	seenStmt map[string]bool
 }
 
@@ -56,6 +58,7 @@ const (
 	opInsert
 	opDelete
 	opScan
+	numOpKinds
 )
 
 // shardFor picks the shard a key lives in; non-partitioned engines always
@@ -134,11 +137,11 @@ func (tx *Tx) getCols(t *Table, keyVals []catalog.Value, cols []int) (catalog.Ro
 	readFields := func(addr simmem.Addr) catalog.Row {
 		tx.cpu.Exec(tx.e.rStorage, c.StorageAccess)
 		if cols == nil {
-			return t.Schema.ReadRow(m, addr)
+			return t.Schema.ReadRowS(m, addr, &tx.e.scratch)
 		}
-		row := make(catalog.Row, len(cols))
+		row := tx.e.scratch.Row(len(cols))
 		for i, ci := range cols {
-			row[i] = t.Schema.ReadField(m, addr, ci)
+			row[i] = t.Schema.ReadFieldS(m, addr, ci, &tx.e.scratch)
 		}
 		return row
 	}
@@ -200,7 +203,7 @@ func (tx *Tx) update(t *Table, keyVals []catalog.Value, col int, f func(catalog.
 			return err
 		}
 		tx.cpu.Exec(tx.e.rStorage, c.StorageAccess)
-		old := t.Schema.ReadField(m, addr, col)
+		old := t.Schema.ReadFieldS(m, addr, col, &tx.e.scratch)
 		// Physiological logging: before-image of the row.
 		tx.cpu.Exec(tx.e.rLog, c.LogBase+c.LogPerByte*rowSize)
 		tx.e.logs[tx.part].Append(tx.id, wal.RecUpdate, addr, rowSize)
@@ -210,7 +213,7 @@ func (tx *Tx) update(t *Table, keyVals []catalog.Value, col int, f func(catalog.
 	case StorageRows:
 		addr := simmem.Addr(val)
 		tx.cpu.Exec(tx.e.rStorage, c.StorageAccess)
-		old := t.Schema.ReadField(m, addr, col)
+		old := t.Schema.ReadFieldS(m, addr, col, &tx.e.scratch)
 		tx.cpu.Exec(tx.e.rLog, c.LogBase+c.LogPerByte*rowSize)
 		tx.e.logs[tx.part].Append(tx.id, wal.RecUpdate, addr, rowSize)
 		t.Schema.WriteField(m, addr, col, f(old))
@@ -223,7 +226,7 @@ func (tx *Tx) update(t *Table, keyVals []catalog.Value, col int, f func(catalog.
 			return ErrNotFound
 		}
 		tx.cpu.Exec(tx.e.rStorage, c.StorageAccess)
-		row := t.Schema.ReadRow(m, cur)
+		row := t.Schema.ReadRowS(m, cur, &tx.e.scratch)
 		row[col] = f(row[col])
 		newAddr := sh.rows.Insert(row)
 		tx.cpu.Exec(tx.e.rLog, c.LogBase+c.LogPerByte*rowSize)
@@ -265,13 +268,13 @@ func (tx *Tx) Modify(t *Table, keyVals []catalog.Value, f func(catalog.Row) cata
 			return err
 		}
 		tx.cpu.Exec(tx.e.rStorage, c.StorageAccess)
-		writeBack(addr, f(t.Schema.ReadRow(m, addr)))
+		writeBack(addr, f(t.Schema.ReadRowS(m, addr, &tx.e.scratch)))
 		sh.heap.Unfix(rid, true)
 		return nil
 	case StorageRows:
 		addr := simmem.Addr(val)
 		tx.cpu.Exec(tx.e.rStorage, c.StorageAccess)
-		writeBack(addr, f(t.Schema.ReadRow(m, addr)))
+		writeBack(addr, f(t.Schema.ReadRowS(m, addr, &tx.e.scratch)))
 		return nil
 	default: // StorageMVCC
 		anchor := simmem.Addr(val)
@@ -281,7 +284,7 @@ func (tx *Tx) Modify(t *Table, keyVals []catalog.Value, f func(catalog.Row) cata
 			return ErrNotFound
 		}
 		tx.cpu.Exec(tx.e.rStorage, c.StorageAccess)
-		row := f(t.Schema.ReadRow(m, cur))
+		row := f(t.Schema.ReadRowS(m, cur, &tx.e.scratch))
 		newAddr := sh.rows.Insert(row)
 		tx.cpu.Exec(tx.e.rLog, c.LogBase+c.LogPerByte*rowSize)
 		tx.e.logs[tx.part].Append(tx.id, wal.RecUpdate, newAddr, rowSize)
@@ -293,7 +296,7 @@ func (tx *Tx) Modify(t *Table, keyVals []catalog.Value, f func(catalog.Row) cata
 // Insert adds a new row.
 func (tx *Tx) Insert(t *Table, row catalog.Row) error {
 	tx.chargeOp(opInsert, t)
-	keyVals := make([]catalog.Value, len(t.KeyCols))
+	keyVals := tx.e.scratch.Row(len(t.KeyCols))
 	for i, ci := range t.KeyCols {
 		keyVals[i] = row[ci]
 	}
@@ -322,7 +325,7 @@ func (tx *Tx) Insert(t *Table, row catalog.Row) error {
 		sh.idx.Insert(key, uint64(anchor))
 	}
 	tx.cpu.Exec(tx.e.rLog, c.LogBase+c.LogPerByte*rowSize)
-	img := make([]byte, rowSize)
+	img := tx.e.scratch.Bytes(rowSize) // zeroed logical insert image
 	tx.e.logs[tx.part].AppendBytes(tx.id, wal.RecInsert, img)
 	return nil
 }
@@ -391,7 +394,7 @@ func (tx *Tx) Scan(t *Table, fromKey []catalog.Value, limit int, fn func(key []b
 			addr = a
 		}
 		tx.scanRowCharge()
-		row := t.Schema.ReadRow(m, addr)
+		row := t.Schema.ReadRowS(m, addr, &tx.e.scratch)
 		visited++
 		if !fn(key, row) {
 			return false

@@ -34,6 +34,15 @@ type ART struct {
 	kw    int
 	root  simmem.Addr
 	count uint64
+
+	// Reusable scratch buffers (single-goroutine, each confined to one call
+	// frame): leafBuf holds a leaf key during lookup/insert/delete, prefixBuf
+	// a recovered full prefix, and fpKeyBuf the min-leaf key read inside
+	// fullPrefix. Scan keeps per-leaf allocations: its keys are handed to the
+	// caller's callback.
+	leafBuf   []byte
+	prefixBuf []byte
+	fpKeyBuf  []byte
 }
 
 // Node kinds.
@@ -52,7 +61,12 @@ func NewART(m *simmem.Arena, keyWidth int) *ART {
 	if keyWidth <= 0 || keyWidth > 64 {
 		panic(fmt.Sprintf("index: art key width %d", keyWidth))
 	}
-	return &ART{m: m, meter: nopMeter{}, kw: keyWidth}
+	return &ART{
+		m: m, meter: nopMeter{}, kw: keyWidth,
+		leafBuf:   make([]byte, keyWidth),
+		prefixBuf: make([]byte, keyWidth),
+		fpKeyBuf:  make([]byte, keyWidth),
+	}
 }
 
 // Name implements Index.
@@ -136,8 +150,8 @@ func (t *ART) newNode(kind int) simmem.Addr {
 	if kind == artNode48 {
 		// Zero child-index map (fresh arena memory is already zero, but the
 		// node may reuse address space conceptually; be explicit).
-		zero := make([]byte, 256)
-		t.m.WriteBytes(n+artHdr, zero)
+		var zero [256]byte
+		t.m.WriteBytes(n+artHdr, zero[:])
 	}
 	return n
 }
@@ -307,7 +321,8 @@ func (t *ART) forEachChild(n simmem.Addr, fn func(b byte, child simmem.Addr) boo
 		if t.kind(n) == artNode16 {
 			width, childBase = 16, 16
 		}
-		keys := make([]byte, width)
+		var karr [16]byte
+		keys := karr[:width]
 		t.m.ReadBytes(n+artHdr, keys)
 		for i := 0; i < nc; i++ {
 			c := simmem.Addr(t.m.ReadU64(n + artHdr + simmem.Addr(childBase) + simmem.Addr(i*8)))
@@ -316,8 +331,8 @@ func (t *ART) forEachChild(n simmem.Addr, fn func(b byte, child simmem.Addr) boo
 			}
 		}
 	case artNode48:
-		idx := make([]byte, 256)
-		t.m.ReadBytes(n+artHdr, idx)
+		var idx [256]byte
+		t.m.ReadBytes(n+artHdr, idx[:])
 		for b := 0; b < 256; b++ {
 			if idx[b] == 0 {
 				continue
@@ -357,16 +372,17 @@ func (t *ART) minLeaf(n simmem.Addr) simmem.Addr {
 	return n
 }
 
-// fullPrefix returns the complete prefix bytes of node n at depth.
+// fullPrefix returns the complete prefix bytes of node n at depth, in a
+// buffer valid until the next fullPrefix call.
 func (t *ART) fullPrefix(n simmem.Addr, depth int) []byte {
 	pl := t.prefixLen(n)
-	buf := make([]byte, pl)
+	buf := t.prefixBuf[:pl]
 	if pl <= 8 {
 		t.m.ReadBytes(n+8, buf)
 		return buf
 	}
 	leaf := t.minLeaf(n)
-	lk := make([]byte, t.kw)
+	lk := t.fpKeyBuf
 	t.leafKey(leaf, lk)
 	copy(buf, lk[depth:depth+pl])
 	return buf
@@ -381,8 +397,7 @@ func (t *ART) Lookup(key []byte) (uint64, bool) {
 	for n != 0 {
 		t.meter.NodeVisit(8)
 		if t.kind(n) == artLeaf {
-			lk := make([]byte, t.kw)
-			if bytes.Equal(t.leafKey(n, lk), key) {
+			if bytes.Equal(t.leafKey(n, t.leafBuf), key) {
 				return t.leafVal(n), true
 			}
 			return 0, false
@@ -425,7 +440,7 @@ func (t *ART) Insert(key []byte, val uint64) {
 func (t *ART) insertRec(n simmem.Addr, key []byte, val uint64, depth int) (simmem.Addr, bool) {
 	t.meter.NodeVisit(8)
 	if t.kind(n) == artLeaf {
-		lk := make([]byte, t.kw)
+		lk := t.leafBuf
 		t.leafKey(n, lk)
 		if bytes.Equal(lk, key) {
 			t.m.WriteU64(n+8, val)
@@ -495,8 +510,7 @@ func (t *ART) Delete(key []byte) bool {
 func (t *ART) deleteRec(n simmem.Addr, key []byte, depth int) (simmem.Addr, bool) {
 	t.meter.NodeVisit(8)
 	if t.kind(n) == artLeaf {
-		lk := make([]byte, t.kw)
-		if bytes.Equal(t.leafKey(n, lk), key) {
+		if bytes.Equal(t.leafKey(n, t.leafBuf), key) {
 			return 0, true
 		}
 		return n, false
@@ -541,7 +555,8 @@ func (t *ART) removeChild(n simmem.Addr, b byte) {
 			width, childBase = 16, 16
 		}
 		nc := t.nChildren(n)
-		keys := make([]byte, width)
+		var karr [16]byte
+		keys := karr[:width]
 		t.m.ReadBytes(n+artHdr, keys)
 		for i := 0; i < nc; i++ {
 			if keys[i] != b {
@@ -570,8 +585,8 @@ func (t *ART) removeChild(n simmem.Addr, b byte) {
 			last := t.m.ReadU64(n + artHdr + 256 + simmem.Addr((nc-1)*8))
 			t.m.WriteU64(n+artHdr+256+simmem.Addr(hole*8), last)
 			// Find which byte mapped to the last slot and repoint it.
-			idxMap := make([]byte, 256)
-			t.m.ReadBytes(n+artHdr, idxMap)
+			var idxMap [256]byte
+			t.m.ReadBytes(n+artHdr, idxMap[:])
 			for bb := 0; bb < 256; bb++ {
 				if int(idxMap[bb]) == nc {
 					t.m.WriteBytes(n+artHdr+simmem.Addr(bb), []byte{byte(hole + 1)})

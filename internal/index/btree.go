@@ -3,6 +3,7 @@ package index
 import (
 	"bytes"
 	"fmt"
+	"math/bits"
 
 	"oltpsim/internal/simmem"
 	"oltpsim/internal/storage"
@@ -35,6 +36,31 @@ type BTree struct {
 	root   uint64
 	height int
 	count  uint64
+
+	// Reusable per-tree scratch buffers (single-goroutine, confined to one
+	// call frame each, see CCTree): binary-search key, split separator, and
+	// entry-block moves.
+	kbuf    []byte
+	sepBuf  []byte
+	moveBuf []byte
+
+	fa appendPath // bulk-append fast path (untraced ascending loads)
+}
+
+// appendPath caches the rightmost root-to-leaf path (page IDs or node
+// addresses, and the entry count of each node) plus the current maximum key.
+// While the arena is untraced — bulk population — an insert of a key greater
+// than maxKey whose path has no full node is a pure leaf append: the descent
+// reads have no observable effect (no trace events, quiet meter charges are
+// reproduced exactly), so the fast path skips them and performs only the
+// writes, page fixes and counter updates the normal path would perform. Any
+// other mutation invalidates the cache; it is rebuilt with read-only probes.
+type appendPath struct {
+	valid  bool
+	ids    []uint64      // BTree: page IDs, root..leaf
+	addrs  []simmem.Addr // CCTree: node addresses, root..leaf
+	ns     []int         // entry count per path node
+	maxKey []byte
 }
 
 const btHdr = 16
@@ -46,6 +72,9 @@ func NewBTree(m *simmem.Arena, bp *storage.BufferPool, keyWidth int) *BTree {
 	}
 	t := &BTree{m: m, bp: bp, meter: nopMeter{}, kw: keyWidth, esize: keyWidth + 8}
 	t.cap = (storage.PageSize - btHdr) / t.esize
+	t.kbuf = make([]byte, keyWidth)
+	t.sepBuf = make([]byte, keyWidth)
+	t.moveBuf = make([]byte, storage.PageSize)
 	root, addr, err := bp.NewPage()
 	if err != nil {
 		panic("index: cannot allocate btree root: " + err.Error())
@@ -110,10 +139,31 @@ func (t *BTree) setValAt(addr simmem.Addr, i int, v uint64) {
 // lowerBound returns the first index whose key >= key, and whether an exact
 // match exists, charging the meter for the comparisons performed.
 func (t *BTree) lowerBound(addr simmem.Addr, n int, key []byte) (int, bool) {
-	scratch := make([]byte, t.kw)
 	lo, hi := 0, n
 	cmpBytes := 0
 	found := false
+	if t.kw == 8 {
+		// 8-byte keys compare as big-endian words: one ReadU64 per step emits
+		// the identical trace event to ReadBytes of 8 bytes (see CCTree).
+		want := keyWord(key)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			cmpBytes += 8
+			got := bits.ReverseBytes64(t.m.ReadU64(t.entry(addr, mid)))
+			switch {
+			case got < want:
+				lo = mid + 1
+			case got > want:
+				hi = mid
+			default:
+				found = true
+				hi = mid
+			}
+		}
+		t.meter.NodeVisit(cmpBytes)
+		return lo, found
+	}
+	scratch := t.kbuf
 	for lo < hi {
 		mid := (lo + hi) / 2
 		cmpBytes += t.kw
@@ -176,6 +226,88 @@ func (t *BTree) Lookup(key []byte) (uint64, bool) {
 // parent always has room for a separator.
 func (t *BTree) Insert(key []byte, val uint64) {
 	t.checkKey(key)
+	if t.tryFastAppend(key, val) {
+		return
+	}
+	t.fa.valid = false
+	t.insertSlow(key, val)
+	t.rebuildAppendPath()
+}
+
+// tryFastAppend performs the untraced ascending-load append (see appendPath):
+// same page fixes, same meter charges, same writes as the full descent —
+// minus the descent's unobservable reads.
+func (t *BTree) tryFastAppend(key []byte, val uint64) bool {
+	fa := &t.fa
+	if !fa.valid || t.m.Tracing() || bytes.Compare(key, fa.maxKey) <= 0 {
+		return false
+	}
+	for _, n := range fa.ns {
+		if n >= t.cap {
+			return false // a split is due: take the full descent
+		}
+	}
+	cur, err := t.bp.Fix(fa.ids[0])
+	if err != nil {
+		panic(err)
+	}
+	for lvl := 0; lvl+1 < len(fa.ids); lvl++ {
+		t.meter.NodeVisit(t.kw * searchSteps(fa.ns[lvl])) // childFor's search
+		child, err := t.bp.Fix(fa.ids[lvl+1])
+		if err != nil {
+			panic(err)
+		}
+		t.bp.UnfixAddr(cur, true)
+		cur = child
+	}
+	n := fa.ns[len(fa.ns)-1]
+	t.meter.NodeVisit(t.kw * searchSteps(n)) // leaf search
+	t.m.WriteBytes(t.entry(cur, n), key)
+	t.setValAt(cur, n, val)
+	t.setNKeys(cur, n+1)
+	t.count++
+	t.bp.UnfixAddr(cur, true)
+	fa.ns[len(fa.ns)-1] = n + 1
+	fa.maxKey = append(fa.maxKey[:0], key...)
+	return true
+}
+
+// rebuildAppendPath re-derives the rightmost path with read-only probes (no
+// pins, no hit/reference updates). Only meaningful while untraced.
+func (t *BTree) rebuildAppendPath() {
+	fa := &t.fa
+	fa.valid = false
+	if t.m.Tracing() {
+		return
+	}
+	fa.ids = fa.ids[:0]
+	fa.ns = fa.ns[:0]
+	id := t.root
+	for lvl := 0; lvl < t.height; lvl++ {
+		addr, ok := t.bp.Peek(id)
+		if !ok {
+			return // page not resident; stay on the full descent
+		}
+		n := t.nKeys(addr)
+		fa.ids = append(fa.ids, id)
+		fa.ns = append(fa.ns, n)
+		if lvl == t.height-1 {
+			if n == 0 {
+				return // empty leaf: no maximum to append after
+			}
+			fa.maxKey = append(fa.maxKey[:0], t.keyAt(addr, n-1, t.kbuf)...)
+			fa.valid = true
+			return
+		}
+		if n == 0 {
+			id = t.m.ReadU64(addr + 8)
+		} else {
+			id = t.valAt(addr, n-1)
+		}
+	}
+}
+
+func (t *BTree) insertSlow(key []byte, val uint64) {
 	// Split a full root first.
 	rootAddr, err := t.bp.Fix(t.root)
 	if err != nil {
@@ -238,7 +370,7 @@ func (t *BTree) shiftRight(addr simmem.Addr, pos, n int) {
 		return
 	}
 	size := (n - pos) * t.esize
-	buf := make([]byte, size)
+	buf := t.moveBuf[:size]
 	t.m.ReadBytes(t.entry(addr, pos), buf)
 	t.m.WriteBytes(t.entry(addr, pos+1), buf)
 }
@@ -256,12 +388,12 @@ func (t *BTree) splitChild(parentAddr simmem.Addr, _ int, childID uint64, childA
 	n := t.nKeys(childAddr)
 	mid := n / 2
 
-	sep := make([]byte, t.kw)
+	sep := t.sepBuf
 	if leaf {
 		// Right gets entries[mid:]; separator is right's first key.
 		t.keyAt(childAddr, mid, sep)
 		moved := n - mid
-		buf := make([]byte, moved*t.esize)
+		buf := t.moveBuf[:moved*t.esize]
 		t.m.ReadBytes(t.entry(childAddr, mid), buf)
 		t.m.WriteBytes(t.entry(rightAddr, 0), buf)
 		t.setNKeys(rightAddr, moved)
@@ -275,7 +407,7 @@ func (t *BTree) splitChild(parentAddr simmem.Addr, _ int, childID uint64, childA
 		t.m.WriteU64(rightAddr+8, t.valAt(childAddr, mid))
 		moved := n - mid - 1
 		if moved > 0 {
-			buf := make([]byte, moved*t.esize)
+			buf := t.moveBuf[:moved*t.esize]
 			t.m.ReadBytes(t.entry(childAddr, mid+1), buf)
 			t.m.WriteBytes(t.entry(rightAddr, 0), buf)
 		}
@@ -297,6 +429,7 @@ func (t *BTree) splitChild(parentAddr simmem.Addr, _ int, childID uint64, childA
 // Delete implements Index (lazy: no merging).
 func (t *BTree) Delete(key []byte) bool {
 	t.checkKey(key)
+	t.fa.valid = false
 	pageID := t.root
 	for level := 0; level < t.height-1; level++ {
 		addr, err := t.bp.Fix(pageID)
@@ -319,7 +452,7 @@ func (t *BTree) Delete(key []byte) bool {
 	}
 	if lb < n-1 {
 		size := (n - lb - 1) * t.esize
-		buf := make([]byte, size)
+		buf := t.moveBuf[:size]
 		t.m.ReadBytes(t.entry(addr, lb+1), buf)
 		t.m.WriteBytes(t.entry(addr, lb), buf)
 	}

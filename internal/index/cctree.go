@@ -3,6 +3,7 @@ package index
 import (
 	"bytes"
 	"fmt"
+	"math/bits"
 
 	"oltpsim/internal/simmem"
 )
@@ -32,6 +33,17 @@ type CCTree struct {
 	root   simmem.Addr
 	height int
 	count  uint64
+
+	// Reusable per-tree scratch buffers for the hot paths. The tree is
+	// single-goroutine (like the engine that owns it) and each buffer's use
+	// is confined to one call frame, so operations never allocate:
+	// kbuf holds the key read back in lowerBound's binary search, sepBuf the
+	// separator during a split, and moveBuf entry blocks for shifts/splits.
+	kbuf    []byte
+	sepBuf  []byte
+	moveBuf []byte
+
+	fa appendPath // bulk-append fast path (untraced ascending loads)
 }
 
 const ccHdr = 16
@@ -51,6 +63,9 @@ func NewCCTree(m *simmem.Arena, keyWidth, nodeSize int) *CCTree {
 	nodeSize = (nodeSize + 63) &^ 63
 	t := &CCTree{m: m, meter: nopMeter{}, kw: keyWidth, esize: esize, nodeSize: nodeSize}
 	t.cap = (nodeSize - ccHdr) / esize
+	t.kbuf = make([]byte, keyWidth)
+	t.sepBuf = make([]byte, keyWidth)
+	t.moveBuf = make([]byte, nodeSize)
 	t.root = t.newNode(true)
 	t.height = 1
 	return t
@@ -111,10 +126,32 @@ func (t *CCTree) setValAt(addr simmem.Addr, i int, v uint64) {
 }
 
 func (t *CCTree) lowerBound(addr simmem.Addr, n int, key []byte) (int, bool) {
-	scratch := make([]byte, t.kw)
 	lo, hi := 0, n
 	cmpBytes := 0
 	found := false
+	if t.kw == 8 {
+		// 8-byte keys (the common Long key) compare as big-endian words: one
+		// ReadU64 per step emits the identical trace event to ReadBytes of 8
+		// bytes, so the simulated cache behavior is unchanged.
+		want := keyWord(key)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			cmpBytes += 8
+			got := bits.ReverseBytes64(t.m.ReadU64(t.entry(addr, mid)))
+			switch {
+			case got < want:
+				lo = mid + 1
+			case got > want:
+				hi = mid
+			default:
+				found = true
+				hi = mid
+			}
+		}
+		t.meter.NodeVisit(cmpBytes)
+		return lo, found
+	}
+	scratch := t.kbuf
 	for lo < hi {
 		mid := (lo + hi) / 2
 		cmpBytes += t.kw
@@ -164,6 +201,74 @@ func (t *CCTree) Lookup(key []byte) (uint64, bool) {
 // Insert implements Index with preemptive splitting.
 func (t *CCTree) Insert(key []byte, val uint64) {
 	t.checkKey(key)
+	if t.tryFastAppend(key, val) {
+		return
+	}
+	t.fa.valid = false
+	t.insertSlow(key, val)
+	t.rebuildAppendPath()
+}
+
+// tryFastAppend performs the untraced ascending-load append (see appendPath
+// in btree.go): same meter charges and writes as the full descent, minus the
+// descent's unobservable reads.
+func (t *CCTree) tryFastAppend(key []byte, val uint64) bool {
+	fa := &t.fa
+	if !fa.valid || t.m.Tracing() || bytes.Compare(key, fa.maxKey) <= 0 {
+		return false
+	}
+	for _, n := range fa.ns {
+		if n >= t.cap {
+			return false // a split is due: take the full descent
+		}
+	}
+	for lvl := 0; lvl+1 < len(fa.addrs); lvl++ {
+		t.meter.NodeVisit(t.kw * searchSteps(fa.ns[lvl])) // childFor's search
+	}
+	leaf := fa.addrs[len(fa.addrs)-1]
+	n := fa.ns[len(fa.ns)-1]
+	t.meter.NodeVisit(t.kw * searchSteps(n)) // leaf search
+	t.m.WriteBytes(t.entry(leaf, n), key)
+	t.setValAt(leaf, n, val)
+	t.setNKeys(leaf, n+1)
+	t.count++
+	fa.ns[len(fa.ns)-1] = n + 1
+	fa.maxKey = append(fa.maxKey[:0], key...)
+	return true
+}
+
+// rebuildAppendPath re-derives the rightmost path. Only meaningful while
+// untraced.
+func (t *CCTree) rebuildAppendPath() {
+	fa := &t.fa
+	fa.valid = false
+	if t.m.Tracing() {
+		return
+	}
+	fa.addrs = fa.addrs[:0]
+	fa.ns = fa.ns[:0]
+	addr := t.root
+	for lvl := 0; lvl < t.height; lvl++ {
+		n := t.nKeys(addr)
+		fa.addrs = append(fa.addrs, addr)
+		fa.ns = append(fa.ns, n)
+		if lvl == t.height-1 {
+			if n == 0 {
+				return // empty leaf: no maximum to append after
+			}
+			fa.maxKey = append(fa.maxKey[:0], t.keyAt(addr, n-1, t.kbuf)...)
+			fa.valid = true
+			return
+		}
+		if n == 0 {
+			addr = simmem.Addr(t.m.ReadU64(addr + 8))
+		} else {
+			addr = simmem.Addr(t.valAt(addr, n-1))
+		}
+	}
+}
+
+func (t *CCTree) insertSlow(key []byte, val uint64) {
 	if t.nKeys(t.root) >= t.cap {
 		newRoot := t.newNode(false)
 		t.m.WriteU64(newRoot+8, uint64(t.root))
@@ -198,7 +303,7 @@ func (t *CCTree) shiftRight(addr simmem.Addr, pos, n int) {
 		return
 	}
 	size := (n - pos) * t.esize
-	buf := make([]byte, size)
+	buf := t.moveBuf[:size]
 	t.m.ReadBytes(t.entry(addr, pos), buf)
 	t.m.WriteBytes(t.entry(addr, pos+1), buf)
 }
@@ -207,11 +312,11 @@ func (t *CCTree) splitChild(parent, child simmem.Addr) {
 	right := t.newNode(t.isLeaf(child))
 	n := t.nKeys(child)
 	mid := n / 2
-	sep := make([]byte, t.kw)
+	sep := t.sepBuf
 	if t.isLeaf(child) {
 		t.keyAt(child, mid, sep)
 		moved := n - mid
-		buf := make([]byte, moved*t.esize)
+		buf := t.moveBuf[:moved*t.esize]
 		t.m.ReadBytes(t.entry(child, mid), buf)
 		t.m.WriteBytes(t.entry(right, 0), buf)
 		t.setNKeys(right, moved)
@@ -223,7 +328,7 @@ func (t *CCTree) splitChild(parent, child simmem.Addr) {
 		t.m.WriteU64(right+8, t.valAt(child, mid))
 		moved := n - mid - 1
 		if moved > 0 {
-			buf := make([]byte, moved*t.esize)
+			buf := t.moveBuf[:moved*t.esize]
 			t.m.ReadBytes(t.entry(child, mid+1), buf)
 			t.m.WriteBytes(t.entry(right, 0), buf)
 		}
@@ -241,6 +346,7 @@ func (t *CCTree) splitChild(parent, child simmem.Addr) {
 // Delete implements Index (lazy).
 func (t *CCTree) Delete(key []byte) bool {
 	t.checkKey(key)
+	t.fa.valid = false
 	addr := t.root
 	for level := 0; level < t.height-1; level++ {
 		addr = t.childFor(addr, key)
@@ -252,7 +358,7 @@ func (t *CCTree) Delete(key []byte) bool {
 	}
 	if lb < n-1 {
 		size := (n - lb - 1) * t.esize
-		buf := make([]byte, size)
+		buf := t.moveBuf[:size]
 		t.m.ReadBytes(t.entry(addr, lb+1), buf)
 		t.m.WriteBytes(t.entry(addr, lb), buf)
 	}

@@ -59,3 +59,28 @@ func meterOrNop(m Meter) Meter {
 	}
 	return m
 }
+
+// searchSteps returns the number of probe iterations the trees' lowerBound
+// performs when the searched key is greater than every key in an n-entry
+// node (the bulk-append case: the binary search always moves right). The
+// bulk-append fast path uses it to issue the exact meter charges the full
+// search would have issued.
+func searchSteps(n int) int {
+	steps := 0
+	for lo, hi := 0, n; lo < hi; {
+		mid := (lo + hi) / 2
+		lo = mid + 1
+		steps++
+	}
+	return steps
+}
+
+// keyWord interprets an 8-byte key as its big-endian word; comparing words
+// is then exactly bytewise key comparison. Used by the trees' 8-byte-key
+// binary-search fast path.
+func keyWord(key []byte) uint64 {
+	_ = key[7]
+	return uint64(key[0])<<56 | uint64(key[1])<<48 | uint64(key[2])<<40 |
+		uint64(key[3])<<32 | uint64(key[4])<<24 | uint64(key[5])<<16 |
+		uint64(key[6])<<8 | uint64(key[7])
+}

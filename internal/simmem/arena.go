@@ -34,6 +34,8 @@ const (
 	pageShift = 16 // 64 KiB backing pages, allocated lazily
 	pageSize  = 1 << pageShift
 	pageMask  = pageSize - 1
+
+	dataBasePage = Addr(DataBase >> pageShift)
 )
 
 // Tracer receives one event per data access. Implemented by the cache
@@ -48,17 +50,23 @@ type Tracer interface {
 // Arena is a simulated virtual address space with lazily materialized backing
 // pages. The zero value is not usable; call New.
 type Arena struct {
-	tracer  Tracer
+	// tracefn is non-nil exactly while tracing is enabled and a tracer is
+	// attached: the per-access fast path tests one word. onData keeps the
+	// attached tracer's OnData method (a bound function, so reporting avoids
+	// an interface dispatch) across EnableTracing toggles.
+	tracefn func(addr Addr, size int, write bool)
+	onData  func(addr Addr, size int, write bool)
 	tracing bool
 
 	codeTop Addr
 	dataTop Addr
 
-	pages map[Addr]*[pageSize]byte
-
-	// Single-entry page translation cache for the hot access path.
-	lastPageID Addr
-	lastPage   *[pageSize]byte
+	// pages is the flat page table over the data segment, indexed by page ID
+	// relative to DataBase. One bounds check and one load replace a map
+	// probe on the per-access hot path; the table grows with the data top
+	// (one pointer per 64 KiB of reserved address space), and backing pages
+	// still materialize lazily on first access.
+	pages []*[pageSize]byte
 
 	dataAllocated uint64
 }
@@ -66,22 +74,38 @@ type Arena struct {
 // New returns an empty arena with no tracer attached.
 func New() *Arena {
 	return &Arena{
-		codeTop:    CodeBase,
-		dataTop:    DataBase,
-		pages:      make(map[Addr]*[pageSize]byte),
-		lastPageID: ^Addr(0),
+		codeTop: CodeBase,
+		dataTop: DataBase,
 	}
 }
 
 // SetTracer attaches t; accesses are only reported while tracing is enabled.
-func (m *Arena) SetTracer(t Tracer) { m.tracer = t }
+func (m *Arena) SetTracer(t Tracer) {
+	if t == nil {
+		m.onData = nil
+	} else {
+		m.onData = t.OnData
+	}
+	m.retrace()
+}
 
 // EnableTracing turns access reporting on or off. Population code disables
 // tracing; measurement windows enable it.
-func (m *Arena) EnableTracing(on bool) { m.tracing = on }
+func (m *Arena) EnableTracing(on bool) {
+	m.tracing = on
+	m.retrace()
+}
+
+func (m *Arena) retrace() {
+	if m.tracing && m.onData != nil {
+		m.tracefn = m.onData
+	} else {
+		m.tracefn = nil
+	}
+}
 
 // Tracing reports whether accesses are currently being reported.
-func (m *Arena) Tracing() bool { return m.tracing && m.tracer != nil }
+func (m *Arena) Tracing() bool { return m.tracefn != nil }
 
 // DataAllocated returns the number of data-segment bytes handed out so far.
 func (m *Arena) DataAllocated() uint64 { return m.dataAllocated }
@@ -113,22 +137,38 @@ func (m *Arena) AllocData(size, align int) Addr {
 	return base
 }
 
+// page translates a page ID to its backing bytes, falling to pageSlow for
+// pages not yet materialized.
 func (m *Arena) page(id Addr) *[pageSize]byte {
-	if id == m.lastPageID {
-		return m.lastPage
+	idx := id - dataBasePage
+	if uint64(idx) < uint64(len(m.pages)) {
+		if p := m.pages[idx]; p != nil {
+			return p
+		}
 	}
-	p := m.pages[id]
+	return m.pageSlow(id)
+}
+
+func (m *Arena) pageSlow(id Addr) *[pageSize]byte {
+	if id < dataBasePage {
+		panic(fmt.Sprintf("simmem: access to unbacked address %#x (below data segment)",
+			uint64(id)<<pageShift))
+	}
+	idx := int(id - dataBasePage)
+	for idx >= len(m.pages) {
+		m.pages = append(m.pages, nil)
+	}
+	p := m.pages[idx]
 	if p == nil {
 		p = new([pageSize]byte)
-		m.pages[id] = p
+		m.pages[idx] = p
 	}
-	m.lastPageID, m.lastPage = id, p
 	return p
 }
 
 func (m *Arena) trace(addr Addr, size int, write bool) {
-	if m.tracing && m.tracer != nil {
-		m.tracer.OnData(addr, size, write)
+	if m.tracefn != nil {
+		m.tracefn(addr, size, write)
 	}
 }
 
@@ -141,10 +181,21 @@ func (m *Arena) Touch(addr Addr, size int, write bool) {
 
 // ReadU64 reads a little-endian uint64 at addr.
 func (m *Arena) ReadU64(addr Addr) uint64 {
-	m.trace(addr, 8, false)
+	if m.tracefn != nil {
+		m.tracefn(addr, 8, false)
+	}
 	off := int(addr & pageMask)
 	if off+8 <= pageSize {
-		p := m.page(addr >> pageShift)
+		// Manually inlined page translation (this is the hottest path in the
+		// simulator; see page()).
+		idx := (addr >> pageShift) - dataBasePage
+		var p *[pageSize]byte
+		if uint64(idx) < uint64(len(m.pages)) {
+			p = m.pages[idx]
+		}
+		if p == nil {
+			p = m.pageSlow(addr >> pageShift)
+		}
 		return leU64(p[off : off+8 : off+8])
 	}
 	var buf [8]byte
@@ -154,10 +205,19 @@ func (m *Arena) ReadU64(addr Addr) uint64 {
 
 // WriteU64 writes a little-endian uint64 at addr.
 func (m *Arena) WriteU64(addr Addr, v uint64) {
-	m.trace(addr, 8, true)
+	if m.tracefn != nil {
+		m.tracefn(addr, 8, true)
+	}
 	off := int(addr & pageMask)
 	if off+8 <= pageSize {
-		p := m.page(addr >> pageShift)
+		idx := (addr >> pageShift) - dataBasePage
+		var p *[pageSize]byte
+		if uint64(idx) < uint64(len(m.pages)) {
+			p = m.pages[idx]
+		}
+		if p == nil {
+			p = m.pageSlow(addr >> pageShift)
+		}
 		putLeU64(p[off:off+8:off+8], v)
 		return
 	}
@@ -168,10 +228,19 @@ func (m *Arena) WriteU64(addr Addr, v uint64) {
 
 // ReadU32 reads a little-endian uint32 at addr.
 func (m *Arena) ReadU32(addr Addr) uint32 {
-	m.trace(addr, 4, false)
+	if m.tracefn != nil {
+		m.tracefn(addr, 4, false)
+	}
 	off := int(addr & pageMask)
 	if off+4 <= pageSize {
-		p := m.page(addr >> pageShift)
+		idx := (addr >> pageShift) - dataBasePage
+		var p *[pageSize]byte
+		if uint64(idx) < uint64(len(m.pages)) {
+			p = m.pages[idx]
+		}
+		if p == nil {
+			p = m.pageSlow(addr >> pageShift)
+		}
 		b := p[off : off+4 : off+4]
 		return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
 	}
@@ -182,10 +251,19 @@ func (m *Arena) ReadU32(addr Addr) uint32 {
 
 // WriteU32 writes a little-endian uint32 at addr.
 func (m *Arena) WriteU32(addr Addr, v uint32) {
-	m.trace(addr, 4, true)
+	if m.tracefn != nil {
+		m.tracefn(addr, 4, true)
+	}
 	off := int(addr & pageMask)
 	if off+4 <= pageSize {
-		p := m.page(addr >> pageShift)
+		idx := (addr >> pageShift) - dataBasePage
+		var p *[pageSize]byte
+		if uint64(idx) < uint64(len(m.pages)) {
+			p = m.pages[idx]
+		}
+		if p == nil {
+			p = m.pageSlow(addr >> pageShift)
+		}
 		b := p[off : off+4 : off+4]
 		b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
 		return
@@ -201,6 +279,12 @@ func (m *Arena) ReadBytes(addr Addr, dst []byte) {
 		return
 	}
 	m.trace(addr, len(dst), false)
+	off := int(addr & pageMask)
+	if off+len(dst) <= pageSize {
+		p := m.page(addr >> pageShift)
+		copy(dst, p[off:off+len(dst)])
+		return
+	}
 	m.readSlow(addr, dst)
 }
 
@@ -210,6 +294,12 @@ func (m *Arena) WriteBytes(addr Addr, src []byte) {
 		return
 	}
 	m.trace(addr, len(src), true)
+	off := int(addr & pageMask)
+	if off+len(src) <= pageSize {
+		p := m.page(addr >> pageShift)
+		copy(p[off:off+len(src)], src)
+		return
+	}
 	m.writeSlow(addr, src)
 }
 

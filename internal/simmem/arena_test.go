@@ -130,8 +130,8 @@ func TestReadWriteBytesAcrossPages(t *testing.T) {
 func TestU64AcrossPageBoundary(t *testing.T) {
 	m := New()
 	a := m.AllocData(2*pageSize, 1)
-	boundary := (a + pageSize - 1) &^ (pageSize - 1)
-	addr := boundary - 3 // 8-byte value straddles the page boundary
+	boundary := (a &^ (pageSize - 1)) + pageSize // first boundary inside the allocation
+	addr := boundary - 3                         // 8-byte value straddles the page boundary
 	m.WriteU64(addr, 0x1122334455667788)
 	if got := m.ReadU64(addr); got != 0x1122334455667788 {
 		t.Errorf("straddling ReadU64 = %#x", got)

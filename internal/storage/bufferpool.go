@@ -77,47 +77,57 @@ func (bp *BufferPool) slotAddr(i int) simmem.Addr {
 }
 
 // tableLookup probes the page table and returns the frame index, or -1.
-// Every probe is a real arena read (two words per slot inspected).
+// Every probe is a real arena read (two words per slot inspected). The probe
+// sequence is (h+i) mod tableSize, computed by wrap-around increments.
 func (bp *BufferPool) tableLookup(pageID uint64) int {
-	h := int(hash64(pageID) % uint64(bp.tableSize))
+	s := int(hash64(pageID) % uint64(bp.tableSize))
 	for i := 0; i < bp.tableSize; i++ {
-		s := (h + i) % bp.tableSize
-		key := bp.m.ReadU64(bp.slotAddr(s))
+		a := bp.slotAddr(s)
+		key := bp.m.ReadU64(a)
 		if key == 0 {
 			return -1
 		}
 		if key == pageID+1 {
-			return int(bp.m.ReadU64(bp.slotAddr(s) + 8))
+			return int(bp.m.ReadU64(a + 8))
+		}
+		if s++; s == bp.tableSize {
+			s = 0
 		}
 	}
 	return -1
 }
 
 func (bp *BufferPool) tableInsert(pageID uint64, frame int) {
-	h := int(hash64(pageID) % uint64(bp.tableSize))
+	s := int(hash64(pageID) % uint64(bp.tableSize))
 	for i := 0; i < bp.tableSize; i++ {
-		s := (h + i) % bp.tableSize
-		key := bp.m.ReadU64(bp.slotAddr(s))
+		a := bp.slotAddr(s)
+		key := bp.m.ReadU64(a)
 		if key == 0 || key == ^uint64(0) || key == pageID+1 {
-			bp.m.WriteU64(bp.slotAddr(s), pageID+1)
-			bp.m.WriteU64(bp.slotAddr(s)+8, uint64(frame))
+			bp.m.WriteU64(a, pageID+1)
+			bp.m.WriteU64(a+8, uint64(frame))
 			return
+		}
+		if s++; s == bp.tableSize {
+			s = 0
 		}
 	}
 	panic("storage: page table full")
 }
 
 func (bp *BufferPool) tableDelete(pageID uint64) {
-	h := int(hash64(pageID) % uint64(bp.tableSize))
+	s := int(hash64(pageID) % uint64(bp.tableSize))
 	for i := 0; i < bp.tableSize; i++ {
-		s := (h + i) % bp.tableSize
-		key := bp.m.ReadU64(bp.slotAddr(s))
+		a := bp.slotAddr(s)
+		key := bp.m.ReadU64(a)
 		if key == 0 {
 			return
 		}
 		if key == pageID+1 {
-			bp.m.WriteU64(bp.slotAddr(s), ^uint64(0)) // tombstone
+			bp.m.WriteU64(a, ^uint64(0)) // tombstone
 			return
+		}
+		if s++; s == bp.tableSize {
+			s = 0
 		}
 	}
 }
@@ -204,6 +214,16 @@ func (bp *BufferPool) PinCount(pageID uint64) int {
 
 // Resident reports whether pageID currently occupies a frame.
 func (bp *BufferPool) Resident(pageID uint64) bool { return bp.tableLookup(pageID) >= 0 }
+
+// Peek returns the frame address of pageID without pinning it or touching
+// hit/reference state — a read-only probe for callers that must not perturb
+// the pool (the indexes' untraced bulk-load path).
+func (bp *BufferPool) Peek(pageID uint64) (simmem.Addr, bool) {
+	if f := bp.tableLookup(pageID); f >= 0 {
+		return bp.FrameAddr(f), true
+	}
+	return 0, false
+}
 
 func (bp *BufferPool) install(pageID uint64, frame int) {
 	bp.tableInsert(pageID, frame)

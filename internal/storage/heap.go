@@ -27,6 +27,8 @@ type HeapFile struct {
 
 	lastPage uint64 // page currently accepting inserts (0 = none)
 	count    uint64
+
+	recBuf []byte // reusable record-encoding buffer (single-goroutine)
 }
 
 // NewHeapFile creates an empty heap file backed by bp.
@@ -42,7 +44,10 @@ func (h *HeapFile) Count() uint64 { return h.count }
 
 // Insert appends row and returns its RID.
 func (h *HeapFile) Insert(row catalog.Row) (RID, error) {
-	rec := make([]byte, h.schema.RowSize())
+	if cap(h.recBuf) < h.schema.RowSize() {
+		h.recBuf = make([]byte, h.schema.RowSize())
+	}
+	rec := h.recBuf[:h.schema.RowSize()]
 	// Encode through a scratch page region so the final copy into the page is
 	// the only traced write of the tuple bytes.
 	encodeRow(h.schema, row, rec)
@@ -120,9 +125,9 @@ func encodeRow(s *catalog.Schema, row catalog.Row, buf []byte) {
 		switch c.Type {
 		case catalog.TypeLong:
 			v := uint64(row[i].I)
-			for b := 0; b < 8; b++ {
-				buf[off+b] = byte(v >> (8 * b))
-			}
+			b := buf[off : off+8 : off+8]
+			b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+			b[4], b[5], b[6], b[7] = byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56)
 		case catalog.TypeString:
 			n := copy(buf[off:off+c.Width], row[i].S)
 			for ; n < c.Width; n++ {

@@ -59,6 +59,7 @@ type LockManager struct {
 	mask  uint64
 
 	held map[uint64][]heldLock // txnID -> locks (2PL bookkeeping)
+	free [][]heldLock          // retired held-lists, recycled by noteHeld
 
 	// Stats.
 	Acquires, Conflicts, Upgrades uint64
@@ -156,7 +157,14 @@ func (lm *LockManager) grantAt(s simmem.Addr, txnID, lockID uint64, mode LockMod
 
 func (lm *LockManager) noteHeld(txnID, lockID uint64, mode LockMode) {
 	lm.Acquires++
-	lm.held[txnID] = append(lm.held[txnID], heldLock{lockID, mode})
+	hs, ok := lm.held[txnID]
+	if !ok && len(lm.free) > 0 {
+		// First lock of a new transaction: recycle a retired held-list so the
+		// steady state allocates nothing.
+		hs = lm.free[len(lm.free)-1]
+		lm.free = lm.free[:len(lm.free)-1]
+	}
+	lm.held[txnID] = append(hs, heldLock{lockID, mode})
 }
 
 func (lm *LockManager) replaceHeld(txnID, lockID uint64, mode LockMode) {
@@ -184,10 +192,15 @@ func (lm *LockManager) HeldCount(txnID uint64) int { return len(lm.held[txnID]) 
 
 // ReleaseAll releases every lock held by txnID (commit/abort in strict 2PL).
 func (lm *LockManager) ReleaseAll(txnID uint64) {
-	for _, h := range lm.held[txnID] {
+	hs, ok := lm.held[txnID]
+	if !ok {
+		return
+	}
+	for _, h := range hs {
 		lm.release(h.id)
 	}
 	delete(lm.held, txnID)
+	lm.free = append(lm.free, hs[:0])
 }
 
 func (lm *LockManager) release(lockID uint64) {

@@ -72,8 +72,21 @@ type writeEntry struct {
 
 // Begin starts a transaction at the current timestamp.
 func (v *MVCC) Begin() *MVTx {
+	tx := &MVTx{}
+	v.BeginInto(tx)
+	return tx
+}
+
+// BeginInto starts a transaction in tx, reusing its read/write set capacity.
+// The engine keeps one MVTx per instance and recycles it across transactions
+// (one transaction is active at a time on an engine), so the steady state
+// allocates nothing.
+func (v *MVCC) BeginInto(tx *MVTx) {
 	v.ts++
-	return &MVTx{v: v, startTS: v.ts}
+	tx.v = v
+	tx.startTS = v.ts
+	tx.reads = tx.reads[:0]
+	tx.writes = tx.writes[:0]
 }
 
 // StartTS returns the transaction's snapshot timestamp.
@@ -144,9 +157,10 @@ func (tx *MVTx) Commit() error {
 	return nil
 }
 
-// Abort discards the transaction.
+// Abort discards the transaction. Read/write set capacity is retained for
+// reuse via BeginInto.
 func (tx *MVTx) Abort() {
 	tx.v.Aborts++
-	tx.reads = nil
-	tx.writes = nil
+	tx.reads = tx.reads[:0]
+	tx.writes = tx.writes[:0]
 }

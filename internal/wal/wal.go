@@ -37,6 +37,8 @@ type Log struct {
 
 	lsn uint64
 
+	imgBuf []byte // reusable staging buffer for Append payload copies
+
 	// Stats.
 	Records, BytesLogged, Flushes uint64
 }
@@ -67,7 +69,10 @@ func (l *Log) Append(txnID uint64, kind RecordKind, payloadAddr simmem.Addr, pay
 	l.m.WriteU32(rec+16, uint32(kind))
 	l.m.WriteU32(rec+20, uint32(payloadLen))
 	if payloadLen > 0 {
-		img := make([]byte, payloadLen)
+		if cap(l.imgBuf) < payloadLen {
+			l.imgBuf = make([]byte, payloadLen)
+		}
+		img := l.imgBuf[:payloadLen]
 		l.m.ReadBytes(payloadAddr, img)
 		l.m.WriteBytes(rec+recHdrSize, img)
 	}

@@ -30,6 +30,10 @@ const StringColWidth = 50
 type Micro struct {
 	cfg MicroConfig
 	tbl *engine.Table
+
+	// argBuf backs the argument slice handed out by Gen. Calls are consumed
+	// (invoked) before the next Gen, so one buffer serves every transaction.
+	argBuf []catalog.Value
 }
 
 // NewMicro validates cfg and returns the workload.
@@ -131,11 +135,18 @@ func (w *Micro) payloadVal(i int64) catalog.Value {
 	return catalog.StringVal(stringKey(i * 3))
 }
 
-// stringKey renders i as a fixed-width printable key. Keys are generated so
-// that their byte order matches numeric order, like the Long encoding.
+// stringKey renders i as a fixed-width printable key ("k" + 24 zero-padded
+// decimal digits + a fixed suffix, zero-filled to the column width). Keys are
+// generated so that their byte order matches numeric order, like the Long
+// encoding. Formatted by hand: this runs once per row during population.
 func stringKey(i int64) []byte {
 	b := make([]byte, StringColWidth)
-	copy(b, fmt.Sprintf("k%024d-payload-padding-xx", i))
+	b[0] = 'k'
+	for pos := 24; pos >= 1; pos-- {
+		b[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	copy(b[25:], "-payload-padding-xx")
 	return b
 }
 
@@ -146,7 +157,7 @@ func (w *Micro) Gen(r *Rand, part, parts int) Call {
 		panic("workload: string-key micro supports only single-partition runs")
 	}
 	n := w.cfg.RowsPerTx
-	args := make([]catalog.Value, 0, 2*n)
+	args := w.argBuf[:0]
 	for i := 0; i < n; i++ {
 		var k int64
 		if parts > 1 {
@@ -162,5 +173,6 @@ func (w *Micro) Gen(r *Rand, part, parts int) Call {
 			args = append(args, w.payloadVal(r.Int63n(w.cfg.Rows)))
 		}
 	}
+	w.argBuf = args
 	return Call{Proc: w.ProcName(), Args: args}
 }

@@ -26,6 +26,7 @@ type TPCB struct {
 
 	branch, teller, account, history *engine.Table
 	histSeq                          []int64 // per-partition history sequence
+	argBuf                           []catalog.Value
 }
 
 // NewTPCB validates cfg and returns the workload.
@@ -121,9 +122,10 @@ func (w *TPCB) Gen(r *Rand, part, parts int) Call {
 		w.histSeq = append(w.histSeq, 0)
 	}
 	w.histSeq[part]++
-	return Call{Proc: "account_update", Args: []catalog.Value{
-		long(b), long(t), long(a), long(delta), long(w.histSeq[part]),
-	}}
+	args := append(w.argBuf[:0],
+		long(b), long(t), long(a), long(delta), long(w.histSeq[part]))
+	w.argBuf = args
+	return Call{Proc: "account_update", Args: args}
 }
 
 // Tables exposes the four TPC-B tables (after Setup): branch, teller,

@@ -71,6 +71,7 @@ type TPCC struct {
 	orderline, clast                       *engine.Table
 
 	histSeq []int64
+	argBuf  []catalog.Value // backs Gen's argument slices (consumed per call)
 }
 
 // NewTPCC validates cfg and returns the workload.
@@ -431,25 +432,33 @@ func (w *TPCC) Gen(r *Rand, part, parts int) Call {
 	switch x := r.Intn(100); {
 	case x < MixNewOrder:
 		olCnt := int64(r.Range(5, 15))
-		args := []catalog.Value{long(wid), long(did), long(cid), long(olCnt)}
+		args := append(w.argBuf[:0], long(wid), long(did), long(cid), long(olCnt))
 		for i := int64(0); i < olCnt; i++ {
 			args = append(args, long(int64(r.Intn(w.cfg.Items))+1), long(int64(r.Range(1, 10))))
 		}
+		w.argBuf = args
 		return Call{Proc: "new_order", Args: args}
 	case x < MixNewOrder+MixPayment:
 		for len(w.histSeq) <= part {
 			w.histSeq = append(w.histSeq, 0)
 		}
 		w.histSeq[part]++
-		return Call{Proc: "payment", Args: []catalog.Value{
-			long(wid), long(did), long(cid), long(int64(r.Range(1, 5000))), long(w.histSeq[part]),
-		}}
+		args := append(w.argBuf[:0],
+			long(wid), long(did), long(cid), long(int64(r.Range(1, 5000))), long(w.histSeq[part]))
+		w.argBuf = args
+		return Call{Proc: "payment", Args: args}
 	case x < MixNewOrder+MixPayment+MixOrderStatus:
-		return Call{Proc: "order_status", Args: []catalog.Value{long(wid), long(did), long(cid)}}
+		args := append(w.argBuf[:0], long(wid), long(did), long(cid))
+		w.argBuf = args
+		return Call{Proc: "order_status", Args: args}
 	case x < MixNewOrder+MixPayment+MixOrderStatus+MixDelivery:
-		return Call{Proc: "delivery", Args: []catalog.Value{long(wid), long(int64(r.Range(1, 10)))}}
+		args := append(w.argBuf[:0], long(wid), long(int64(r.Range(1, 10))))
+		w.argBuf = args
+		return Call{Proc: "delivery", Args: args}
 	default:
-		return Call{Proc: "stock_level", Args: []catalog.Value{long(wid), long(did), long(int64(r.Range(10, 20)))}}
+		args := append(w.argBuf[:0], long(wid), long(did), long(int64(r.Range(10, 20))))
+		w.argBuf = args
+		return Call{Proc: "stock_level", Args: args}
 	}
 }
 

@@ -1,0 +1,9 @@
+//go:build race
+
+package oltpsim
+
+// raceEnabled reports that this binary was built with -race. The golden
+// figure rebuild (minutes under race instrumentation on one core) and the
+// AllocsPerRun gates (race shadow bookkeeping allocates) are skipped there;
+// the harness package's dedicated race tests cover the concurrency surface.
+const raceEnabled = true

@@ -11,9 +11,27 @@ cd "$(dirname "$0")/.."
 
 date="$(date +%Y-%m-%d)"
 out="BENCH_${date}.json"
+# Never clobber an already-committed record from the same day.
+i=2
+while [ -e "$out" ]; do
+    out="BENCH_${date}.${i}.json"
+    i=$((i + 1))
+done
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
 go test -run '^$' -bench . -benchmem -benchtime 1x . ./internal/index | tee "$raw"
 go run ./cmd/benchjson -out "$out" < "$raw"
 echo "wrote $out"
+
+# Compare against the most recent previously committed record, if any.
+# Informational here (single-iteration runs are noisy); CI and reviewers can
+# gate strictly with: go run ./cmd/benchjson -compare old.json new.json
+# ls -t: most recently written record (lexical sort would rank the ".2"
+# suffix of a same-day rerun before ".json" and pick the older file).
+prev="$(ls -1t BENCH_*.json 2>/dev/null | grep -v "^${out}\$" | head -n 1 || true)"
+if [ -n "$prev" ]; then
+    echo ""
+    echo "comparison against $prev (threshold 25%, informational):"
+    go run ./cmd/benchjson -compare "$prev" "$out" || true
+fi
