@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench bench-compare figures
+.PHONY: build vet test race bench bench-compare figures figures-numa fuzz
 
 build:
 	$(GO) build ./...
@@ -27,3 +27,12 @@ bench-compare:
 
 figures:
 	$(GO) run ./cmd/oltpsim -figure all -scale quick
+
+# figures-numa renders the multi-socket scaling figures (FigN1-FigN3) on the
+# paper's full 2x10-core topology.
+figures-numa:
+	$(GO) run ./cmd/oltpsim -figure numa -scale quick
+
+# fuzz runs the SQL front-end fuzz smoke (same budget as CI).
+fuzz:
+	$(GO) test -run '^FuzzFrontend$$' -fuzz FuzzFrontend -fuzztime 30s ./internal/sqlfe

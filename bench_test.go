@@ -29,7 +29,7 @@ var (
 // once, so the reported time is each figure's incremental cost.
 func benchFigure(b *testing.B, id string) {
 	b.Helper()
-	builder, ok := harness.Figures[id]
+	builder, ok := harness.FigureBuilder(id)
 	if !ok {
 		b.Fatalf("unknown figure %s", id)
 	}
@@ -114,6 +114,12 @@ func BenchmarkFig20to27(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkFigN1 reproduces Figure N1 (multi-socket throughput scaling):
+// the recorded BENCH files track the wall-clock cost of the NUMA path —
+// per-socket LLC probes, cross-socket coherence, home-map lookups — alongside
+// the single-socket figures.
+func BenchmarkFigN1(b *testing.B) { benchFigure(b, "N1") }
 
 // BenchmarkTxMicroPerSystem measures simulated-transaction execution rate
 // (wall-clock cost of the simulation itself) for each system on the 1-row

@@ -8,6 +8,7 @@
 //	oltpsim -figure 1,2,3 -scale quick -v
 //	oltpsim -figure all -scale default -markdown > results.md
 //	oltpsim -figure all -scale quick -workers 8
+//	oltpsim -figure numa -scale quick
 package main
 
 import (
@@ -39,6 +40,10 @@ func main() {
 		for _, id := range harness.FigureIDs() {
 			fmt.Printf("  %s\n", id)
 		}
+		fmt.Println("NUMA scaling figures (2x10-core topology; -figure numa):")
+		for _, id := range harness.NUMAFigureIDs() {
+			fmt.Printf("  %s\n", id)
+		}
 		return
 	}
 	if *figures == "" {
@@ -55,16 +60,22 @@ func main() {
 	runner.Verbose = *verbose
 	runner.Workers = *workers
 
+	// "all" expands to the paper set (its quick-scale output is locked by the
+	// committed goldens); "numa" expands to the FigN scaling figures. The two
+	// keywords and explicit IDs compose: -figure all,numa runs everything.
 	var ids []string
-	if *figures == "all" {
-		ids = harness.FigureIDs()
-	} else {
-		for _, id := range strings.Split(*figures, ",") {
-			ids = append(ids, strings.TrimSpace(id))
+	for _, id := range strings.Split(*figures, ",") {
+		switch id = strings.TrimSpace(id); id {
+		case "all":
+			ids = append(ids, harness.FigureIDs()...)
+		case "numa":
+			ids = append(ids, harness.NUMAFigureIDs()...)
+		default:
+			ids = append(ids, id)
 		}
 	}
 	for _, id := range ids {
-		if _, ok := harness.Figures[id]; !ok {
+		if _, ok := harness.FigureBuilder(id); !ok {
 			fmt.Fprintf(os.Stderr, "harness: unknown figure %q (use -list)\n", id)
 			os.Exit(2)
 		}

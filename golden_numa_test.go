@@ -1,0 +1,34 @@
+package oltpsim
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestGoldenNUMAFigures locks the rendered output of the multi-socket
+// scaling figures (`oltpsim -figure numa -scale quick`) to a committed
+// golden, the same way TestGoldenFiguresQuickScale locks the paper set. The
+// two goldens together pin both halves of the NUMA invariant: the paper
+// figures (all single-socket) must not move at all, and the two-socket
+// figures must stay deterministic. Regenerate deliberately via:
+//
+//	go run ./cmd/oltpsim -figure numa -scale quick > testdata/golden_numa.txt
+func TestGoldenNUMAFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full NUMA figure build; skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("full NUMA figure build; too slow under the race detector")
+	}
+	r := NewRunner(QuickScale())
+	figs, err := BuildFigures(r, NUMAFigureIDs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var text strings.Builder
+	for _, fig := range figs {
+		text.WriteString(fig.String())
+		text.WriteByte('\n')
+	}
+	compareGolden(t, "testdata/golden_numa.txt", text.String())
+}

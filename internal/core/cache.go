@@ -74,6 +74,13 @@ func (c *Cache) setIndex(lineID uint64) int {
 // Access looks up lineID, filling it on a miss, and returns whether it hit.
 // The counters for the given class are updated. The set is scanned and
 // updated in place (one base computation per access, no move on an MRU hit).
+//
+// The body is duplicated in AccessEvict rather than delegated: this is the
+// simulator's hottest function and the call indirection costs ~2ns/op (a
+// third of the whole scan). Any replacement-policy change must be applied to
+// Access, AccessEvict, FillQuiet and FillQuietEvict together; the coherence
+// invariant suite and the golden figure gates fail on any divergence between
+// the coherent (Evict) and non-coherent paths.
 func (c *Cache) Access(lineID uint64, class AccessClass) bool {
 	c.stats[class].Accesses++
 	tag := lineID + 1
@@ -94,6 +101,32 @@ func (c *Cache) Access(lineID uint64, class AccessClass) bool {
 	return false
 }
 
+// AccessEvict is Access, additionally reporting the tag evicted by a miss
+// fill: evicted is lineID+1 of the displaced line, or 0 when the access hit
+// or the fill landed in an empty way (the coherence hierarchy uses it to
+// keep the directory exact across evictions). The set is scanned and updated
+// in place (one base computation per access, no move on an MRU hit).
+func (c *Cache) AccessEvict(lineID uint64, class AccessClass) (hit bool, evicted uint64) {
+	c.stats[class].Accesses++
+	tag := lineID + 1
+	base := c.setIndex(lineID) * c.ways
+	set := c.tags[base : base+c.ways]
+	for i, t := range set {
+		if t == tag {
+			if i != 0 {
+				copy(set[1:i+1], set[:i])
+				set[0] = tag
+			}
+			return true, 0
+		}
+	}
+	c.stats[class].Misses++
+	evicted = set[c.ways-1]
+	copy(set[1:], set[:c.ways-1])
+	set[0] = tag
+	return false, evicted
+}
+
 // Probe reports whether lineID is resident without updating counters or LRU
 // state. Intended for tests and coherence checks.
 func (c *Cache) Probe(lineID uint64) bool {
@@ -109,7 +142,9 @@ func (c *Cache) Probe(lineID uint64) bool {
 }
 
 // FillQuiet inserts lineID without counting an access or miss. Used by the
-// instruction prefetcher.
+// instruction prefetcher and the quiet store-allocate path. Like Access, the
+// body is kept in lockstep with its Evict variant instead of delegating (see
+// the Access comment for why).
 func (c *Cache) FillQuiet(lineID uint64) {
 	tag := lineID + 1
 	base := c.setIndex(lineID) * c.ways
@@ -125,6 +160,27 @@ func (c *Cache) FillQuiet(lineID uint64) {
 	}
 	copy(set[1:], set[:c.ways-1])
 	set[0] = tag
+}
+
+// FillQuietEvict is FillQuiet, additionally reporting the evicted tag
+// (lineID+1, or 0 for a hit or an empty-way fill), like AccessEvict.
+func (c *Cache) FillQuietEvict(lineID uint64) (evicted uint64) {
+	tag := lineID + 1
+	base := c.setIndex(lineID) * c.ways
+	set := c.tags[base : base+c.ways]
+	for i, t := range set {
+		if t == tag {
+			if i != 0 {
+				copy(set[1:i+1], set[:i])
+				set[0] = tag
+			}
+			return 0
+		}
+	}
+	evicted = set[c.ways-1]
+	copy(set[1:], set[:c.ways-1])
+	set[0] = tag
+	return evicted
 }
 
 // Invalidate removes lineID if present and reports whether it was resident.

@@ -149,6 +149,16 @@ func (m *Machine) OnData(addr simmem.Addr, size int, write bool) {
 	}
 }
 
+// ClaimHome homes the data lines of [addr, addr+size) on the given socket
+// (see Hierarchy.ClaimHome). Engines call it during population to model
+// NUMA-aware (partitioned) data placement.
+func (m *Machine) ClaimHome(addr simmem.Addr, size, socket int) {
+	m.Hier.ClaimHome(addr, size, socket)
+}
+
+// SocketOf returns the socket a core belongs to.
+func (m *Machine) SocketOf(core int) int { return m.Hier.SocketOf(core) }
+
 // SetCurrent selects the CPU that subsequent Exec calls and data accesses
 // belong to. The simulation is single-OS-threaded; logical cores are
 // interleaved by the harness, which keeps counter attribution exact (the

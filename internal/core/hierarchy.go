@@ -15,6 +15,15 @@ type MissCounts struct {
 
 	Invalidations uint64 // coherence invalidations this core caused
 	IPrefetches   uint64 // quiet line fills issued by the I-prefetcher
+
+	// NUMA counters (nonzero only with Sockets > 1). The remote counters
+	// split the LLC misses above by where the fill was served: another
+	// socket's LLC or a remote socket's DRAM; the unsplit remainder came
+	// from local DRAM.
+	LLCIRemoteLLC  uint64 // I-side LLC misses served by a remote socket's LLC
+	LLCDRemoteLLC  uint64 // D-side LLC misses served by a remote socket's LLC
+	LLCDRemoteDRAM uint64 // D-side LLC misses served by remote-socket DRAM
+	XInvalidations uint64 // remote sockets this core's writes invalidated
 }
 
 // Add accumulates other into m.
@@ -29,6 +38,10 @@ func (m *MissCounts) Add(other MissCounts) {
 	m.LLCDMiss += other.LLCDMiss
 	m.Invalidations += other.Invalidations
 	m.IPrefetches += other.IPrefetches
+	m.LLCIRemoteLLC += other.LLCIRemoteLLC
+	m.LLCDRemoteLLC += other.LLCDRemoteLLC
+	m.LLCDRemoteDRAM += other.LLCDRemoteDRAM
+	m.XInvalidations += other.XInvalidations
 }
 
 // Sub returns m minus other (counter delta between two snapshots).
@@ -38,8 +51,12 @@ func (m MissCounts) Sub(other MissCounts) MissCounts {
 		L2IMiss: m.L2IMiss - other.L2IMiss, LLCIMiss: m.LLCIMiss - other.LLCIMiss,
 		L1DAcc: m.L1DAcc - other.L1DAcc, L1DMiss: m.L1DMiss - other.L1DMiss,
 		L2DMiss: m.L2DMiss - other.L2DMiss, LLCDMiss: m.LLCDMiss - other.LLCDMiss,
-		Invalidations: m.Invalidations - other.Invalidations,
-		IPrefetches:   m.IPrefetches - other.IPrefetches,
+		Invalidations:  m.Invalidations - other.Invalidations,
+		IPrefetches:    m.IPrefetches - other.IPrefetches,
+		LLCIRemoteLLC:  m.LLCIRemoteLLC - other.LLCIRemoteLLC,
+		LLCDRemoteLLC:  m.LLCDRemoteLLC - other.LLCDRemoteLLC,
+		LLCDRemoteDRAM: m.LLCDRemoteDRAM - other.LLCDRemoteDRAM,
+		XInvalidations: m.XInvalidations - other.XInvalidations,
 	}
 }
 
@@ -50,17 +67,31 @@ type coreCaches struct {
 }
 
 // Hierarchy is the simulated memory hierarchy: per-core private L1I/L1D/L2 in
-// front of a shared LLC, with optional invalidation-based coherence between
-// the private data caches.
+// front of one last-level cache per socket, with invalidation-based coherence
+// between the private data caches and (with Sockets > 1) between sockets.
+// An LLC miss is served from the cheapest place holding the line: another
+// socket's LLC, the line's home socket's DRAM, or remote DRAM — each charged
+// its own penalty, as on the paper's two-socket server.
 type Hierarchy struct {
 	cfg    HierarchyConfig
 	cores  []coreCaches
-	llc    *Cache
+	llcs   []*Cache // one per socket
 	counts []MissCounts
 
-	// dir maps a data line to the bitmask of cores whose private caches may
-	// hold it. Only maintained when coherence is enabled.
-	dir *directory
+	nSock  int
+	cps    int   // cores per socket (last socket may hold fewer)
+	sockOf []int // core ID -> socket ID
+
+	// dirs[s] maps a data line to the bitmask of socket s's cores whose
+	// private caches hold it (bit index = global core ID). Maintained exactly:
+	// evictions from the private caches clear bits, so the mask equals the
+	// set of private caches (L1D or L2) holding the line. Only allocated when
+	// coherence is enabled.
+	dirs []*directory
+
+	// homes records explicit home-socket claims (ClaimHome); nil until the
+	// first claim. Unclaimed lines interleave across sockets by 4KB page.
+	homes *homeMap
 }
 
 // The coherence directory is a two-level paged slice keyed by data line ID
@@ -74,7 +105,7 @@ const (
 	dirPageMask  = dirPageSize - 1
 )
 
-type dirPage [dirPageSize]uint32
+type dirPage [dirPageSize]uint64
 
 type directory struct {
 	base  uint64 // line ID of the data segment base
@@ -86,7 +117,7 @@ func newDirectory() *directory {
 }
 
 // get returns the sharer mask for line id (0 when never recorded).
-func (d *directory) get(id uint64) uint32 {
+func (d *directory) get(id uint64) uint64 {
 	idx := id - d.base
 	pi := idx >> dirPageShift
 	if pi >= uint64(len(d.pages)) || d.pages[pi] == nil {
@@ -96,7 +127,7 @@ func (d *directory) get(id uint64) uint32 {
 }
 
 // set stores the sharer mask for line id, materializing its page.
-func (d *directory) set(id uint64, mask uint32) {
+func (d *directory) set(id uint64, mask uint64) {
 	idx := id - d.base
 	if id < d.base {
 		panic("core: coherence directory access below the data segment")
@@ -113,38 +144,154 @@ func (d *directory) set(id uint64, mask uint32) {
 	p[idx&dirPageMask] = mask
 }
 
-// NewHierarchy builds the hierarchy described by cfg.
+// homeMap records explicit home-socket claims per data line: 0 means
+// unclaimed (fall back to page interleave), otherwise socket+1. Same paged
+// layout as the directory.
+type homePage [dirPageSize]uint8
+
+type homeMap struct {
+	base  uint64
+	pages []*homePage
+}
+
+func newHomeMap() *homeMap {
+	return &homeMap{base: uint64(simmem.DataBase) >> LineShift}
+}
+
+func (hm *homeMap) get(id uint64) uint8 {
+	idx := id - hm.base
+	pi := idx >> dirPageShift
+	if pi >= uint64(len(hm.pages)) || hm.pages[pi] == nil {
+		return 0
+	}
+	return hm.pages[pi][idx&dirPageMask]
+}
+
+func (hm *homeMap) set(id uint64, v uint8) {
+	idx := id - hm.base
+	if id < hm.base {
+		panic("core: home claim below the data segment")
+	}
+	pi := idx >> dirPageShift
+	for pi >= uint64(len(hm.pages)) {
+		hm.pages = append(hm.pages, nil)
+	}
+	p := hm.pages[pi]
+	if p == nil {
+		p = new(homePage)
+		hm.pages[pi] = p
+	}
+	p[idx&dirPageMask] = v
+}
+
+// homeInterleaveShift interleaves unclaimed homes across sockets at 4KB-page
+// granularity (64 lines per page).
+const homeInterleaveShift = 6
+
+// NewHierarchy builds the hierarchy described by cfg. The returned
+// hierarchy's Config() is normalized: socket count clamped to [1, Cores],
+// zero remote penalties replaced by their defaults.
 func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
 	if cfg.Cores <= 0 {
 		cfg.Cores = 1
 	}
-	if cfg.Cores > 32 {
-		panic("core: at most 32 simulated cores supported")
+	if cfg.Cores > MaxCores {
+		panic("core: at most MaxCores (64) simulated cores supported (directory sharer masks are one uint64 word)")
+	}
+	cfg.Sockets = cfg.SocketCount()
+	if cfg.RemoteLLCPenalty <= 0 {
+		cfg.RemoteLLCPenalty = cfg.LLC.MissPenalty * 3 / 4
+	}
+	if cfg.RemoteDRAMPenalty <= 0 {
+		cfg.RemoteDRAMPenalty = cfg.LLC.MissPenalty * 2
+	}
+	if cfg.XInvalidatePenalty <= 0 {
+		cfg.XInvalidatePenalty = cfg.L2.MissPenalty * 3
 	}
 	h := &Hierarchy{
 		cfg:    cfg,
 		cores:  make([]coreCaches, cfg.Cores),
-		llc:    NewCache(cfg.LLC),
 		counts: make([]MissCounts, cfg.Cores),
+		nSock:  cfg.Sockets,
+		cps:    cfg.CoresPerSocket(),
 	}
+	h.llcs = make([]*Cache, h.nSock)
+	for s := range h.llcs {
+		h.llcs[s] = NewCache(cfg.LLC)
+	}
+	h.sockOf = make([]int, cfg.Cores)
 	for i := range h.cores {
 		h.cores[i] = coreCaches{
 			l1i: NewCache(cfg.L1I),
 			l1d: NewCache(cfg.L1D),
 			l2:  NewCache(cfg.L2),
 		}
+		h.sockOf[i] = i / h.cps
 	}
 	if cfg.Coherence && cfg.Cores > 1 {
-		h.dir = newDirectory()
+		h.dirs = make([]*directory, h.nSock)
+		for s := range h.dirs {
+			h.dirs[s] = newDirectory()
+		}
 	}
 	return h
 }
 
-// Config returns the hierarchy configuration.
+// Config returns the (normalized) hierarchy configuration.
 func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
 
 // Cores returns the number of simulated cores.
 func (h *Hierarchy) Cores() int { return len(h.cores) }
+
+// Sockets returns the number of sockets.
+func (h *Hierarchy) Sockets() int { return h.nSock }
+
+// SocketOf returns the socket a core belongs to.
+func (h *Hierarchy) SocketOf(core int) int { return h.sockOf[core] }
+
+// socketRange returns the half-open core-ID range [lo, hi) of socket s.
+func (h *Hierarchy) socketRange(s int) (lo, hi int) {
+	lo = s * h.cps
+	hi = lo + h.cps
+	if hi > len(h.cores) {
+		hi = len(h.cores)
+	}
+	return lo, hi
+}
+
+// ClaimHome homes the data lines covering [addr, addr+size) on the given
+// socket, overriding the interleaved default. Claims are only meaningful with
+// Sockets > 1; they are cheap no-ops otherwise.
+func (h *Hierarchy) ClaimHome(addr simmem.Addr, size, socket int) {
+	if h.nSock <= 1 || size <= 0 {
+		return
+	}
+	if socket < 0 || socket >= h.nSock {
+		panic("core: ClaimHome socket out of range")
+	}
+	if h.homes == nil {
+		h.homes = newHomeMap()
+	}
+	first := uint64(addr) >> LineShift
+	last := (uint64(addr) + uint64(size) - 1) >> LineShift
+	for id := first; id <= last; id++ {
+		h.homes.set(id, uint8(socket)+1)
+	}
+}
+
+// HomeOf returns the home socket of the data line containing addr.
+func (h *Hierarchy) HomeOf(addr simmem.Addr) int {
+	return h.homeOf(uint64(addr) >> LineShift)
+}
+
+func (h *Hierarchy) homeOf(id uint64) int {
+	if h.homes != nil {
+		if v := h.homes.get(id); v != 0 {
+			return int(v) - 1
+		}
+	}
+	return int((id >> homeInterleaveShift) % uint64(h.nSock))
+}
 
 // Counts returns a copy of the per-core miss counters for core.
 func (h *Hierarchy) Counts(core int) MissCounts { return h.counts[core] }
@@ -160,11 +307,15 @@ func (h *Hierarchy) TotalCounts() MissCounts {
 
 // FetchCode streams nLines of instruction fetch starting at the line
 // containing addr through core's I-side hierarchy and returns the stall
-// cycles incurred (miss count x per-level penalty, as in the paper).
+// cycles incurred (miss count x per-level penalty, as in the paper). Code is
+// read-only and replicates freely across sockets: an LLC miss that another
+// socket's LLC can serve costs the cross-socket forward, everything else
+// fills from memory at the local-DRAM cost (code pages are homed locally).
 func (h *Hierarchy) FetchCode(core int, addr simmem.Addr, nLines int) int {
 	cc := &h.cores[core]
 	ct := &h.counts[core]
-	l1i, l2, llc := cc.l1i, cc.l2, h.llc
+	l1i, l2 := cc.l1i, cc.l2
+	llc := h.llcs[h.sockOf[core]]
 	stall := 0
 	line := uint64(addr) >> LineShift
 	for i := 0; i < nLines; i++ {
@@ -180,7 +331,7 @@ func (h *Hierarchy) FetchCode(core int, addr simmem.Addr, nLines int) int {
 			stall += h.cfg.L2.MissPenalty
 			if !llc.Access(id, ClassInstr) {
 				ct.LLCIMiss++
-				stall += h.cfg.LLC.MissPenalty
+				stall += h.serveInstrMiss(core, id, ct)
 			}
 		}
 		// Sequential next-line prefetch: fill the following lines quietly so
@@ -196,65 +347,175 @@ func (h *Hierarchy) FetchCode(core int, addr simmem.Addr, nLines int) int {
 	return stall
 }
 
+// serveInstrMiss resolves where an I-side LLC miss is served from and returns
+// its penalty.
+func (h *Hierarchy) serveInstrMiss(core int, id uint64, ct *MissCounts) int {
+	if h.nSock > 1 {
+		s := h.sockOf[core]
+		for t := range h.llcs {
+			if t != s && h.llcs[t].Probe(id) {
+				ct.LLCIRemoteLLC++
+				return h.cfg.RemoteLLCPenalty
+			}
+		}
+	}
+	return h.cfg.LLC.MissPenalty
+}
+
+// serveDataMiss resolves where a D-side LLC miss is served from — a remote
+// socket's LLC, local DRAM, or the line's remote home DRAM — and returns its
+// penalty.
+func (h *Hierarchy) serveDataMiss(s int, id uint64, ct *MissCounts) int {
+	if h.nSock > 1 {
+		for t := range h.llcs {
+			if t != s && h.llcs[t].Probe(id) {
+				ct.LLCDRemoteLLC++
+				return h.cfg.RemoteLLCPenalty
+			}
+		}
+		if h.homeOf(id) != s {
+			ct.LLCDRemoteDRAM++
+			return h.cfg.RemoteDRAMPenalty
+		}
+	}
+	return h.cfg.LLC.MissPenalty
+}
+
+// evictPrivate records that line ev-1 (a tag reported by AccessEvict or
+// FillQuietEvict) left one of core's private data caches; if the other
+// private cache no longer holds it either, the core's directory bit clears.
+// This is what keeps the directory exact rather than a may-hold superset.
+func (h *Hierarchy) evictPrivate(core, socket int, ev uint64, other *Cache) {
+	if ev == 0 {
+		return
+	}
+	line := ev - 1
+	if other.Probe(line) {
+		return
+	}
+	d := h.dirs[socket]
+	if m := d.get(line); m&(uint64(1)<<uint(core)) != 0 {
+		d.set(line, m&^(uint64(1)<<uint(core)))
+	}
+}
+
+// invalidateSocket invalidates line id from every private cache of socket t
+// named in mask, crediting the per-cache invalidations to ct, and clears
+// socket t's directory entry.
+func (h *Hierarchy) invalidateSocket(t int, id uint64, mask uint64, skip int, ct *MissCounts) {
+	lo, hi := h.socketRange(t)
+	for other := lo; other < hi; other++ {
+		if other == skip || mask&(uint64(1)<<uint(other)) == 0 {
+			continue
+		}
+		if h.cores[other].l1d.Invalidate(id) {
+			ct.Invalidations++
+		}
+		if h.cores[other].l2.Invalidate(id) {
+			ct.Invalidations++
+		}
+	}
+}
+
 // DataAccess sends a data access of size bytes at addr through core's D-side
 // hierarchy and returns the stall cycles incurred. Writes invalidate copies
 // of the line in other cores' private caches when coherence is enabled, and
 // allocate lines quietly: store misses drain through the store buffer
 // without stalling retirement on an out-of-order core, so (like the
 // load-centric counter methodology the paper uses) they contribute neither
-// miss counts nor stall cycles — only future locality.
+// miss counts nor stall cycles — only future locality. The exception is a
+// cross-socket ownership transfer (Sockets > 1): invalidating another
+// socket's copies stalls the writer for XInvalidatePenalty per socket hit,
+// the part of coherence traffic a store buffer cannot hide.
 func (h *Hierarchy) DataAccess(core int, addr simmem.Addr, size int, write bool) int {
 	if size <= 0 {
 		return 0
 	}
 	cc := &h.cores[core]
 	ct := &h.counts[core]
+	s := h.sockOf[core]
+	llc := h.llcs[s]
 	stall := 0
 	first := uint64(addr) >> LineShift
 	last := (uint64(addr) + uint64(size) - 1) >> LineShift
 	for id := first; id <= last; id++ {
 		ct.L1DAcc++
-		if h.dir != nil && write {
-			if mask := h.dir.get(id); mask & ^(uint32(1)<<core) != 0 {
-				for other := range h.cores {
-					if other == core || mask&(uint32(1)<<other) == 0 {
-						continue
-					}
-					if h.cores[other].l1d.Invalidate(id) {
-						ct.Invalidations++
-					}
-					if h.cores[other].l2.Invalidate(id) {
-						ct.Invalidations++
+		if write {
+			if h.dirs != nil {
+				self := uint64(1) << uint(core)
+				// Same-socket sharers: silent invalidations, as before.
+				if mask := h.dirs[s].get(id); mask&^self != 0 {
+					h.invalidateSocket(s, id, mask, core, ct)
+					h.dirs[s].set(id, self)
+				}
+				// Remote sockets: invalidate their private caches and LLC
+				// copy; the ownership transfer stalls the writer.
+				if h.nSock > 1 {
+					for t := 0; t < h.nSock; t++ {
+						if t == s {
+							continue
+						}
+						rmask := h.dirs[t].get(id)
+						// Invalidate doubles as the residency probe (it
+						// reports whether the line was there), saving a
+						// second scan of the remote LLC set.
+						inLLC := h.llcs[t].Invalidate(id)
+						if rmask == 0 && !inLLC {
+							continue
+						}
+						if rmask != 0 {
+							h.invalidateSocket(t, id, rmask, -1, ct)
+							h.dirs[t].set(id, 0)
+						}
+						ct.XInvalidations++
+						stall += h.cfg.XInvalidatePenalty
 					}
 				}
-				h.dir.set(id, uint32(1)<<core)
+				h.evictPrivate(core, s, cc.l1d.FillQuietEvict(id), cc.l2)
+				h.evictPrivate(core, s, cc.l2.FillQuietEvict(id), cc.l1d)
+				llc.FillQuiet(id)
+				h.dirs[s].set(id, h.dirs[s].get(id)|self)
+				continue
 			}
-		}
-		if write {
 			cc.l1d.FillQuiet(id)
 			cc.l2.FillQuiet(id)
-			h.llc.FillQuiet(id)
-			if h.dir != nil {
-				h.dir.set(id, h.dir.get(id)|uint32(1)<<core)
+			llc.FillQuiet(id)
+			continue
+		}
+		if h.dirs == nil {
+			if cc.l1d.Access(id, ClassData) {
+				continue
+			}
+			ct.L1DMiss++
+			stall += h.cfg.L1D.MissPenalty
+			if !cc.l2.Access(id, ClassData) {
+				ct.L2DMiss++
+				stall += h.cfg.L2.MissPenalty
+				if !llc.Access(id, ClassData) {
+					ct.LLCDMiss++
+					stall += h.serveDataMiss(s, id, ct)
+				}
 			}
 			continue
 		}
-		if cc.l1d.Access(id, ClassData) {
+		hit, ev := cc.l1d.AccessEvict(id, ClassData)
+		h.evictPrivate(core, s, ev, cc.l2)
+		if hit {
 			continue
 		}
 		ct.L1DMiss++
 		stall += h.cfg.L1D.MissPenalty
-		if !cc.l2.Access(id, ClassData) {
+		hit, ev = cc.l2.AccessEvict(id, ClassData)
+		h.evictPrivate(core, s, ev, cc.l1d)
+		if !hit {
 			ct.L2DMiss++
 			stall += h.cfg.L2.MissPenalty
-			if !h.llc.Access(id, ClassData) {
+			if !llc.Access(id, ClassData) {
 				ct.LLCDMiss++
-				stall += h.cfg.LLC.MissPenalty
+				stall += h.serveDataMiss(s, id, ct)
 			}
 		}
-		if h.dir != nil {
-			h.dir.set(id, h.dir.get(id)|uint32(1)<<core)
-		}
+		h.dirs[s].set(id, h.dirs[s].get(id)|uint64(1)<<uint(core))
 	}
 	return stall
 }

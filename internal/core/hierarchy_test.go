@@ -136,6 +136,130 @@ func TestNoCoherenceSingleCore(t *testing.T) {
 	}
 }
 
+func TestMaxCoresBoundary(t *testing.T) {
+	// The cap is tied to the directory sharer-mask word: exactly MaxCores
+	// must construct, one more must panic.
+	cfg := numaTestCfg(MaxCores, 2)
+	h := NewHierarchy(cfg)
+	if h.Cores() != MaxCores {
+		t.Fatalf("Cores() = %d, want %d", h.Cores(), MaxCores)
+	}
+	// The top core's sharer bit must fit the mask word.
+	addr := simmem.DataBase
+	h.DataAccess(MaxCores-1, addr, 8, false)
+	id := uint64(addr) >> LineShift
+	s := h.SocketOf(MaxCores - 1)
+	if got := h.dirs[s].get(id); got != uint64(1)<<(MaxCores-1) {
+		t.Fatalf("core %d sharer bit = %#x", MaxCores-1, got)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("NewHierarchy accepted %d cores", MaxCores+1)
+		}
+	}()
+	cfg.Cores = MaxCores + 1
+	NewHierarchy(cfg)
+}
+
+func TestIvyBridgeTopology(t *testing.T) {
+	for _, tc := range []struct{ cores, sockets int }{
+		{1, 1}, {4, 1}, {10, 1}, {12, 2}, {20, 2},
+	} {
+		if got := IvyBridge(tc.cores).Sockets; got != tc.sockets {
+			t.Errorf("IvyBridge(%d).Sockets = %d, want %d", tc.cores, got, tc.sockets)
+		}
+	}
+	full := IvyBridge2S()
+	if full.Cores != 20 || full.Sockets != 2 {
+		t.Fatalf("IvyBridge2S = %d cores / %d sockets, want 20/2", full.Cores, full.Sockets)
+	}
+	h := NewHierarchy(full)
+	if h.SocketOf(9) != 0 || h.SocketOf(10) != 1 || h.SocketOf(19) != 1 {
+		t.Errorf("socket mapping: core 9 -> %d, core 10 -> %d, core 19 -> %d",
+			h.SocketOf(9), h.SocketOf(10), h.SocketOf(19))
+	}
+}
+
+func TestRemoteLLCForward(t *testing.T) {
+	h := NewHierarchy(numaTestCfg(4, 2))
+	addr := simmem.DataBase
+	h.DataAccess(0, addr, 8, false) // socket 0 pulls the line into its LLC
+	// Core 2 (socket 1) misses everything locally; socket 0's LLC serves the
+	// fill at the cross-socket forward cost: 8 + 19 + 100.
+	if got := h.DataAccess(2, addr, 8, false); got != 127 {
+		t.Errorf("cross-socket forward stall = %d, want 127", got)
+	}
+	ct := h.Counts(2)
+	if ct.LLCDMiss != 1 || ct.LLCDRemoteLLC != 1 || ct.LLCDRemoteDRAM != 0 {
+		t.Errorf("counts = %+v, want one LLC miss served by the remote LLC", ct)
+	}
+}
+
+func TestRemoteDRAMHome(t *testing.T) {
+	h := NewHierarchy(numaTestCfg(4, 2))
+	addr := simmem.DataBase
+
+	h.ClaimHome(addr, 64, 1)
+	if h.HomeOf(addr) != 1 {
+		t.Fatalf("claimed home = %d, want 1", h.HomeOf(addr))
+	}
+	// Cold read from socket 0 of a line homed on socket 1: 8 + 19 + 300.
+	if got := h.DataAccess(0, addr, 8, false); got != 327 {
+		t.Errorf("remote-DRAM fill stall = %d, want 327", got)
+	}
+	if got := h.Counts(0).LLCDRemoteDRAM; got != 1 {
+		t.Errorf("LLCDRemoteDRAM = %d, want 1", got)
+	}
+
+	// A locally homed line fills at the local cost: 8 + 19 + 167.
+	local := addr + 64
+	h.ClaimHome(local, 64, 0)
+	if got := h.DataAccess(0, local, 8, false); got != 194 {
+		t.Errorf("local-DRAM fill stall = %d, want 194", got)
+	}
+	if got := h.Counts(0).LLCDRemoteDRAM; got != 1 {
+		t.Errorf("local fill bumped LLCDRemoteDRAM to %d", got)
+	}
+}
+
+func TestCrossSocketWriteOwnership(t *testing.T) {
+	h := NewHierarchy(numaTestCfg(4, 2))
+	addr := simmem.DataBase
+	h.DataAccess(0, addr, 8, false) // socket 0: private caches + LLC
+
+	// Socket 1 takes ownership: the writer stalls for the transfer, socket
+	// 0's private and LLC copies are purged.
+	if got := h.DataAccess(2, addr, 8, true); got != 50 {
+		t.Errorf("ownership-transfer stall = %d, want 50", got)
+	}
+	if got := h.Counts(2).XInvalidations; got != 1 {
+		t.Errorf("XInvalidations = %d, want 1", got)
+	}
+	// A second write from the same socket transfers nothing.
+	if got := h.DataAccess(3, addr, 8, true); got != 0 {
+		t.Errorf("same-socket write stalled %d cycles", got)
+	}
+	// Core 0 must re-fetch; socket 1's LLC (filled by the writes) serves it.
+	if got := h.DataAccess(0, addr, 8, false); got != 127 {
+		t.Errorf("post-invalidate read stall = %d, want 127 (remote LLC forward)", got)
+	}
+}
+
+func TestSingleSocketChargesNoRemote(t *testing.T) {
+	h := NewHierarchy(numaTestCfg(2, 1))
+	addr := simmem.DataBase
+	h.DataAccess(0, addr, 8, false)
+	h.DataAccess(1, addr, 8, true)
+	h.DataAccess(0, addr, 8, false)
+	for c := 0; c < 2; c++ {
+		ct := h.Counts(c)
+		if ct.LLCDRemoteLLC != 0 || ct.LLCDRemoteDRAM != 0 || ct.XInvalidations != 0 {
+			t.Errorf("core %d recorded remote events on one socket: %+v", c, ct)
+		}
+	}
+}
+
 func TestCPUExecAccounting(t *testing.T) {
 	m := NewMachine(smallHierCfg(1))
 	cs := NewCodeSpace(m.Arena)

@@ -64,16 +64,22 @@ func (s Snapshot) Sub(before Snapshot) Snapshot {
 // "Measurements"). The components overlap on a real out-of-order core, which
 // is why the paper draws them side by side rather than stacked; this model
 // sums them into total cycles, which is the same first-order approximation.
+// On multi-socket machines the cross-socket share of each side is split out
+// into RemoteI/RemoteD (remote-LLC forwards, remote-DRAM fills, ownership
+// transfers); LLCI/LLCD then cover only locally served misses. Both remote
+// components are zero with a single socket.
 type StallCycles struct {
 	L1I, L2I, LLCI float64
 	L1D, L2D, LLCD float64
+	RemoteI        float64
+	RemoteD        float64
 }
 
 // Instr returns the instruction-side stall cycles.
-func (s StallCycles) Instr() float64 { return s.L1I + s.L2I + s.LLCI }
+func (s StallCycles) Instr() float64 { return s.L1I + s.L2I + s.LLCI + s.RemoteI }
 
 // Data returns the data-side stall cycles.
-func (s StallCycles) Data() float64 { return s.L1D + s.L2D + s.LLCD }
+func (s StallCycles) Data() float64 { return s.L1D + s.L2D + s.LLCD + s.RemoteD }
 
 // Total returns all stall cycles.
 func (s StallCycles) Total() float64 { return s.Instr() + s.Data() }
@@ -83,6 +89,7 @@ func (s StallCycles) Scale(f float64) StallCycles {
 	return StallCycles{
 		L1I: s.L1I * f, L2I: s.L2I * f, LLCI: s.LLCI * f,
 		L1D: s.L1D * f, L2D: s.L2D * f, LLCD: s.LLCD * f,
+		RemoteI: s.RemoteI * f, RemoteD: s.RemoteD * f,
 	}
 }
 
@@ -105,16 +112,24 @@ func NewMeasurement(before, after Snapshot, cfg HierarchyConfig, baseCPI float64
 	return Measurement{Delta: after.Sub(before), Config: cfg, BaseCPI: baseCPI}
 }
 
-// Stalls returns the absolute stall-cycle breakdown for the window.
+// Stalls returns the absolute stall-cycle breakdown for the window. LLC
+// misses served across the socket boundary (remote-LLC forwards, remote-DRAM
+// fills) and cross-socket ownership transfers are split out into the Remote
+// components at their own penalties; with a single socket those counters are
+// zero and the breakdown reduces to the paper's six components.
 func (m Measurement) Stalls() StallCycles {
 	d := m.Delta.Misses
 	return StallCycles{
 		L1I:  float64(d.L1IMiss) * float64(m.Config.L1I.MissPenalty),
 		L2I:  float64(d.L2IMiss) * float64(m.Config.L2.MissPenalty),
-		LLCI: float64(d.LLCIMiss) * float64(m.Config.LLC.MissPenalty),
+		LLCI: float64(d.LLCIMiss-d.LLCIRemoteLLC) * float64(m.Config.LLC.MissPenalty),
 		L1D:  float64(d.L1DMiss) * float64(m.Config.L1D.MissPenalty),
 		L2D:  float64(d.L2DMiss) * float64(m.Config.L2.MissPenalty),
-		LLCD: float64(d.LLCDMiss) * float64(m.Config.LLC.MissPenalty),
+		LLCD: float64(d.LLCDMiss-d.LLCDRemoteLLC-d.LLCDRemoteDRAM) * float64(m.Config.LLC.MissPenalty),
+		RemoteI: float64(d.LLCIRemoteLLC) * float64(m.Config.RemoteLLCPenalty),
+		RemoteD: float64(d.LLCDRemoteLLC)*float64(m.Config.RemoteLLCPenalty) +
+			float64(d.LLCDRemoteDRAM)*float64(m.Config.RemoteDRAMPenalty) +
+			float64(d.XInvalidations)*float64(m.Config.XInvalidatePenalty),
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"oltpsim/internal/catalog"
 	"oltpsim/internal/core"
 	"oltpsim/internal/index"
+	"oltpsim/internal/simmem"
 	"oltpsim/internal/storage"
 	"oltpsim/internal/txn"
 	"oltpsim/internal/wal"
@@ -359,14 +360,39 @@ func (t *Table) Load(row catalog.Row) {
 	}
 	if t.Replicated {
 		for p := range t.shards {
-			t.loadShard(&t.shards[p], keyVals, row)
+			t.loadShard(p, keyVals, row)
 		}
 		return
 	}
-	t.loadShard(&t.shards[t.PartitionOf(keyVals)], keyVals, row)
+	t.loadShard(t.PartitionOf(keyVals), keyVals, row)
 }
 
-func (t *Table) loadShard(sh *shard, keyVals []catalog.Value, row catalog.Row) {
+// loadShard inserts row into shard p. Under PlacePartitioned on a
+// multi-socket machine, every arena byte the insert allocates — row storage
+// segments, index nodes, version anchors, heap pages — is homed on the socket
+// of the core that drives partition p (the harness pins worker p to core p),
+// which is the NUMA-aware first-touch placement a partitioned engine gets for
+// free on real hardware. Shard substrates allocate only shard-private
+// structures, so bracketing the insert with Arena.DataTop captures exactly
+// partition p's data.
+func (t *Table) loadShard(p int, keyVals []catalog.Value, row catalog.Row) {
+	sh := &t.shards[p]
+	e := t.e
+	claim := -1
+	var before simmem.Addr
+	if hcfg := e.mach.Hier.Config(); hcfg.Placement == core.PlacePartitioned && hcfg.Sockets > 1 {
+		claim = e.mach.SocketOf(p % hcfg.Cores)
+		before = e.mach.Arena.DataTop()
+	}
+	t.loadShardInto(sh, keyVals, row)
+	if claim >= 0 {
+		if top := e.mach.Arena.DataTop(); top > before {
+			e.mach.ClaimHome(before, int(top-before), claim)
+		}
+	}
+}
+
+func (t *Table) loadShardInto(sh *shard, keyVals []catalog.Value, row catalog.Row) {
 	key := t.EncodeKey(keyVals)
 	switch t.e.cfg.Storage {
 	case StorageHeap:

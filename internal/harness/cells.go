@@ -72,6 +72,8 @@ func (r *Result) avgStalls(f func(core.Measurement) core.StallCycles) core.Stall
 		sum.L1D += s.L1D
 		sum.L2D += s.L2D
 		sum.LLCD += s.LLCD
+		sum.RemoteI += s.RemoteI
+		sum.RemoteD += s.RemoteD
 	}
 	return sum.Scale(1 / float64(len(r.PerCore)))
 }
@@ -196,8 +198,11 @@ type BenchOpts struct {
 // Bench runs the paper's measurement protocol — set up, populate (untraced
 // unless WarmPopulate), warm up, then measure a counter window — against an
 // already-constructed engine, and returns the per-worker measurements.
-// Transactions are spread round-robin over the engine's cores, one partition
-// per core on partitioned engines.
+// Worker w is pinned to simulated core w for the whole run: transactions are
+// spread round-robin over the cores, one partition per core on partitioned
+// engines, so on multi-socket machines partition p's worker always executes
+// on SocketOf(p) — the affinity the engine's partitioned NUMA placement
+// (core.PlacePartitioned) homes data against.
 func Bench(e *engine.Engine, w workload.Workload, opts BenchOpts) *Result {
 	cores := len(e.Machine().CPUs)
 	parts := e.Partitions()
@@ -304,6 +309,24 @@ func (r *Runner) MicroCellOpts(sys systems.Kind, opts systems.Options, size Size
 	rowsPerTx int, rw bool, cores int) CellSpec {
 	spec := r.MicroCell(sys, size, rowsPerTx, rw, false)
 	spec.SysOpts = opts
+	spec.Cores = cores
+	return spec
+}
+
+// NUMAMicroCell builds one cell of the multi-socket scaling figures
+// (FigN1-FigN3): the 1-row micro-benchmark on the partitioned in-memory
+// archetype (VoltDB) at the 10GB proxy size — far above a single socket's
+// LLC, so where a miss is served from (local DRAM, remote LLC, remote DRAM)
+// dominates. cores picks the topology through IvyBridge (one socket up to 10
+// cores, 2x10 above); partitioned selects NUMA-aware first-touch placement
+// versus the uniform page interleave.
+func (r *Runner) NUMAMicroCell(cores int, partitioned, rw bool) CellSpec {
+	placement := core.PlaceInterleaved
+	if partitioned {
+		placement = core.PlacePartitioned
+	}
+	spec := r.MicroCell(systems.VoltDB, Size10GB, 1, rw, false)
+	spec.SysOpts = systems.Options{Cores: cores, Placement: placement}
 	spec.Cores = cores
 	return spec
 }

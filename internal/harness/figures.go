@@ -24,7 +24,21 @@ var Figures = map[string]Builder{
 	"25": Fig25, "26": Fig26, "27": Fig27,
 }
 
-// FigureIDs returns the registered figure IDs in presentation order.
+// FigureBuilder resolves a figure ID against every registry: the paper
+// figures above and the NUMA scaling figures (FigN1-FigN3, see numafigs.go).
+func FigureBuilder(id string) (Builder, bool) {
+	if b, ok := Figures[id]; ok {
+		return b, true
+	}
+	b, ok := NUMAFigures[id]
+	return b, ok
+}
+
+// FigureIDs returns the registered paper figure IDs in presentation order.
+// The NUMA scaling figures are deliberately not included: they model the
+// two-socket topology the paper's figures do not use, and `-figure all`
+// (whose quick-scale output is locked byte-for-byte by testdata/golden_quick)
+// must keep meaning "the paper". Use NUMAFigureIDs for the FigN set.
 func FigureIDs() []string {
 	ids := make([]string, 0, len(Figures))
 	for id := range Figures {

@@ -1,10 +1,14 @@
 package harness
 
 import (
+	"reflect"
 	"sync"
 	"testing"
 
+	"oltpsim/internal/core"
+	"oltpsim/internal/simmem"
 	"oltpsim/internal/systems"
+	"oltpsim/internal/workload"
 )
 
 // tinyScale keeps parallel-runner regression cells cheap: every paper size
@@ -121,6 +125,98 @@ func TestSingleFlightCellCache(t *testing.T) {
 	}
 	if n := r.CellsExecuted(); n != int64(len(specs)) {
 		t.Errorf("%d cells executed for %d distinct specs", n, len(specs))
+	}
+}
+
+// TestNUMAFiguresDeterministicAcrossWorkers is the determinism property for
+// the multi-socket figures: every FigN figure rendered by a serial runner and
+// by an 8-worker runner must be byte-identical, in both output formats.
+func TestNUMAFiguresDeterministicAcrossWorkers(t *testing.T) {
+	serial := NewRunner(tinyScale())
+	serial.Workers = 1
+	parallel := NewRunner(tinyScale())
+	parallel.Workers = 8
+
+	for _, id := range NUMAFigureIDs() {
+		a, b := NUMAFigures[id](serial), NUMAFigures[id](parallel)
+		if a.String() != b.String() {
+			t.Errorf("figure %s: parallel text output differs from serial:\n--- serial ---\n%s--- parallel ---\n%s",
+				id, a.String(), b.String())
+		}
+		if a.Markdown() != b.Markdown() {
+			t.Errorf("figure %s: parallel markdown output differs from serial", id)
+		}
+	}
+}
+
+// TestNUMACellPMUCountersDeterministic runs the same two-socket CellSpec on
+// two independent runners and requires the raw per-core PMU windows — every
+// counter, including the remote-serve and cross-socket-invalidation ones —
+// to match exactly, not just the rendered strings.
+func TestNUMACellPMUCountersDeterministic(t *testing.T) {
+	r1 := NewRunner(tinyScale())
+	r1.Workers = 1
+	r8 := NewRunner(tinyScale())
+	r8.Workers = 8
+
+	for _, partitioned := range []bool{true, false} {
+		a := r1.Run(r1.NUMAMicroCell(20, partitioned, true))
+		b := r8.Run(r8.NUMAMicroCell(20, partitioned, true))
+		if a.Rows != b.Rows || a.DataBytes != b.DataBytes {
+			t.Fatalf("partitioned=%v: materialized database differs: %d/%d rows, %d/%d bytes",
+				partitioned, a.Rows, b.Rows, a.DataBytes, b.DataBytes)
+		}
+		if !reflect.DeepEqual(a.PerCore, b.PerCore) {
+			t.Errorf("partitioned=%v: per-core PMU measurements differ between runs", partitioned)
+		}
+	}
+}
+
+// traceHasher interposes on the arena's tracer, folding every data-access
+// event (address, size, direction, order) into a running hash before
+// forwarding to the machine. Two runs with identical trace-event streams
+// produce identical hashes and counts.
+type traceHasher struct {
+	next simmem.Tracer
+	hash uint64
+	n    uint64
+}
+
+func (th *traceHasher) OnData(addr simmem.Addr, size int, write bool) {
+	th.next.OnData(addr, size, write)
+	x := uint64(addr)*0x9e3779b97f4a7c15 + uint64(size)
+	if write {
+		x ^= 0xa5a5a5a5a5a5a5a5
+	}
+	th.hash = (th.hash ^ x) * 1099511628211
+	th.n++
+}
+
+// TestNUMATraceStreamDeterministic runs the same two-socket benchmark twice
+// on fresh engines with a hashing tracer interposed: the complete ordered
+// trace-event stream and the final PMU snapshot must be identical.
+func TestNUMATraceStreamDeterministic(t *testing.T) {
+	run := func() (*traceHasher, core.Snapshot) {
+		e := systems.New(systems.VoltDB, systems.Options{
+			Cores: 4, Sockets: 2, Placement: core.PlacePartitioned,
+		})
+		th := &traceHasher{next: e.Machine()}
+		e.Machine().Arena.SetTracer(th)
+		w := workload.NewMicro(workload.MicroConfig{Rows: 1 << 12, RowsPerTx: 1, ReadWrite: true})
+		Bench(e, w, BenchOpts{Warm: 60, Measure: 120, Seed: 21})
+		return th, e.Machine().Snapshot()
+	}
+	h1, s1 := run()
+	h2, s2 := run()
+	if h1.n != h2.n || h1.hash != h2.hash {
+		t.Errorf("trace-event streams differ: %d events (%#x) vs %d events (%#x)",
+			h1.n, h1.hash, h2.n, h2.hash)
+	}
+	if h1.n == 0 {
+		t.Fatal("hashing tracer observed no events")
+	}
+	if !reflect.DeepEqual(s1, s2) {
+		t.Errorf("final PMU snapshots differ:\n%+v\n%+v", s1, s2)
 	}
 }
 

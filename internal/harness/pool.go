@@ -90,7 +90,7 @@ func (r *Runner) CellsExecuted() int64 {
 func BuildFigures(r *Runner, ids []string) ([]*Figure, error) {
 	builders := make([]Builder, len(ids))
 	for i, id := range ids {
-		b, ok := Figures[id]
+		b, ok := FigureBuilder(id)
 		if !ok {
 			return nil, fmt.Errorf("harness: unknown figure %q", id)
 		}

@@ -78,10 +78,28 @@ func stallHeader(prefix ...string) []string {
 	return append(prefix, "L1I", "L2I", "LLC-I", "L1D", "L2D", "LLC-D", "Total")
 }
 
+// stallCells renders the six-column breakdown. Cross-socket components fold
+// into the LLC columns (the level the miss left) so the columns always sum
+// to Total even for a multi-socket measurement rendered in a paper-format
+// table; they are zero on one socket. NUMA figures use numaStallCells below,
+// which splits them out instead.
 func stallCells(s core.StallCycles) []string {
 	return []string{
-		f0(s.L1I), f0(s.L2I), f0(s.LLCI),
-		f0(s.L1D), f0(s.L2D), f0(s.LLCD), f0(s.Total()),
+		f0(s.L1I), f0(s.L2I), f0(s.LLCI + s.RemoteI),
+		f0(s.L1D), f0(s.L2D), f0(s.LLCD + s.RemoteD), f0(s.Total()),
+	}
+}
+
+// numaStallHeader extends the breakdown with the cross-socket components the
+// NUMA figures split out.
+func numaStallHeader(prefix ...string) []string {
+	return append(prefix, "L1I", "L2I", "LLC-I", "Rem-I", "L1D", "L2D", "LLC-D", "Rem-D", "Total")
+}
+
+func numaStallCells(s core.StallCycles) []string {
+	return []string{
+		f0(s.L1I), f0(s.L2I), f0(s.LLCI), f0(s.RemoteI),
+		f0(s.L1D), f0(s.L2D), f0(s.LLCD), f0(s.RemoteD), f0(s.Total()),
 	}
 }
 

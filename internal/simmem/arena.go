@@ -110,6 +110,11 @@ func (m *Arena) Tracing() bool { return m.tracefn != nil }
 // DataAllocated returns the number of data-segment bytes handed out so far.
 func (m *Arena) DataAllocated() uint64 { return m.dataAllocated }
 
+// DataTop returns the current top of the data segment: every allocation made
+// so far lies below it. Callers bracketing a load with two DataTop reads get
+// the exact address range the load allocated (used for NUMA home claims).
+func (m *Arena) DataTop() Addr { return m.dataTop }
+
 // AllocCode reserves size bytes in the code segment, aligned to 4 KiB, and
 // returns the base address. Code bytes have no backing storage.
 func (m *Arena) AllocCode(size int) Addr {

@@ -1,0 +1,122 @@
+package sqlfe
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzFrontend guards the contract the engine's statement-shape cache (see
+// engine.Table.stmt) depends on: the shape Parse returns for a SQL string
+// must describe exactly that string, deterministically. A shape that drifted
+// between parses, or whose token/parameter counts disagree with the text,
+// would make cached instruction charges describe a different statement than
+// the one "executed". The seed corpus is the statement inventory the
+// workloads generate (engine.sqlFor over the micro/TPC-B/TPC-C tables).
+//
+// CI runs this as a 30-second smoke:
+//
+//	go test -run '^FuzzFrontend$' -fuzz FuzzFrontend -fuzztime 30s ./internal/sqlfe
+func FuzzFrontend(f *testing.F) {
+	seeds := []string{
+		// micro
+		"SELECT * FROM micro WHERE key = ?",
+		"UPDATE micro SET val = ? WHERE key = ?",
+		// TPC-B
+		"SELECT * FROM accounts WHERE aid = ?",
+		"UPDATE accounts SET abalance = abalance + ? WHERE aid = ?",
+		"UPDATE tellers SET tbalance = tbalance + ? WHERE tid = ?",
+		"INSERT INTO history VALUES (?, ?, ?, ?, ?)",
+		// TPC-C
+		"SELECT * FROM warehouse WHERE w_id = ?",
+		"UPDATE district SET d_next_o_id = ? WHERE d_w_id = ? AND d_id = ?",
+		"SELECT * FROM customer WHERE c_w_id = ? AND c_d_id = ? AND c_id = ?",
+		"INSERT INTO orders VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+		"SELECT * FROM order_line WHERE ol_w_id = ? AND ol_d_id = ? AND ol_o_id >= ? LIMIT 100",
+		"DELETE FROM new_order WHERE no_w_id = ? AND no_d_id = ? AND no_o_id = ?",
+		// dialect corners
+		"SELECT a, b FROM t WHERE x >= ? AND y <= ? AND z < ? LIMIT 7",
+		"INSERT INTO t VALUES (?)",
+		"UPDATE t SET a = ?, b = b + ? WHERE k = ?",
+		"SELECT * FROM",
+		"UPDATE t SET",
+		"'unterminated",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, sql string) {
+		s1, err1 := Parse(sql) // must not panic on arbitrary input
+		s2, err2 := Parse(sql)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("nondeterministic accept/reject for %q: %v vs %v", sql, err1, err2)
+		}
+		if err1 != nil {
+			return
+		}
+		if !reflect.DeepEqual(s1, s2) {
+			t.Fatalf("shape for %q differs between parses:\n%+v\n%+v", sql, s1, s2)
+		}
+
+		// The shape must agree with a fresh lex of the same text — the checks
+		// that would catch a cache returning another statement's shape.
+		toks, err := Lex(sql)
+		if err != nil {
+			t.Fatalf("parse accepted %q but lex rejects it: %v", sql, err)
+		}
+		if s1.NumTokens != len(toks) {
+			t.Fatalf("%q: NumTokens %d, fresh lex has %d", sql, s1.NumTokens, len(toks))
+		}
+		params := 0
+		for _, tk := range toks {
+			if tk.Kind == TokParam {
+				params++
+			}
+		}
+		if s1.NumParams != params {
+			t.Fatalf("%q: NumParams %d, text has %d placeholders", sql, s1.NumParams, params)
+		}
+
+		// Structural invariants of an accepted statement.
+		if s1.Table == "" {
+			t.Fatalf("%q: accepted statement without a table", sql)
+		}
+		seen := make(map[int]bool, s1.NumParams)
+		bind := func(idx int) {
+			if idx < 0 || idx >= s1.NumParams {
+				t.Fatalf("%q: parameter index %d out of range [0,%d)", sql, idx, s1.NumParams)
+			}
+			if seen[idx] {
+				t.Fatalf("%q: parameter index %d bound twice", sql, idx)
+			}
+			seen[idx] = true
+		}
+		for _, p := range s1.Where {
+			bind(p.ParamIdx)
+		}
+		for _, sc := range s1.Sets {
+			bind(sc.ParamIdx)
+		}
+		switch s1.Kind {
+		case StmtSelect:
+			if len(s1.Cols) == 0 {
+				t.Fatalf("%q: SELECT with no projection", sql)
+			}
+		case StmtUpdate:
+			if len(s1.Sets) == 0 || len(s1.Where) == 0 {
+				t.Fatalf("%q: UPDATE without SET or WHERE", sql)
+			}
+		case StmtInsert:
+			if s1.InsertArity == 0 {
+				t.Fatalf("%q: INSERT with no values", sql)
+			}
+			if s1.InsertArity+len(seen) != s1.NumParams {
+				t.Fatalf("%q: INSERT arity %d + bound %d != params %d",
+					sql, s1.InsertArity, len(seen), s1.NumParams)
+			}
+		case StmtDelete:
+			if len(s1.Where) == 0 {
+				t.Fatalf("%q: DELETE without WHERE", sql)
+			}
+		}
+	})
+}

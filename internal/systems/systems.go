@@ -81,6 +81,14 @@ type Options struct {
 	// BufferPoolFrames overrides the buffer-pool size for disk-based
 	// systems (0 = automatic).
 	BufferPoolFrames int
+	// Sockets overrides the socket count of the simulated machine. The zero
+	// value keeps the IvyBridge default: one socket for up to 10 cores, then
+	// sockets of 10 (IvyBridge(20) is the paper's full 2x10 topology).
+	Sockets int
+	// Placement selects the NUMA home policy for data (uniform page
+	// interleave, the zero value, or partitioned first-touch). Only
+	// meaningful on multi-socket machines.
+	Placement core.HomePlacement
 }
 
 // New builds a fresh instance of the archetype. Every call returns a fully
@@ -114,6 +122,10 @@ func New(kind Kind, opts Options) *engine.Engine {
 		panic(fmt.Sprintf("systems: unknown kind %d", kind))
 	}
 	cfg.Machine = core.IvyBridge(opts.Cores)
+	if opts.Sockets > 0 {
+		cfg.Machine.Sockets = opts.Sockets
+	}
+	cfg.Machine.Placement = opts.Placement
 	cfg.Partitions = parts
 	if opts.HasIndexOverride {
 		cfg.Index = opts.Index

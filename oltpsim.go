@@ -129,8 +129,25 @@ func NewCustomSystem(cfg EngineConfig) *Engine {
 }
 
 // IvyBridge returns the paper's simulated server configuration (Table 1)
-// with the given core count.
+// with the given core count: one socket up to 10 cores, sockets of 10 above
+// (each with its own 20MB LLC and memory controller).
 func IvyBridge(cores int) core.HierarchyConfig { return core.IvyBridge(cores) }
+
+// IvyBridge2S returns the paper's full two-socket server: 2x10 cores,
+// per-socket LLCs, cross-socket coherence and remote-access latencies.
+func IvyBridge2S() core.HierarchyConfig { return core.IvyBridge2S() }
+
+// HomePlacement selects the NUMA home-socket policy for data lines on
+// multi-socket machines.
+type HomePlacement = core.HomePlacement
+
+// Home placement policies.
+const (
+	// PlaceInterleaved stripes data homes across sockets by 4KB page.
+	PlaceInterleaved = core.PlaceInterleaved
+	// PlacePartitioned homes each partition's data with its worker's socket.
+	PlacePartitioned = core.PlacePartitioned
+)
 
 // Workload generates transactions against an engine.
 type Workload = workload.Workload
@@ -199,6 +216,10 @@ func NewRunner(s Scale) *Runner { return harness.NewRunner(s) }
 // FigureIDs lists the reproducible paper tables/figures ("T1", "1".."27").
 func FigureIDs() []string { return harness.FigureIDs() }
 
+// NUMAFigureIDs lists the multi-socket scaling figures ("N1".."N3"): the
+// paper's analysis extended to the two-socket topology of its own server.
+func NUMAFigureIDs() []string { return harness.NUMAFigureIDs() }
+
 // ReproduceFigure runs (and renders) one paper figure at the given scale.
 // For several figures sharing cells, create a Runner and use BuildFigure.
 func ReproduceFigure(id string, s Scale) (*Figure, error) {
@@ -212,11 +233,11 @@ func BuildFigures(r *Runner, ids []string) ([]*Figure, error) {
 	return harness.BuildFigures(r, ids)
 }
 
-// BuildFigure renders one paper figure using r's cell cache.
+// BuildFigure renders one paper or NUMA figure using r's cell cache.
 func BuildFigure(r *Runner, id string) (*Figure, error) {
-	b, ok := harness.Figures[id]
+	b, ok := harness.FigureBuilder(id)
 	if !ok {
-		return nil, fmt.Errorf("oltpsim: unknown figure %q (see FigureIDs)", id)
+		return nil, fmt.Errorf("oltpsim: unknown figure %q (see FigureIDs, NUMAFigureIDs)", id)
 	}
 	return b(r), nil
 }
