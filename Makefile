@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench bench-compare figures figures-numa fuzz
+.PHONY: build vet test race bench bench-compare figures figures-numa figures-htap fuzz cover
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,17 @@ figures:
 figures-numa:
 	$(GO) run ./cmd/oltpsim -figure numa -scale quick
 
+# figures-htap renders the HTAP figures (FigH1-FigH3): the analytical
+# microbenchmark and the TPC-C x analytical hybrid.
+figures-htap:
+	$(GO) run ./cmd/oltpsim -figure htap -scale quick
+
 # fuzz runs the SQL front-end fuzz smoke (same budget as CI).
 fuzz:
 	$(GO) test -run '^FuzzFrontend$$' -fuzz FuzzFrontend -fuzztime 30s ./internal/sqlfe
+
+# cover runs the -short suite with a coverage profile and fails if total
+# statement coverage drops below the recorded floor (scripts/cover.sh; CI
+# runs the same gate on every push/PR).
+cover:
+	./scripts/cover.sh

@@ -50,6 +50,40 @@ func TestMicroTxZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestOLAPTxZeroAllocs extends the zero-allocation gate to a scan-heavy
+// transaction: a full-table aggregate pass over the OLAP micro table. The
+// analytical executor recycles its row-decode buffers and its index-visit
+// closure on the engine, so streaming thousands of rows must allocate
+// nothing — a per-row (or even per-query) allocation here would dominate the
+// simulator's wall-clock on the HTAP figures.
+func TestOLAPTxZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector shadow bookkeeping allocates; gate runs without -race")
+	}
+	for _, sys := range []SystemKind{VoltDB, HyPer, DBMSM} {
+		t.Run(sys.String(), func(t *testing.T) {
+			e := NewSystem(sys, SystemOptions{})
+			w := NewOLAP(OLAPConfig{Rows: 1 << 12})
+			Bench(e, w, BenchOpts{Warm: 10, Measure: 20, Seed: 13})
+
+			// olap_sum is the scan-heavy shape: one full pass folding
+			// COUNT/SUM/MIN/MAX over every row through the traced hierarchy.
+			if err := e.Invoke(0, "olap_sum"); err != nil {
+				t.Fatal(err)
+			}
+			avg := testing.AllocsPerRun(20, func() {
+				if err := e.Invoke(0, "olap_sum"); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if avg != 0 {
+				t.Errorf("%s: steady-state scan transaction allocates %.2f objects/op, want 0",
+					sys, avg)
+			}
+		})
+	}
+}
+
 // TestGenZeroAllocs checks that the workload generator itself is
 // allocation-free in steady state (its argument buffer is recycled).
 func TestGenZeroAllocs(t *testing.T) {

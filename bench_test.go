@@ -121,6 +121,11 @@ func BenchmarkFig20to27(b *testing.B) {
 // the single-socket figures.
 func BenchmarkFigN1(b *testing.B) { benchFigure(b, "N1") }
 
+// BenchmarkFigH1 reproduces Figure H1 (HTAP throughput): the recorded BENCH
+// files track the wall-clock cost of the analytical path — streaming scans,
+// aggregate folds, the hybrid TPC-C interleave — alongside the OLTP figures.
+func BenchmarkFigH1(b *testing.B) { benchFigure(b, "H1") }
+
 // BenchmarkTxMicroPerSystem measures simulated-transaction execution rate
 // (wall-clock cost of the simulation itself) for each system on the 1-row
 // read-only micro-benchmark, and reports the simulated IPC.

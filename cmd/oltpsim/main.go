@@ -9,6 +9,7 @@
 //	oltpsim -figure all -scale default -markdown > results.md
 //	oltpsim -figure all -scale quick -workers 8
 //	oltpsim -figure numa -scale quick
+//	oltpsim -figure htap -scale quick
 package main
 
 import (
@@ -44,6 +45,10 @@ func main() {
 		for _, id := range harness.NUMAFigureIDs() {
 			fmt.Printf("  %s\n", id)
 		}
+		fmt.Println("HTAP figures (OLAP micro + TPC-C x analytical mix; -figure htap):")
+		for _, id := range harness.HTAPFigureIDs() {
+			fmt.Printf("  %s\n", id)
+		}
 		return
 	}
 	if *figures == "" {
@@ -61,8 +66,9 @@ func main() {
 	runner.Workers = *workers
 
 	// "all" expands to the paper set (its quick-scale output is locked by the
-	// committed goldens); "numa" expands to the FigN scaling figures. The two
-	// keywords and explicit IDs compose: -figure all,numa runs everything.
+	// committed goldens); "numa" expands to the FigN scaling figures; "htap"
+	// expands to the FigH hybrid figures. The keywords and explicit IDs
+	// compose: -figure all,numa,htap runs everything.
 	var ids []string
 	for _, id := range strings.Split(*figures, ",") {
 		switch id = strings.TrimSpace(id); id {
@@ -70,6 +76,8 @@ func main() {
 			ids = append(ids, harness.FigureIDs()...)
 		case "numa":
 			ids = append(ids, harness.NUMAFigureIDs()...)
+		case "htap":
+			ids = append(ids, harness.HTAPFigureIDs()...)
 		default:
 			ids = append(ids, id)
 		}

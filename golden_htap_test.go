@@ -1,0 +1,33 @@
+package oltpsim
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestGoldenHTAPFigures locks the rendered output of the HTAP figures
+// (`oltpsim -figure htap -scale quick`) to a committed golden, the same way
+// the paper set and the NUMA set are locked. The analytical executor is as
+// deterministic as the point path: any divergence means a change altered the
+// modeled scan/aggregate behavior. Regenerate deliberately via:
+//
+//	go run ./cmd/oltpsim -figure htap -scale quick > testdata/golden_olap.txt
+func TestGoldenHTAPFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full HTAP figure build; skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("full HTAP figure build; too slow under the race detector")
+	}
+	r := NewRunner(QuickScale())
+	figs, err := BuildFigures(r, HTAPFigureIDs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var text strings.Builder
+	for _, fig := range figs {
+		text.WriteString(fig.String())
+		text.WriteByte('\n')
+	}
+	compareGolden(t, "testdata/golden_olap.txt", text.String())
+}

@@ -197,6 +197,28 @@ func (s *Schema) ReadRowS(m *simmem.Arena, addr simmem.Addr, sc *Scratch) Row {
 	return row
 }
 
+// ReadRowInto decodes the row at addr into row (which must have one slot per
+// column) and strBuf (backing storage for string columns, which must be at
+// least RowSize bytes). Unlike ReadRowS it allocates nothing and reuses the
+// same buffers on every call, so a streaming scan can decode millions of rows
+// without growing a transaction scratch arena; the decoded row is only valid
+// until the next ReadRowInto with the same buffers.
+func (s *Schema) ReadRowInto(m *simmem.Arena, addr simmem.Addr, row Row, strBuf []byte) Row {
+	off := 0
+	for i, c := range s.Columns {
+		fa := addr + simmem.Addr(s.offsets[i])
+		if c.Type == TypeLong {
+			row[i] = Value{I: int64(m.ReadU64(fa))}
+			continue
+		}
+		buf := strBuf[off : off+c.Width]
+		off += c.Width
+		m.ReadBytes(fa, buf)
+		row[i] = Value{S: buf}
+	}
+	return row[:len(s.Columns)]
+}
+
 // ReadField decodes column col of the row at addr.
 func (s *Schema) ReadField(m *simmem.Arena, addr simmem.Addr, col int) Value {
 	return s.ReadFieldS(m, addr, col, nil)

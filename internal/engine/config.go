@@ -92,6 +92,10 @@ type CostParams struct {
 	CompiledEntry int
 	// ScanPerRow is the per-row cost inside a scan loop.
 	ScanPerRow int
+	// AggPerRow is the per-row, per-aggregate accumulate cost of the
+	// analytical fold operators (added on top of ScanPerRow; 0 models a
+	// fold fused into the scan loop for free).
+	AggPerRow int
 	// TxnBegin/TxnCommit are transaction management costs.
 	TxnBegin  int
 	TxnCommit int

@@ -53,6 +53,10 @@ type Engine struct {
 	mvtx     txn.MVTx
 	seenStmt map[string]bool // FESQLPerRequest: statements parsed this tx
 	locked   []bool          // table ID -> intent lock held this tx
+
+	// scan is the recycled analytical-scan executor state (see olap.go); its
+	// index-visit callback is bound once here so scans create no closures.
+	scan scanState
 }
 
 // Table is one logical table, possibly sharded across partitions.
@@ -153,6 +157,8 @@ func New(cfg Config) *Engine {
 		e.logs[i] = wal.NewLog(mach.Arena, cfg.LogBufBytes)
 	}
 	e.meter = &idxMeter{e: e}
+	e.scan.visit = e.scanVisit
+	e.scan.groupBy = -1
 	return e
 }
 

@@ -253,6 +253,26 @@ func (e *Engine) sqlFor(kind opKind, t *Table) string {
 		rangePreds = append(rangePreds, keyCols[len(keyCols)-1]+" >= ?")
 		s = fmt.Sprintf("SELECT * FROM %s WHERE %s LIMIT 100",
 			t.Name, strings.Join(rangePreds, " AND "))
+	case opScanAll:
+		s = fmt.Sprintf("SELECT * FROM %s", t.Name)
+	case opAgg:
+		c := t.Schema.Columns[len(t.Schema.Columns)-1].Name
+		s = fmt.Sprintf("SELECT COUNT(*), SUM(%s), MIN(%s), MAX(%s) FROM %s", c, c, c, t.Name)
+	case opAggRange:
+		c := t.Schema.Columns[len(t.Schema.Columns)-1].Name
+		rangePreds := append([]string{}, eqPreds[:len(eqPreds)-1]...)
+		last := keyCols[len(keyCols)-1]
+		rangePreds = append(rangePreds, last+" >= ?", last+" <= ?")
+		s = fmt.Sprintf("SELECT SUM(%s) FROM %s WHERE %s",
+			c, t.Name, strings.Join(rangePreds, " AND "))
+	case opAggGroup:
+		c := t.Schema.Columns[len(t.Schema.Columns)-1].Name
+		g := c
+		for _, col := range t.Schema.Columns[len(t.KeyCols):] {
+			g = col.Name
+			break
+		}
+		s = fmt.Sprintf("SELECT %s, SUM(%s) FROM %s GROUP BY %s", g, c, t.Name, g)
 	}
 	return s
 }

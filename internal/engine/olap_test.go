@@ -1,0 +1,250 @@
+package engine_test
+
+import (
+	"math"
+	"testing"
+
+	"oltpsim/internal/catalog"
+	"oltpsim/internal/engine"
+	"oltpsim/internal/systems"
+)
+
+// buildOrderedMicro is buildMicro on an ordered table (hash-indexed engines
+// fall back to their tree variant, like every scannable table).
+func buildOrderedMicro(e *engine.Engine, n int) *engine.Table {
+	t := e.CreateOrderedTable(microSchema(), "key")
+	for i := 0; i < n; i++ {
+		t.Load(catalog.Row{catalog.LongVal(int64(i)), catalog.LongVal(int64(i * 7))})
+	}
+	e.Machine().Arena.EnableTracing(true)
+	return t
+}
+
+func TestAnalyticAggregateAllSystems(t *testing.T) {
+	const rows = 500
+	// Naive reference folds.
+	var wantSum int64
+	for i := 0; i < rows; i++ {
+		wantSum += int64(i * 7)
+	}
+	specs := []engine.AggSpec{
+		{Op: engine.AggCount}, {Op: engine.AggSum, Col: 1},
+		{Op: engine.AggMin, Col: 1}, {Op: engine.AggMax, Col: 1},
+	}
+	for name, e := range allSystems(t) {
+		t.Run(name, func(t *testing.T) {
+			tbl := buildOrderedMicro(e, rows)
+			var out [4]int64
+			var n int64
+			e.Register("agg", func(tx *engine.Tx) error {
+				var err error
+				n, err = tx.AnalyticAggregate(tbl, nil, nil, specs, out[:])
+				return err
+			})
+			if err := e.Invoke(0, "agg"); err != nil {
+				t.Fatal(err)
+			}
+			if n != rows || out[0] != rows {
+				t.Errorf("rows = %d, count = %d, want %d", n, out[0], rows)
+			}
+			if out[1] != wantSum || out[2] != 0 || out[3] != int64((rows-1)*7) {
+				t.Errorf("sum/min/max = %d/%d/%d, want %d/0/%d",
+					out[1], out[2], out[3], wantSum, (rows-1)*7)
+			}
+		})
+	}
+}
+
+func TestAnalyticAggregateRange(t *testing.T) {
+	e := systems.New(systems.VoltDB, systems.Options{})
+	tbl := buildOrderedMicro(e, 1000)
+	specs := []engine.AggSpec{{Op: engine.AggCount}, {Op: engine.AggSum, Col: 1}}
+	var out [2]int64
+	e.Register("rangeagg", func(tx *engine.Tx) error {
+		_, err := tx.AnalyticAggregate(tbl,
+			longKey(tx.ArgI(0)), longKey(tx.ArgI(1)), specs, out[:])
+		return err
+	})
+	if err := e.Invoke(0, "rangeagg", catalog.LongVal(100), catalog.LongVal(199)); err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 100 {
+		t.Errorf("count = %d, want 100", out[0])
+	}
+	var want int64
+	for i := 100; i <= 199; i++ {
+		want += int64(i * 7)
+	}
+	if out[1] != want {
+		t.Errorf("sum = %d, want %d", out[1], want)
+	}
+
+	// Empty range: MIN/MAX keep their sentinels, count 0.
+	specsMM := []engine.AggSpec{{Op: engine.AggMin, Col: 1}, {Op: engine.AggMax, Col: 1}}
+	var mm [2]int64
+	e.Register("empty", func(tx *engine.Tx) error {
+		n, err := tx.AnalyticAggregate(tbl,
+			longKey(5000), longKey(6000), specsMM, mm[:])
+		if n != 0 {
+			t.Errorf("rows = %d, want 0", n)
+		}
+		return err
+	})
+	if err := e.Invoke(0, "empty"); err != nil {
+		t.Fatal(err)
+	}
+	if mm[0] != math.MaxInt64 || mm[1] != math.MinInt64 {
+		t.Errorf("empty min/max = %d/%d", mm[0], mm[1])
+	}
+}
+
+func TestAnalyticScanOrderAndStop(t *testing.T) {
+	e := systems.New(systems.HyPer, systems.Options{})
+	tbl := buildOrderedMicro(e, 300)
+	var keys []int64
+	e.Register("scan", func(tx *engine.Tx) error {
+		keys = keys[:0]
+		return tx.AnalyticScan(tbl, nil, nil, func(key []byte, row catalog.Row) bool {
+			keys = append(keys, row[0].I)
+			return len(keys) < 50
+		})
+	})
+	if err := e.Invoke(0, "scan"); err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 50 {
+		t.Fatalf("visited %d rows, want 50 (early stop)", len(keys))
+	}
+	for i, k := range keys {
+		if k != int64(i) {
+			t.Fatalf("key %d = %d, out of order", i, k)
+		}
+	}
+}
+
+func TestAnalyticAggregateGroup(t *testing.T) {
+	for name, e := range allSystems(t) {
+		t.Run(name, func(t *testing.T) {
+			schema := catalog.NewSchema("olap",
+				catalog.Column{Name: "key", Type: catalog.TypeLong},
+				catalog.Column{Name: "grp", Type: catalog.TypeLong},
+				catalog.Column{Name: "val", Type: catalog.TypeLong},
+			)
+			tbl := e.CreateOrderedTable(schema, "key")
+			const rows, groups = 400, 7
+			wantSum := map[int64]int64{}
+			wantCnt := map[int64]int64{}
+			for i := 0; i < rows; i++ {
+				g, v := int64(i%groups), int64(i*3)
+				tbl.Load(catalog.Row{catalog.LongVal(int64(i)), catalog.LongVal(g), catalog.LongVal(v)})
+				wantSum[g] += v
+				wantCnt[g]++
+			}
+			e.Machine().Arena.EnableTracing(true)
+
+			specs := []engine.AggSpec{{Op: engine.AggCount}, {Op: engine.AggSum, Col: 2}}
+			gotSum := map[int64]int64{}
+			gotCnt := map[int64]int64{}
+			var lastG int64 = -1
+			e.Register("gagg", func(tx *engine.Tx) error {
+				_, err := tx.AnalyticAggregateGroup(tbl, 1, specs, func(g int64, accs []int64) {
+					if g <= lastG {
+						t.Errorf("groups out of order: %d after %d", g, lastG)
+					}
+					lastG = g
+					gotCnt[g] = accs[0]
+					gotSum[g] = accs[1]
+				})
+				return err
+			})
+			if err := e.Invoke(0, "gagg"); err != nil {
+				t.Fatal(err)
+			}
+			if len(gotSum) != groups {
+				t.Fatalf("got %d groups, want %d", len(gotSum), groups)
+			}
+			for g := int64(0); g < groups; g++ {
+				if gotSum[g] != wantSum[g] || gotCnt[g] != wantCnt[g] {
+					t.Errorf("group %d: sum/cnt = %d/%d, want %d/%d",
+						g, gotSum[g], gotCnt[g], wantSum[g], wantCnt[g])
+				}
+			}
+		})
+	}
+}
+
+// TestAnalyticScanCrossesPartitions checks that a full scan on a partitioned
+// engine visits every shard (the "every-site" read-only query), while the
+// bounded range still restricts what it folds.
+func TestAnalyticScanCrossesPartitions(t *testing.T) {
+	e := systems.New(systems.VoltDB, systems.Options{Cores: 4})
+	if e.Partitions() != 4 {
+		t.Fatalf("partitions = %d, want 4", e.Partitions())
+	}
+	tbl := buildOrderedMicro(e, 1000)
+	specs := []engine.AggSpec{{Op: engine.AggCount}}
+	var out [1]int64
+	e.Register("cnt", func(tx *engine.Tx) error {
+		_, err := tx.AnalyticAggregate(tbl, nil, nil, specs, out[:])
+		return err
+	})
+	// Invoke on partition 2: the scan must still see all 1000 rows.
+	if err := e.Invoke(2, "cnt"); err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 1000 {
+		t.Errorf("count = %d, want 1000 (all partitions)", out[0])
+	}
+}
+
+// TestAnalyticAggregateSeesCommittedWrites runs an update then an aggregate
+// on the MVCC engine: the snapshot fold must observe the committed version.
+func TestAnalyticAggregateSeesCommittedWrites(t *testing.T) {
+	e := systems.New(systems.DBMSM, systems.Options{})
+	tbl := buildOrderedMicro(e, 100)
+	e.Register("upd", func(tx *engine.Tx) error {
+		return tx.Update(tbl, longKey(tx.ArgI(0)), 1, catalog.LongVal(tx.ArgI(1)))
+	})
+	specs := []engine.AggSpec{{Op: engine.AggSum, Col: 1}}
+	var out [1]int64
+	e.Register("sum", func(tx *engine.Tx) error {
+		_, err := tx.AnalyticAggregate(tbl, nil, nil, specs, out[:])
+		return err
+	})
+	var base int64
+	for i := 0; i < 100; i++ {
+		base += int64(i * 7)
+	}
+	if err := e.Invoke(0, "sum"); err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != base {
+		t.Fatalf("pre-update sum = %d, want %d", out[0], base)
+	}
+	if err := e.Invoke(0, "upd", catalog.LongVal(10), catalog.LongVal(1_000_070)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Invoke(0, "sum"); err != nil {
+		t.Fatal(err)
+	}
+	want := base - 70 + 1_000_070
+	if out[0] != want {
+		t.Errorf("post-update sum = %d, want %d", out[0], want)
+	}
+}
+
+func TestLookupRow(t *testing.T) {
+	for name, e := range allSystems(t) {
+		t.Run(name, func(t *testing.T) {
+			tbl := buildMicro(e, 50)
+			e.Machine().Arena.EnableTracing(false)
+			row, ok := tbl.LookupRow(longKey(17))
+			if !ok || row[0].I != 17 || row[1].I != 17*7 {
+				t.Errorf("LookupRow(17) = %v, %v", row, ok)
+			}
+			if _, ok := tbl.LookupRow(longKey(5000)); ok {
+				t.Error("LookupRow of absent key succeeded")
+			}
+		})
+	}
+}

@@ -58,6 +58,11 @@ const (
 	opInsert
 	opDelete
 	opScan
+	// Analytical op kinds (the OLAP path in olap.go).
+	opScanAll  // unpredicated full-table scan
+	opAgg      // full-table aggregate fold
+	opAggRange // key-range-bounded aggregate fold
+	opAggGroup // grouped aggregate fold
 	numOpKinds
 )
 

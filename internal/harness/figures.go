@@ -25,12 +25,16 @@ var Figures = map[string]Builder{
 }
 
 // FigureBuilder resolves a figure ID against every registry: the paper
-// figures above and the NUMA scaling figures (FigN1-FigN3, see numafigs.go).
+// figures above, the NUMA scaling figures (FigN1-FigN3, see numafigs.go) and
+// the HTAP figures (FigH1-FigH3, see htapfigs.go).
 func FigureBuilder(id string) (Builder, bool) {
 	if b, ok := Figures[id]; ok {
 		return b, true
 	}
-	b, ok := NUMAFigures[id]
+	if b, ok := NUMAFigures[id]; ok {
+		return b, true
+	}
+	b, ok := HTAPFigures[id]
 	return b, ok
 }
 

@@ -37,12 +37,13 @@ type ART struct {
 
 	// Reusable scratch buffers (single-goroutine, each confined to one call
 	// frame): leafBuf holds a leaf key during lookup/insert/delete, prefixBuf
-	// a recovered full prefix, and fpKeyBuf the min-leaf key read inside
-	// fullPrefix. Scan keeps per-leaf allocations: its keys are handed to the
-	// caller's callback.
+	// a recovered full prefix, fpKeyBuf the min-leaf key read inside
+	// fullPrefix, and scanBuf the leaf key handed to Scan's callback (valid
+	// only during the callback, per the OrderedIndex contract).
 	leafBuf   []byte
 	prefixBuf []byte
 	fpKeyBuf  []byte
+	scanBuf   []byte
 }
 
 // Node kinds.
@@ -615,7 +616,10 @@ func (t *ART) Scan(from []byte, fn func(key []byte, val uint64) bool) {
 func (t *ART) scanRec(n simmem.Addr, from []byte, depth int, fn func([]byte, uint64) bool) bool {
 	t.meter.NodeVisit(8)
 	if t.kind(n) == artLeaf {
-		lk := make([]byte, t.kw)
+		if t.scanBuf == nil {
+			t.scanBuf = make([]byte, t.kw)
+		}
+		lk := t.scanBuf
 		t.leafKey(n, lk)
 		if from != nil && bytes.Compare(lk, from) < 0 {
 			return true

@@ -43,6 +43,7 @@ type BTree struct {
 	kbuf    []byte
 	sepBuf  []byte
 	moveBuf []byte
+	scanBuf []byte // Scan's callback key (valid only during the callback)
 
 	fa appendPath // bulk-append fast path (untraced ascending loads)
 }
@@ -475,7 +476,10 @@ func (t *BTree) Scan(from []byte, fn func(key []byte, val uint64) bool) {
 		t.bp.UnfixAddr(addr, false)
 		pageID = child
 	}
-	keyBuf := make([]byte, t.kw)
+	if t.scanBuf == nil {
+		t.scanBuf = make([]byte, t.kw)
+	}
+	keyBuf := t.scanBuf
 	first := true
 	for pageID != 0 {
 		addr, err := t.bp.Fix(pageID)

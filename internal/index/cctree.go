@@ -42,6 +42,7 @@ type CCTree struct {
 	kbuf    []byte
 	sepBuf  []byte
 	moveBuf []byte
+	scanBuf []byte // Scan's callback key (valid only during the callback)
 
 	fa appendPath // bulk-append fast path (untraced ascending loads)
 }
@@ -374,7 +375,10 @@ func (t *CCTree) Scan(from []byte, fn func(key []byte, val uint64) bool) {
 	for level := 0; level < t.height-1; level++ {
 		addr = t.childFor(addr, from)
 	}
-	keyBuf := make([]byte, t.kw)
+	if t.scanBuf == nil {
+		t.scanBuf = make([]byte, t.kw)
+	}
+	keyBuf := t.scanBuf
 	start, _ := t.lowerBound(addr, t.nKeys(addr), from)
 	for addr != 0 {
 		n := t.nKeys(addr)

@@ -34,7 +34,9 @@ type Index interface {
 type OrderedIndex interface {
 	Index
 	// Scan visits entries with key >= from in ascending key order until fn
-	// returns false.
+	// returns false. The key slice is backed by a per-tree scratch buffer:
+	// it is only valid for the duration of the callback (copy to retain),
+	// which keeps full-table analytical scans allocation-free.
 	Scan(from []byte, fn func(key []byte, val uint64) bool)
 }
 

@@ -33,12 +33,23 @@ func FuzzFrontend(f *testing.F) {
 		"INSERT INTO orders VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
 		"SELECT * FROM order_line WHERE ol_w_id = ? AND ol_d_id = ? AND ol_o_id >= ? LIMIT 100",
 		"DELETE FROM new_order WHERE no_w_id = ? AND no_d_id = ? AND no_o_id = ?",
+		// analytical dialect: full scans, bounded ranges, aggregates
+		"SELECT * FROM micro",
+		"SELECT COUNT(*) FROM micro",
+		"SELECT COUNT(*), SUM(val), MIN(val), MAX(val) FROM micro",
+		"SELECT SUM(val) FROM micro WHERE key >= ? AND key <= ?",
+		"SELECT grp, SUM(val) FROM olap GROUP BY grp",
+		"SELECT ol_d_id, SUM(ol_amount) FROM order_line GROUP BY ol_d_id",
+		"SELECT SUM(ol_amount) FROM order_line WHERE ol_w_id = ? AND ol_d_id = ? AND ol_o_id >= ? AND ol_o_id <= ?",
+		"SELECT c FROM orders WHERE w = ? AND d >= ?",
 		// dialect corners
 		"SELECT a, b FROM t WHERE x >= ? AND y <= ? AND z < ? LIMIT 7",
 		"INSERT INTO t VALUES (?)",
 		"UPDATE t SET a = ?, b = b + ? WHERE k = ?",
 		"SELECT * FROM",
 		"UPDATE t SET",
+		"SELECT COUNT(* FROM t",
+		"SELECT v FROM t GROUP BY v",
 		"'unterminated",
 	}
 	for _, s := range seeds {
@@ -98,9 +109,18 @@ func FuzzFrontend(f *testing.F) {
 		}
 		switch s1.Kind {
 		case StmtSelect:
-			if len(s1.Cols) == 0 {
+			if len(s1.Cols) == 0 && len(s1.Aggs) == 0 {
 				t.Fatalf("%q: SELECT with no projection", sql)
 			}
+			if s1.GroupBy != "" && len(s1.Aggs) == 0 {
+				t.Fatalf("%q: GROUP BY without aggregates accepted", sql)
+			}
+			for _, c := range s1.Cols {
+				if len(s1.Aggs) > 0 && c != s1.GroupBy {
+					t.Fatalf("%q: bare column %q alongside aggregates", sql, c)
+				}
+			}
+			checkPlanFold(t, sql, s1)
 		case StmtUpdate:
 			if len(s1.Sets) == 0 || len(s1.Where) == 0 {
 				t.Fatalf("%q: UPDATE without SET or WHERE", sql)
@@ -119,4 +139,217 @@ func FuzzFrontend(f *testing.F) {
 			}
 		}
 	})
+}
+
+// fuzzCat is a catalog synthesized from a statement's own referenced names:
+// the WHERE columns (first-seen order) form the primary key, every other
+// referenced column follows. It makes arbitrary fuzz-accepted SELECTs
+// plannable whenever their predicate structure is coherent.
+type fuzzCat struct {
+	table string
+	cols  []string
+	keys  []string
+}
+
+func (c fuzzCat) TableID(name string) (int, bool) { return 1, name == c.table }
+func (c fuzzCat) ColumnNames(string) []string     { return c.cols }
+func (c fuzzCat) KeyColumns(string) []string      { return c.keys }
+
+func catFor(s *Stmt) fuzzCat {
+	c := fuzzCat{table: s.Table}
+	seen := map[string]bool{}
+	add := func(n string) {
+		if n != "" && n != "*" && !seen[n] {
+			seen[n] = true
+			c.cols = append(c.cols, n)
+		}
+	}
+	for _, pr := range s.Where {
+		add(pr.Col)
+	}
+	nKeys := len(c.cols)
+	add(s.GroupBy)
+	for _, a := range s.Aggs {
+		add(a.Col)
+	}
+	for _, col := range s.Cols {
+		add(col)
+	}
+	if len(c.cols) == 0 {
+		c.cols = []string{"zz_k"} // SELECT * FROM t: give the table a shape
+	}
+	c.keys = c.cols[:nKeys]
+	if len(c.keys) == 0 {
+		c.keys = c.cols[:1] // every table has a primary key
+	}
+	return c
+}
+
+// checkPlanFold is the differential invariant for accepted SELECTs: plan the
+// statement against its synthesized catalog, evaluate the *plan* (parameter
+// routing by key position, aggregate columns by resolved index) and the
+// *statement* (predicates and aggregates by column name) independently over
+// a fixed synthetic row set, and require identical matched rows, projection
+// resolution, and aggregate folds — including per-group. A planner that
+// binds a parameter to the wrong key column, resolves an aggregate to the
+// wrong field, or mis-classifies a range shows up as a fold mismatch.
+func checkPlanFold(t *testing.T, sql string, s *Stmt) {
+	cat := catFor(s)
+	p, err := BuildPlan(s, cat)
+	if err != nil {
+		return // not plannable against this shape; nothing to cross-check
+	}
+	colIdx := map[string]int{}
+	for i, n := range cat.cols {
+		colIdx[n] = i
+	}
+	const nRows = 8
+	val := func(r, c int) int64 { return int64((r*7+c*3)%11) - 2 }
+	pv := func(i int) int64 { return int64(i%5) - 1 }
+
+	// Statement-side row filter: every WHERE conjunct, by column name.
+	match := func(r int) bool {
+		for _, pr := range s.Where {
+			v, b := val(r, colIdx[pr.Col]), pv(pr.ParamIdx)
+			ok := false
+			switch pr.Op {
+			case CmpEq:
+				ok = v == b
+			case CmpGe:
+				ok = v >= b
+			case CmpLe:
+				ok = v <= b
+			case CmpGt:
+				ok = v > b
+			case CmpLt:
+				ok = v < b
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	// Plan-side row filter: bound key prefix by position, range tail.
+	pmatch := func(r int) bool {
+		for i, par := range p.KeyParams {
+			v, b := val(r, colIdx[cat.keys[i]]), pv(par)
+			if p.Ranged && i == len(p.KeyParams)-1 {
+				if v < b {
+					return false
+				}
+				if p.HiParam >= 0 && v > pv(p.HiParam) {
+					return false
+				}
+			} else if v != b {
+				return false
+			}
+		}
+		return true
+	}
+	for r := 0; r < nRows; r++ {
+		if match(r) != pmatch(r) {
+			t.Fatalf("%q: row %d matched %v by statement, %v by plan (plan %+v)",
+				sql, r, match(r), pmatch(r), p)
+		}
+	}
+
+	if len(s.Aggs) == 0 {
+		// Projection resolution: plan column indexes must name the statement's
+		// projected columns.
+		if len(s.Cols) == 1 && s.Cols[0] == "*" {
+			if len(p.Cols) != len(cat.cols) {
+				t.Fatalf("%q: * resolved to %d of %d columns", sql, len(p.Cols), len(cat.cols))
+			}
+			return
+		}
+		if len(p.Cols) != len(s.Cols) {
+			t.Fatalf("%q: %d projected, plan has %d", sql, len(s.Cols), len(p.Cols))
+		}
+		for i, n := range s.Cols {
+			if p.Cols[i] != colIdx[n] {
+				t.Fatalf("%q: projection %q resolved to column %d, want %d",
+					sql, n, p.Cols[i], colIdx[n])
+			}
+		}
+		return
+	}
+
+	// Aggregate folds, per group (the whole table is one group without a
+	// GROUP BY). foldOne(-1) is COUNT.
+	groupOf := func(r int) int64 {
+		if p.GroupByIdx < 0 {
+			return 0
+		}
+		return val(r, p.GroupByIdx)
+	}
+	sGroupOf := func(r int) int64 {
+		if s.GroupBy == "" {
+			return 0
+		}
+		return val(r, colIdx[s.GroupBy])
+	}
+	type acc struct{ cnt, sum, mn, mx int64 }
+	fold := func(byPlan bool) map[int64][]acc {
+		out := map[int64][]acc{}
+		for r := 0; r < nRows; r++ {
+			if !match(r) {
+				continue
+			}
+			var g int64
+			if byPlan {
+				g = groupOf(r)
+			} else {
+				g = sGroupOf(r)
+			}
+			as := out[g]
+			if as == nil {
+				as = make([]acc, len(s.Aggs))
+				for i := range as {
+					as[i] = acc{mn: 1 << 62, mx: -(1 << 62)}
+				}
+			}
+			for i := range s.Aggs {
+				var ci int
+				if byPlan {
+					ci = p.Aggs[i].ColIdx
+				} else {
+					ci = colIdx[s.Aggs[i].Col]
+				}
+				var v int64
+				if ci >= 0 && s.Aggs[i].Op != AggCount {
+					v = val(r, ci)
+				}
+				as[i].cnt++
+				as[i].sum += v
+				if v < as[i].mn {
+					as[i].mn = v
+				}
+				if v > as[i].mx {
+					as[i].mx = v
+				}
+			}
+			out[g] = as
+		}
+		return out
+	}
+	if len(p.Aggs) != len(s.Aggs) {
+		t.Fatalf("%q: %d aggregates, plan has %d", sql, len(s.Aggs), len(p.Aggs))
+	}
+	sFold, pFold := fold(false), fold(true)
+	if len(sFold) != len(pFold) {
+		t.Fatalf("%q: %d groups by statement, %d by plan", sql, len(sFold), len(pFold))
+	}
+	for g, sa := range sFold {
+		pa, ok := pFold[g]
+		if !ok {
+			t.Fatalf("%q: group %d missing from plan fold", sql, g)
+		}
+		for i := range sa {
+			if sa[i] != pa[i] {
+				t.Fatalf("%q: group %d aggregate %d: statement %+v, plan %+v",
+					sql, g, i, sa[i], pa[i])
+			}
+		}
+	}
 }

@@ -33,10 +33,16 @@ type Token struct {
 	Pos  int
 }
 
+// keywords are reserved case-insensitively: like the base dialect's SELECT/
+// LIMIT/..., the analytical words cannot be used as table or column names
+// (the dialect has no identifier quoting).
 var keywords = map[string]bool{
 	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "UPDATE": true,
 	"SET": true, "INSERT": true, "INTO": true, "VALUES": true, "DELETE": true,
 	"LIMIT": true,
+	// Aggregate/analytical extension (the OLAP path).
+	"COUNT": true, "SUM": true, "MIN": true, "MAX": true,
+	"GROUP": true, "BY": true,
 }
 
 // Lex tokenizes sql. It returns the token stream (terminated by TokEOF) or an

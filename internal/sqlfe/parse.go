@@ -49,13 +49,40 @@ type SetClause struct {
 	ParamIdx int
 }
 
+// AggOp is an aggregate function in a SELECT projection.
+type AggOp int
+
+// Aggregate operators of the analytical dialect.
+const (
+	AggCount AggOp = iota // COUNT(*)
+	AggSum
+	AggMin
+	AggMax
+)
+
+// String renders the aggregate operator.
+func (op AggOp) String() string {
+	return [...]string{"COUNT", "SUM", "MIN", "MAX"}[op]
+}
+
+// AggExpr is one aggregate projection item: COUNT(*) or SUM/MIN/MAX(col).
+type AggExpr struct {
+	Op  AggOp
+	Col string // empty for COUNT(*)
+}
+
 // Stmt is the AST of one statement.
 type Stmt struct {
 	Kind  StmtKind
 	Table string
 
-	// SELECT: projected columns ("*" allowed as the single entry).
+	// SELECT: projected columns ("*" allowed as the single entry). With a
+	// GROUP BY, plain columns must name the grouping column.
 	Cols []string
+	// SELECT: aggregate projection items (the analytical dialect).
+	Aggs []AggExpr
+	// GroupBy is the grouping column of an aggregate SELECT ("" = none).
+	GroupBy string
 	// UPDATE: assignments.
 	Sets []SetClause
 	// INSERT: number of VALUES parameters.
@@ -159,6 +186,49 @@ func (p *parser) param() (int, error) {
 	return idx, nil
 }
 
+// aggKeyword maps an aggregate keyword token to its operator.
+func aggKeyword(t Token) (AggOp, bool) {
+	if t.Kind != TokKeyword {
+		return 0, false
+	}
+	switch t.Text {
+	case "COUNT":
+		return AggCount, true
+	case "SUM":
+		return AggSum, true
+	case "MIN":
+		return AggMin, true
+	case "MAX":
+		return AggMax, true
+	}
+	return 0, false
+}
+
+// parseAgg parses one aggregate call after its keyword: COUNT(*) or
+// SUM/MIN/MAX(col).
+func (p *parser) parseAgg(op AggOp) (AggExpr, error) {
+	p.advance() // the aggregate keyword
+	if err := p.expectSymbol("("); err != nil {
+		return AggExpr{}, err
+	}
+	a := AggExpr{Op: op}
+	if op == AggCount {
+		if err := p.expectSymbol("*"); err != nil {
+			return AggExpr{}, err
+		}
+	} else {
+		col, err := p.ident()
+		if err != nil {
+			return AggExpr{}, err
+		}
+		a.Col = col
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return AggExpr{}, err
+	}
+	return a, nil
+}
+
 func (p *parser) parseSelect() (*Stmt, error) {
 	p.advance() // SELECT
 	s := &Stmt{Kind: StmtSelect}
@@ -167,11 +237,19 @@ func (p *parser) parseSelect() (*Stmt, error) {
 		s.Cols = []string{"*"}
 	} else {
 		for {
-			col, err := p.ident()
-			if err != nil {
-				return nil, err
+			if op, ok := aggKeyword(p.cur()); ok {
+				a, err := p.parseAgg(op)
+				if err != nil {
+					return nil, err
+				}
+				s.Aggs = append(s.Aggs, a)
+			} else {
+				col, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				s.Cols = append(s.Cols, col)
 			}
-			s.Cols = append(s.Cols, col)
 			if p.cur().Kind == TokSymbol && p.cur().Text == "," {
 				p.advance()
 				continue
@@ -190,6 +268,17 @@ func (p *parser) parseSelect() (*Stmt, error) {
 	if err := p.parseWhere(s); err != nil {
 		return nil, err
 	}
+	if p.peekKeyword("GROUP") {
+		p.advance()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		s.GroupBy = col
+	}
 	if p.peekKeyword("LIMIT") {
 		p.advance()
 		t := p.cur()
@@ -202,6 +291,25 @@ func (p *parser) parseSelect() (*Stmt, error) {
 		}
 		p.advance()
 		s.Limit = n
+	}
+	// Aggregate-projection validity: GROUP BY requires aggregates; plain
+	// columns may appear alongside aggregates only when they name the
+	// grouping column; COUNT/SUM over '*' projections cannot mix with '*'.
+	if s.GroupBy != "" && len(s.Aggs) == 0 {
+		return nil, fmt.Errorf("sqlfe: GROUP BY without aggregate projection")
+	}
+	if len(s.Aggs) > 0 {
+		if s.Limit > 0 {
+			return nil, fmt.Errorf("sqlfe: LIMIT on an aggregate SELECT")
+		}
+		for _, c := range s.Cols {
+			if c == "*" {
+				return nil, fmt.Errorf("sqlfe: cannot mix * with aggregates")
+			}
+			if c != s.GroupBy {
+				return nil, fmt.Errorf("sqlfe: non-aggregate column %q must be the GROUP BY column", c)
+			}
+		}
 	}
 	return s, nil
 }

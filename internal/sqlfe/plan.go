@@ -23,11 +23,25 @@ const (
 	PlanPointUpdate
 	PlanInsert
 	PlanPointDelete
+	// PlanFullScan is an unpredicated SELECT: a streaming scan of the whole
+	// table (the analytical path).
+	PlanFullScan
+	// PlanAggregate folds COUNT/SUM/MIN/MAX (optionally per GROUP BY group)
+	// over a full or range-bounded scan.
+	PlanAggregate
 )
 
 // String names the plan kind.
 func (k PlanKind) String() string {
-	return [...]string{"point-get", "range-scan", "point-update", "insert", "point-delete"}[k]
+	return [...]string{"point-get", "range-scan", "point-update", "insert", "point-delete",
+		"full-scan", "aggregate"}[k]
+}
+
+// PlannedAgg is a resolved aggregate projection item.
+type PlannedAgg struct {
+	Op AggOp
+	// ColIdx is the aggregated column (-1 for COUNT(*)).
+	ColIdx int
 }
 
 // PlannedSet is a resolved UPDATE assignment.
@@ -44,12 +58,24 @@ type Plan struct {
 	Table   string
 	TableID int
 
-	// KeyParams holds, per key column (in key order), the parameter index
-	// that binds it. For PlanRangeScan the final key column is bound by a
-	// >= predicate; for point plans all are equality predicates.
+	// KeyParams holds, per bound key column (in key order), the parameter
+	// index that binds it. For range plans the final bound key column is
+	// bound by a >= predicate; for point plans all are equality predicates.
+	// Scans and aggregates may bind only a prefix of the key (or none at
+	// all, for a full-table scan).
 	KeyParams []int
+	// Ranged marks the last entry of KeyParams as a >= lower bound rather
+	// than an equality (range scans and range-bounded aggregates).
+	Ranged bool
+	// HiParam is the parameter index of an optional <= upper bound on the
+	// range column (-1 = unbounded above). Only set when Ranged.
+	HiParam int
 	// Cols are projected column indexes for selects.
 	Cols []int
+	// Aggs are resolved aggregate projection items (PlanAggregate).
+	Aggs []PlannedAgg
+	// GroupByIdx is the grouping column index (-1 = no GROUP BY).
+	GroupByIdx int
 	// Sets are update assignments.
 	Sets []PlannedSet
 	// Limit bounds range scans (0 = unbounded).
@@ -76,7 +102,7 @@ func BuildPlan(stmt *Stmt, cat CatalogView) (*Plan, error) {
 		return 0, fmt.Errorf("sqlfe: unknown column %q in table %q", name, stmt.Table)
 	}
 
-	p := &Plan{Table: stmt.Table, TableID: tid, Limit: stmt.Limit}
+	p := &Plan{Table: stmt.Table, TableID: tid, Limit: stmt.Limit, HiParam: -1, GroupByIdx: -1}
 
 	switch stmt.Kind {
 	case StmtInsert:
@@ -102,6 +128,24 @@ func BuildPlan(stmt *Stmt, cat CatalogView) (*Plan, error) {
 				p.Cols = append(p.Cols, ci)
 			}
 		}
+		for _, a := range stmt.Aggs {
+			pa := PlannedAgg{Op: a.Op, ColIdx: -1}
+			if a.Op != AggCount {
+				ci, err := colIdx(a.Col)
+				if err != nil {
+					return nil, err
+				}
+				pa.ColIdx = ci
+			}
+			p.Aggs = append(p.Aggs, pa)
+		}
+		if stmt.GroupBy != "" {
+			gi, err := colIdx(stmt.GroupBy)
+			if err != nil {
+				return nil, err
+			}
+			p.GroupByIdx = gi
+		}
 	case StmtUpdate:
 		for _, sc := range stmt.Sets {
 			ci, err := colIdx(sc.Col)
@@ -114,60 +158,109 @@ func BuildPlan(stmt *Stmt, cat CatalogView) (*Plan, error) {
 		// nothing extra
 	}
 
-	// Match WHERE conjuncts against the primary key columns in order.
+	// Match WHERE conjuncts against the primary key columns in order. A
+	// column may carry one equality, or a >= (optionally paired with a <=
+	// forming a bounded range); anything else is a duplicate.
 	keyCols := cat.KeyColumns(stmt.Table)
-	byCol := make(map[string]Pred, len(stmt.Where))
-	for _, pr := range stmt.Where {
+	type colPreds struct {
+		eq, ge, le *Pred
+	}
+	byCol := make(map[string]*colPreds, len(stmt.Where))
+	for i := range stmt.Where {
+		pr := &stmt.Where[i]
 		if _, err := colIdx(pr.Col); err != nil {
 			return nil, err
 		}
-		if _, dup := byCol[pr.Col]; dup {
+		cp := byCol[pr.Col]
+		if cp == nil {
+			cp = &colPreds{}
+			byCol[pr.Col] = cp
+		}
+		var slot **Pred
+		switch pr.Op {
+		case CmpEq:
+			slot = &cp.eq
+		case CmpGe:
+			slot = &cp.ge
+		case CmpLe:
+			slot = &cp.le
+		default:
+			return nil, fmt.Errorf("sqlfe: unsupported operator %v on column %q", pr.Op, pr.Col)
+		}
+		if *slot != nil {
 			return nil, fmt.Errorf("sqlfe: duplicate predicate on %q", pr.Col)
 		}
-		byCol[pr.Col] = pr
+		*slot = pr
+		if cp.eq != nil && (cp.ge != nil || cp.le != nil) {
+			return nil, fmt.Errorf("sqlfe: duplicate predicate on %q", pr.Col)
+		}
 	}
 
 	ranged := false
-	for i, kc := range keyCols {
-		pr, ok := byCol[kc]
+	bound := 0
+	for _, kc := range keyCols {
+		cp, ok := byCol[kc]
 		if !ok {
-			return nil, fmt.Errorf("sqlfe: no predicate on key column %q of %q", kc, stmt.Table)
+			break // key prefix ends here; scans/aggregates may stop early
 		}
 		delete(byCol, kc)
-		switch pr.Op {
-		case CmpEq:
-			p.KeyParams = append(p.KeyParams, pr.ParamIdx)
-		case CmpGe:
-			if i != len(keyCols)-1 {
-				return nil, fmt.Errorf("sqlfe: range predicate on %q must be on the last key column", kc)
+		switch {
+		case cp.eq != nil:
+			p.KeyParams = append(p.KeyParams, cp.eq.ParamIdx)
+			bound++
+		case cp.ge != nil:
+			p.KeyParams = append(p.KeyParams, cp.ge.ParamIdx)
+			if cp.le != nil {
+				p.HiParam = cp.le.ParamIdx
 			}
-			p.KeyParams = append(p.KeyParams, pr.ParamIdx)
+			bound++
 			ranged = true
-		default:
-			return nil, fmt.Errorf("sqlfe: unsupported operator %v on key column %q", pr.Op, kc)
+		default: // a lone <= cannot anchor an index range in this dialect
+			return nil, fmt.Errorf("sqlfe: <= on key column %q needs a matching >=", kc)
+		}
+		if ranged {
+			break // nothing may bind below a range column
 		}
 	}
+	p.Ranged = ranged
 	if len(byCol) > 0 {
 		for c := range byCol {
-			return nil, fmt.Errorf("sqlfe: predicate on non-key column %q (no secondary indexes)", c)
+			return nil, fmt.Errorf("sqlfe: predicate on %q not matchable against the primary key prefix", c)
 		}
 	}
 
 	switch stmt.Kind {
 	case StmtSelect:
-		if ranged || stmt.Limit > 0 {
+		switch {
+		case len(p.Aggs) > 0:
+			p.Kind = PlanAggregate
+		case bound == len(keyCols) && !ranged:
+			// Fully bound by equality: the point path (a LIMIT turns it into
+			// the paper's LIMIT-bounded range scan, as before).
+			if stmt.Limit > 0 {
+				p.Kind = PlanRangeScan
+			} else {
+				p.Kind = PlanPointGet
+			}
+		case bound == 0:
+			p.Kind = PlanFullScan
+		default:
 			p.Kind = PlanRangeScan
-		} else {
-			p.Kind = PlanPointGet
 		}
 	case StmtUpdate:
-		if ranged {
-			return nil, fmt.Errorf("sqlfe: ranged UPDATE not supported")
+		if ranged || bound < len(keyCols) {
+			if ranged {
+				return nil, fmt.Errorf("sqlfe: ranged UPDATE not supported")
+			}
+			return nil, fmt.Errorf("sqlfe: no predicate on key column %q of %q", keyCols[bound], stmt.Table)
 		}
 		p.Kind = PlanPointUpdate
 	case StmtDelete:
-		if ranged {
-			return nil, fmt.Errorf("sqlfe: ranged DELETE not supported")
+		if ranged || bound < len(keyCols) {
+			if ranged {
+				return nil, fmt.Errorf("sqlfe: ranged DELETE not supported")
+			}
+			return nil, fmt.Errorf("sqlfe: no predicate on key column %q of %q", keyCols[bound], stmt.Table)
 		}
 		p.Kind = PlanPointDelete
 	}

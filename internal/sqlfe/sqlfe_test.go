@@ -211,10 +211,16 @@ func TestPlanErrors(t *testing.T) {
 		"SELECT val FROM nosuch WHERE key = ?",                     // unknown table
 		"SELECT zzz FROM micro WHERE key = ?",                      // unknown column
 		"SELECT val FROM micro WHERE val = ?",                      // non-key predicate
-		"SELECT c FROM orders WHERE w = ?",                         // incomplete composite key
-		"SELECT c FROM orders WHERE w >= ? AND d = ? AND o = ?",    // range not last
+		"SELECT c FROM orders WHERE w >= ? AND d = ? AND o = ?",    // preds below a range column
+		"SELECT c FROM orders WHERE d = ?",                         // key prefix gap
+		"SELECT c FROM orders WHERE w <= ?",                        // lone upper bound
+		"SELECT c FROM orders WHERE w = ? AND w >= ?",              // duplicate predicate classes
 		"INSERT INTO micro VALUES (?)",                             // arity mismatch
 		"UPDATE orders SET c = ? WHERE w = ? AND d = ? AND o >= ?", // ranged update
+		"UPDATE orders SET c = ? WHERE w = ? AND d = ?",            // partially keyed update
+		"DELETE FROM orders WHERE w = ?",                           // partially keyed delete
+		"SELECT SUM(zzz) FROM micro",                               // unknown aggregate column
+		"SELECT val, SUM(val) FROM micro GROUP BY zzz",             // unknown group column
 	}
 	for _, sql := range bad {
 		s, err := Parse(sql)
@@ -226,3 +232,106 @@ func TestPlanErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestParseAggregates(t *testing.T) {
+	s, err := Parse("SELECT COUNT(*), SUM(val), MIN(val), MAX(val) FROM micro")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind != StmtSelect || len(s.Aggs) != 4 || len(s.Cols) != 0 {
+		t.Fatalf("stmt = %+v", s)
+	}
+	want := []AggExpr{{AggCount, ""}, {AggSum, "val"}, {AggMin, "val"}, {AggMax, "val"}}
+	for i, a := range s.Aggs {
+		if a != want[i] {
+			t.Errorf("agg %d = %+v, want %+v", i, a, want[i])
+		}
+	}
+
+	s, err = Parse("SELECT grp, SUM(val) FROM olap GROUP BY grp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.GroupBy != "grp" || len(s.Cols) != 1 || s.Cols[0] != "grp" || len(s.Aggs) != 1 {
+		t.Errorf("stmt = %+v", s)
+	}
+}
+
+func TestParseAggregateErrors(t *testing.T) {
+	bad := []string{
+		"SELECT COUNT(val) FROM t",           // COUNT takes *
+		"SELECT SUM(*) FROM t",               // SUM takes a column
+		"SELECT a, SUM(b) FROM t",            // bare column without GROUP BY
+		"SELECT b, SUM(v) FROM t GROUP BY g", // projected column is not the group column
+		"SELECT v FROM t GROUP BY v",         // GROUP BY without aggregates
+		"SELECT *, COUNT(*) FROM t",          // * mixed with aggregates
+		"SELECT COUNT(*) FROM t LIMIT 3",     // LIMIT on an aggregate
+		"SELECT SUM(v) FROM t GROUP BY",      // missing group column
+		"SELECT MAX(v FROM t",                // unclosed call
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) succeeded", sql)
+		}
+	}
+}
+
+func TestPlanScanShapes(t *testing.T) {
+	cases := []struct {
+		sql       string
+		kind      PlanKind
+		keyParams int
+		hiParam   int
+	}{
+		{"SELECT * FROM micro", PlanFullScan, 0, -1},
+		{"SELECT c FROM orders", PlanFullScan, 0, -1},
+		{"SELECT c FROM orders WHERE w = ?", PlanRangeScan, 1, -1},
+		{"SELECT c FROM orders WHERE w = ? AND d >= ?", PlanRangeScan, 2, -1},
+		{"SELECT c FROM orders WHERE w = ? AND d >= ? AND d <= ?", PlanRangeScan, 2, 2},
+		{"SELECT COUNT(*) FROM micro", PlanAggregate, 0, -1},
+		{"SELECT SUM(val) FROM micro WHERE key >= ? AND key <= ?", PlanAggregate, 1, 1},
+		{"SELECT c, SUM(c) FROM orders WHERE w = ? GROUP BY c", PlanAggregate, 1, -1},
+	}
+	for _, tc := range cases {
+		s, err := Parse(tc.sql)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", tc.sql, err)
+		}
+		p, err := BuildPlan(s, fakeCat{})
+		if err != nil {
+			t.Fatalf("BuildPlan(%q): %v", tc.sql, err)
+		}
+		if p.Kind != tc.kind {
+			t.Errorf("%q: kind = %v, want %v", tc.sql, p.Kind, tc.kind)
+		}
+		if len(p.KeyParams) != tc.keyParams {
+			t.Errorf("%q: key params = %v, want %d", tc.sql, p.KeyParams, tc.keyParams)
+		}
+		if p.HiParam != tc.hiParam {
+			t.Errorf("%q: hi param = %d, want %d", tc.sql, p.HiParam, tc.hiParam)
+		}
+	}
+}
+
+func TestPlanAggregateResolution(t *testing.T) {
+	s, err := Parse("SELECT grp, COUNT(*), SUM(val) FROM olap GROUP BY grp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := BuildPlan(s, olapCat{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Kind != PlanAggregate || p.GroupByIdx != 1 {
+		t.Errorf("plan = %+v", p)
+	}
+	if len(p.Aggs) != 2 || p.Aggs[0] != (PlannedAgg{AggCount, -1}) || p.Aggs[1] != (PlannedAgg{AggSum, 2}) {
+		t.Errorf("aggs = %+v", p.Aggs)
+	}
+}
+
+type olapCat struct{}
+
+func (olapCat) TableID(name string) (int, bool) { return 3, name == "olap" }
+func (olapCat) ColumnNames(string) []string     { return []string{"key", "grp", "val"} }
+func (olapCat) KeyColumns(string) []string      { return []string{"key"} }

@@ -96,6 +96,20 @@ func (h *HeapFile) Unfix(rid RID, dirtied bool) {
 	h.bp.Unfix(rid.Page(), dirtied)
 }
 
+// FixPage pins a whole page and returns its frame base address: the
+// streaming-scan entry point. A sequential scan holds its current page
+// across consecutive records (one latch per page, like a real executor)
+// instead of re-probing the buffer pool per record; record addresses within
+// the page come from PageRecord.
+func (h *HeapFile) FixPage(pageID uint64) (simmem.Addr, error) {
+	return h.bp.Fix(pageID)
+}
+
+// UnfixPage releases the pin taken by FixPage.
+func (h *HeapFile) UnfixPage(pageID uint64) {
+	h.bp.Unfix(pageID, false)
+}
+
 // ReadField reads one column of the record at rid, handling fix/unfix.
 func (h *HeapFile) ReadField(rid RID, col int) (catalog.Value, error) {
 	addr, err := h.Fix(rid)

@@ -153,6 +153,7 @@ func shoreMTConfig() engine.Config {
 			DispatchBase:  900,  // Shore-Kits driver
 			PlanExecPerOp: 2000, // hard-coded C++ plan
 			ScanPerRow:    240,
+			AggPerRow:     90,
 			TxnBegin:      1300,
 			TxnCommit:     2200,
 			LockAcquire:   600,
@@ -200,6 +201,7 @@ func dbmsDConfig() engine.Config {
 			OptimizePerPred: 850,
 			PlanExecPerOp:   2800,
 			ScanPerRow:      280,
+			AggPerRow:       110,
 			TxnBegin:        1200,
 			TxnCommit:       2000,
 			LockAcquire:     580,
@@ -242,6 +244,7 @@ func voltDBConfig() engine.Config {
 			DispatchBase:  5000, // Java-side deserialization + plan cache
 			PlanExecPerOp: 2100, // interpreting C++ execution engine
 			ScanPerRow:    140,
+			AggPerRow:     55,
 			TxnBegin:      400,
 			TxnCommit:     600,
 			IdxNodeBase:   90,
@@ -284,6 +287,7 @@ func hyperConfig() engine.Config {
 			CompiledEntry: 100,
 			CompiledPerOp: 100,
 			ScanPerRow:    20,
+			AggPerRow:     6,
 			TxnBegin:      40,
 			TxnCommit:     70,
 			IdxNodeBase:   25,
@@ -326,6 +330,7 @@ func dbmsMConfig(disableCompilation bool) engine.Config {
 			CompiledEntry: 450,
 			CompiledPerOp: 420,
 			ScanPerRow:    80,
+			AggPerRow:     18,
 			TxnBegin:      450,
 			TxnCommit:     700,
 			IdxNodeBase:   70,
@@ -361,6 +366,7 @@ func dbmsMConfig(disableCompilation bool) engine.Config {
 		cfg.FrontEnd = engine.FEDispatch
 		cfg.Costs.PlanExecPerOp = 2600
 		cfg.Costs.ScanPerRow = 200
+		cfg.Costs.AggPerRow = 60
 		cfg.Regions.PlanExec = engine.RegionSpec{Size: 128 << 10, BPI: 8, Hot: 0.3}
 	}
 	return cfg

@@ -109,6 +109,35 @@ func (tx *MVTx) Read(anchor simmem.Addr) (simmem.Addr, bool) {
 	return 0, false
 }
 
+// ReadSnapshot is Read without read-set tracking: the row address visible at
+// the transaction's start timestamp, not validated at commit. Analytical
+// scans use it — a Hekaton-style snapshot reader over millions of rows
+// neither grows a read set proportional to the table nor aborts writers, it
+// just reads the versions its timestamp sees (the memory traffic of the
+// chain walk is still fully traced).
+func (tx *MVTx) ReadSnapshot(anchor simmem.Addr) (simmem.Addr, bool) {
+	v := tx.v
+	for ver := simmem.Addr(v.m.ReadU64(anchor)); ver != 0; {
+		begin := v.m.ReadU64(ver)
+		end := v.m.ReadU64(ver + 8)
+		if begin <= tx.startTS && tx.startTS < end {
+			return simmem.Addr(v.m.ReadU64(ver + 16)), true
+		}
+		ver = simmem.Addr(v.m.ReadU64(ver + 24))
+	}
+	return 0, false
+}
+
+// ReadLatest returns the row address of the newest committed version at
+// anchor (inspection/debug helper used by the differential tests).
+func (v *MVCC) ReadLatest(anchor simmem.Addr) (simmem.Addr, bool) {
+	head := simmem.Addr(v.m.ReadU64(anchor))
+	if head == 0 {
+		return 0, false
+	}
+	return simmem.Addr(v.m.ReadU64(head + 16)), true
+}
+
 // ChainLength returns the number of versions reachable from anchor (test and
 // introspection helper).
 func (v *MVCC) ChainLength(anchor simmem.Addr) int {

@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"fmt"
+
+	"oltpsim/internal/catalog"
+	"oltpsim/internal/engine"
+)
+
+// HybridConfig parameterizes the HTAP workload: the full TPC-C transaction
+// mix interleaved with analytical readers over the same tables, at a
+// configurable percentage — the single-engine hybrid setting that Funke et
+// al.'s compaction work targets. OLAPPercent 0 is pure TPC-C; 100 is pure
+// analytics over the TPC-C dataset.
+type HybridConfig struct {
+	TPCC TPCCConfig
+	// OLAPPercent is the share of generated requests that are analytical
+	// (0..100).
+	OLAPPercent int
+}
+
+// Hybrid is the HTAP workload.
+type Hybrid struct {
+	cfg  HybridConfig
+	tpcc *TPCC
+
+	olSpecs    []engine.AggSpec
+	grpSpecs   []engine.AggSpec
+	out        [4]int64
+	groupVisit func(g int64, accs []int64)
+	argBuf     []catalog.Value
+
+	// Last captures the most recent analytical result (zero Proc when the
+	// last request was transactional).
+	Last OLAPResult
+}
+
+// NewHybrid validates cfg and returns the workload.
+func NewHybrid(cfg HybridConfig) *Hybrid {
+	if cfg.OLAPPercent < 0 || cfg.OLAPPercent > 100 {
+		panic("workload: OLAPPercent must be in [0, 100]")
+	}
+	return &Hybrid{cfg: cfg, tpcc: NewTPCC(cfg.TPCC)}
+}
+
+// Config returns the workload parameters.
+func (w *Hybrid) Config() HybridConfig { return w.cfg }
+
+// TPCC exposes the wrapped transactional workload (available after Setup).
+func (w *Hybrid) TPCC() *TPCC { return w.tpcc }
+
+// Name implements Workload.
+func (w *Hybrid) Name() string {
+	return fmt.Sprintf("htap-%dw-%dolap", w.tpcc.Config().Warehouses, w.cfg.OLAPPercent)
+}
+
+// Setup implements Workload: the nine TPC-C tables and five transaction
+// types, plus three analytical readers over order_line (the fact table of
+// the schema, and — being created ordered for Delivery/StockLevel — the one
+// every archetype can stream in key order).
+func (w *Hybrid) Setup(e *engine.Engine) {
+	w.tpcc.Setup(e)
+	ol := w.tpcc.orderline
+
+	w.olSpecs = []engine.AggSpec{
+		{Op: engine.AggCount}, {Op: engine.AggSum, Col: olAmount},
+		{Op: engine.AggMin, Col: olAmount}, {Op: engine.AggMax, Col: olAmount},
+	}
+	w.grpSpecs = []engine.AggSpec{{Op: engine.AggSum, Col: olAmount}}
+	w.Last.Groups = make(map[int64]int64, DistrictsPerWarehouse)
+	w.groupVisit = func(g int64, accs []int64) { w.Last.Groups[g] = accs[0] }
+
+	// olap_revenue: full order_line pass — COUNT/SUM/MIN/MAX of ol_amount.
+	e.Register("olap_revenue", func(tx *engine.Tx) error {
+		n, err := tx.AnalyticAggregate(ol, nil, nil, w.olSpecs, w.out[:])
+		if err != nil {
+			return err
+		}
+		w.Last = OLAPResult{Proc: "olap_revenue", Rows: n,
+			Count: w.out[0], Sum: w.out[1], Min: w.out[2], Max: w.out[3], Groups: w.Last.Groups}
+		return nil
+	})
+	// olap_district: COUNT/SUM of ol_amount for one district's order range —
+	// the bounded-range reader. Args are the two encoded bound keys:
+	// (w, d, oLo, 1) then (w, d, oHi, maxOL).
+	e.Register("olap_district", func(tx *engine.Tx) error {
+		n, err := tx.AnalyticAggregate(ol,
+			tx.Args()[0:4],
+			tx.Args()[4:8],
+			w.olSpecs[:2], w.out[:])
+		if err != nil {
+			return err
+		}
+		w.Last = OLAPResult{Proc: "olap_district", Rows: n,
+			Count: w.out[0], Sum: w.out[1], Groups: w.Last.Groups}
+		return nil
+	})
+	// olap_by_district: SUM(ol_amount) grouped by district over a full pass.
+	e.Register("olap_by_district", func(tx *engine.Tx) error {
+		clear(w.Last.Groups)
+		n, err := tx.AnalyticAggregateGroup(ol, 1, w.grpSpecs, w.groupVisit)
+		if err != nil {
+			return err
+		}
+		g := w.Last.Groups
+		w.Last = OLAPResult{Proc: "olap_by_district", Rows: n, Groups: g}
+		return nil
+	})
+}
+
+// Populate implements Workload.
+func (w *Hybrid) Populate(e *engine.Engine) { w.tpcc.Populate(e) }
+
+// Gen implements Workload: an OLAPPercent coin decides between an analytical
+// reader and the standard TPC-C mix. Analytical readers roam the whole
+// database regardless of the invoking partition (a full scan is an
+// every-site operation), so their warehouse choice is unconstrained.
+func (w *Hybrid) Gen(r *Rand, part, parts int) Call {
+	if r.Intn(100) >= w.cfg.OLAPPercent {
+		w.Last.Proc = ""
+		return w.tpcc.Gen(r, part, parts)
+	}
+	cfg := w.tpcc.Config()
+	switch r.Intn(8) {
+	case 0:
+		return Call{Proc: "olap_revenue"}
+	case 1:
+		return Call{Proc: "olap_by_district"}
+	default:
+		wid := int64(r.Intn(cfg.Warehouses)) + 1
+		did := int64(r.Range(1, DistrictsPerWarehouse))
+		oLo := int64(r.Intn(cfg.OrdersPerDistrict)) + 1
+		oHi := oLo + 19 // a 20-order revenue window
+		args := append(w.argBuf[:0],
+			long(wid), long(did), long(oLo), long(1), // from key: (w, d, oLo, 1)
+			long(wid), long(did), long(oHi), long(int64(1)<<62)) // to key
+		w.argBuf = args
+		return Call{Proc: "olap_district", Args: args}
+	}
+}

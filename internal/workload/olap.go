@@ -1,0 +1,165 @@
+package workload
+
+import (
+	"fmt"
+
+	"oltpsim/internal/catalog"
+	"oltpsim/internal/engine"
+)
+
+// OLAPConfig parameterizes the analytical microbenchmark: scan/aggregate
+// queries over a micro-style table of (key, grp, val) Long rows, at the same
+// byte-target sizes the paper's OLTP micro-benchmark uses. Where the OLTP
+// micro probes one random row through the index, this one streams many —
+// the opposite micro-architectural profile (data-stall-bound, light L1I
+// pressure) that the companion OLAP study measures.
+type OLAPConfig struct {
+	// Rows is the table cardinality.
+	Rows int64
+	// Groups is the cardinality of the grouping column (default 16).
+	Groups int64
+	// RangeFrac scales the bounded-range queries: each covers Rows/RangeFrac
+	// keys (default 64).
+	RangeFrac int64
+}
+
+// OLAPResult captures the output of the last analytical query a workload
+// procedure executed, so differential tests can compare the engine's answers
+// row for row against a reference fold.
+type OLAPResult struct {
+	Proc  string
+	Rows  int64
+	Count int64
+	Sum   int64
+	Min   int64
+	Max   int64
+	// Groups maps group value -> SUM accumulator for the grouped query.
+	Groups map[int64]int64
+}
+
+// OLAP is the analytical scan/aggregate workload.
+type OLAP struct {
+	cfg OLAPConfig
+	tbl *engine.Table
+
+	fullSpecs  []engine.AggSpec
+	rangeSpecs []engine.AggSpec
+	grpSpecs   []engine.AggSpec
+	out        [4]int64
+	groupVisit func(g int64, accs []int64)
+	argBuf     []catalog.Value
+
+	// Last is the captured result of the most recent invocation.
+	Last OLAPResult
+}
+
+// NewOLAP validates cfg and returns the workload.
+func NewOLAP(cfg OLAPConfig) *OLAP {
+	if cfg.Rows <= 0 {
+		panic("workload: OLAP needs Rows > 0")
+	}
+	if cfg.Groups <= 0 {
+		cfg.Groups = 16
+	}
+	if cfg.RangeFrac <= 0 {
+		cfg.RangeFrac = 64
+	}
+	return &OLAP{cfg: cfg}
+}
+
+// Config returns the workload parameters.
+func (w *OLAP) Config() OLAPConfig { return w.cfg }
+
+// Name implements Workload.
+func (w *OLAP) Name() string { return fmt.Sprintf("olap-%dg", w.cfg.Groups) }
+
+// Table exposes the scanned table (available after Setup).
+func (w *OLAP) Table() *engine.Table { return w.tbl }
+
+// Setup implements Workload. The table is created ordered: hash-indexed
+// engines fall back to their tree variant, since scans need key order.
+func (w *OLAP) Setup(e *engine.Engine) {
+	w.tbl = e.CreateOrderedTable(catalog.NewSchema("olap",
+		catalog.Column{Name: "key", Type: catalog.TypeLong},
+		catalog.Column{Name: "grp", Type: catalog.TypeLong},
+		catalog.Column{Name: "val", Type: catalog.TypeLong},
+	), "key")
+
+	w.fullSpecs = []engine.AggSpec{
+		{Op: engine.AggCount}, {Op: engine.AggSum, Col: 2},
+		{Op: engine.AggMin, Col: 2}, {Op: engine.AggMax, Col: 2},
+	}
+	w.rangeSpecs = []engine.AggSpec{{Op: engine.AggCount}, {Op: engine.AggSum, Col: 2}}
+	w.grpSpecs = []engine.AggSpec{{Op: engine.AggSum, Col: 2}}
+	w.Last.Groups = make(map[int64]int64, w.cfg.Groups)
+	w.groupVisit = func(g int64, accs []int64) { w.Last.Groups[g] = accs[0] }
+
+	// olap_sum: one full-table pass folding COUNT/SUM/MIN/MAX of val.
+	e.Register("olap_sum", func(tx *engine.Tx) error {
+		n, err := tx.AnalyticAggregate(w.tbl, nil, nil, w.fullSpecs, w.out[:])
+		if err != nil {
+			return err
+		}
+		w.Last = OLAPResult{Proc: "olap_sum", Rows: n,
+			Count: w.out[0], Sum: w.out[1], Min: w.out[2], Max: w.out[3], Groups: w.Last.Groups}
+		return nil
+	})
+	// olap_range: COUNT/SUM of val over keys in [lo, hi].
+	e.Register("olap_range", func(tx *engine.Tx) error {
+		n, err := tx.AnalyticAggregate(w.tbl,
+			tx.Args()[0:1], tx.Args()[1:2], w.rangeSpecs, w.out[:])
+		if err != nil {
+			return err
+		}
+		w.Last = OLAPResult{Proc: "olap_range", Rows: n,
+			Count: w.out[0], Sum: w.out[1], Groups: w.Last.Groups}
+		return nil
+	})
+	// olap_group: SUM(val) per grp over a full pass.
+	e.Register("olap_group", func(tx *engine.Tx) error {
+		clear(w.Last.Groups)
+		n, err := tx.AnalyticAggregateGroup(w.tbl, 1, w.grpSpecs, w.groupVisit)
+		if err != nil {
+			return err
+		}
+		g := w.Last.Groups
+		w.Last = OLAPResult{Proc: "olap_group", Rows: n, Groups: g}
+		return nil
+	})
+}
+
+// olapVal is the payload of logical row i.
+func olapVal(i int64) int64 { return i*3 - 1 }
+
+// Populate implements Workload.
+func (w *OLAP) Populate(e *engine.Engine) {
+	for i := int64(0); i < w.cfg.Rows; i++ {
+		w.tbl.Load(catalog.Row{
+			catalog.LongVal(i),
+			catalog.LongVal(i % w.cfg.Groups),
+			catalog.LongVal(olapVal(i)),
+		})
+	}
+}
+
+// Gen implements Workload: mostly cheap bounded-range folds with an
+// occasional full-pass aggregate or grouped aggregate, the mix of an
+// interactive analytical dashboard.
+func (w *OLAP) Gen(r *Rand, part, parts int) Call {
+	switch r.Intn(8) {
+	case 0:
+		return Call{Proc: "olap_sum"}
+	case 1:
+		return Call{Proc: "olap_group"}
+	default:
+		span := w.cfg.Rows / w.cfg.RangeFrac
+		if span < 1 {
+			span = 1
+		}
+		lo := r.Int63n(w.cfg.Rows)
+		hi := lo + span - 1
+		args := append(w.argBuf[:0], long(lo), long(hi))
+		w.argBuf = args
+		return Call{Proc: "olap_range", Args: args}
+	}
+}

@@ -154,9 +154,11 @@ type Workload = workload.Workload
 
 // Workload configurations.
 type (
-	MicroConfig = workload.MicroConfig
-	TPCBConfig  = workload.TPCBConfig
-	TPCCConfig  = workload.TPCCConfig
+	MicroConfig  = workload.MicroConfig
+	TPCBConfig   = workload.TPCBConfig
+	TPCCConfig   = workload.TPCCConfig
+	OLAPConfig   = workload.OLAPConfig
+	HybridConfig = workload.HybridConfig
 )
 
 // NewMicro builds the paper's micro-benchmark (section 4).
@@ -167,6 +169,25 @@ func NewTPCB(cfg TPCBConfig) Workload { return workload.NewTPCB(cfg) }
 
 // NewTPCC builds the TPC-C workload (section 5.2).
 func NewTPCC(cfg TPCCConfig) Workload { return workload.NewTPCC(cfg) }
+
+// NewOLAP builds the analytical scan/aggregate microbenchmark.
+func NewOLAP(cfg OLAPConfig) Workload { return workload.NewOLAP(cfg) }
+
+// NewHybrid builds the HTAP workload: the TPC-C mix interleaved with
+// analytical readers at a configurable percentage.
+func NewHybrid(cfg HybridConfig) Workload { return workload.NewHybrid(cfg) }
+
+// AggSpec is one aggregate fold of the analytical executor (COUNT/SUM/MIN/
+// MAX over a column), used with Tx.AnalyticAggregate in stored procedures.
+type AggSpec = engine.AggSpec
+
+// Aggregate operators.
+const (
+	AggCount = engine.AggCount
+	AggSum   = engine.AggSum
+	AggMin   = engine.AggMin
+	AggMax   = engine.AggMax
+)
 
 // BenchOpts shapes a measurement run.
 type BenchOpts = harness.BenchOpts
@@ -219,6 +240,10 @@ func FigureIDs() []string { return harness.FigureIDs() }
 // NUMAFigureIDs lists the multi-socket scaling figures ("N1".."N3"): the
 // paper's analysis extended to the two-socket topology of its own server.
 func NUMAFigureIDs() []string { return harness.NUMAFigureIDs() }
+
+// HTAPFigureIDs lists the HTAP figures ("H1".."H3"): the analytical
+// scan/aggregate microbenchmark and the TPC-C x analytical hybrid.
+func HTAPFigureIDs() []string { return harness.HTAPFigureIDs() }
 
 // ReproduceFigure runs (and renders) one paper figure at the given scale.
 // For several figures sharing cells, create a Runner and use BuildFigure.
