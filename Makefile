@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench bench-compare figures figures-numa figures-htap fuzz cover
+.PHONY: build vet test race bench bench-compare figures figures-numa figures-htap figures-serve fuzz cover serve drive serve-smoke
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,30 @@ figures-numa:
 # microbenchmark and the TPC-C x analytical hybrid.
 figures-htap:
 	$(GO) run ./cmd/oltpsim -figure htap -scale quick
+
+# figures-serve renders the live serving figures (FigS1-FigS2): real oltpd +
+# oltpdrive loopback runs, wall-clock, never golden-locked.
+figures-serve:
+	$(GO) run ./cmd/oltpsim -figure serve -scale quick
+
+# serve starts an oltpd on loopback serving the hybrid TPC-C x analytical
+# workload across 2 shards on a 2-socket partitioned topology, with live
+# telemetry at http://127.0.0.1:7891/metrics. Ctrl-C drains gracefully.
+serve:
+	$(GO) run ./cmd/oltpd -addr 127.0.0.1:7890 -metrics-addr 127.0.0.1:7891 \
+	    -system voltdb -shards 2 -sockets 2 -placement partitioned \
+	    -workload hybrid -warehouses 2
+
+# drive runs a closed-loop oltpdrive burst against `make serve`.
+drive:
+	$(GO) run ./cmd/oltpdrive -addr 127.0.0.1:7890 \
+	    -workload hybrid -warehouses 2 -conns 4 -warmup 1s -duration 5s
+
+# serve-smoke is the CI end-to-end gate: build both binaries, serve on
+# loopback, drive a burst, scrape /metrics, assert nonzero per-shard tx
+# counts and sane quantiles, then SIGTERM-drain.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 # fuzz runs the SQL front-end fuzz smoke (same budget as CI).
 fuzz:

@@ -1,0 +1,97 @@
+// Command oltpdrive is the warp-style load driver for oltpd: N concurrent
+// connections generating one of the five workload archetypes under closed-
+// or open-loop arrivals, reporting throughput and p50/p90/p99/p999 latency
+// over a measurement window that starts after a warmup.
+//
+// Usage:
+//
+//	oltpdrive -addr 127.0.0.1:7890 -workload hybrid -warehouses 2 \
+//	          -conns 8 -warmup 1s -duration 5s
+//	oltpdrive -addr 127.0.0.1:7890 -workload micro -rows 100000 \
+//	          -rate 20000 -poisson        # open loop, 20k ops/s offered
+//
+// The workload flags must match the serving oltpd; the Hello exchange
+// verifies this and the driver refuses to run against a mismatched server.
+// Exits nonzero if the run completes zero operations.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"oltpsim/internal/driver"
+	"oltpsim/internal/workload"
+)
+
+func main() {
+	fs := flag.NewFlagSet("oltpdrive", flag.ExitOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:7890", "oltpd address")
+		conns    = fs.Int("conns", 4, "concurrent client connections")
+		rate     = fs.Float64("rate", 0, "offered load in ops/s across all connections (0 = closed loop)")
+		poisson  = fs.Bool("poisson", false, "open loop: Poisson (exponential) inter-arrival times")
+		pipeline = fs.Int("pipeline", 0, "max in-flight requests per connection (0 = 1 closed / 128 open)")
+		warmup   = fs.Duration("warmup", time.Second, "warmup window (not measured)")
+		duration = fs.Duration("duration", 3*time.Second, "measurement window")
+		seed     = fs.Uint64("seed", 42, "generator seed")
+		jsonOut  = fs.Bool("json", false, "emit the report as JSON")
+	)
+	spec := workload.SpecFlags(fs)
+	fs.Parse(os.Args[1:])
+
+	rep, err := driver.Run(driver.Config{
+		Addr:     *addr,
+		Spec:     *spec,
+		Conns:    *conns,
+		Rate:     *rate,
+		Poisson:  *poisson,
+		Pipeline: *pipeline,
+		Warmup:   *warmup,
+		Measure:  *duration,
+		Seed:     *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Spec       string
+			Shards     int
+			Conns      int
+			RateOps    float64
+			Ops        uint64
+			Errors     uint64
+			Rejected   uint64
+			Throughput float64
+			MeanNs     int64
+			P50Ns      int64
+			P90Ns      int64
+			P99Ns      int64
+			P999Ns     int64
+			MaxNs      int64
+		}{
+			Spec: rep.Spec, Shards: rep.Shards, Conns: rep.Conns, RateOps: rep.Rate,
+			Ops: rep.Ops, Errors: rep.Errors, Rejected: rep.Rejected,
+			Throughput: rep.Throughput,
+			MeanNs:     rep.Mean.Nanoseconds(), P50Ns: rep.P50.Nanoseconds(),
+			P90Ns: rep.P90.Nanoseconds(), P99Ns: rep.P99.Nanoseconds(),
+			P999Ns: rep.P999.Nanoseconds(), MaxNs: rep.Max.Nanoseconds(),
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Print(rep.String())
+	}
+	if rep.Ops == 0 {
+		fmt.Fprintln(os.Stderr, "oltpdrive: zero operations completed in the measurement window")
+		os.Exit(1)
+	}
+}

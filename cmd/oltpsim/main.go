@@ -18,7 +18,6 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
-	"strings"
 
 	"oltpsim/internal/harness"
 )
@@ -49,6 +48,10 @@ func main() {
 		for _, id := range harness.HTAPFigureIDs() {
 			fmt.Printf("  %s\n", id)
 		}
+		fmt.Println("Serving figures (live oltpd/oltpdrive loopback runs; -figure serve):")
+		for _, id := range harness.ServeFigureIDs() {
+			fmt.Printf("  %s\n", id)
+		}
 		return
 	}
 	if *figures == "" {
@@ -67,26 +70,14 @@ func main() {
 
 	// "all" expands to the paper set (its quick-scale output is locked by the
 	// committed goldens); "numa" expands to the FigN scaling figures; "htap"
-	// expands to the FigH hybrid figures. The keywords and explicit IDs
-	// compose: -figure all,numa,htap runs everything.
-	var ids []string
-	for _, id := range strings.Split(*figures, ",") {
-		switch id = strings.TrimSpace(id); id {
-		case "all":
-			ids = append(ids, harness.FigureIDs()...)
-		case "numa":
-			ids = append(ids, harness.NUMAFigureIDs()...)
-		case "htap":
-			ids = append(ids, harness.HTAPFigureIDs()...)
-		default:
-			ids = append(ids, id)
-		}
-	}
-	for _, id := range ids {
-		if _, ok := harness.FigureBuilder(id); !ok {
-			fmt.Fprintf(os.Stderr, "harness: unknown figure %q (use -list)\n", id)
-			os.Exit(2)
-		}
+	// expands to the FigH hybrid figures; "serve" expands to the live
+	// serving figures (FigS1-FigS2, wall-clock, never golden-locked). The
+	// keywords and explicit IDs compose: -figure all,numa,htap,serve runs
+	// everything. Unknown IDs are rejected here, before any cell simulates.
+	ids, err := harness.ExpandFigureIDs(*figures)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v (use -list)\n", err)
+		os.Exit(2)
 	}
 
 	// Profiling starts only after flag/figure/scale validation so no error

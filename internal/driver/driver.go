@@ -1,0 +1,479 @@
+// Package driver implements oltpdrive, a warp-style concurrent load
+// generator for oltpd: N connections generating one of the five workload
+// archetypes, under closed-loop (send → wait → send) or open-loop
+// (fixed-rate or Poisson arrivals) scheduling, with per-op latency captured
+// into a fixed-bucket log-linear histogram and reported as
+// p50/p90/p99/p999 over a measurement window that starts after a warmup.
+//
+// Open-loop latencies are measured from each request's *scheduled* arrival
+// time, not its actual send time, so queueing delay under overload is
+// charged to the server rather than silently absorbed by a slow sender
+// (the coordinated-omission correction the warp-style drivers apply).
+package driver
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"oltpsim/internal/metrics"
+	"oltpsim/internal/wire"
+	"oltpsim/internal/workload"
+)
+
+// Config shapes a driver run.
+type Config struct {
+	// Addr is the oltpd address ("host:port").
+	Addr string
+	// Spec is the traffic to generate; it must match the server's workload
+	// (the Hello exchange verifies this).
+	Spec workload.Spec
+	// Conns is the number of concurrent client connections (default 4).
+	Conns int
+	// Rate is the total offered load in ops/s across all connections;
+	// 0 selects closed-loop operation.
+	Rate float64
+	// Poisson selects exponential inter-arrival times in open loop
+	// (default: fixed spacing).
+	Poisson bool
+	// Pipeline caps in-flight requests per connection (default 1 for closed
+	// loop — the classic one-outstanding client — and 128 for open loop).
+	Pipeline int
+	// Warmup and Measure bound the run: Warmup of traffic to heat caches
+	// and JIT the path, then Measure of recorded traffic (defaults 1s / 3s).
+	Warmup, Measure time.Duration
+	// Seed drives the (deterministic) per-connection generators.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Conns <= 0 {
+		c.Conns = 4
+	}
+	if c.Pipeline <= 0 {
+		if c.Rate > 0 {
+			c.Pipeline = 128
+		} else {
+			c.Pipeline = 1
+		}
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = time.Second
+	}
+	if c.Measure <= 0 {
+		c.Measure = 3 * time.Second
+	}
+	if c.Spec.Kind == "" {
+		c.Spec = workload.DefaultSpec()
+	}
+	return c
+}
+
+// Report is the outcome of a run. Latency quantiles cover the measurement
+// window only.
+type Report struct {
+	Spec       string
+	Shards     int
+	Conns      int
+	Rate       float64 // offered; 0 = closed loop
+	Elapsed    time.Duration
+	Ops        uint64 // measured completed ops
+	Errors     uint64 // measured failed ops (included in Ops)
+	Rejected   uint64 // ops refused by a draining server (not in Ops)
+	Throughput float64
+	Mean       time.Duration
+	P50        time.Duration
+	P90        time.Duration
+	P99        time.Duration
+	P999       time.Duration
+	Max        time.Duration
+
+	// Hist is the merged latency histogram (nanoseconds).
+	Hist *metrics.Histogram
+}
+
+// String renders the human-readable report oltpdrive prints.
+func (r *Report) String() string {
+	var b strings.Builder
+	mode := "closed-loop"
+	if r.Rate > 0 {
+		mode = fmt.Sprintf("open-loop %.0f ops/s offered", r.Rate)
+	}
+	fmt.Fprintf(&b, "oltpdrive: %s  conns=%d  %s\n", r.Spec, r.Conns, mode)
+	fmt.Fprintf(&b, "  window     %.2fs measured (%d shards)\n", r.Elapsed.Seconds(), r.Shards)
+	fmt.Fprintf(&b, "  throughput %.0f ops/s  (%d ops, %d errors, %d rejected)\n",
+		r.Throughput, r.Ops, r.Errors, r.Rejected)
+	fmt.Fprintf(&b, "  latency    mean %s  p50 %s  p90 %s  p99 %s  p999 %s  max %s\n",
+		fmtDur(r.Mean), fmtDur(r.P50), fmtDur(r.P90), fmtDur(r.P99), fmtDur(r.P999), fmtDur(r.Max))
+	return b.String()
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d < 10*time.Microsecond:
+		return fmt.Sprintf("%.2fµs", float64(d.Nanoseconds())/1e3)
+	case d < 10*time.Millisecond:
+		return fmt.Sprintf("%.0fµs", float64(d.Nanoseconds())/1e3)
+	case d < 10*time.Second:
+		return fmt.Sprintf("%.1fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return d.Round(time.Millisecond).String()
+	}
+}
+
+// Run executes the configured load against the server and returns the
+// measured report.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+
+	// Establish every connection (Hello + prepare) before traffic starts, so
+	// the warmup window measures serving, not ramp-up.
+	conns := make([]*clientConn, cfg.Conns)
+	for i := range conns {
+		c, err := dial(cfg, i)
+		if err != nil {
+			for _, p := range conns[:i] {
+				p.nc.Close()
+			}
+			return nil, fmt.Errorf("driver: conn %d: %w", i, err)
+		}
+		conns[i] = c
+	}
+	shards := conns[0].shards
+	if err := cfg.Spec.Validate(shards); err != nil {
+		for _, c := range conns {
+			c.nc.Close()
+		}
+		return nil, err
+	}
+
+	base := time.Now()
+	warmEnd := cfg.Warmup.Nanoseconds()
+	end := warmEnd + cfg.Measure.Nanoseconds()
+	var wg sync.WaitGroup
+	for _, c := range conns {
+		wg.Add(2)
+		go func(c *clientConn) { defer wg.Done(); c.readLoop(base, warmEnd, end) }(c)
+		go func(c *clientConn) { defer wg.Done(); c.sendLoop(base, warmEnd, end) }(c)
+	}
+	wg.Wait()
+
+	rep := &Report{
+		Spec:    cfg.Spec.String(),
+		Shards:  shards,
+		Conns:   cfg.Conns,
+		Rate:    cfg.Rate,
+		Elapsed: cfg.Measure,
+		Hist:    &metrics.Histogram{},
+	}
+	var lastDone int64
+	for _, c := range conns {
+		rep.Hist.Merge(c.hist)
+		rep.Ops += c.ops.Load()
+		rep.Errors += c.errs.Load()
+		rep.Rejected += c.rejected.Load()
+		if ld := c.lastMeasured.Load(); ld > lastDone {
+			lastDone = ld
+		}
+	}
+	// A run cut short (server drain, socket error) measured a shorter window
+	// than configured: report throughput over the window actually covered,
+	// not the nominal one.
+	if covered := time.Duration(lastDone - warmEnd); covered > 0 && covered < rep.Elapsed {
+		rep.Elapsed = covered
+	}
+	if s := rep.Elapsed.Seconds(); s > 0 {
+		rep.Throughput = float64(rep.Ops) / s
+	}
+	rep.Mean = time.Duration(rep.Hist.Mean())
+	rep.P50 = time.Duration(rep.Hist.Quantile(0.5))
+	rep.P90 = time.Duration(rep.Hist.Quantile(0.9))
+	rep.P99 = time.Duration(rep.Hist.Quantile(0.99))
+	rep.P999 = time.Duration(rep.Hist.Quantile(0.999))
+	rep.Max = time.Duration(rep.Hist.Max())
+	return rep, nil
+}
+
+// slot tracks one in-flight request.
+type slot struct {
+	sched   int64 // scheduled arrival, ns since base
+	measure bool  // scheduled inside the measurement window
+}
+
+// clientConn is one driver connection: a sender goroutine generating and
+// encoding traffic, and a reader goroutine matching responses by request ID
+// and recording latency.
+type clientConn struct {
+	cfg    Config
+	idx    int
+	nc     net.Conn
+	br     *bufio.Reader
+	wl     workload.Workload
+	rng    *workload.Rand
+	shards int
+	procID map[string]uint32
+
+	wbuf   wire.Buffer
+	window int
+	ring   []slot
+	// tokens carries free slot indexes: a slot is exclusively owned from the
+	// moment the sender receives its index until the reader finishes with
+	// the matching response and returns it. Responses may complete out of
+	// order across shards, so slots cannot simply be reqID mod window — the
+	// free-list is what prevents a live slot from being overwritten (and the
+	// channel hand-off is the happens-before edge between the two
+	// goroutines' accesses to the slot).
+	tokens chan int
+
+	hist     *metrics.Histogram
+	ops      atomic.Uint64
+	errs     atomic.Uint64
+	rejected atomic.Uint64
+	stop     atomic.Bool
+	inflight atomic.Int64
+	// lastMeasured is the completion time (ns since base) of the newest
+	// response recorded in the measurement window; it bounds the effective
+	// window when a run ends early (server drain, socket error).
+	lastMeasured atomic.Int64
+}
+
+// dial connects, consumes Hello (verifying the workload spec), and prepares
+// every procedure the generator can emit.
+func dial(cfg Config, idx int) (*clientConn, error) {
+	nc, err := net.Dial("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &clientConn{
+		cfg:    cfg,
+		idx:    idx,
+		nc:     nc,
+		br:     bufio.NewReaderSize(nc, 64<<10),
+		rng:    workload.NewRand(cfg.Seed ^ 0x5eed<<32 ^ uint64(idx)*1_000_003),
+		procID: make(map[string]uint32),
+		window: cfg.Pipeline,
+		hist:   &metrics.Histogram{},
+	}
+	c.ring = make([]slot, c.window)
+	c.tokens = make(chan int, c.window)
+	for i := 0; i < c.window; i++ {
+		c.tokens <- i
+	}
+
+	var frame []byte
+	var typ byte
+	var payload []byte
+	typ, payload, frame, err = wire.ReadFrame(c.br, frame)
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("reading hello: %w", err)
+	}
+	if typ != wire.MsgHello {
+		nc.Close()
+		return nil, fmt.Errorf("expected hello, got frame %#x", typ)
+	}
+	r := wire.NewReader(payload)
+	ver := r.U8()
+	c.shards = int(r.U16())
+	serverSpec := r.Str()
+	if r.Err != nil || ver != wire.Version {
+		nc.Close()
+		return nil, fmt.Errorf("bad hello (version %d): %v", ver, r.Err)
+	}
+	if want := cfg.Spec.String(); serverSpec != want {
+		nc.Close()
+		return nil, fmt.Errorf("workload mismatch: server serves %q, driver generates %q", serverSpec, want)
+	}
+	c.wl = cfg.Spec.New(c.shards)
+
+	// Prepare every procedure synchronously (no other traffic in flight).
+	for i, name := range cfg.Spec.ProcNames() {
+		c.wbuf.Reset(wire.MsgPrepare)
+		c.wbuf.U32(uint32(i))
+		c.wbuf.Str(name)
+		if _, err := nc.Write(c.wbuf.Bytes()); err != nil {
+			nc.Close()
+			return nil, err
+		}
+		typ, payload, frame, err = wire.ReadFrame(c.br, frame)
+		if err != nil {
+			nc.Close()
+			return nil, err
+		}
+		pr := wire.NewReader(payload)
+		switch typ {
+		case wire.MsgPrepared:
+			_ = pr.U32() // reqID
+			c.procID[name] = pr.U32()
+		case wire.MsgErr:
+			_ = pr.U32()
+			msg := pr.Str()
+			nc.Close()
+			return nil, fmt.Errorf("prepare %q: %s", name, msg)
+		default:
+			nc.Close()
+			return nil, fmt.Errorf("prepare %q: unexpected frame %#x", name, typ)
+		}
+		if pr.Err != nil {
+			nc.Close()
+			return nil, pr.Err
+		}
+	}
+	return c, nil
+}
+
+// sendLoop generates and sends requests until the measurement window ends
+// (or the server starts draining), then waits out the in-flight tail and
+// closes the socket to release the reader.
+func (c *clientConn) sendLoop(base time.Time, warmEnd, end int64) {
+	defer c.finish()
+
+	var id uint32  // request ID = the owned slot index
+	var next int64 // open loop: next scheduled arrival (ns since base)
+	interval := 0.0
+	if c.cfg.Rate > 0 {
+		interval = float64(time.Second.Nanoseconds()) / (c.cfg.Rate / float64(c.cfg.Conns))
+		next = int64(float64(c.idx) * interval / float64(c.cfg.Conns)) // stagger conns
+	}
+	part := c.idx % c.shards
+
+	for !c.stop.Load() {
+		now := time.Since(base).Nanoseconds()
+		sched := now
+		if c.cfg.Rate > 0 {
+			if next > now {
+				time.Sleep(time.Duration(next-now) * time.Nanosecond)
+			}
+			sched = next
+			if c.cfg.Poisson {
+				// Exponential inter-arrival: -ln(U) * mean.
+				u := float64(c.rng.Next()>>11) / (1 << 53)
+				if u <= 0 {
+					u = math.SmallestNonzeroFloat64
+				}
+				next += int64(-math.Log(u) * interval)
+			} else {
+				next += int64(interval)
+			}
+		}
+		if sched >= end {
+			return
+		}
+		slotIdx, open := <-c.tokens // in-flight cap (and the closed-loop pacing itself)
+		if !open || c.stop.Load() {
+			return
+		}
+
+		p := part
+		part = (part + 1) % c.shards
+		call := c.wl.Gen(c.rng, p, c.shards)
+		procID, ok := c.procID[call.Proc]
+		if !ok {
+			panic(fmt.Sprintf("driver: generator emitted unprepared procedure %q", call.Proc))
+		}
+		id = uint32(slotIdx)
+		sl := &c.ring[slotIdx]
+		if c.cfg.Rate == 0 {
+			sched = time.Since(base).Nanoseconds() // closed loop: actual send
+		}
+		sl.sched = sched
+		sl.measure = sched >= warmEnd && sched < end
+
+		c.wbuf.Reset(wire.MsgExec)
+		c.wbuf.U32(id)
+		c.wbuf.U32(procID)
+		c.wbuf.U16(uint16(p))
+		c.wbuf.U16(uint16(len(call.Args)))
+		for _, a := range call.Args {
+			if a.S != nil {
+				c.wbuf.U8(wire.TagBytes)
+				c.wbuf.Blob(a.S)
+			} else {
+				c.wbuf.U8(wire.TagLong)
+				c.wbuf.I64(a.I)
+			}
+		}
+		c.inflight.Add(1)
+		if _, err := c.nc.Write(c.wbuf.Bytes()); err != nil {
+			c.stop.Store(true)
+			return
+		}
+	}
+}
+
+// finish reclaims the in-flight tail (bounded) and closes the socket.
+func (c *clientConn) finish() {
+	deadline := time.NewTimer(5 * time.Second)
+	defer deadline.Stop()
+	for c.inflight.Load() > 0 {
+		select {
+		case _, open := <-c.tokens:
+			if !open {
+				c.nc.Close()
+				return
+			}
+		case <-deadline.C:
+			c.nc.Close()
+			return
+		}
+	}
+	c.nc.Close()
+}
+
+// readLoop consumes responses, records measured latencies, and returns
+// tokens to the sender.
+func (c *clientConn) readLoop(base time.Time, warmEnd, end int64) {
+	var frame []byte
+	for {
+		typ, payload, f, err := wire.ReadFrame(c.br, frame)
+		if err != nil {
+			c.stop.Store(true)
+			close(c.tokens) // wake and stop a sender blocked on a slot
+			return
+		}
+		frame = f
+		r := wire.NewReader(payload)
+		id := r.U32()
+		isErr := typ == wire.MsgErr
+		var msg string
+		if isErr {
+			msg = r.Str()
+		}
+		if r.Err != nil {
+			c.stop.Store(true)
+			close(c.tokens)
+			return
+		}
+		if int(id) >= c.window {
+			c.stop.Store(true)
+			close(c.tokens)
+			return // corrupt response ID
+		}
+		sl := &c.ring[id]
+		now := time.Since(base).Nanoseconds()
+		if isErr && msg == wire.ErrDraining {
+			c.rejected.Add(1)
+			c.stop.Store(true)
+		} else if sl.measure {
+			lat := now - sl.sched
+			if lat < 0 {
+				lat = 0
+			}
+			c.hist.Record(uint64(lat))
+			c.ops.Add(1)
+			if isErr {
+				c.errs.Add(1)
+			}
+			if now > c.lastMeasured.Load() {
+				c.lastMeasured.Store(now)
+			}
+		}
+		c.inflight.Add(-1)
+		c.tokens <- int(id) // return the slot (never blocks: capacity = window)
+	}
+}

@@ -1,0 +1,195 @@
+package driver_test
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"oltpsim/internal/core"
+	"oltpsim/internal/driver"
+	"oltpsim/internal/metrics"
+	"oltpsim/internal/server"
+	"oltpsim/internal/systems"
+	"oltpsim/internal/workload"
+)
+
+func startServer(t *testing.T, cfg server.Config) *server.Server {
+	t.Helper()
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatalf("server.Start: %v", err)
+	}
+	t.Cleanup(s.Shutdown)
+	return s
+}
+
+// TestDriveHTAPLoopback is the acceptance demo as a test: oltpdrive sustains
+// a mixed TPC-C/analytical workload against a 2-shard oltpd over loopback,
+// reports latency quantiles and throughput, and /metrics exposes per-shard
+// PMU counters.
+func TestDriveHTAPLoopback(t *testing.T) {
+	if raceEnabled {
+		t.Skip("hybrid scans serialize past any window under -race on one core; micro e2e tests cover the concurrency surface")
+	}
+	spec := workload.Spec{Kind: "hybrid", Warehouses: 2, OLAPPercent: 20}
+	s := startServer(t, server.Config{
+		System:    systems.VoltDB,
+		Shards:    2,
+		Sockets:   2,
+		Placement: core.PlacePartitioned,
+		Spec:      spec,
+	})
+
+	rep, err := driver.Run(driver.Config{
+		Addr:    s.Addr().String(),
+		Spec:    spec,
+		Conns:   4,
+		Warmup:  50 * time.Millisecond,
+		Measure: 300 * time.Millisecond,
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatalf("driver.Run: %v", err)
+	}
+	if rep.Shards != 2 {
+		t.Fatalf("report shards = %d, want 2", rep.Shards)
+	}
+	if rep.Ops == 0 {
+		t.Fatal("driver measured zero completed operations")
+	}
+	if rep.Errors != 0 || rep.Rejected != 0 {
+		t.Fatalf("errors=%d rejected=%d, want 0/0", rep.Errors, rep.Rejected)
+	}
+	if rep.Throughput <= 0 {
+		t.Fatalf("throughput = %g", rep.Throughput)
+	}
+	// Quantiles must be populated and monotone.
+	if rep.P50 <= 0 || rep.P50 > rep.P90 || rep.P90 > rep.P99 || rep.P99 > rep.P999 {
+		t.Fatalf("quantiles not monotone: p50=%v p90=%v p99=%v p999=%v",
+			rep.P50, rep.P90, rep.P99, rep.P999)
+	}
+	if time.Duration(rep.Hist.Max()) < rep.P999 {
+		t.Fatalf("max %v below p999 %v", time.Duration(rep.Hist.Max()), rep.P999)
+	}
+	out := rep.String()
+	for _, want := range []string{"hybrid:warehouses=2", "throughput", "p99"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report text missing %q:\n%s", want, out)
+		}
+	}
+
+	// Scrape /metrics over real HTTP and assert per-shard PMU counters moved.
+	ts := httptest.NewServer(s.Registry())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read scrape: %v", err)
+	}
+	parsed, err := metrics.Parse(string(body))
+	if err != nil {
+		t.Fatalf("parse scrape: %v", err)
+	}
+	var tx float64
+	for _, shard := range []string{"0", "1"} {
+		v := parsed[`oltpd_tx_total{shard="`+shard+`"}`]
+		if v <= 0 {
+			t.Fatalf("shard %s saw no transactions", shard)
+		}
+		tx += v
+		if parsed[`oltpd_stall_cycles_total{shard="`+shard+`",component="l1d"}`] <= 0 {
+			t.Fatalf("shard %s stall breakdown missing", shard)
+		}
+	}
+	if uint64(tx) < rep.Ops {
+		t.Fatalf("server tx %g < driver measured ops %d", tx, rep.Ops)
+	}
+}
+
+// TestDriveOpenLoop exercises the paced sender with Poisson arrivals at a
+// modest offered load and checks the report accounts for the offered rate.
+func TestDriveOpenLoop(t *testing.T) {
+	spec := workload.Spec{Kind: "micro", Rows: 4096, RowsPerTx: 1}
+	s := startServer(t, server.Config{System: systems.VoltDB, Shards: 2, Spec: spec})
+
+	rep, err := driver.Run(driver.Config{
+		Addr:    s.Addr().String(),
+		Spec:    spec,
+		Conns:   2,
+		Rate:    2000,
+		Poisson: true,
+		Warmup:  50 * time.Millisecond * raceWindowScale,
+		Measure: 300 * time.Millisecond * raceWindowScale,
+		Seed:    2,
+	})
+	if err != nil {
+		t.Fatalf("driver.Run: %v", err)
+	}
+	if rep.Ops == 0 {
+		t.Fatal("open loop measured zero ops")
+	}
+	// Completions cannot meaningfully exceed the offered load (2000 ops/s ×
+	// the measure window); allow 2× for scheduler jitter on loaded machines.
+	offered := rep.Rate * rep.Elapsed.Seconds()
+	if float64(rep.Ops) > 2*offered {
+		t.Fatalf("open loop completed %d ops, far above the %.0f offered", rep.Ops, offered)
+	}
+	if !strings.Contains(rep.String(), "open-loop") {
+		t.Fatalf("report does not mention open loop:\n%s", rep.String())
+	}
+}
+
+// TestDriveSpecMismatch: a driver generating a different workload than the
+// server serves must refuse to start.
+func TestDriveSpecMismatch(t *testing.T) {
+	s := startServer(t, server.Config{
+		System: systems.VoltDB, Shards: 2,
+		Spec: workload.Spec{Kind: "micro", Rows: 4096},
+	})
+	_, err := driver.Run(driver.Config{
+		Addr:    s.Addr().String(),
+		Spec:    workload.Spec{Kind: "tpcc", Warehouses: 2},
+		Conns:   1,
+		Warmup:  10 * time.Millisecond,
+		Measure: 10 * time.Millisecond,
+	})
+	if err == nil || !strings.Contains(err.Error(), "mismatch") {
+		t.Fatalf("err = %v, want workload mismatch", err)
+	}
+}
+
+// TestDriveAgainstDrainingServer: shutting the server down mid-run must not
+// hang the driver; refused requests are reported as rejected, not errors.
+func TestDriveAgainstDrainingServer(t *testing.T) {
+	spec := workload.Spec{Kind: "micro", Rows: 4096, RowsPerTx: 1}
+	s := startServer(t, server.Config{System: systems.VoltDB, Shards: 2, Spec: spec})
+
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		s.Shutdown()
+	}()
+	rep, err := driver.Run(driver.Config{
+		Addr:    s.Addr().String(),
+		Spec:    spec,
+		Conns:   2,
+		Warmup:  10 * time.Millisecond,
+		Measure: 2 * time.Second,
+		Seed:    3,
+	})
+	if err != nil {
+		t.Fatalf("driver.Run: %v", err)
+	}
+	if rep.Ops == 0 {
+		t.Fatal("no ops completed before the drain")
+	}
+}

@@ -1,0 +1,12 @@
+//go:build !race
+
+package driver_test
+
+import "time"
+
+// raceEnabled reports whether this binary was built with -race (see
+// race_on_test.go).
+const raceEnabled = false
+
+// raceWindowScale is 1 without -race (see race_on_test.go).
+const raceWindowScale = time.Duration(1)

@@ -1,0 +1,16 @@
+//go:build race
+
+package driver_test
+
+import "time"
+
+// raceEnabled reports that this binary was built with -race. The hybrid
+// end-to-end demo is skipped there: a single race-instrumented analytical
+// scan holds the engine's execution lock for seconds, serializing every
+// closed-loop connection past any reasonable window on one core. The
+// micro-workload e2e tests below still cover the full concurrency surface
+// under the race detector.
+const raceEnabled = true
+
+// raceWindowScale stretches the remaining e2e windows under -race.
+const raceWindowScale = time.Duration(4)

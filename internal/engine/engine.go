@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 
 	"oltpsim/internal/catalog"
 	"oltpsim/internal/core"
@@ -57,6 +58,11 @@ type Engine struct {
 	// scan is the recycled analytical-scan executor state (see olap.go); its
 	// index-visit callback is bound once here so scans create no closures.
 	scan scanState
+
+	// execMu serializes transaction execution when the engine is shared
+	// across goroutines through Sessions (see session.go). Single-goroutine
+	// users — the harness, examples, tests — never touch it.
+	execMu sync.Mutex
 }
 
 // Table is one logical table, possibly sharded across partitions.

@@ -2,6 +2,7 @@ package engine_test
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
 	"oltpsim/internal/catalog"
@@ -280,14 +281,18 @@ func TestPartitionedRoutingEnforced(t *testing.T) {
 	if err := e.Invoke(0, "read1", catalog.LongVal(4)); err != nil {
 		t.Fatal(err)
 	}
-	// Key 5 lives in partition 1: invoking on partition 0 must panic
-	// (single-site enforcement).
-	defer func() {
-		if recover() == nil {
-			t.Error("cross-partition access did not panic")
-		}
-	}()
-	_ = e.Invoke(0, "read1", catalog.LongVal(5))
+	// Key 5 lives in partition 1: invoking on partition 0 trips the
+	// single-site enforcement panic in shardFor, which Invoke converts to an
+	// abort + error (a serving path must answer a mis-routed request with an
+	// error response, not crash the process).
+	err := e.Invoke(0, "read1", catalog.LongVal(5))
+	if err == nil || !strings.Contains(err.Error(), "touched key of partition 1") {
+		t.Fatalf("cross-partition access: err = %v, want partition-violation error", err)
+	}
+	// The engine survives and keeps serving correctly-routed requests.
+	if err := e.Invoke(1, "read1", catalog.LongVal(5)); err != nil {
+		t.Fatalf("engine unusable after routing violation: %v", err)
+	}
 }
 
 func TestHashIndexRejectsScan(t *testing.T) {

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 
 	"oltpsim/internal/catalog"
@@ -113,7 +114,7 @@ func (e *Engine) Invoke(part int, procName string, args ...catalog.Value) error 
 		tx.mtx = &e.mvtx
 	}
 
-	if err := p.Body(tx); err != nil {
+	if err := e.runBody(tx, p); err != nil {
 		e.abort(tx)
 		return err
 	}
@@ -138,6 +139,40 @@ func (e *Engine) Invoke(part int, procName string, args ...catalog.Value) error 
 	cpu.Exec(e.rTxn, c.TxnCommit)
 	cpu.TxCount++
 	return nil
+}
+
+// runBody executes the procedure body, converting *client-reachable* panics
+// into errors: routing violations (a request tagged with the wrong
+// partition trips shardFor) and runtime errors (a request with the wrong
+// argument count indexes past tx.Args). Inside a serving path those must
+// abort the one offending transaction — and produce an error response —
+// rather than take down the process with every other connection on it. Any
+// other panic value is an engine invariant violation and re-panics
+// fail-stop: masking it as an Err frame would keep serving on state whose
+// integrity is unknown.
+//
+// The recovered abort has the engine's existing abort semantics: locks are
+// released and MVCC staged writes are discarded, but in-place writes the
+// body already performed on non-MVCC archetypes are NOT undone (the
+// simulator carries no undo machinery — every error-return abort path, e.g.
+// a mid-procedure lock conflict after an earlier update, has always behaved
+// this way). A recovered panic mid-procedure can therefore leave a
+// partially applied transaction on 2PL archetypes, exactly like a
+// mid-procedure error could before; procedures that need atomicity under
+// errors validate before writing, as the built-in workloads do.
+func (e *Engine) runBody(tx *Tx, p *Procedure) (err error) {
+	defer func() {
+		switch r := recover().(type) {
+		case nil:
+		case routingViolation:
+			err = fmt.Errorf("engine: procedure %q panicked: %v", p.Name, r)
+		case runtime.Error:
+			err = fmt.Errorf("engine: procedure %q panicked: %v", p.Name, r)
+		default:
+			panic(r)
+		}
+	}()
+	return p.Body(tx)
 }
 
 func (e *Engine) abort(tx *Tx) {

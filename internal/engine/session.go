@@ -1,0 +1,97 @@
+package engine
+
+import (
+	"sync/atomic"
+
+	"oltpsim/internal/catalog"
+	"oltpsim/internal/core"
+)
+
+// Session is a thread-safe invocation handle for an Engine.
+//
+// The Engine and everything under it (machine, arena, caches) are documented
+// as single-goroutine confined: the simulated hardware has exactly one
+// timeline, so two transactions can never execute on it at the same instant.
+// Sessions make the engine shareable anyway by serializing execution on the
+// engine's execution mutex — concurrent connections multiplex onto the one
+// simulated machine the same way concurrent clients multiplex onto a real
+// server's cores. The recycled per-transaction state (scratch arena, Tx
+// value, lock bitmap, MVCC context) keeps working unchanged because the
+// mutex guarantees one transaction at a time, so the zero-allocation hot
+// path is preserved.
+//
+// Sessions are cheap: oltpd creates one per client connection (for per-
+// session accounting) and one per shard worker (for batch execution). Code
+// that uses Sessions must not call Engine.Invoke/SetCore directly while
+// sessions are live; the single-goroutine harness paths keep doing so
+// without ever touching the mutex, which is why the simulator hot path pays
+// nothing for this API.
+type Session struct {
+	e *Engine
+
+	// Ops and Errs count invocations through this session (atomic; readable
+	// while the session is in use, e.g. by a /metrics scrape).
+	Ops  atomic.Uint64
+	Errs atomic.Uint64
+}
+
+// Request is one queued invocation for Session.InvokeBatch: the group-
+// execute unit of the serving path.
+type Request struct {
+	Part int
+	Proc string
+	Args []catalog.Value
+}
+
+// NewSession returns a new thread-safe handle onto e.
+func (e *Engine) NewSession() *Session { return &Session{e: e} }
+
+// Invoke runs one stored procedure on the given partition, with the
+// simulated core pinned to core for the duration. It is safe to call from
+// any goroutine; calls serialize on the engine.
+func (s *Session) Invoke(core, part int, proc string, args ...catalog.Value) error {
+	e := s.e
+	e.execMu.Lock()
+	e.SetCore(core)
+	err := e.Invoke(part, proc, args...)
+	e.execMu.Unlock()
+	s.Ops.Add(1)
+	if err != nil {
+		s.Errs.Add(1)
+	}
+	return err
+}
+
+// InvokeBatch is the group-execute loop: it acquires the engine once, pins
+// the simulated core, and runs every request back to back, writing per-
+// request errors into errs (which must be at least len(reqs) long). Batching
+// is what lets a shard worker amortize the engine handoff across every
+// request queued on its shard — the server-side analogue of the driver's
+// pipelining.
+func (s *Session) InvokeBatch(core int, reqs []Request, errs []error) {
+	e := s.e
+	e.execMu.Lock()
+	e.SetCore(core)
+	var nerr uint64
+	for i := range reqs {
+		err := e.Invoke(reqs[i].Part, reqs[i].Proc, reqs[i].Args...)
+		errs[i] = err
+		if err != nil {
+			nerr++
+		}
+	}
+	e.execMu.Unlock()
+	s.Ops.Add(uint64(len(reqs)))
+	if nerr > 0 {
+		s.Errs.Add(nerr)
+	}
+}
+
+// Observe runs f with the engine's execution lock held, giving it a
+// consistent view of the machine and its PMU counters while sessions are
+// active (the /metrics scrape path). f must not invoke transactions.
+func (e *Engine) Observe(f func(m *core.Machine)) {
+	e.execMu.Lock()
+	f(e.mach)
+	e.execMu.Unlock()
+}

@@ -1,0 +1,135 @@
+package engine_test
+
+import (
+	"sync"
+	"testing"
+
+	"oltpsim/internal/catalog"
+	"oltpsim/internal/core"
+	"oltpsim/internal/engine"
+	"oltpsim/internal/systems"
+	"oltpsim/internal/workload"
+)
+
+// sessionEngine builds a 2-core, 2-partition VoltDB with the micro workload
+// loaded — the smallest sharded serving target.
+func sessionEngine(t *testing.T, rows int64) (*engine.Engine, *workload.Micro) {
+	t.Helper()
+	e := systems.New(systems.VoltDB, systems.Options{Cores: 2})
+	w := workload.NewMicro(workload.MicroConfig{Rows: rows, RowsPerTx: 1})
+	w.Setup(e)
+	e.Machine().Arena.EnableTracing(false)
+	w.Populate(e)
+	e.Machine().Arena.EnableTracing(true)
+	return e, w
+}
+
+// TestSessionConcurrentInvoke hammers one engine from several goroutines
+// through Sessions and checks conservation: every invocation retires exactly
+// once, on the core it was pinned to, with no lost transactions (run under
+// -race in CI).
+func TestSessionConcurrentInvoke(t *testing.T) {
+	e, _ := sessionEngine(t, 1024)
+
+	const gs, per = 4, 200
+	var wg sync.WaitGroup
+	sessions := make([]*engine.Session, gs)
+	for g := 0; g < gs; g++ {
+		sessions[g] = e.NewSession()
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s := sessions[g]
+			part := g % 2
+			args := []catalog.Value{catalog.LongVal(0)}
+			for i := 0; i < per; i++ {
+				// Keys congruent to the partition stay single-sited.
+				args[0] = catalog.LongVal(int64(2*(i%500) + part))
+				if err := s.Invoke(part, part, "micro_ro", args...); err != nil {
+					t.Errorf("session %d: %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	var total uint64
+	e.Observe(func(m *core.Machine) {
+		for c := range m.CPUs {
+			total += m.SnapshotCore(c).TxCount
+		}
+	})
+	if total != gs*per {
+		t.Fatalf("tx count = %d, want %d", total, gs*per)
+	}
+	for g, s := range sessions {
+		if got := s.Ops.Load(); got != per {
+			t.Fatalf("session %d ops = %d, want %d", g, got, per)
+		}
+		if got := s.Errs.Load(); got != 0 {
+			t.Fatalf("session %d errs = %d, want 0", g, got)
+		}
+	}
+}
+
+// TestSessionInvokeBatch checks the group-execute loop: per-request errors
+// land in order, and a failing request does not poison its batch.
+func TestSessionInvokeBatch(t *testing.T) {
+	e, _ := sessionEngine(t, 1024)
+	s := e.NewSession()
+
+	reqs := []engine.Request{
+		{Part: 0, Proc: "micro_ro", Args: []catalog.Value{catalog.LongVal(0)}},
+		{Part: 0, Proc: "no_such_proc"},
+		{Part: 0, Proc: "micro_ro", Args: []catalog.Value{catalog.LongVal(2)}},
+	}
+	errs := make([]error, len(reqs))
+	s.InvokeBatch(0, reqs, errs)
+	if errs[0] != nil || errs[2] != nil {
+		t.Fatalf("good requests errored: %v / %v", errs[0], errs[2])
+	}
+	if errs[1] == nil {
+		t.Fatal("unknown procedure did not error")
+	}
+	if s.Ops.Load() != 3 || s.Errs.Load() != 1 {
+		t.Fatalf("ops/errs = %d/%d, want 3/1", s.Ops.Load(), s.Errs.Load())
+	}
+
+	var tx uint64
+	e.Observe(func(m *core.Machine) { tx = m.SnapshotCore(0).TxCount })
+	if tx != 2 {
+		t.Fatalf("core 0 tx count = %d, want 2 (failed request must not commit)", tx)
+	}
+}
+
+// TestSessionMatchesDirectInvoke proves the session path charges exactly the
+// same simulated work as a direct Invoke: same workload stream through a
+// Session on one engine and through Engine.Invoke on a twin engine must
+// produce identical PMU counters.
+func TestSessionMatchesDirectInvoke(t *testing.T) {
+	run := func(viaSession bool) core.Snapshot {
+		e, w := sessionEngine(t, 1024)
+		rng := workload.NewRand(7)
+		s := e.NewSession()
+		for i := 0; i < 300; i++ {
+			part := i % 2
+			call := w.Gen(rng, part, 2)
+			var err error
+			if viaSession {
+				err = s.Invoke(part, part, call.Proc, call.Args...)
+			} else {
+				e.SetCore(part)
+				err = e.Invoke(part, call.Proc, call.Args...)
+			}
+			if err != nil {
+				t.Fatalf("invoke: %v", err)
+			}
+		}
+		return e.Machine().Snapshot()
+	}
+	a, b := run(true), run(false)
+	if a != b {
+		t.Fatalf("session-path counters diverge from direct Invoke:\n  session: %+v\n  direct:  %+v", a, b)
+	}
+}

@@ -66,6 +66,15 @@ const (
 	numOpKinds
 )
 
+// routingViolation is the panic value for single-site routing violations: a
+// contract breach reachable from client input (a mis-routed request), which
+// runBody converts to an abort+error instead of letting it kill a serving
+// process. It is a distinct type so genuinely unexpected panics still
+// propagate fail-stop.
+type routingViolation string
+
+func (v routingViolation) Error() string { return string(v) }
+
 // shardFor picks the shard a key lives in; non-partitioned engines always
 // use shard 0, replicated tables serve the transaction's own partition.
 // Partitioned engines trust single-partition routing and fail loudly if a
@@ -80,8 +89,8 @@ func (tx *Tx) shardFor(t *Table, keyVals []catalog.Value) *shard {
 	}
 	p := t.PartitionOf(keyVals)
 	if p != tx.part {
-		panic(fmt.Sprintf("engine: transaction on partition %d touched key of partition %d (table %q)",
-			tx.part, p, t.Name))
+		panic(routingViolation(fmt.Sprintf("engine: transaction on partition %d touched key of partition %d (table %q)",
+			tx.part, p, t.Name)))
 	}
 	return &t.shards[p]
 }

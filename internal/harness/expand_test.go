@@ -1,0 +1,61 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExpandFigureIDs covers the satellite: unknown -figure IDs must be
+// rejected with a clear error (so cmd/oltpsim exits nonzero) instead of
+// being silently skipped, and the keywords expand to their registries.
+func TestExpandFigureIDs(t *testing.T) {
+	// Keywords expand, compose, and preserve request order.
+	ids, err := ExpandFigureIDs("all")
+	if err != nil {
+		t.Fatalf("all: %v", err)
+	}
+	if len(ids) != len(FigureIDs()) {
+		t.Fatalf("all expanded to %d IDs, want %d", len(ids), len(FigureIDs()))
+	}
+	ids, err = ExpandFigureIDs("numa,htap,serve")
+	if err != nil {
+		t.Fatalf("numa,htap,serve: %v", err)
+	}
+	want := len(NUMAFigureIDs()) + len(HTAPFigureIDs()) + len(ServeFigureIDs())
+	if len(ids) != want {
+		t.Fatalf("keyword expansion = %d IDs, want %d", len(ids), want)
+	}
+	if ids[0] != NUMAFigureIDs()[0] || ids[len(ids)-1] != ServeFigureIDs()[len(ServeFigureIDs())-1] {
+		t.Fatalf("expansion out of request order: %v", ids)
+	}
+
+	// Explicit IDs pass through, with whitespace tolerated and duplicates
+	// preserved (the runner's cell cache dedups the work, not the output).
+	ids, err = ExpandFigureIDs(" 2 ,3,2")
+	if err != nil {
+		t.Fatalf("explicit IDs: %v", err)
+	}
+	if len(ids) != 3 || ids[0] != "2" || ids[2] != "2" {
+		t.Fatalf("explicit IDs = %v", ids)
+	}
+
+	// Every registered ID resolves.
+	for _, kw := range []string{"all", "numa", "htap", "serve"} {
+		ids, _ := ExpandFigureIDs(kw)
+		for _, id := range ids {
+			if _, ok := FigureBuilder(id); !ok {
+				t.Fatalf("%s expanded to unresolvable ID %q", kw, id)
+			}
+		}
+	}
+
+	// Unknown, empty, and half-valid inputs all fail loudly.
+	for _, bad := range []string{"nope", "2,nope", "", "2,,3", "figS1"} {
+		if _, err := ExpandFigureIDs(bad); err == nil {
+			t.Fatalf("ExpandFigureIDs(%q) did not fail", bad)
+		}
+	}
+	if _, err := ExpandFigureIDs("2,bogus"); err == nil || !strings.Contains(err.Error(), `"bogus"`) {
+		t.Fatalf("error does not name the offending ID: %v", err)
+	}
+}

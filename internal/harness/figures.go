@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"oltpsim/internal/core"
 	"oltpsim/internal/engine"
@@ -25,8 +26,9 @@ var Figures = map[string]Builder{
 }
 
 // FigureBuilder resolves a figure ID against every registry: the paper
-// figures above, the NUMA scaling figures (FigN1-FigN3, see numafigs.go) and
-// the HTAP figures (FigH1-FigH3, see htapfigs.go).
+// figures above, the NUMA scaling figures (FigN1-FigN3, see numafigs.go),
+// the HTAP figures (FigH1-FigH3, see htapfigs.go) and the live serving
+// figures (FigS1-FigS2, see servefigs.go).
 func FigureBuilder(id string) (Builder, bool) {
 	if b, ok := Figures[id]; ok {
 		return b, true
@@ -34,8 +36,44 @@ func FigureBuilder(id string) (Builder, bool) {
 	if b, ok := NUMAFigures[id]; ok {
 		return b, true
 	}
-	b, ok := HTAPFigures[id]
+	if b, ok := HTAPFigures[id]; ok {
+		return b, true
+	}
+	b, ok := ServeFigures[id]
 	return b, ok
+}
+
+// ExpandFigureIDs resolves a comma-separated -figure argument into concrete
+// figure IDs: the keywords "all" (the paper set), "numa", "htap" and
+// "serve" expand to their registries, everything else must name a known
+// figure. Unknown or empty IDs are an error — a typo must fail loudly, not
+// silently skip a figure (duplicates are preserved: the runner's cell cache
+// makes them free, and output order mirrors the request).
+func ExpandFigureIDs(arg string) ([]string, error) {
+	var ids []string
+	for _, id := range strings.Split(arg, ",") {
+		switch id = strings.TrimSpace(id); id {
+		case "all":
+			ids = append(ids, FigureIDs()...)
+		case "numa":
+			ids = append(ids, NUMAFigureIDs()...)
+		case "htap":
+			ids = append(ids, HTAPFigureIDs()...)
+		case "serve":
+			ids = append(ids, ServeFigureIDs()...)
+		case "":
+			return nil, fmt.Errorf("harness: empty figure ID in %q", arg)
+		default:
+			if _, ok := FigureBuilder(id); !ok {
+				return nil, fmt.Errorf("harness: unknown figure %q", id)
+			}
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("harness: no figures requested")
+	}
+	return ids, nil
 }
 
 // FigureIDs returns the registered paper figure IDs in presentation order.

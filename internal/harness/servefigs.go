@@ -1,0 +1,156 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"oltpsim/internal/core"
+	"oltpsim/internal/driver"
+	"oltpsim/internal/server"
+	"oltpsim/internal/systems"
+	"oltpsim/internal/workload"
+)
+
+// The serve figures (FigS1-FigS2) measure the serving path end to end: a
+// real oltpd on loopback under oltpdrive load, sweeping offered load and
+// shard placement. Unlike the paper figures they measure wall-clock behavior
+// of this process on this machine — network stack, scheduling, batching —
+// so their output is NOT deterministic and is deliberately excluded from
+// `-figure all` and the byte-identity goldens. Use them to see how the
+// simulated engine behaves as a service, not to regress bytes.
+
+// ServeFigures maps the serve figure IDs to builders (keyword: -figure
+// serve).
+var ServeFigures = map[string]Builder{
+	"S1": FigS1,
+	"S2": FigS2,
+}
+
+// ServeFigureIDs returns the serve figure IDs in presentation order.
+func ServeFigureIDs() []string {
+	ids := make([]string, 0, len(ServeFigures))
+	for id := range ServeFigures {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// serveWindows picks driver windows by scale: quick keeps the figures to a
+// few seconds, full lets quantiles settle.
+func serveWindows(s Scale) (warm, measure time.Duration) {
+	switch {
+	case s.TxFactor <= 0.26:
+		return 100 * time.Millisecond, 400 * time.Millisecond
+	case s.TxFactor >= 3:
+		return time.Second, 4 * time.Second
+	default:
+		return 300 * time.Millisecond, 1500 * time.Millisecond
+	}
+}
+
+// serveMu serializes live serving measurements: BuildFigures builds figures
+// concurrently, and two oltpd+oltpdrive pairs racing for the same cores
+// would corrupt each other's wall-clock latency numbers. (Simulation cells
+// requested alongside `serve` still contend — prefer running `-figure
+// serve` on its own for clean numbers; the figures' note says as much.)
+var serveMu sync.Mutex
+
+// serveCell runs one loopback serving measurement: an oltpd with the given
+// placement, an oltpdrive at the given offered rate (0 = closed loop).
+func serveCell(r *Runner, placement core.HomePlacement, rate float64, conns int) (*driver.Report, error) {
+	serveMu.Lock()
+	defer serveMu.Unlock()
+	spec := workload.Spec{Kind: "micro", Rows: 200_000, RowsPerTx: 1}
+	srv, err := server.New(server.Config{
+		System:    systems.VoltDB,
+		Shards:    2,
+		Sockets:   2,
+		Placement: placement,
+		Spec:      spec,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		return nil, err
+	}
+	defer srv.Shutdown()
+
+	warm, measure := serveWindows(r.Scale)
+	return driver.Run(driver.Config{
+		Addr:    srv.Addr().String(),
+		Spec:    spec,
+		Conns:   conns,
+		Rate:    rate,
+		Warmup:  warm,
+		Measure: measure,
+		Seed:    42,
+	})
+}
+
+// FigS1: closed-loop throughput and latency versus connection count, on the
+// 2-shard, 2-socket partitioned deployment — how far the serving path
+// scales before queueing dominates.
+func FigS1(r *Runner) *Figure {
+	f := &Figure{
+		ID:     "S1",
+		Title:  "oltpd loopback: closed-loop throughput/latency vs connections (2 shards, partitioned)",
+		Header: []string{"Conns", "Throughput op/s", "p50", "p99", "p999"},
+		Notes: []string{
+			"live serving measurement (wall clock) — not deterministic, not golden-locked",
+		},
+	}
+	for _, conns := range []int{1, 2, 4, 8} {
+		rep, err := serveCell(r, core.PlacePartitioned, 0, conns)
+		if err != nil {
+			f.Notes = append(f.Notes, fmt.Sprintf("conns=%d failed: %v", conns, err))
+			continue
+		}
+		f.Rows = append(f.Rows, []string{
+			fmt.Sprintf("%d", conns),
+			fmt.Sprintf("%.0f", rep.Throughput),
+			rep.P50.Round(time.Microsecond).String(),
+			rep.P99.Round(time.Microsecond).String(),
+			rep.P999.Round(time.Microsecond).String(),
+		})
+	}
+	return f
+}
+
+// FigS2: open-loop p99 versus offered load, partitioned versus interleaved
+// placement — the serving-path analogue of the FigN NUMA figures: at equal
+// offered load, NUMA-blind placement pays its remote-miss penalty as tail
+// latency.
+func FigS2(r *Runner) *Figure {
+	f := &Figure{
+		ID:     "S2",
+		Title:  "oltpd loopback: open-loop p99 vs offered load, partitioned vs interleaved placement",
+		Header: []string{"Offered op/s", "Placement", "Achieved op/s", "p50", "p99"},
+		Notes: []string{
+			"live serving measurement (wall clock) — not deterministic, not golden-locked",
+		},
+	}
+	for _, rate := range []float64{2000, 8000, 20000} {
+		for _, pl := range []struct {
+			p    core.HomePlacement
+			name string
+		}{{core.PlacePartitioned, "partitioned"}, {core.PlaceInterleaved, "interleaved"}} {
+			rep, err := serveCell(r, pl.p, rate, 4)
+			if err != nil {
+				f.Notes = append(f.Notes, fmt.Sprintf("rate=%.0f/%s failed: %v", rate, pl.name, err))
+				continue
+			}
+			f.Rows = append(f.Rows, []string{
+				fmt.Sprintf("%.0f", rate),
+				pl.name,
+				fmt.Sprintf("%.0f", rep.Throughput),
+				rep.P50.Round(time.Microsecond).String(),
+				rep.P99.Round(time.Microsecond).String(),
+			})
+		}
+	}
+	return f
+}

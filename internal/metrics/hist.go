@@ -1,0 +1,167 @@
+// Package metrics provides the live-telemetry substrate of the serving path:
+// a fixed-bucket log-linear latency histogram with zero-allocation recording,
+// and a small Prometheus-text registry served over HTTP (see registry.go).
+//
+// Both sides of the serving loop use the histogram: the warp-style load
+// driver records client-observed per-op latency, and each oltpd shard worker
+// records per-request service time. Recording uses atomics only, so a
+// histogram may be written by one or more workers while /metrics scrapes it.
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// The bucket layout is log-linear, HDR-histogram style: values below
+// 2^histSubBits land in one-unit-wide linear buckets; above that, each
+// power-of-two octave is split into 2^histSubBits equal sub-buckets. With
+// histSubBits = 6 the relative quantization error is bounded by 1/64 ≈ 1.6%,
+// and the whole uint64 range fits in a few thousand buckets — small enough
+// that every connection and shard carries its own histogram.
+const (
+	histSubBits = 6
+	histSub     = 1 << histSubBits // linear sub-buckets per octave
+
+	// NumBuckets covers every uint64 value: bucketOf(MaxUint64) is the
+	// largest index (see bucketOf; 64-bit values have at most 64-histSubBits
+	// shifted octaves of histSub buckets after the linear region).
+	NumBuckets = histSub * (65 - histSubBits)
+)
+
+// Histogram is a fixed-size log-linear histogram. The zero value is ready to
+// use. Record is safe for concurrent use (atomic adds only, no allocation);
+// reads (Quantile, Count, ...) are safe to run concurrently with writers and
+// observe a near-consistent snapshot, which is what a live /metrics scrape
+// wants.
+type Histogram struct {
+	counts [NumBuckets]uint64
+	count  uint64
+	sum    uint64
+	max    uint64
+}
+
+// bucketOf maps a value to its bucket index. Values < histSub map linearly
+// (bucket i holds exactly the value i); larger values normalize their top
+// histSubBits+1 bits into an octave-relative sub-bucket.
+func bucketOf(v uint64) int {
+	if v < histSub {
+		return int(v)
+	}
+	shift := bits.Len64(v) - 1 - histSubBits
+	return shift<<histSubBits + int(v>>uint(shift))
+}
+
+// BucketBounds returns the half-open value range [lo, hi) covered by bucket
+// i. It inverts bucketOf: bucketOf(v) == i ⇔ lo <= v < hi.
+func BucketBounds(i int) (lo, hi uint64) {
+	if i < histSub {
+		return uint64(i), uint64(i) + 1
+	}
+	shift := uint(i>>histSubBits - 1)
+	m := uint64(i - int(shift)<<histSubBits)
+	return m << shift, (m + 1) << shift
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(v uint64) {
+	atomic.AddUint64(&h.counts[bucketOf(v)], 1)
+	atomic.AddUint64(&h.count, 1)
+	atomic.AddUint64(&h.sum, v)
+	for {
+		cur := atomic.LoadUint64(&h.max)
+		if v <= cur || atomic.CompareAndSwapUint64(&h.max, cur, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 { return atomic.LoadUint64(&h.count) }
+
+// Sum returns the sum of recorded values.
+func (h *Histogram) Sum() uint64 { return atomic.LoadUint64(&h.sum) }
+
+// Max returns the largest recorded value (0 when empty).
+func (h *Histogram) Max() uint64 { return atomic.LoadUint64(&h.max) }
+
+// Mean returns the mean recorded value (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(n)
+}
+
+// Reset zeroes the histogram. Not atomic with respect to concurrent writers;
+// callers quiesce recording around it (the driver resets between the warmup
+// and measurement windows while no responses are being recorded).
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		atomic.StoreUint64(&h.counts[i], 0)
+	}
+	atomic.StoreUint64(&h.count, 0)
+	atomic.StoreUint64(&h.sum, 0)
+	atomic.StoreUint64(&h.max, 0)
+}
+
+// Merge accumulates other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for i := range other.counts {
+		if c := atomic.LoadUint64(&other.counts[i]); c != 0 {
+			atomic.AddUint64(&h.counts[i], c)
+		}
+	}
+	atomic.AddUint64(&h.count, other.Count())
+	atomic.AddUint64(&h.sum, other.Sum())
+	for {
+		m, cur := other.Max(), atomic.LoadUint64(&h.max)
+		if m <= cur || atomic.CompareAndSwapUint64(&h.max, cur, m) {
+			return
+		}
+	}
+}
+
+// Quantile returns the q-quantile (q in [0, 1]) of the recorded values,
+// linearly interpolated within the containing bucket. An empty histogram
+// returns 0. The true max is substituted at the top so Quantile(1) is exact.
+func (h *Histogram) Quantile(q float64) float64 {
+	n := atomic.LoadUint64(&h.count)
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank is the 1-based index of the target observation in sorted order
+	// (nearest-rank convention: ceil(q*n), clamped to [1, n]).
+	rank := uint64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	var cum uint64
+	for i := range h.counts {
+		c := atomic.LoadUint64(&h.counts[i])
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			lo, hi := BucketBounds(i)
+			if m := atomic.LoadUint64(&h.max); hi > m+1 {
+				hi = m + 1 // the top bucket cannot extend beyond the max
+			}
+			frac := (float64(rank-cum) - 0.5) / float64(c)
+			return float64(lo) + frac*float64(hi-lo)
+		}
+		cum += c
+	}
+	return float64(atomic.LoadUint64(&h.max))
+}

@@ -1,0 +1,163 @@
+package metrics
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// A Sample is one exported time-series point: a metric name, an optional
+// label set (rendered in registration order), and the current value.
+type Sample struct {
+	Name   string
+	Labels []Label
+	Value  float64
+}
+
+// Label is one key="value" pair.
+type Label struct{ Key, Value string }
+
+// L is shorthand for building a label.
+func L(k, v string) Label { return Label{Key: k, Value: v} }
+
+// Registry collects metric families and renders them in the Prometheus text
+// exposition format. Collection is pull-based: each registered family is a
+// closure invoked at scrape time, so gauges always expose the live value and
+// no background goroutine is needed.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	prepare  []func()
+}
+
+type family struct {
+	name, help, typ string
+	collect         func(emit func(Sample))
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Register adds a metric family. typ is the Prometheus type ("counter",
+// "gauge", "summary"); collect is called on every scrape and emits the
+// family's current samples. Families render in registration order.
+func (r *Registry) Register(name, typ, help string, collect func(emit func(Sample))) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, f := range r.families {
+		if f.name == name {
+			panic(fmt.Sprintf("metrics: duplicate family %q", name))
+		}
+	}
+	r.families = append(r.families, &family{name: name, help: help, typ: typ, collect: collect})
+}
+
+// OnScrape installs a hook that runs once at the start of every Render,
+// before any family collects. Use it to take one consistent snapshot of an
+// expensive source that several families then read — the freshness of those
+// families no longer depends on which of them happens to render first.
+func (r *Registry) OnScrape(f func()) {
+	r.mu.Lock()
+	r.prepare = append(r.prepare, f)
+	r.mu.Unlock()
+}
+
+// RegisterHistogram exports h as a Prometheus summary: quantile series plus
+// _sum, _count and _max, with values scaled by scale (e.g. 1e-9 to export
+// nanosecond recordings in seconds). labels apply to every series.
+func (r *Registry) RegisterHistogram(name, help string, h *Histogram, scale float64, labels ...Label) {
+	qs := []struct {
+		q     float64
+		label string
+	}{{0.5, "0.5"}, {0.9, "0.9"}, {0.99, "0.99"}, {0.999, "0.999"}}
+	r.Register(name, "summary", help, func(emit func(Sample)) {
+		for _, q := range qs {
+			emit(Sample{
+				Name:   name,
+				Labels: append(append([]Label{}, labels...), L("quantile", q.label)),
+				Value:  h.Quantile(q.q) * scale,
+			})
+		}
+		emit(Sample{Name: name + "_sum", Labels: labels, Value: float64(h.Sum()) * scale})
+		emit(Sample{Name: name + "_count", Labels: labels, Value: float64(h.Count())})
+		emit(Sample{Name: name + "_max", Labels: labels, Value: float64(h.Max()) * scale})
+	})
+}
+
+// Render writes the full exposition to a string.
+func (r *Registry) Render() string {
+	r.mu.Lock()
+	fams := append([]*family{}, r.families...)
+	hooks := append([]func(){}, r.prepare...)
+	r.mu.Unlock()
+
+	for _, f := range hooks {
+		f()
+	}
+	var b strings.Builder
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		}
+		if f.typ != "" {
+			fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		}
+		f.collect(func(s Sample) {
+			b.WriteString(s.Name)
+			if len(s.Labels) > 0 {
+				b.WriteByte('{')
+				for i, l := range s.Labels {
+					if i > 0 {
+						b.WriteByte(',')
+					}
+					fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+				}
+				b.WriteByte('}')
+			}
+			fmt.Fprintf(&b, " %g\n", s.Value)
+		})
+	}
+	return b.String()
+}
+
+// ServeHTTP implements http.Handler with the text exposition format.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, r.Render())
+}
+
+// Parse reads an exposition produced by Render back into samples keyed by
+// "name{labels}" — the inverse used by tests and the serve-smoke script to
+// assert on scraped values. Comment and blank lines are skipped.
+func Parse(text string) (map[string]float64, error) {
+	out := make(map[string]float64)
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return nil, fmt.Errorf("metrics: malformed line %q", line)
+		}
+		var v float64
+		if _, err := fmt.Sscanf(line[sp+1:], "%g", &v); err != nil {
+			return nil, fmt.Errorf("metrics: bad value in %q: %v", line, err)
+		}
+		out[line[:sp]] = v
+	}
+	return out, nil
+}
+
+// SortedKeys returns the keys of a Parse result in lexical order (test
+// helper).
+func SortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

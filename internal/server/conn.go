@@ -1,0 +1,215 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"oltpsim/internal/catalog"
+	"oltpsim/internal/engine"
+	"oltpsim/internal/wire"
+)
+
+// writeTimeout bounds every response/hello write. A client that pipelines
+// requests but never drains responses eventually fills its TCP window; an
+// unbounded Write there would head-of-line-block the whole shard worker and
+// make Shutdown's drain wait forever. On timeout the connection is closed —
+// the client forfeited its responses, everyone else's keep flowing.
+const writeTimeout = 15 * time.Second
+
+// conn is one client connection: a reader goroutine that decodes frames and
+// admits requests, plus a mutex-guarded writer shared with the shard workers
+// that deliver responses. Each connection gets its own engine Session: the
+// shard workers tally executed requests into it, so per-connection
+// throughput/error accounting survives request batching.
+type conn struct {
+	s    *Server
+	nc   net.Conn
+	br   *bufio.Reader
+	sess *engine.Session
+
+	writeMu sync.Mutex
+	wbuf    wire.Buffer
+}
+
+func newConn(s *Server, nc net.Conn) *conn {
+	return &conn{s: s, nc: nc, br: bufio.NewReaderSize(nc, 64<<10), sess: s.eng.NewSession()}
+}
+
+// serve runs the connection to completion: Hello, then a decode loop until
+// EOF, protocol error, or server close.
+func (c *conn) serve() {
+	defer c.s.dropConn(c)
+	defer c.nc.Close()
+
+	// Hello announces the topology and workload so the driver can verify it
+	// generates matching traffic before sending anything.
+	c.writeMu.Lock()
+	c.wbuf.Reset(wire.MsgHello)
+	c.wbuf.U8(wire.Version)
+	c.wbuf.U16(uint16(c.s.Shards()))
+	c.wbuf.Str(c.s.Spec())
+	err := c.write(c.wbuf.Bytes())
+	c.writeMu.Unlock()
+	if err != nil {
+		return
+	}
+
+	var frame []byte
+	for {
+		var typ byte
+		var payload []byte
+		typ, payload, frame, err = wire.ReadFrame(c.br, frame)
+		if err != nil {
+			return // EOF, drain close, or garbage framing: drop the conn
+		}
+		switch typ {
+		case wire.MsgPrepare:
+			if !c.handlePrepare(payload) {
+				return
+			}
+		case wire.MsgExec:
+			if !c.handleExec(payload) {
+				return
+			}
+		default:
+			c.sendErr(0, fmt.Sprintf("oltpd: unexpected frame type %#x", typ))
+			return
+		}
+	}
+}
+
+// handlePrepare resolves a procedure name to its ID.
+func (c *conn) handlePrepare(payload []byte) bool {
+	r := wire.NewReader(payload)
+	reqID := r.U32()
+	name := r.Str()
+	if r.Err != nil {
+		return false
+	}
+	id, ok := c.s.procIDs[name]
+	if !ok {
+		c.sendErr(reqID, fmt.Sprintf("oltpd: unknown procedure %q", name))
+		return true
+	}
+	c.writeMu.Lock()
+	c.wbuf.Reset(wire.MsgPrepared)
+	c.wbuf.U32(reqID)
+	c.wbuf.U32(id)
+	err := c.write(c.wbuf.Bytes())
+	c.writeMu.Unlock()
+	return err == nil
+}
+
+// handleExec decodes one Exec into a pooled request and admits it to its
+// shard queue. Decoded argument bytes are copied into the request's own
+// backing storage — the frame buffer is reused for the next read while the
+// request is still queued.
+func (c *conn) handleExec(payload []byte) bool {
+	r := wire.NewReader(payload)
+	reqID := r.U32()
+	procID := r.U32()
+	part := int(r.U16())
+	argc := int(r.U16())
+	if r.Err != nil {
+		return false
+	}
+	if int(procID) >= len(c.s.procNames) {
+		c.sendErr(reqID, fmt.Sprintf("oltpd: procedure id %d not prepared", procID))
+		return true
+	}
+	if part < 0 || part >= c.s.Shards() {
+		c.sendErr(reqID, fmt.Sprintf("oltpd: partition %d out of range", part))
+		return true
+	}
+
+	req := getRequest()
+	req.c = c
+	req.id = reqID
+	req.part = part
+	req.proc = c.s.procNames[procID]
+	req.arrived = time.Now()
+	if cap(req.args) < argc {
+		req.args = make([]catalog.Value, argc)
+	}
+	req.args = req.args[:argc]
+	req.argMem = req.argMem[:0]
+
+	// Two passes: first copy every byte-string into the request's backing
+	// array (appends may reallocate it), then materialize the Values so the
+	// slices alias stable memory.
+	type span struct{ off, len, idx int }
+	var spans [16]span
+	nspans := 0
+	for i := 0; i < argc; i++ {
+		switch tag := r.U8(); tag {
+		case wire.TagLong:
+			req.args[i] = catalog.LongVal(r.I64())
+		case wire.TagBytes:
+			b := r.Blob()
+			if nspans < len(spans) {
+				spans[nspans] = span{off: len(req.argMem), len: len(b), idx: i}
+				nspans++
+				req.argMem = append(req.argMem, b...)
+			} else {
+				req.args[i] = catalog.StringVal(append([]byte(nil), b...))
+			}
+		default:
+			putRequest(req)
+			c.sendErr(reqID, fmt.Sprintf("oltpd: bad argument tag %#x", tag))
+			return true
+		}
+	}
+	if r.Err != nil {
+		putRequest(req)
+		return false
+	}
+	for _, sp := range spans[:nspans] {
+		req.args[sp.idx] = catalog.StringVal(req.argMem[sp.off : sp.off+sp.len])
+	}
+
+	if !c.s.admit(req) {
+		putRequest(req)
+		c.s.rejectTotal.Add(1)
+		return c.sendErr(reqID, ErrDraining)
+	}
+	return true
+}
+
+// respond delivers a request's result frame; called from shard workers.
+func (c *conn) respond(req *request, err error) {
+	if err != nil {
+		c.sendErr(req.id, err.Error())
+		return
+	}
+	c.writeMu.Lock()
+	c.wbuf.Reset(wire.MsgOK)
+	c.wbuf.U32(req.id)
+	c.write(c.wbuf.Bytes())
+	c.writeMu.Unlock()
+}
+
+// sendErr writes an Err frame; returns false if the connection is gone.
+func (c *conn) sendErr(reqID uint32, msg string) bool {
+	c.writeMu.Lock()
+	c.wbuf.Reset(wire.MsgErr)
+	c.wbuf.U32(reqID)
+	c.wbuf.Str(msg)
+	err := c.write(c.wbuf.Bytes())
+	c.writeMu.Unlock()
+	return err == nil
+}
+
+// write sends one frame under writeTimeout; callers hold writeMu. A timeout
+// or error closes the connection so a non-draining client can never wedge a
+// shard worker (its reader then exits on the closed socket).
+func (c *conn) write(frame []byte) error {
+	c.nc.SetWriteDeadline(time.Now().Add(writeTimeout))
+	_, err := c.nc.Write(frame)
+	if err != nil {
+		c.nc.Close()
+	}
+	return err
+}

@@ -1,0 +1,543 @@
+// Package server implements oltpd: a TCP service that puts the simulated
+// OLTP engine behind a real network serving path. Clients speak the
+// internal/wire protocol (prepare/exec/result); requests are routed to
+// per-shard queues and executed in batches by one worker per engine shard,
+// each pinned to the shard's simulated core — so under core.PlacePartitioned
+// on a multi-socket machine, shard p's transactions always run on the socket
+// that homes shard p's data, exactly like the harness's closed-loop runs.
+//
+// The deployment insight this models comes from "OLTP on Hardware Islands":
+// how clients are multiplexed onto shards and sockets changes the
+// micro-architectural behavior as much as the engine does. oltpd makes that
+// multiplexing a real, measurable serving path — connections, admission,
+// batching, drain — while every transaction still flows through the traced
+// memory hierarchy.
+package server
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"oltpsim/internal/catalog"
+	"oltpsim/internal/core"
+	"oltpsim/internal/engine"
+	"oltpsim/internal/metrics"
+	"oltpsim/internal/systems"
+	"oltpsim/internal/wire"
+	"oltpsim/internal/workload"
+)
+
+// Config shapes an oltpd instance.
+type Config struct {
+	// System selects the engine archetype (default VoltDB).
+	System systems.Kind
+	// Shards is the partition/worker count (default 2; forced to 1 for
+	// non-partitioned archetypes by the engine itself).
+	Shards int
+	// Sockets overrides the simulated socket count (0 = IvyBridge default).
+	Sockets int
+	// Placement selects the NUMA data-home policy; PlacePartitioned homes
+	// each shard's data on its worker's socket.
+	Placement core.HomePlacement
+	// Spec is the served workload (schema + procedures + population).
+	Spec workload.Spec
+	// BatchMax caps the group-execute batch a shard worker pulls from its
+	// queue in one engine acquisition (default 64).
+	BatchMax int
+	// QueueDepth is the per-shard admission queue capacity (default 1024).
+	// A full queue applies backpressure to connection readers.
+	QueueDepth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 2
+	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 64
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.Spec.Kind == "" {
+		c.Spec = workload.DefaultSpec()
+	}
+	return c
+}
+
+// Server is one oltpd instance.
+type Server struct {
+	cfg  Config
+	eng  *engine.Engine
+	wl   workload.Workload
+	spec string
+
+	procNames []string
+	procIDs   map[string]uint32
+
+	ln      net.Listener
+	queues  []chan *request
+	workers sync.WaitGroup
+
+	mu       sync.RWMutex // guards draining against enqueue
+	draining bool
+	closed   chan struct{}
+
+	connMu sync.Mutex
+	conns  map[*conn]struct{}
+	connWG sync.WaitGroup
+	reqWG  sync.WaitGroup // one count per admitted request, until its response is written
+
+	// Telemetry.
+	reg         *metrics.Registry
+	svcHist     []*metrics.Histogram // per-shard request latency (arrival→response), ns
+	reqTotal    []atomic.Uint64      // per-shard admitted requests
+	errTotal    []atomic.Uint64      // per-shard failed requests
+	batchTotal  []atomic.Uint64      // per-shard executed batches
+	connsLive   atomic.Int64
+	connsTotal  atomic.Uint64
+	rejectTotal atomic.Uint64 // requests refused during drain
+	started     time.Time
+}
+
+// New builds the engine, installs and populates the workload, and prepares
+// (but does not start) the server. Population runs untraced, as in the
+// harness: the measured serving traffic starts against a warm, resident
+// dataset.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	eng := systems.New(cfg.System, systems.Options{
+		Cores:     cfg.Shards,
+		Sockets:   cfg.Sockets,
+		Placement: cfg.Placement,
+	})
+	if err := cfg.Spec.Validate(eng.Partitions()); err != nil {
+		return nil, err
+	}
+	wl := cfg.Spec.New(eng.Partitions())
+	wl.Setup(eng)
+	eng.Machine().Arena.EnableTracing(false)
+	wl.Populate(eng)
+	eng.Machine().Arena.EnableTracing(true)
+
+	s := &Server{
+		cfg:    cfg,
+		eng:    eng,
+		wl:     wl,
+		spec:   cfg.Spec.String(),
+		conns:  make(map[*conn]struct{}),
+		closed: make(chan struct{}),
+		reg:    metrics.NewRegistry(),
+	}
+	s.procNames = eng.Procedures()
+	sort.Strings(s.procNames)
+	s.procIDs = make(map[string]uint32, len(s.procNames))
+	for i, n := range s.procNames {
+		s.procIDs[n] = uint32(i)
+	}
+	shards := s.Shards()
+	s.queues = make([]chan *request, shards)
+	s.svcHist = make([]*metrics.Histogram, shards)
+	s.reqTotal = make([]atomic.Uint64, shards)
+	s.errTotal = make([]atomic.Uint64, shards)
+	s.batchTotal = make([]atomic.Uint64, shards)
+	for i := range s.queues {
+		s.queues[i] = make(chan *request, cfg.QueueDepth)
+		s.svcHist[i] = &metrics.Histogram{}
+	}
+	s.registerMetrics()
+	return s, nil
+}
+
+// Shards returns the number of shard workers (= engine partitions).
+func (s *Server) Shards() int { return s.eng.Partitions() }
+
+// Engine exposes the engine (tests and figures read counters through it).
+func (s *Server) Engine() *engine.Engine { return s.eng }
+
+// Registry returns the server's metrics registry; serve it over HTTP with
+// net/http (it implements http.Handler).
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// Spec returns the canonical workload spec string exchanged in Hello.
+func (s *Server) Spec() string { return s.spec }
+
+// Start begins listening on addr (e.g. "127.0.0.1:7890"; ":0" picks a free
+// port — read it back from Addr) and serving connections.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.started = time.Now()
+	for w := 0; w < s.Shards(); w++ {
+		s.workers.Add(1)
+		go s.shardWorker(w)
+	}
+	go s.acceptLoop()
+	return nil
+}
+
+// Addr returns the bound listen address (nil before Start).
+func (s *Server) Addr() net.Addr {
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed: drain in progress
+		}
+		// Register under the drain lock: a connection that races the
+		// listener close is either in the map before Shutdown's sweep (and
+		// gets closed by it) or sees draining here and is refused — so
+		// connWG.Add can never race connWG.Wait, and no socket outlives the
+		// drain.
+		s.mu.RLock()
+		if s.draining {
+			s.mu.RUnlock()
+			nc.Close()
+			continue
+		}
+		s.connsTotal.Add(1)
+		s.connsLive.Add(1)
+		c := newConn(s, nc)
+		s.connMu.Lock()
+		s.conns[c] = struct{}{}
+		s.connMu.Unlock()
+		s.connWG.Add(1)
+		s.mu.RUnlock()
+		go c.serve()
+	}
+}
+
+func (s *Server) dropConn(c *conn) {
+	s.connMu.Lock()
+	delete(s.conns, c)
+	s.connMu.Unlock()
+	s.connsLive.Add(-1)
+	s.connWG.Done()
+}
+
+// admit routes a decoded request to its shard queue. It returns false when
+// the server is draining (the caller responds with ErrDraining). The
+// blocking send applies backpressure to the connection reader when the
+// shard's queue is full.
+func (s *Server) admit(r *request) bool {
+	s.mu.RLock()
+	if s.draining {
+		s.mu.RUnlock()
+		return false
+	}
+	s.reqWG.Add(1)
+	s.reqTotal[r.part].Add(1)
+	s.queues[r.part] <- r
+	s.mu.RUnlock()
+	return true
+}
+
+// shardWorker is the group-execute loop for one shard: it owns simulated
+// core w, drains its queue in batches of up to BatchMax, executes each batch
+// under a single engine acquisition through its Session, and writes the
+// responses.
+func (s *Server) shardWorker(w int) {
+	defer s.workers.Done()
+	sess := s.eng.NewSession()
+	q := s.queues[w]
+	max := s.cfg.BatchMax
+	batch := make([]*request, 0, max)
+	ereqs := make([]engine.Request, max)
+	errs := make([]error, max)
+
+	for {
+		r, ok := <-q
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], r)
+	fill:
+		for len(batch) < max {
+			select {
+			case r2, ok2 := <-q:
+				if !ok2 {
+					break fill // channel closed; run what we have, then exit
+				}
+				batch = append(batch, r2)
+			default:
+				break fill
+			}
+		}
+
+		for i, br := range batch {
+			ereqs[i] = engine.Request{Part: br.part, Proc: br.proc, Args: br.args}
+		}
+		sess.InvokeBatch(w, ereqs[:len(batch)], errs)
+		s.batchTotal[w].Add(1)
+
+		now := time.Now()
+		for i, br := range batch {
+			br.c.sess.Ops.Add(1)
+			if errs[i] != nil {
+				s.errTotal[w].Add(1)
+				br.c.sess.Errs.Add(1)
+			}
+			br.c.respond(br, errs[i])
+			s.svcHist[w].Record(uint64(now.Sub(br.arrived)))
+			s.reqWG.Done()
+			putRequest(br)
+		}
+	}
+}
+
+// Shutdown drains the server: it stops accepting connections, refuses new
+// requests (clients get ErrDraining responses), waits until every admitted
+// request has had its response written, then closes every connection and
+// stops the shard workers. Safe to call more than once.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		<-s.closed
+		return
+	}
+	s.draining = true
+	s.mu.Unlock()
+
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	// Every admitted request gets its response before the sockets close.
+	s.reqWG.Wait()
+	for _, q := range s.queues {
+		close(q)
+	}
+	s.workers.Wait()
+
+	s.connMu.Lock()
+	for c := range s.conns {
+		c.nc.Close()
+	}
+	s.connMu.Unlock()
+	s.connWG.Wait()
+	close(s.closed)
+}
+
+// ErrDraining is the error text clients receive for requests that arrive
+// while the server is shutting down (see wire.ErrDraining; the driver
+// recognizes it and stops the connection cleanly).
+const ErrDraining = wire.ErrDraining
+
+// --- request pool ----------------------------------------------------------
+
+// request is one admitted Exec, from decode to response.
+type request struct {
+	c       *conn
+	id      uint32
+	part    int
+	proc    string
+	args    []catalog.Value
+	argMem  []byte // backing storage for TagBytes argument values
+	arrived time.Time
+}
+
+var requestPool = sync.Pool{New: func() any { return new(request) }}
+
+func getRequest() *request  { return requestPool.Get().(*request) }
+func putRequest(r *request) { r.c = nil; requestPool.Put(r) }
+
+// --- metrics ---------------------------------------------------------------
+
+// registerMetrics wires the live telemetry: serving-path counters, per-shard
+// PMU counters and stall breakdowns read from the engine under its execution
+// lock, and per-shard service-latency summaries.
+func (s *Server) registerMetrics() {
+	r := s.reg
+	shards := s.Shards()
+	shardLabel := make([]string, shards)
+	for i := range shardLabel {
+		shardLabel[i] = fmt.Sprintf("%d", i)
+	}
+
+	r.Register("oltpd_info", "gauge", "build/topology info (value is 1)", func(emit func(metrics.Sample)) {
+		hcfg := s.eng.Machine().Hier.Config()
+		emit(metrics.Sample{Name: "oltpd_info", Labels: []metrics.Label{
+			metrics.L("system", s.eng.Config().Name),
+			metrics.L("workload", s.spec),
+			metrics.L("shards", fmt.Sprintf("%d", shards)),
+			metrics.L("sockets", fmt.Sprintf("%d", hcfg.Sockets)),
+			metrics.L("placement", placementName(hcfg.Placement)),
+		}, Value: 1})
+	})
+	r.Register("oltpd_uptime_seconds", "gauge", "seconds since Start", func(emit func(metrics.Sample)) {
+		if s.started.IsZero() {
+			emit(metrics.Sample{Name: "oltpd_uptime_seconds", Value: 0})
+			return
+		}
+		emit(metrics.Sample{Name: "oltpd_uptime_seconds", Value: time.Since(s.started).Seconds()})
+	})
+	r.Register("oltpd_connections", "gauge", "live client connections", func(emit func(metrics.Sample)) {
+		emit(metrics.Sample{Name: "oltpd_connections", Value: float64(s.connsLive.Load())})
+	})
+	r.Register("oltpd_connections_total", "counter", "accepted client connections", func(emit func(metrics.Sample)) {
+		emit(metrics.Sample{Name: "oltpd_connections_total", Value: float64(s.connsTotal.Load())})
+	})
+	r.Register("oltpd_rejected_total", "counter", "requests refused while draining", func(emit func(metrics.Sample)) {
+		emit(metrics.Sample{Name: "oltpd_rejected_total", Value: float64(s.rejectTotal.Load())})
+	})
+
+	perShard := func(name string, vals func(shard int) float64) func(emit func(metrics.Sample)) {
+		return func(emit func(metrics.Sample)) {
+			for i := 0; i < shards; i++ {
+				emit(metrics.Sample{Name: name,
+					Labels: []metrics.Label{metrics.L("shard", shardLabel[i])},
+					Value:  vals(i)})
+			}
+		}
+	}
+	r.Register("oltpd_requests_total", "counter", "requests admitted per shard",
+		perShard("oltpd_requests_total", func(i int) float64 { return float64(s.reqTotal[i].Load()) }))
+	r.Register("oltpd_request_errors_total", "counter", "failed requests per shard",
+		perShard("oltpd_request_errors_total", func(i int) float64 { return float64(s.errTotal[i].Load()) }))
+	r.Register("oltpd_batches_total", "counter", "group-execute batches per shard",
+		perShard("oltpd_batches_total", func(i int) float64 { return float64(s.batchTotal[i].Load()) }))
+
+	// PMU families. An OnScrape hook refreshes one shared observation —
+	// a single engine-lock acquisition per scrape, before any family
+	// collects — so the exported tx/instructions/misses/stalls/IPC of one
+	// scrape all describe the same instant, regardless of family order.
+	type shardPMU struct {
+		snap core.Snapshot
+		meas core.Measurement
+	}
+	pmu := struct {
+		sync.Mutex
+		shards    []shardPMU
+		aborts    uint64
+		dataBytes uint64
+	}{shards: make([]shardPMU, shards)}
+	refreshPMU := func() {
+		s.eng.Observe(func(m *core.Machine) {
+			hcfg := m.Hier.Config()
+			pmu.Lock()
+			for i := 0; i < shards; i++ {
+				snap := m.SnapshotCore(i)
+				pmu.shards[i] = shardPMU{
+					snap: snap,
+					meas: core.NewMeasurement(core.Snapshot{}, snap, hcfg, s.eng.BaseCPI()),
+				}
+			}
+			pmu.aborts = s.eng.Aborts
+			pmu.dataBytes = m.Arena.DataAllocated()
+			pmu.Unlock()
+		})
+	}
+	collectPMU := func() []shardPMU {
+		pmu.Lock()
+		out := append([]shardPMU(nil), pmu.shards...)
+		pmu.Unlock()
+		return out
+	}
+	r.OnScrape(refreshPMU)
+	r.Register("oltpd_tx_total", "counter", "committed transactions per shard (simulated PMU)", func(emit func(metrics.Sample)) {
+		for i, p := range collectPMU() {
+			emit(metrics.Sample{Name: "oltpd_tx_total",
+				Labels: []metrics.Label{metrics.L("shard", shardLabel[i])},
+				Value:  float64(p.snap.TxCount)})
+		}
+	})
+	r.Register("oltpd_instructions_total", "counter", "retired instructions per shard (simulated PMU)", func(emit func(metrics.Sample)) {
+		for i, p := range collectPMU() {
+			emit(metrics.Sample{Name: "oltpd_instructions_total",
+				Labels: []metrics.Label{metrics.L("shard", shardLabel[i])},
+				Value:  float64(p.snap.Instructions)})
+		}
+	})
+	r.Register("oltpd_cache_misses_total", "counter", "cache misses per shard and level (simulated PMU)", func(emit func(metrics.Sample)) {
+		for i, p := range collectPMU() {
+			d := p.snap.Misses
+			for _, lv := range []struct {
+				level string
+				v     uint64
+			}{
+				{"l1i", d.L1IMiss}, {"l2i", d.L2IMiss}, {"llci", d.LLCIMiss},
+				{"l1d", d.L1DMiss}, {"l2d", d.L2DMiss}, {"llcd", d.LLCDMiss},
+				{"llci_remote", d.LLCIRemoteLLC},
+				{"llcd_remote_llc", d.LLCDRemoteLLC}, {"llcd_remote_dram", d.LLCDRemoteDRAM},
+			} {
+				emit(metrics.Sample{Name: "oltpd_cache_misses_total",
+					Labels: []metrics.Label{metrics.L("shard", shardLabel[i]), metrics.L("level", lv.level)},
+					Value:  float64(lv.v)})
+			}
+		}
+	})
+	r.Register("oltpd_stall_cycles_total", "counter", "stall-cycle breakdown per shard (simulated PMU)", func(emit func(metrics.Sample)) {
+		for i, p := range collectPMU() {
+			st := p.meas.Stalls()
+			for _, comp := range []struct {
+				name string
+				v    float64
+			}{
+				{"l1i", st.L1I}, {"l2i", st.L2I}, {"llci", st.LLCI},
+				{"l1d", st.L1D}, {"l2d", st.L2D}, {"llcd", st.LLCD},
+				{"remote_i", st.RemoteI}, {"remote_d", st.RemoteD},
+			} {
+				emit(metrics.Sample{Name: "oltpd_stall_cycles_total",
+					Labels: []metrics.Label{metrics.L("shard", shardLabel[i]), metrics.L("component", comp.name)},
+					Value:  comp.v})
+			}
+		}
+	})
+	r.Register("oltpd_ipc", "gauge", "instructions per cycle per shard (simulated PMU)", func(emit func(metrics.Sample)) {
+		for i, p := range collectPMU() {
+			emit(metrics.Sample{Name: "oltpd_ipc",
+				Labels: []metrics.Label{metrics.L("shard", shardLabel[i])},
+				Value:  p.meas.IPC()})
+		}
+	})
+	r.Register("oltpd_aborts_total", "counter", "aborted transactions (engine-wide)", func(emit func(metrics.Sample)) {
+		pmu.Lock()
+		aborts := pmu.aborts
+		pmu.Unlock()
+		emit(metrics.Sample{Name: "oltpd_aborts_total", Value: float64(aborts)})
+	})
+	r.Register("oltpd_data_bytes", "gauge", "resident simulated data bytes", func(emit func(metrics.Sample)) {
+		pmu.Lock()
+		bytes := pmu.dataBytes
+		pmu.Unlock()
+		emit(metrics.Sample{Name: "oltpd_data_bytes", Value: float64(bytes)})
+	})
+	r.Register("oltpd_request_seconds", "summary",
+		"request latency from arrival to response per shard (wall clock)",
+		func(emit func(metrics.Sample)) {
+			for i := 0; i < shards; i++ {
+				h := s.svcHist[i]
+				for _, q := range []struct {
+					q     float64
+					label string
+				}{{0.5, "0.5"}, {0.9, "0.9"}, {0.99, "0.99"}, {0.999, "0.999"}} {
+					emit(metrics.Sample{Name: "oltpd_request_seconds",
+						Labels: []metrics.Label{metrics.L("shard", shardLabel[i]), metrics.L("quantile", q.label)},
+						Value:  h.Quantile(q.q) * 1e-9})
+				}
+				emit(metrics.Sample{Name: "oltpd_request_seconds_count",
+					Labels: []metrics.Label{metrics.L("shard", shardLabel[i])},
+					Value:  float64(h.Count())})
+			}
+		})
+}
+
+func placementName(p core.HomePlacement) string {
+	if p == core.PlacePartitioned {
+		return "partitioned"
+	}
+	return "interleaved"
+}

@@ -1,0 +1,366 @@
+package server
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"oltpsim/internal/core"
+	"oltpsim/internal/metrics"
+	"oltpsim/internal/systems"
+	"oltpsim/internal/wire"
+	"oltpsim/internal/workload"
+)
+
+// startServer builds and starts an oltpd on loopback and returns it.
+func startServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatalf("server.Start: %v", err)
+	}
+	t.Cleanup(s.Shutdown)
+	return s
+}
+
+// testClient is a minimal raw wire client for protocol-level tests.
+type testClient struct {
+	t     *testing.T
+	nc    net.Conn
+	buf   []byte
+	wbuf  wire.Buffer
+	shard int
+}
+
+func dialClient(t *testing.T, s *Server) *testClient {
+	t.Helper()
+	nc, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	c := &testClient{t: t, nc: nc}
+	typ, payload := c.read()
+	if typ != wire.MsgHello {
+		t.Fatalf("expected hello, got %#x", typ)
+	}
+	r := wire.NewReader(payload)
+	if v := r.U8(); v != wire.Version {
+		t.Fatalf("hello version %d", v)
+	}
+	c.shard = int(r.U16())
+	return c
+}
+
+func (c *testClient) read() (byte, []byte) {
+	c.t.Helper()
+	typ, payload, buf, err := wire.ReadFrame(c.nc, c.buf)
+	if err != nil {
+		c.t.Fatalf("read frame: %v", err)
+	}
+	c.buf = buf
+	return typ, payload
+}
+
+func (c *testClient) prepare(name string) uint32 {
+	c.t.Helper()
+	c.wbuf.Reset(wire.MsgPrepare)
+	c.wbuf.U32(999)
+	c.wbuf.Str(name)
+	if _, err := c.nc.Write(c.wbuf.Bytes()); err != nil {
+		c.t.Fatalf("write prepare: %v", err)
+	}
+	typ, payload := c.read()
+	if typ != wire.MsgPrepared {
+		c.t.Fatalf("prepare %q: got frame %#x (%q)", name, typ, payload)
+	}
+	r := wire.NewReader(payload)
+	_ = r.U32()
+	return r.U32()
+}
+
+func (c *testClient) exec(reqID, procID uint32, part int, args ...int64) {
+	c.t.Helper()
+	c.wbuf.Reset(wire.MsgExec)
+	c.wbuf.U32(reqID)
+	c.wbuf.U32(procID)
+	c.wbuf.U16(uint16(part))
+	c.wbuf.U16(uint16(len(args)))
+	for _, a := range args {
+		c.wbuf.U8(wire.TagLong)
+		c.wbuf.I64(a)
+	}
+	if _, err := c.nc.Write(c.wbuf.Bytes()); err != nil {
+		c.t.Fatalf("write exec: %v", err)
+	}
+}
+
+func microConfig(shards int) Config {
+	return Config{
+		System: systems.VoltDB,
+		Shards: shards,
+		Spec:   workload.Spec{Kind: "micro", Rows: 4096, RowsPerTx: 1},
+	}
+}
+
+// TestServeExecRoundTrip drives the protocol by hand: prepare, a few execs
+// on each shard, results matched by request ID, and PMU counters advanced.
+func TestServeExecRoundTrip(t *testing.T) {
+	s := startServer(t, microConfig(2))
+	c := dialClient(t, s)
+	defer c.nc.Close()
+	if c.shard != 2 {
+		t.Fatalf("hello shards = %d, want 2", c.shard)
+	}
+	procID := c.prepare("micro_ro")
+
+	const n = 40
+	for i := uint32(0); i < n; i++ {
+		part := int(i) % 2
+		// Keys congruent to the partition stay single-sited.
+		c.exec(i, procID, part, int64(2*int(i)+part))
+	}
+	seen := make(map[uint32]bool)
+	for i := 0; i < n; i++ {
+		typ, payload := c.read()
+		if typ != wire.MsgOK {
+			t.Fatalf("response %d: frame %#x (%s)", i, typ, payload)
+		}
+		r := wire.NewReader(payload)
+		id := r.U32()
+		if seen[id] {
+			t.Fatalf("duplicate response for request %d", id)
+		}
+		seen[id] = true
+	}
+
+	var tx uint64
+	s.Engine().Observe(func(m *core.Machine) {
+		for cpu := range m.CPUs {
+			tx += m.SnapshotCore(cpu).TxCount
+		}
+	})
+	if tx != n {
+		t.Fatalf("engine tx count = %d, want %d", tx, n)
+	}
+
+	// Per-connection session accounting: the shard workers tally every
+	// executed request into the owning connection's Session.
+	s.connMu.Lock()
+	var sessOps, sessErrs uint64
+	for sc := range s.conns {
+		sessOps += sc.sess.Ops.Load()
+		sessErrs += sc.sess.Errs.Load()
+	}
+	s.connMu.Unlock()
+	if sessOps != n || sessErrs != 0 {
+		t.Fatalf("session accounting = %d ops / %d errs, want %d / 0", sessOps, sessErrs, n)
+	}
+}
+
+// TestServeErrors covers the protocol error paths: unknown procedure,
+// unprepared ID, out-of-range partition, missing key.
+func TestServeErrors(t *testing.T) {
+	s := startServer(t, microConfig(2))
+	c := dialClient(t, s)
+	defer c.nc.Close()
+
+	c.wbuf.Reset(wire.MsgPrepare)
+	c.wbuf.U32(1)
+	c.wbuf.Str("no_such_proc")
+	c.nc.Write(c.wbuf.Bytes())
+	typ, payload := c.read()
+	if typ != wire.MsgErr || !strings.Contains(string(payload), "unknown procedure") {
+		t.Fatalf("unknown procedure: frame %#x %q", typ, payload)
+	}
+
+	procID := c.prepare("micro_ro")
+	c.exec(2, procID+100, 0, 0)
+	if typ, payload := c.read(); typ != wire.MsgErr || !strings.Contains(string(payload), "not prepared") {
+		t.Fatalf("bad proc id: frame %#x %q", typ, payload)
+	}
+	c.exec(3, procID, 7, 0)
+	if typ, payload := c.read(); typ != wire.MsgErr || !strings.Contains(string(payload), "out of range") {
+		t.Fatalf("bad partition: frame %#x %q", typ, payload)
+	}
+	c.exec(4, procID, 0, 1_000_000_000) // absent key (even → partition 0)
+	if typ, payload := c.read(); typ != wire.MsgErr || !strings.Contains(string(payload), "not found") {
+		t.Fatalf("missing key: frame %#x %q", typ, payload)
+	}
+
+	// A mis-routed key (odd key tagged partition 0) trips the engine's
+	// confinement panic; the server must answer with an error — and stay up —
+	// rather than crash every connection.
+	c.exec(5, procID, 0, 999_999_999)
+	if typ, payload := c.read(); typ != wire.MsgErr || !strings.Contains(string(payload), "panicked") {
+		t.Fatalf("mis-routed key: frame %#x %q", typ, payload)
+	}
+	// Wrong argument count: the procedure indexes past tx.Args (a runtime
+	// error), which must also come back as an error response.
+	c.exec(6, procID, 0) // micro_ro needs 1 arg, send none
+	if typ, payload := c.read(); typ != wire.MsgErr || !strings.Contains(string(payload), "panicked") {
+		t.Fatalf("bad arity: frame %#x %q", typ, payload)
+	}
+	c.exec(7, procID, 0, 42) // server still serves
+	if typ, _ := c.read(); typ != wire.MsgOK {
+		t.Fatalf("server did not survive the panics: frame %#x", typ)
+	}
+}
+
+// TestGracefulShutdown is the drain satellite: with requests in flight,
+// Shutdown must (a) answer every admitted request, (b) answer refused
+// requests with the draining error rather than dropping them, and
+// (c) refuse new connections — the client observes no dropped responses.
+func TestGracefulShutdown(t *testing.T) {
+	s := startServer(t, microConfig(2))
+	c := dialClient(t, s)
+	defer c.nc.Close()
+	procID := c.prepare("micro_ro")
+
+	// Pipeline a burst, then shut down concurrently while more requests are
+	// being written. Every request written before the socket closes must
+	// receive exactly one response (OK or draining).
+	const burst = 200
+	var sent atomic64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint32(0); i < burst; i++ {
+			part := int(i) % 2
+			c.wbuf.Reset(wire.MsgExec)
+			c.wbuf.U32(i)
+			c.wbuf.U32(procID)
+			c.wbuf.U16(uint16(part))
+			c.wbuf.U16(1)
+			c.wbuf.U8(wire.TagLong)
+			c.wbuf.I64(int64(2*int(i) + part))
+			if _, err := c.nc.Write(c.wbuf.Bytes()); err != nil {
+				return // socket closed by drain: stop counting
+			}
+			sent.add(1)
+		}
+	}()
+	// Let some requests land, then drain.
+	time.Sleep(5 * time.Millisecond)
+	done := make(chan struct{})
+	go func() { s.Shutdown(); close(done) }()
+
+	var ok, draining uint64
+	for {
+		typ, payload, buf, err := wire.ReadFrame(c.nc, c.buf)
+		if err != nil {
+			break // clean close after drain
+		}
+		c.buf = buf
+		switch typ {
+		case wire.MsgOK:
+			ok++
+		case wire.MsgErr:
+			r := wire.NewReader(payload)
+			_ = r.U32()
+			if msg := r.Str(); msg != wire.ErrDraining {
+				t.Fatalf("unexpected error response: %q", msg)
+			}
+			draining++
+		default:
+			t.Fatalf("unexpected frame %#x", typ)
+		}
+	}
+	wg.Wait()
+	<-done
+
+	if got, want := ok+draining, sent.load(); got != want {
+		t.Fatalf("responses = %d (%d ok + %d draining), want %d — dropped responses",
+			got, ok, draining, want)
+	}
+	if ok == 0 {
+		t.Fatal("no requests completed before the drain")
+	}
+
+	// New connections are refused after shutdown.
+	if nc, err := net.Dial("tcp", s.Addr().String()); err == nil {
+		nc.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+		var one [1]byte
+		if _, rerr := nc.Read(one[:]); rerr == nil {
+			t.Fatal("post-shutdown connection served a frame")
+		}
+		nc.Close()
+	}
+
+	// Shutdown is idempotent.
+	s.Shutdown()
+}
+
+// TestMetricsEndpoint serves the registry over HTTP and asserts the
+// per-shard PMU families are present and consistent after traffic.
+func TestMetricsEndpoint(t *testing.T) {
+	s := startServer(t, microConfig(2))
+	c := dialClient(t, s)
+	defer c.nc.Close()
+	procID := c.prepare("micro_ro")
+	const n = 30
+	for i := uint32(0); i < n; i++ {
+		part := int(i) % 2
+		c.exec(i, procID, part, int64(2*int(i)+part))
+	}
+	for i := 0; i < n; i++ {
+		if typ, _ := c.read(); typ != wire.MsgOK {
+			t.Fatalf("exec %d failed", i)
+		}
+	}
+
+	parsed, err := metrics.Parse(s.Registry().Render())
+	if err != nil {
+		t.Fatalf("parse metrics: %v", err)
+	}
+	var tx float64
+	for _, shard := range []string{"0", "1"} {
+		v := parsed[`oltpd_tx_total{shard="`+shard+`"}`]
+		if v <= 0 {
+			t.Fatalf("shard %s tx_total = %g, want > 0", shard, v)
+		}
+		tx += v
+		if parsed[`oltpd_instructions_total{shard="`+shard+`"}`] <= 0 {
+			t.Fatalf("shard %s instructions_total missing", shard)
+		}
+		if parsed[`oltpd_ipc{shard="`+shard+`"}`] <= 0 {
+			t.Fatalf("shard %s ipc missing", shard)
+		}
+		if parsed[`oltpd_cache_misses_total{shard="`+shard+`",level="l1d"}`] <= 0 {
+			t.Fatalf("shard %s l1d misses missing", shard)
+		}
+		if parsed[`oltpd_request_seconds{shard="`+shard+`",quantile="0.99"}`] <= 0 {
+			t.Fatalf("shard %s p99 missing", shard)
+		}
+	}
+	if tx != n {
+		t.Fatalf("summed tx_total = %g, want %d", tx, n)
+	}
+	if parsed["oltpd_connections"] != 1 {
+		t.Fatalf("oltpd_connections = %g, want 1", parsed["oltpd_connections"])
+	}
+}
+
+// atomic64 is a tiny helper (avoids importing sync/atomic twice with
+// different shapes in this test file).
+type atomic64 struct {
+	mu sync.Mutex
+	v  uint64
+}
+
+func (a *atomic64) add(d uint64) {
+	a.mu.Lock()
+	a.v += d
+	a.mu.Unlock()
+}
+
+func (a *atomic64) load() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.v
+}

@@ -24,6 +24,7 @@ package systems
 
 import (
 	"fmt"
+	"strings"
 
 	"oltpsim/internal/core"
 	"oltpsim/internal/engine"
@@ -54,6 +55,26 @@ func (k Kind) String() string {
 
 // All returns the five kinds in the paper's presentation order.
 func All() []Kind { return []Kind{ShoreMT, DBMSD, VoltDB, HyPer, DBMSM} }
+
+// ParseKind resolves a command-line system name ("shore-mt", "dbmsd",
+// "voltdb", "hyper", "dbmsm"; case-insensitive, punctuation-insensitive) to
+// its Kind.
+func ParseKind(name string) (Kind, error) {
+	canon := strings.ToLower(strings.NewReplacer("-", "", "_", "", " ", "").Replace(name))
+	switch canon {
+	case "shoremt", "shore":
+		return ShoreMT, nil
+	case "dbmsd", "d":
+		return DBMSD, nil
+	case "voltdb", "volt":
+		return VoltDB, nil
+	case "hyper":
+		return HyPer, nil
+	case "dbmsm", "m":
+		return DBMSM, nil
+	}
+	return 0, fmt.Errorf("systems: unknown system %q (want shore-mt|dbmsd|voltdb|hyper|dbmsm)", name)
+}
 
 // InMemory reports whether the archetype is a memory-optimized system.
 func (k Kind) InMemory() bool { return k == VoltDB || k == HyPer || k == DBMSM }

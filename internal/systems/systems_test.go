@@ -148,3 +148,23 @@ func TestRegionBudgetsCoverInvocations(t *testing.T) {
 		check(k, "parser", 16*c.ParsePerToken, r.Parser)
 	}
 }
+
+func TestParseKind(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Kind
+	}{
+		{"shore-mt", ShoreMT}, {"ShoreMT", ShoreMT},
+		{"dbmsd", DBMSD}, {"DBMS-D", DBMSD},
+		{"voltdb", VoltDB}, {"HyPer", HyPer},
+		{"dbms_m", DBMSM}, {"m", DBMSM},
+	} {
+		got, err := ParseKind(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseKind(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := ParseKind("oracle"); err == nil {
+		t.Fatal("ParseKind accepted an unknown system")
+	}
+}

@@ -1,0 +1,212 @@
+// Package wire defines the oltpd client/server protocol: length-prefixed
+// binary frames carrying prepare/exec/result messages. Both ends of the
+// serving loop — internal/server (oltpd) and internal/driver (oltpdrive) —
+// speak exactly this codec.
+//
+// Framing (all integers little-endian):
+//
+//	u32 length | u8 type | payload[length-1]
+//
+// Messages:
+//
+//	Hello    (server→client, on accept): u8 version | u16 shards |
+//	         u16 len | workload-spec string
+//	Prepare  (client→server): u32 reqID | u16 len | procedure name
+//	Prepared (server→client): u32 reqID | u32 procID
+//	Exec     (client→server): u32 reqID | u32 procID | u16 part |
+//	         u16 argc | argc × arg
+//	OK       (server→client): u32 reqID
+//	Err      (server→client): u32 reqID | u16 len | message
+//
+// Argument encoding: u8 tag, then for TagLong an i64, for TagBytes a
+// u32 length + raw bytes. This mirrors catalog.Value (I int64 / S []byte).
+//
+// Responses carry the client-assigned request ID because oltpd executes
+// requests in per-shard batches: two requests pipelined on one connection to
+// different shards may complete in either order.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Version is the protocol version exchanged in Hello.
+const Version = 1
+
+// Frame type bytes.
+const (
+	MsgHello    = 0x01
+	MsgPrepare  = 0x02
+	MsgPrepared = 0x03
+	MsgExec     = 0x04
+	MsgOK       = 0x05
+	MsgErr      = 0x06
+)
+
+// Argument tags.
+const (
+	TagLong  = 0x00
+	TagBytes = 0x01
+)
+
+// MaxFrame caps a frame's length field: a defense against garbage on the
+// socket turning into a huge allocation.
+const MaxFrame = 1 << 20
+
+// ErrDraining is the Err-frame text a draining server sends for requests it
+// refuses; clients recognize it and wind the connection down cleanly.
+const ErrDraining = "oltpd: draining"
+
+// Buffer accumulates one outgoing frame. The zero value is ready; the
+// backing array is reused across frames, so steady-state encoding does not
+// allocate. Not safe for concurrent use — each connection/worker owns one.
+type Buffer struct {
+	b []byte
+}
+
+// Reset begins a frame of the given type, reserving the length prefix.
+func (w *Buffer) Reset(msgType byte) {
+	w.b = append(w.b[:0], 0, 0, 0, 0, msgType)
+}
+
+// Bytes finalizes the frame (patching the length prefix) and returns it.
+// The slice is valid until the next Reset.
+func (w *Buffer) Bytes() []byte {
+	binary.LittleEndian.PutUint32(w.b[:4], uint32(len(w.b)-4))
+	return w.b
+}
+
+// U8 appends one byte.
+func (w *Buffer) U8(v byte) { w.b = append(w.b, v) }
+
+// U16 appends a little-endian uint16.
+func (w *Buffer) U16(v uint16) { w.b = binary.LittleEndian.AppendUint16(w.b, v) }
+
+// U32 appends a little-endian uint32.
+func (w *Buffer) U32(v uint32) { w.b = binary.LittleEndian.AppendUint32(w.b, v) }
+
+// I64 appends a little-endian int64.
+func (w *Buffer) I64(v int64) { w.b = binary.LittleEndian.AppendUint64(w.b, uint64(v)) }
+
+// Str appends a u16-length-prefixed string.
+func (w *Buffer) Str(s string) {
+	w.U16(uint16(len(s)))
+	w.b = append(w.b, s...)
+}
+
+// Blob appends a u32-length-prefixed byte string.
+func (w *Buffer) Blob(b []byte) {
+	w.U32(uint32(len(b)))
+	w.b = append(w.b, b...)
+}
+
+// ReadFrame reads one frame into buf (growing it as needed) and returns the
+// message type and payload (aliasing buf, valid until the next read into it).
+func ReadFrame(r io.Reader, buf []byte) (msgType byte, payload, newBuf []byte, err error) {
+	var hdr [4]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, buf, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n < 1 || n > MaxFrame {
+		return 0, nil, buf, fmt.Errorf("wire: bad frame length %d", n)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err = io.ReadFull(r, buf); err != nil {
+		return 0, nil, buf, err
+	}
+	return buf[0], buf[1:], buf, nil
+}
+
+// Reader decodes a frame payload. Decoding errors latch into Err; callers
+// check once at the end instead of after every field.
+type Reader struct {
+	b   []byte
+	Err error
+}
+
+// NewReader wraps a payload.
+func NewReader(payload []byte) Reader { return Reader{b: payload} }
+
+func (r *Reader) fail() {
+	if r.Err == nil {
+		r.Err = fmt.Errorf("wire: truncated frame")
+	}
+}
+
+// U8 decodes one byte.
+func (r *Reader) U8() byte {
+	if len(r.b) < 1 {
+		r.fail()
+		return 0
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v
+}
+
+// U16 decodes a little-endian uint16.
+func (r *Reader) U16() uint16 {
+	if len(r.b) < 2 {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(r.b)
+	r.b = r.b[2:]
+	return v
+}
+
+// U32 decodes a little-endian uint32.
+func (r *Reader) U32() uint32 {
+	if len(r.b) < 4 {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b)
+	r.b = r.b[4:]
+	return v
+}
+
+// I64 decodes a little-endian int64.
+func (r *Reader) I64() int64 {
+	if len(r.b) < 8 {
+		r.fail()
+		return 0
+	}
+	v := int64(binary.LittleEndian.Uint64(r.b))
+	r.b = r.b[8:]
+	return v
+}
+
+// Str decodes a u16-length-prefixed string (copying).
+func (r *Reader) Str() string {
+	n := int(r.U16())
+	if len(r.b) < n {
+		r.fail()
+		return ""
+	}
+	s := string(r.b[:n])
+	r.b = r.b[n:]
+	return s
+}
+
+// Blob decodes a u32-length-prefixed byte string. The result aliases the
+// payload — callers copy it if it must outlive the frame buffer.
+func (r *Reader) Blob() []byte {
+	n := int(r.U32())
+	if n < 0 || len(r.b) < n {
+		r.fail()
+		return nil
+	}
+	b := r.b[:n]
+	r.b = r.b[n:]
+	return b
+}
+
+// Remaining returns the undecoded byte count.
+func (r *Reader) Remaining() int { return len(r.b) }

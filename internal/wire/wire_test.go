@@ -1,0 +1,129 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var w Buffer
+	w.Reset(MsgExec)
+	w.U32(7)       // reqID
+	w.U32(3)       // procID
+	w.U16(1)       // part
+	w.U16(2)       // argc
+	w.U8(TagLong)  // arg 0
+	w.I64(-42)     //
+	w.U8(TagBytes) // arg 1
+	w.Blob([]byte("hello"))
+
+	var conn bytes.Buffer
+	conn.Write(w.Bytes())
+	// A second frame on the same stream.
+	w.Reset(MsgOK)
+	w.U32(7)
+	conn.Write(w.Bytes())
+
+	typ, payload, buf, err := ReadFrame(&conn, nil)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	if typ != MsgExec {
+		t.Fatalf("type = %#x, want MsgExec", typ)
+	}
+	r := NewReader(payload)
+	if id, proc, part, argc := r.U32(), r.U32(), r.U16(), r.U16(); id != 7 || proc != 3 || part != 1 || argc != 2 {
+		t.Fatalf("decoded header = %d/%d/%d/%d", id, proc, part, argc)
+	}
+	if tag := r.U8(); tag != TagLong {
+		t.Fatalf("arg0 tag = %d", tag)
+	}
+	if v := r.I64(); v != -42 {
+		t.Fatalf("arg0 = %d, want -42", v)
+	}
+	if tag := r.U8(); tag != TagBytes {
+		t.Fatalf("arg1 tag = %d", tag)
+	}
+	if b := r.Blob(); string(b) != "hello" {
+		t.Fatalf("arg1 = %q, want hello", b)
+	}
+	if r.Err != nil || r.Remaining() != 0 {
+		t.Fatalf("leftover decode state: err=%v remaining=%d", r.Err, r.Remaining())
+	}
+
+	typ, payload, _, err = ReadFrame(&conn, buf)
+	if err != nil || typ != MsgOK {
+		t.Fatalf("second frame: type=%#x err=%v", typ, err)
+	}
+	r = NewReader(payload)
+	if id := r.U32(); id != 7 || r.Err != nil {
+		t.Fatalf("second frame id = %d err=%v", id, r.Err)
+	}
+}
+
+func TestReaderTruncation(t *testing.T) {
+	r := NewReader([]byte{0x01})
+	_ = r.U32()
+	if r.Err == nil {
+		t.Fatal("truncated U32 did not latch an error")
+	}
+	// Further reads stay safe and keep the first error.
+	_ = r.I64()
+	_ = r.Str()
+	_ = r.Blob()
+	if r.Err == nil || !strings.Contains(r.Err.Error(), "truncated") {
+		t.Fatalf("latched error = %v", r.Err)
+	}
+}
+
+func TestReadFrameRejectsGarbage(t *testing.T) {
+	// Length 0 (no type byte).
+	if _, _, _, err := ReadFrame(bytes.NewReader([]byte{0, 0, 0, 0}), nil); err == nil {
+		t.Fatal("zero-length frame accepted")
+	}
+	// Absurd length.
+	if _, _, _, err := ReadFrame(bytes.NewReader([]byte{0xff, 0xff, 0xff, 0xff, 0x01}), nil); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+	// Truncated body.
+	if _, _, _, err := ReadFrame(bytes.NewReader([]byte{5, 0, 0, 0, 0x01}), nil); err != io.ErrUnexpectedEOF {
+		t.Fatalf("truncated body: err = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	var w Buffer
+	w.Reset(MsgHello)
+	w.U8(Version)
+	w.U16(4)
+	w.Str("tpcc:warehouses=4")
+	typ, payload, _, err := ReadFrame(bytes.NewReader(w.Bytes()), nil)
+	if err != nil || typ != MsgHello {
+		t.Fatalf("hello: %#x %v", typ, err)
+	}
+	r := NewReader(payload)
+	if v, shards, spec := r.U8(), r.U16(), r.Str(); v != Version || shards != 4 || spec != "tpcc:warehouses=4" {
+		t.Fatalf("decoded hello = %d/%d/%q", v, shards, spec)
+	}
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+}
+
+// TestBufferReuse proves the encode path reuses its backing array (the
+// per-connection zero-allocation property the server relies on).
+func TestBufferReuse(t *testing.T) {
+	var w Buffer
+	w.Reset(MsgOK)
+	w.U32(1)
+	_ = w.Bytes()
+	if avg := testing.AllocsPerRun(1000, func() {
+		w.Reset(MsgOK)
+		w.U32(2)
+		_ = w.Bytes()
+	}); avg != 0 {
+		t.Fatalf("steady-state encode allocates %.1f times per frame, want 0", avg)
+	}
+}

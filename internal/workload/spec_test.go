@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSpecNewAllKinds(t *testing.T) {
+	for _, tc := range []struct {
+		spec  Spec
+		parts int
+		name  string
+	}{
+		{Spec{Kind: "micro", Rows: 1000, RowsPerTx: 2}, 2, "micro-1000r-2per"},
+		{Spec{Kind: "micro", Rows: 1000, ReadWrite: true}, 1, ""},
+		{Spec{Kind: "tpcb", Branches: 2}, 1, ""},
+		{Spec{Kind: "tpcc", Warehouses: 2}, 2, ""},
+		{Spec{Kind: "olap", Rows: 5000}, 2, ""},
+		{Spec{Kind: "hybrid", Warehouses: 2, OLAPPercent: 30}, 2, ""},
+	} {
+		w := tc.spec.New(tc.parts)
+		if w == nil {
+			t.Fatalf("%v: nil workload", tc.spec)
+		}
+		if len(tc.spec.ProcNames()) == 0 {
+			t.Fatalf("%v: no proc names", tc.spec)
+		}
+		// Generation must not require Setup (the driver side never has an
+		// engine): a few calls must emit only declared procedures.
+		r := NewRand(1)
+		declared := make(map[string]bool)
+		for _, p := range tc.spec.ProcNames() {
+			declared[p] = true
+		}
+		for i := 0; i < 50; i++ {
+			call := w.Gen(r, i%tc.parts, tc.parts)
+			if !declared[call.Proc] {
+				t.Fatalf("%v: Gen emitted undeclared proc %q", tc.spec, call.Proc)
+			}
+		}
+	}
+}
+
+func TestSpecWarehouseRounding(t *testing.T) {
+	s := Spec{Kind: "tpcc", Warehouses: 3}
+	w := s.New(4).(*TPCC)
+	if got := w.Config().Warehouses; got != 4 {
+		t.Fatalf("warehouses = %d, want 4 (rounded to partition multiple)", got)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := (Spec{Kind: "nope"}).Validate(1); err == nil || !strings.Contains(err.Error(), "unknown kind") {
+		t.Fatalf("unknown kind: err = %v", err)
+	}
+	if err := (Spec{Kind: "tpcb"}).Validate(2); err == nil {
+		t.Fatal("tpcb with 2 shards must be rejected")
+	}
+	if err := (Spec{Kind: "hybrid"}).Validate(4); err != nil {
+		t.Fatalf("hybrid: %v", err)
+	}
+}
+
+func TestSpecStringCanonical(t *testing.T) {
+	a := Spec{Kind: "tpcc", Warehouses: 4}
+	b := Spec{Kind: "tpcc", Warehouses: 4}
+	if a.String() != b.String() {
+		t.Fatal("equal specs render differently")
+	}
+	c := Spec{Kind: "tpcc", Warehouses: 8}
+	if a.String() == c.String() {
+		t.Fatal("different specs render identically")
+	}
+	if got := (Spec{}).String(); !strings.HasPrefix(got, "tpcc:") {
+		t.Fatalf("zero spec = %q, want tpcc default", got)
+	}
+}

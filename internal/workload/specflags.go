@@ -1,0 +1,20 @@
+package workload
+
+import "flag"
+
+// SpecFlags installs the workload-selection flags shared by oltpd and
+// oltpdrive on fs and returns the Spec they populate. Both commands must
+// present the same surface: the driver has to generate exactly the traffic
+// the server's schema serves (the wire Hello double-checks).
+func SpecFlags(fs *flag.FlagSet) *Spec {
+	s := &Spec{}
+	fs.StringVar(&s.Kind, "workload", "tpcc", "workload archetype: micro|tpcb|tpcc|olap|hybrid")
+	fs.Int64Var(&s.Rows, "rows", 100_000, "micro/olap: table cardinality")
+	fs.IntVar(&s.RowsPerTx, "rows-per-tx", 1, "micro: rows touched per transaction")
+	fs.BoolVar(&s.ReadWrite, "rw", false, "micro: read-write variant")
+	fs.IntVar(&s.Branches, "branches", 8, "tpcb: branch count")
+	fs.IntVar(&s.Warehouses, "warehouses", 2, "tpcc/hybrid: warehouse count (rounded up to a shard multiple)")
+	fs.IntVar(&s.OLAPPercent, "olap-percent", 20, "hybrid: share of analytical requests (0-100)")
+	fs.Int64Var(&s.Groups, "groups", 16, "olap: grouping-column cardinality")
+	return s
+}

@@ -21,6 +21,9 @@ raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
 go test -run '^$' -bench . -benchmem -benchtime 1x . ./internal/index | tee "$raw"
+# The serving-path round-trip benchmarks need more than one iteration to
+# amortize server startup/population out of ns/op.
+go test -run '^$' -bench 'BenchmarkServeLoopback' -benchmem -benchtime 2000x ./internal/server | tee -a "$raw"
 go run ./cmd/benchjson -out "$out" < "$raw"
 echo "wrote $out"
 
