@@ -1,12 +1,23 @@
 GO ?= go
 
-.PHONY: build vet test race bench bench-compare figures figures-numa figures-htap figures-serve fuzz cover serve drive serve-smoke
+.PHONY: build vet lint test race bench bench-compare figures figures-numa figures-htap figures-serve fuzz cover serve drive serve-smoke
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# lint is the full static-analysis gate: formatting, stock go vet, and the
+# project's own analyzer suite (cmd/oltplint: detrand, hotalloc, lockcheck —
+# see README "Static analysis"). govulncheck runs when installed; CI always
+# installs and runs it.
+lint:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) run ./cmd/oltplint ./...
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+	else echo "govulncheck not installed; skipped locally (CI runs it)"; fi
 
 test:
 	$(GO) test ./...

@@ -114,7 +114,7 @@ func (sc *Scratch) Reset() {
 // unspecified (callers fill every element).
 func (sc *Scratch) Row(n int) Row {
 	if sc == nil {
-		return make(Row, n)
+		return make(Row, n) //oltpsim:coldpath nil-Scratch fallback for engine-less decode helpers
 	}
 	if len(sc.vals)+n > cap(sc.vals) {
 		// Grow into a fresh backing array; rows handed out earlier keep the
@@ -123,7 +123,7 @@ func (sc *Scratch) Row(n int) Row {
 		if c < 64 {
 			c = 64
 		}
-		sc.vals = make([]Value, 0, c)
+		sc.vals = make([]Value, 0, c) //oltpsim:coldpath scratch grows to its high-water mark, then recycles
 	}
 	l := len(sc.vals)
 	sc.vals = sc.vals[:l+n]
@@ -134,14 +134,14 @@ func (sc *Scratch) Row(n int) Row {
 // rely on the zero fill (key padding, insert log images).
 func (sc *Scratch) Bytes(n int) []byte {
 	if sc == nil {
-		return make([]byte, n)
+		return make([]byte, n) //oltpsim:coldpath nil-Scratch fallback for engine-less decode helpers
 	}
 	if len(sc.buf)+n > cap(sc.buf) {
 		c := 2 * (len(sc.buf) + n)
 		if c < 256 {
 			c = 256
 		}
-		sc.buf = make([]byte, 0, c)
+		sc.buf = make([]byte, 0, c) //oltpsim:coldpath scratch grows to its high-water mark, then recycles
 	}
 	l := len(sc.buf)
 	sc.buf = sc.buf[:l+n]
@@ -156,7 +156,7 @@ func (sc *Scratch) Bytes(n int) []byte {
 // (valid until the next padded call).
 func (s *Schema) padded(v Value, width int) []byte {
 	if cap(s.pad) < width {
-		s.pad = make([]byte, width)
+		s.pad = make([]byte, width) //oltpsim:coldpath pad buffer grows to the widest column once
 	}
 	buf := s.pad[:width]
 	n := copy(buf, v.S)

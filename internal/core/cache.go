@@ -81,6 +81,8 @@ func (c *Cache) setIndex(lineID uint64) int {
 // Access, AccessEvict, FillQuiet and FillQuietEvict together; the coherence
 // invariant suite and the golden figure gates fail on any divergence between
 // the coherent (Evict) and non-coherent paths.
+//
+//oltpsim:hotpath
 func (c *Cache) Access(lineID uint64, class AccessClass) bool {
 	c.stats[class].Accesses++
 	tag := lineID + 1
@@ -106,6 +108,8 @@ func (c *Cache) Access(lineID uint64, class AccessClass) bool {
 // or the fill landed in an empty way (the coherence hierarchy uses it to
 // keep the directory exact across evictions). The set is scanned and updated
 // in place (one base computation per access, no move on an MRU hit).
+//
+//oltpsim:hotpath
 func (c *Cache) AccessEvict(lineID uint64, class AccessClass) (hit bool, evicted uint64) {
 	c.stats[class].Accesses++
 	tag := lineID + 1

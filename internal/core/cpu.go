@@ -140,6 +140,8 @@ func NewMachine(cfg HierarchyConfig) *Machine {
 
 // OnData implements simmem.Tracer: it charges the access to the current CPU
 // and attributes the stall cycles to that CPU's current module.
+//
+//oltpsim:hotpath
 func (m *Machine) OnData(addr simmem.Addr, size int, write bool) {
 	c := m.cur
 	stall := m.Hier.DataAccess(c.ID, addr, size, write)

@@ -138,7 +138,7 @@ func (d *directory) set(id uint64, mask uint64) {
 	}
 	p := d.pages[pi]
 	if p == nil {
-		p = new(dirPage)
+		p = new(dirPage) //oltpsim:coldpath lazy directory page materialization, once per page
 		d.pages[pi] = p
 	}
 	p[idx&dirPageMask] = mask
@@ -427,6 +427,8 @@ func (h *Hierarchy) invalidateSocket(t int, id uint64, mask uint64, skip int, ct
 // cross-socket ownership transfer (Sockets > 1): invalidating another
 // socket's copies stalls the writer for XInvalidatePenalty per socket hit,
 // the part of coherence traffic a store buffer cannot hide.
+//
+//oltpsim:hotpath
 func (h *Hierarchy) DataAccess(core int, addr simmem.Addr, size int, write bool) int {
 	if size <= 0 {
 		return 0

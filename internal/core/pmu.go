@@ -120,12 +120,12 @@ func NewMeasurement(before, after Snapshot, cfg HierarchyConfig, baseCPI float64
 func (m Measurement) Stalls() StallCycles {
 	d := m.Delta.Misses
 	return StallCycles{
-		L1I:  float64(d.L1IMiss) * float64(m.Config.L1I.MissPenalty),
-		L2I:  float64(d.L2IMiss) * float64(m.Config.L2.MissPenalty),
-		LLCI: float64(d.LLCIMiss-d.LLCIRemoteLLC) * float64(m.Config.LLC.MissPenalty),
-		L1D:  float64(d.L1DMiss) * float64(m.Config.L1D.MissPenalty),
-		L2D:  float64(d.L2DMiss) * float64(m.Config.L2.MissPenalty),
-		LLCD: float64(d.LLCDMiss-d.LLCDRemoteLLC-d.LLCDRemoteDRAM) * float64(m.Config.LLC.MissPenalty),
+		L1I:     float64(d.L1IMiss) * float64(m.Config.L1I.MissPenalty),
+		L2I:     float64(d.L2IMiss) * float64(m.Config.L2.MissPenalty),
+		LLCI:    float64(d.LLCIMiss-d.LLCIRemoteLLC) * float64(m.Config.LLC.MissPenalty),
+		L1D:     float64(d.L1DMiss) * float64(m.Config.L1D.MissPenalty),
+		L2D:     float64(d.L2DMiss) * float64(m.Config.L2.MissPenalty),
+		LLCD:    float64(d.LLCDMiss-d.LLCDRemoteLLC-d.LLCDRemoteDRAM) * float64(m.Config.LLC.MissPenalty),
 		RemoteI: float64(d.LLCIRemoteLLC) * float64(m.Config.RemoteLLCPenalty),
 		RemoteD: float64(d.LLCDRemoteLLC)*float64(m.Config.RemoteLLCPenalty) +
 			float64(d.LLCDRemoteDRAM)*float64(m.Config.RemoteDRAMPenalty) +

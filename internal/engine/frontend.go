@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"strings"
 
 	"oltpsim/internal/catalog"
@@ -42,18 +43,23 @@ func (e *Engine) Register(name string, body func(*Tx) error) *Procedure {
 	return p
 }
 
-// Procedures lists registered procedure names.
+// Procedures lists registered procedure names, sorted. (Callers render this
+// list — the server MOTD, error messages — so the map's iteration order must
+// not leak out.)
 func (e *Engine) Procedures() []string {
 	names := make([]string, 0, len(e.procs))
 	for n := range e.procs {
 		names = append(names, n)
 	}
+	sort.Strings(names)
 	return names
 }
 
 // Invoke runs a stored procedure on the given partition with args, through
 // the engine's full request path: network, front-end, transaction begin,
 // body, commit (or abort on error). It returns the body's error, if any.
+//
+//oltpsim:hotpath
 func (e *Engine) Invoke(part int, procName string, args ...catalog.Value) error {
 	p := e.procs[procName]
 	if p == nil {
@@ -97,7 +103,7 @@ func (e *Engine) Invoke(part int, procName string, args ...catalog.Value) error 
 	cpu.Exec(e.rTxn, c.TxnBegin)
 	if e.lm != nil {
 		if len(e.locked) < len(e.tables)+1 {
-			e.locked = make([]bool, len(e.tables)+1)
+			e.locked = make([]bool, len(e.tables)+1) //oltpsim:coldpath lock bitmap grows to the table count once
 		} else {
 			for i := range e.locked {
 				e.locked[i] = false
@@ -165,8 +171,10 @@ func (e *Engine) runBody(tx *Tx, p *Procedure) (err error) {
 		switch r := recover().(type) {
 		case nil:
 		case routingViolation:
+			//oltpsim:coldpath panic recovery: the abort path may allocate
 			err = fmt.Errorf("engine: procedure %q panicked: %v", p.Name, r)
 		case runtime.Error:
+			//oltpsim:coldpath panic recovery: the abort path may allocate
 			err = fmt.Errorf("engine: procedure %q panicked: %v", p.Name, r)
 		default:
 			panic(r)
@@ -202,6 +210,8 @@ type stmtInfo struct {
 
 // stmt returns (building, parsing and caching on first use) the statement
 // shape for an op of the given kind against t.
+//
+//oltpsim:coldpath first-execution parse/plan, cached in t.stmts; the steady-state fast path returns the cached shape
 func (t *Table) stmt(kind opKind) *stmtInfo {
 	if si := t.stmts[kind]; si != nil {
 		return si

@@ -97,6 +97,8 @@ type scanState struct {
 // non-negative key domains of the workloads make the zero key the minimum).
 // The row passed to fn is only valid for the duration of the call. fn
 // returning false stops the scan. The primary index must be ordered.
+//
+//oltpsim:hotpath
 func (tx *Tx) AnalyticScan(t *Table, from, to []catalog.Value, fn func(key []byte, row catalog.Row) bool) error {
 	kind := opScanAll
 	if from != nil || to != nil {
@@ -117,6 +119,8 @@ func (tx *Tx) AnalyticScan(t *Table, from, to []catalog.Value, fn func(key []byt
 // the spec's Long column (MIN/MAX of zero rows yield math.MaxInt64 /
 // math.MinInt64 — callers check the row count). The fold reads only the
 // aggregated columns, the projection advantage of an analytical operator.
+//
+//oltpsim:hotpath
 func (tx *Tx) AnalyticAggregate(t *Table, from, to []catalog.Value, specs []AggSpec, out []int64) (int64, error) {
 	if len(out) < len(specs) {
 		return 0, fmt.Errorf("engine: aggregate output has %d slots, need %d", len(out), len(specs))
@@ -146,6 +150,8 @@ func (tx *Tx) AnalyticAggregate(t *Table, from, to []catalog.Value, specs []AggS
 // Long column groupBy, and calls visit once per group in ascending group
 // order with that group's accumulators (valid only during the call). It
 // returns the number of rows folded.
+//
+//oltpsim:hotpath
 func (tx *Tx) AnalyticAggregateGroup(t *Table, groupBy int, specs []AggSpec, visit func(group int64, accs []int64)) (int64, error) {
 	if err := checkAggSpecs(t, specs); err != nil {
 		return 0, err
@@ -162,7 +168,7 @@ func (tx *Tx) AnalyticAggregateGroup(t *Table, groupBy int, specs []AggSpec, vis
 	st.out = nil
 	st.groupBy = groupBy
 	if st.groups == nil {
-		st.groups = make(map[int64]int, 64)
+		st.groups = make(map[int64]int, 64) //oltpsim:coldpath group table allocated on the first grouped query, then cleared and reused
 	} else {
 		clear(st.groups)
 	}
@@ -223,11 +229,11 @@ func (st *scanState) beginQuery(tx *Tx, t *Table, to []catalog.Value) {
 // ensureRowBuf sizes the reusable row-decode buffers for schema.
 func (st *scanState) ensureRowBuf(s *catalog.Schema) {
 	if cap(st.rowBuf) < len(s.Columns) {
-		st.rowBuf = make(catalog.Row, len(s.Columns))
+		st.rowBuf = make(catalog.Row, len(s.Columns)) //oltpsim:coldpath row buffer grows to the widest schema once
 	}
 	st.rowBuf = st.rowBuf[:len(s.Columns)]
 	if cap(st.strBuf) < s.RowSize() {
-		st.strBuf = make([]byte, s.RowSize())
+		st.strBuf = make([]byte, s.RowSize()) //oltpsim:coldpath string buffer grows to the widest row once
 	}
 }
 
@@ -272,6 +278,8 @@ func (tx *Tx) runScan(t *Table, from []catalog.Value) error {
 
 // scanVisit is the per-entry index callback of every analytic scan; it is
 // bound once per engine so the hot loop creates no closures.
+//
+//oltpsim:hotpath
 func (e *Engine) scanVisit(key []byte, val uint64) bool {
 	st := &e.scan
 	tx := st.tx
@@ -332,6 +340,8 @@ func (st *scanState) releasePage() {
 
 // foldRow accumulates one row into the aggregate state, reading only the
 // columns the fold needs.
+//
+//oltpsim:hotpath
 func (st *scanState) foldRow(tx *Tx, m *simmem.Arena, addr simmem.Addr) {
 	tx.aggRowCharge(len(st.specs))
 	s := st.t.Schema
@@ -343,7 +353,7 @@ func (st *scanState) foldRow(tx *Tx, m *simmem.Arena, addr simmem.Addr) {
 			off = len(st.gaccs)
 			st.groups[g] = off
 			st.gkeys = append(st.gkeys, g)
-			st.gaccs = append(st.gaccs, make([]int64, len(st.specs))...)
+			st.gaccs = append(st.gaccs, make([]int64, len(st.specs))...) //oltpsim:coldpath accumulator growth on first sight of a group
 			initAccs(st.specs, st.gaccs[off:off+len(st.specs)])
 		}
 		accs = st.gaccs[off : off+len(st.specs)]

@@ -122,6 +122,8 @@ func (tx *Tx) lockRow(t *Table, key []byte, exclusive bool) error {
 }
 
 // Get reads column col of the row with the given key.
+//
+//oltpsim:hotpath
 func (tx *Tx) Get(t *Table, keyVals []catalog.Value, col int) (catalog.Value, error) {
 	row, err := tx.getCols(t, keyVals, []int{col})
 	if err != nil {
@@ -131,6 +133,8 @@ func (tx *Tx) Get(t *Table, keyVals []catalog.Value, col int) (catalog.Value, er
 }
 
 // GetRow reads the full row with the given key.
+//
+//oltpsim:hotpath
 func (tx *Tx) GetRow(t *Table, keyVals []catalog.Value) (catalog.Row, error) {
 	return tx.getCols(t, keyVals, nil)
 }
@@ -183,11 +187,15 @@ func (tx *Tx) getCols(t *Table, keyVals []catalog.Value, cols []int) (catalog.Ro
 }
 
 // Update sets column col of the row with the given key.
+//
+//oltpsim:hotpath
 func (tx *Tx) Update(t *Table, keyVals []catalog.Value, col int, v catalog.Value) error {
 	return tx.update(t, keyVals, col, func(catalog.Value) catalog.Value { return v })
 }
 
 // UpdateAdd adds delta to the Long column col of the row with the given key.
+//
+//oltpsim:hotpath
 func (tx *Tx) UpdateAdd(t *Table, keyVals []catalog.Value, col int, delta int64) error {
 	return tx.update(t, keyVals, col, func(old catalog.Value) catalog.Value {
 		return catalog.LongVal(old.I + delta)
@@ -254,6 +262,8 @@ func (tx *Tx) update(t *Table, keyVals []catalog.Value, col int, f func(catalog.
 // receives the current row and returns the new one (it may mutate and return
 // its argument). One probe, one lock, one log record — the multi-column
 // update shape of the TPC transactions.
+//
+//oltpsim:hotpath
 func (tx *Tx) Modify(t *Table, keyVals []catalog.Value, f func(catalog.Row) catalog.Row) error {
 	tx.chargeOp(opUpdate, t)
 	sh := tx.shardFor(t, keyVals)
@@ -308,6 +318,8 @@ func (tx *Tx) Modify(t *Table, keyVals []catalog.Value, f func(catalog.Row) cata
 }
 
 // Insert adds a new row.
+//
+//oltpsim:hotpath
 func (tx *Tx) Insert(t *Table, row catalog.Row) error {
 	tx.chargeOp(opInsert, t)
 	keyVals := tx.e.scratch.Row(len(t.KeyCols))
@@ -345,6 +357,8 @@ func (tx *Tx) Insert(t *Table, row catalog.Row) error {
 }
 
 // Delete removes the row with the given key.
+//
+//oltpsim:hotpath
 func (tx *Tx) Delete(t *Table, keyVals []catalog.Value) error {
 	tx.chargeOp(opDelete, t)
 	sh := tx.shardFor(t, keyVals)

@@ -201,4 +201,3 @@ func TestFigureBuildersAtQuickScale(t *testing.T) {
 		}
 	}
 }
-

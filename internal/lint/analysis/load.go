@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+	// InModule reports whether the package belongs to the module under
+	// analysis (as opposed to a standard-library dependency, which is
+	// type-checked signatures-only to resolve imports).
+	InModule bool
+	// Errs holds type errors tolerated while checking (always empty for
+	// in-module packages; the loader fails hard on those).
+	Errs []error
+}
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Standard   bool
+	ImportMap  map[string]string
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// Load type-checks the packages matching patterns plus their whole import
+// closure, in dependency order, sharing one FileSet and one type universe so
+// a dependent package's view of its imports is object-identical to the
+// imports' own analysis passes (which is what makes the in-process fact
+// store work). Standard-library dependencies are checked from source with
+// function bodies ignored: fast, offline, and sufficient for resolving the
+// module's own types. Only packages of the module under analysis are
+// returned.
+func Load(dir string, patterns []string) ([]*Package, *token.FileSet, error) {
+	args := append([]string{"list", "-e", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	var listed []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("go list output: %v", err)
+		}
+		listed = append(listed, lp)
+	}
+
+	fset := token.NewFileSet()
+	byPath := make(map[string]*types.Package)
+	var mod []*Package
+
+	for _, lp := range listed {
+		if lp.ImportPath == "unsafe" {
+			byPath["unsafe"] = types.Unsafe
+			continue
+		}
+		if lp.Error != nil {
+			return nil, nil, fmt.Errorf("go list %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		inModule := lp.Module != nil && !lp.Standard
+		files := make([]*ast.File, 0, len(lp.GoFiles))
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				if inModule {
+					return nil, nil, err
+				}
+				continue // tolerate exotic dep sources; the checker fills gaps
+			}
+			files = append(files, f)
+		}
+
+		pkg := &Package{
+			PkgPath:  lp.ImportPath,
+			Dir:      lp.Dir,
+			Files:    files,
+			InModule: inModule,
+		}
+		cfg := &types.Config{
+			Importer:    importerFunc(func(path string) (*types.Package, error) { return resolveImport(byPath, lp.ImportMap, path) }),
+			FakeImportC: true,
+			Sizes:       types.SizesFor("gc", "amd64"),
+		}
+		if inModule {
+			pkg.Info = NewInfo()
+			cfg.Error = func(err error) { pkg.Errs = append(pkg.Errs, err) }
+		} else {
+			// Dependency packages only need their exported shape; bodies of
+			// runtime/stdlib internals routinely lean on compiler intrinsics
+			// that go/types cannot check, so skip and tolerate them.
+			cfg.IgnoreFuncBodies = true
+			cfg.Error = func(error) {}
+		}
+		tpkg, err := cfg.Check(lp.ImportPath, fset, files, pkg.Info)
+		if inModule && len(pkg.Errs) > 0 {
+			return nil, nil, fmt.Errorf("type-checking %s: %v", lp.ImportPath, pkg.Errs[0])
+		}
+		if inModule && err != nil {
+			return nil, nil, fmt.Errorf("type-checking %s: %v", lp.ImportPath, err)
+		}
+		if tpkg == nil {
+			return nil, nil, fmt.Errorf("type-checking %s produced no package", lp.ImportPath)
+		}
+		pkg.Types = tpkg
+		byPath[lp.ImportPath] = tpkg
+		if inModule {
+			mod = append(mod, pkg)
+		}
+	}
+	return mod, fset, nil
+}
+
+func resolveImport(byPath map[string]*types.Package, importMap map[string]string, path string) (*types.Package, error) {
+	if mapped, ok := importMap[path]; ok {
+		path = mapped
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := byPath[path]; ok {
+		return p, nil
+	}
+	// go list -deps emits dependencies before dependents, so a miss here can
+	// only be a package go list filtered out (e.g. an import gated behind an
+	// inactive build tag in a tolerated dependency).
+	return nil, fmt.Errorf("import %q not in dependency closure", path)
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// ModulePath reports the module path of the main module rooted at or above
+// dir (via `go list -m`).
+func ModulePath(dir string) (string, error) {
+	cmd := exec.Command("go", "list", "-m")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("go list -m: %v", err)
+	}
+	return strings.TrimSpace(string(out)), nil
+}

@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+)
+
+// copyFact assigns the stored fact's concrete value through the out pointer,
+// mirroring how the x/tools framework round-trips facts through gob: out
+// must be a pointer whose element type matches the stored fact's dynamic
+// type (or the same pointer type).
+func copyFact(stored, out Fact) bool {
+	ov := reflect.ValueOf(out)
+	if ov.Kind() != reflect.Pointer || ov.IsNil() {
+		return false
+	}
+	sv := reflect.ValueOf(stored)
+	switch {
+	case sv.Type() == ov.Type().Elem():
+		ov.Elem().Set(sv)
+		return true
+	case sv.Kind() == reflect.Pointer && sv.Type().Elem() == ov.Type().Elem():
+		ov.Elem().Set(sv.Elem())
+		return true
+	}
+	return false
+}
+
+// PkgDiagnostic pairs a diagnostic with the analyzer that produced it.
+type PkgDiagnostic struct {
+	Analyzer *Analyzer
+	Diagnostic
+}
+
+// RunPackage applies every analyzer to one type-checked package and returns
+// the diagnostics in report order. facts may be nil (single-package mode).
+func RunPackage(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File,
+	pkg *types.Package, info *types.Info, facts *FactStore) ([]PkgDiagnostic, error) {
+
+	var out []PkgDiagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			facts:     facts,
+		}
+		pass.Report = func(d Diagnostic) {
+			out = append(out, PkgDiagnostic{Analyzer: a, Diagnostic: d})
+		}
+		if _, err := a.Run(pass); err != nil {
+			return out, fmt.Errorf("%s: %v", a.Name, err)
+		}
+	}
+	return out, nil
+}
+
+// NewInfo returns a types.Info with every map populated, the shape analyzers
+// expect from a driver.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}

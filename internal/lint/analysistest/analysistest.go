@@ -1,0 +1,145 @@
+// Package analysistest runs an analyzer over fixture packages and matches
+// its diagnostics against `// want "regexp"` comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest. Fixtures live in
+// testdata/src, which is its own module (testdata/src/go.mod, module path
+// "fixture") so the production loader — the same go list + go/types pipeline
+// cmd/oltplint uses — loads them unchanged, cross-package facts included.
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"oltpsim/internal/lint/analysis"
+)
+
+// want is one expectation parsed from a `// want` comment.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads the packages matching patterns from dir/src (a self-contained
+// fixture module), applies a to each in dependency order with a shared fact
+// store, and reports any mismatch between diagnostics and `// want`
+// expectations as test errors.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	pkgs, fset, err := analysis.Load(filepath.Join(dir, "src"), patterns)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no fixture packages matched %v", patterns)
+	}
+	facts := analysis.NewFactStore()
+
+	var wants []*want
+	var diags []analysis.PkgDiagnostic
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					pos := fset.Position(c.Pos())
+					for _, w := range parseWants(t, c.Text) {
+						wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: w.re, raw: w.raw})
+					}
+				}
+			}
+		}
+		ds, err := analysis.RunPackage([]*analysis.Analyzer{a}, fset, pkg.Files, pkg.Types, pkg.Info, facts)
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, pkg.PkgPath, err)
+		}
+		diags = append(diags, ds...)
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if !claim(wants, pos.Filename, pos.Line, d.Message) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", rel(pos.Filename), pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", rel(w.file), w.line, w.raw)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation at file:line whose regexp
+// matches msg.
+func claim(wants []*want, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if w.matched || w.file != file || w.line != line {
+			continue
+		}
+		if w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseWants extracts the quoted regexps of one `// want "..." "..."`
+// comment (empty if the comment is not a want comment).
+func parseWants(t *testing.T, text string) []*want {
+	t.Helper()
+	rest, ok := strings.CutPrefix(text, "// want ")
+	if !ok {
+		return nil
+	}
+	var out []*want
+	for {
+		rest = strings.TrimSpace(rest)
+		if rest == "" {
+			break
+		}
+		if rest[0] != '"' && rest[0] != '`' {
+			t.Fatalf("malformed want comment %q: expectations must be quoted strings", text)
+		}
+		lit, length := scanString(rest)
+		if length == 0 {
+			t.Fatalf("malformed want comment %q: unterminated string", text)
+		}
+		raw, err := strconv.Unquote(lit)
+		if err != nil {
+			t.Fatalf("malformed want comment %q: %v", text, err)
+		}
+		re, err := regexp.Compile(raw)
+		if err != nil {
+			t.Fatalf("bad want regexp %q: %v", raw, err)
+		}
+		out = append(out, &want{re: re, raw: raw})
+		rest = rest[length:]
+	}
+	return out
+}
+
+// scanString returns the leading Go string literal of s and its length.
+func scanString(s string) (string, int) {
+	q := s[0]
+	for i := 1; i < len(s); i++ {
+		switch {
+		case q == '"' && s[i] == '\\':
+			i++
+		case s[i] == q:
+			return s[:i+1], i + 1
+		}
+	}
+	return "", 0
+}
+
+func rel(path string) string {
+	if i := strings.Index(path, "testdata"); i >= 0 {
+		return path[i:]
+	}
+	return path
+}

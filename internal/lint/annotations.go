@@ -1,0 +1,144 @@
+// Package lint holds the oltplint analyzers: static enforcement of the
+// simulator's determinism, zero-allocation and lock-discipline invariants.
+// The three analyzers — detrand, hotalloc, lockcheck — are documented on
+// their Analyzer values; the annotation vocabulary they share is:
+//
+//	//oltpsim:hotpath
+//	    On a function or method declaration (in its doc comment): the
+//	    function is a zero-allocation root. hotalloc forbids allocating
+//	    constructs in it and in everything statically reachable from it.
+//	    Annotate exactly the functions the runtime AllocsPerRun gates prove,
+//	    so the static and dynamic gates cover the same surface.
+//
+//	//oltpsim:coldpath <reason>
+//	    On a statement line inside (or on the line above a statement of) a
+//	    hot function: that line's allocations are intentional cold/amortized
+//	    work (first-touch growth, error construction) and are excused.
+//	    On a function declaration: the whole function is a known-cold slow
+//	    path; hotalloc neither checks its body nor counts calls to it as
+//	    allocating. Always state the reason.
+//
+//	//oltpsim:nondet-ok <reason>
+//	    On (or on the line above) a `range` statement over a map: the loop's
+//	    iteration-order dependence is acceptable (its effects are provably
+//	    order-independent in a way the analyzer cannot see). detrand escape.
+//
+//	//oltpsim:guarded-by <mutexField>
+//	    On a struct field: the field may only be accessed by functions that
+//	    hold the named sibling mutex (a Lock/RLock call in the body, or a
+//	    //oltpsim:holds annotation). lockcheck enforces it.
+//
+//	//oltpsim:holds <mutexField>[,<mutexField>...]
+//	    On a function declaration: the caller guarantees the named mutexes
+//	    are held for the duration of the call, so guarded fields may be
+//	    touched without a visible Lock. The machine-checked version of the
+//	    classic "caller holds mu" doc comment.
+//
+// Annotations are ordinary line comments; because they are load-bearing for
+// `make lint`, they double as always-current documentation of the
+// confinement contract.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// marker is one parsed //oltpsim: annotation.
+type marker struct {
+	kind string // "hotpath", "coldpath", "nondet-ok", "guarded-by", "holds"
+	args []string
+}
+
+const markerPrefix = "//oltpsim:"
+
+// parseMarker decodes one comment into a marker, or returns false.
+func parseMarker(text string) (marker, bool) {
+	if !strings.HasPrefix(text, markerPrefix) {
+		return marker{}, false
+	}
+	rest := strings.TrimPrefix(text, markerPrefix)
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return marker{}, false
+	}
+	m := marker{kind: fields[0]}
+	if len(fields) > 1 {
+		// guarded-by/holds take comma-separated field names; the rest of the
+		// line is free-form reason text.
+		m.args = strings.Split(fields[1], ",")
+	}
+	return m, true
+}
+
+// fileMarkers indexes every annotation of one file by line number. A marker
+// covers its own line and the immediately following line, so both trailing
+// (`x := f() //oltpsim:coldpath grow`) and leading (own-line comment above
+// the statement) placements work.
+type fileMarkers struct {
+	byLine map[int][]marker
+}
+
+func collectMarkers(fset *token.FileSet, f *ast.File) *fileMarkers {
+	fm := &fileMarkers{byLine: make(map[int][]marker)}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m, ok := parseMarker(c.Text)
+			if !ok {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			fm.byLine[line] = append(fm.byLine[line], m)
+			fm.byLine[line+1] = append(fm.byLine[line+1], m)
+		}
+	}
+	return fm
+}
+
+// at reports whether a marker of the given kind covers the line of pos.
+func (fm *fileMarkers) at(fset *token.FileSet, pos token.Pos, kind string) bool {
+	for _, m := range fm.byLine[fset.Position(pos).Line] {
+		if m.kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// declMarkers parses the annotations of a declaration's doc comment.
+func declMarkers(doc *ast.CommentGroup) []marker {
+	if doc == nil {
+		return nil
+	}
+	var out []marker
+	for _, c := range doc.List {
+		if m, ok := parseMarker(c.Text); ok {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// hasDeclMarker reports whether the doc comment carries kind, returning its
+// arguments.
+func hasDeclMarker(doc *ast.CommentGroup, kind string) ([]string, bool) {
+	for _, m := range declMarkers(doc) {
+		if m.kind == kind {
+			return m.args, true
+		}
+	}
+	return nil, false
+}
+
+// fieldGuard returns the mutex name of a //oltpsim:guarded-by annotation on
+// a struct field (checking both the doc comment and the trailing line
+// comment), or "".
+func fieldGuard(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if args, ok := hasDeclMarker(cg, "guarded-by"); ok && len(args) > 0 {
+			return args[0]
+		}
+	}
+	return ""
+}

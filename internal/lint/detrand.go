@@ -1,0 +1,417 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"oltpsim/internal/lint/analysis"
+)
+
+// Detrand reports constructs that make figure output depend on anything but
+// the seed: wall-clock reads, the globally-seeded math/rand generators, the
+// process environment, and map iteration whose order leaks into results.
+// Every figure in this repository is locked by byte-identity goldens; these
+// constructs are how a correct-looking change re-blesses a golden
+// nondeterministically.
+var Detrand = &analysis.Analyzer{
+	Name: "detrand",
+	Doc: `forbid nondeterminism sources in determinism-critical packages
+
+In the packages named by CriticalPrefixes (the simulator core, engine,
+workloads and figure harness) detrand reports:
+
+  - calls to time.Now, time.Since, time.Until (wall-clock in simulated time)
+  - calls to the package-level math/rand and math/rand/v2 generators (their
+    global state is seeded per-process; use workload.NewRand)
+  - calls to os.Getenv, os.LookupEnv, os.Environ (environment-dependent
+    renders)
+  - range over a map whose body writes outside the loop, unless every write
+    is order-independent (integer/bitmask accumulation, keyed map writes) or
+    every collected slice is sorted later in the same function (the
+    sorted-keys idiom), or the loop carries //oltpsim:nondet-ok <reason>.`,
+	Run: runDetrand,
+}
+
+// CriticalPrefixes lists the import-path prefixes detrand applies to. The
+// serving path (server, driver) legitimately reads wall clocks; the
+// simulator must not. Tests may extend this to cover fixture packages.
+var CriticalPrefixes = []string{
+	"oltpsim/internal/harness",
+	"oltpsim/internal/systems",
+	"oltpsim/internal/workload",
+	"oltpsim/internal/engine",
+	"oltpsim/internal/core",
+	"oltpsim/internal/simmem",
+}
+
+// forbiddenCalls maps package path -> function name -> short why.
+var forbiddenCalls = map[string]map[string]string{
+	"time": {
+		"Now":   "wall-clock read",
+		"Since": "wall-clock read",
+		"Until": "wall-clock read",
+	},
+	"os": {
+		"Getenv":    "environment read",
+		"LookupEnv": "environment read",
+		"Environ":   "environment read",
+	},
+}
+
+// globalRandPkgs are packages whose package-level functions draw from a
+// process-global, per-run-seeded source. Constructing an explicitly seeded
+// *rand.Rand is fine; the global helpers are not.
+var globalRandPkgs = map[string]bool{"math/rand": true, "math/rand/v2": true}
+
+func runDetrand(pass *analysis.Pass) (any, error) {
+	if !detrandApplies(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		fm := collectMarkers(pass.Fset, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkForbiddenCall(pass, fm, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, fm, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func detrandApplies(path string) bool {
+	for _, p := range CriticalPrefixes {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves a call's static callee, or nil.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+func checkForbiddenCall(pass *analysis.Pass, fm *fileMarkers, call *ast.CallExpr) {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	if fn.Signature().Recv() != nil {
+		return // methods (e.g. (*rand.Rand).Intn on a seeded source) are fine
+	}
+	pkgPath, name := fn.Pkg().Path(), fn.Name()
+	var why string
+	if m := forbiddenCalls[pkgPath]; m != nil {
+		why = m[name]
+	}
+	if globalRandPkgs[pkgPath] && why == "" {
+		switch name {
+		case "New", "NewSource", "NewPCG", "NewChaCha8", "NewZipf":
+			return // explicit construction: caller controls the seed
+		default:
+			why = "process-global RNG"
+		}
+	}
+	if why == "" {
+		return
+	}
+	if fm.at(pass.Fset, call.Pos(), "nondet-ok") {
+		return
+	}
+	pass.Reportf(call.Pos(), "call to %s.%s (%s) in determinism-critical package %s",
+		pkgPath, name, why, pass.Pkg.Path())
+}
+
+// checkMapRange enforces the ordered-iteration discipline on map ranges.
+func checkMapRange(pass *analysis.Pass, fm *fileMarkers, rng *ast.RangeStmt) {
+	t := pass.TypesInfo.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	if fm.at(pass.Fset, rng.Pos(), "nondet-ok") {
+		return
+	}
+
+	keyObj := rangeVarObj(pass.TypesInfo, rng.Key)
+	var sortable []types.Object // outer slices appended to; must be sorted later
+
+	var violation func(pos token.Pos, format string, args ...any)
+	reported := false
+	violation = func(pos token.Pos, format string, args ...any) {
+		if reported {
+			return
+		}
+		reported = true
+		pass.Reportf(pos, "map iteration order leaks: "+format+
+			" (sort the keys first, or annotate //oltpsim:nondet-ok with a reason)", args...)
+	}
+
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				var rhs ast.Expr
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				}
+				checkRangeWrite(pass, rng, keyObj, lhs, rhs, n.Tok, &sortable, violation)
+			}
+		case *ast.IncDecStmt:
+			checkRangeWrite(pass, rng, keyObj, n.X, nil, n.Tok, &sortable, violation)
+		case *ast.SendStmt:
+			violation(n.Pos(), "send on channel inside range over map")
+		case *ast.GoStmt:
+			violation(n.Pos(), "goroutine started inside range over map")
+		case *ast.DeferStmt:
+			violation(n.Pos(), "defer inside range over map runs in iteration order")
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				checkRangeCallStmt(pass, rng, keyObj, call, violation)
+			}
+		case *ast.ReturnStmt:
+			violation(n.Pos(), "return inside range over map picks an arbitrary element")
+		case *ast.BranchStmt:
+			// break/continue/goto are flow control, not output.
+		}
+		return true
+	})
+
+	// Each collected slice must flow into a sort call after the loop.
+	for _, obj := range sortable {
+		if !sortedAfter(pass, rng, obj) {
+			violation(rng.Pos(), "%s collects map keys/values but is never sorted in this function", obj.Name())
+		}
+	}
+	_ = reported
+}
+
+func rangeVarObj(info *types.Info, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if o := info.Defs[id]; o != nil {
+		return o
+	}
+	return info.Uses[id]
+}
+
+// checkRangeWrite vets one written lvalue inside a map range.
+func checkRangeWrite(pass *analysis.Pass, rng *ast.RangeStmt, keyObj types.Object,
+	lhs, rhs ast.Expr, tok token.Token, sortable *[]types.Object, violation func(token.Pos, string, ...any)) {
+
+	if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+		return
+	}
+	base := baseIdent(lhs)
+	if base == nil {
+		violation(lhs.Pos(), "write through %s inside range over map", exprString(lhs))
+		return
+	}
+	obj := pass.TypesInfo.Uses[base]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[base]
+	}
+	if obj == nil || insideNode(obj.Pos(), rng) {
+		return // loop-local state: invisible outside one iteration
+	}
+
+	// Order-independent forms.
+	switch tok {
+	case token.INC, token.DEC:
+		if isIntegerKind(pass.TypesInfo.TypeOf(lhs)) {
+			return
+		}
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN,
+		token.XOR_ASSIGN:
+		if isIntegerKind(pass.TypesInfo.TypeOf(lhs)) {
+			return // integer accumulation commutes; float accumulation does not
+		}
+	case token.ASSIGN, token.DEFINE:
+		// v = append(v, ...) collects; defer the verdict to the sort check.
+		if call, ok := rhs.(*ast.CallExpr); ok && isBuiltin(pass.TypesInfo, call, "append") {
+			if lhs, ok := lhs.(*ast.Ident); ok {
+				if arg0, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && arg0.Name == lhs.Name {
+					*sortable = append(*sortable, obj)
+					return
+				}
+			}
+		}
+		// m2[key] = v: keyed by the iteration key, lands identically in any
+		// order.
+		if idx, ok := lhs.(*ast.IndexExpr); ok {
+			if _, isMap := pass.TypesInfo.TypeOf(idx.X).Underlying().(*types.Map); isMap {
+				if ik, ok := ast.Unparen(idx.Index).(*ast.Ident); ok && keyObj != nil && pass.TypesInfo.Uses[ik] == keyObj {
+					return
+				}
+			}
+		}
+		// Boolean latches (found = true) commute.
+		if id, ok := lhs.(*ast.Ident); ok {
+			if b, ok := pass.TypesInfo.TypeOf(id).Underlying().(*types.Basic); ok && b.Kind() == types.Bool {
+				if rid, ok := rhs.(*ast.Ident); ok && (rid.Name == "true" || rid.Name == "false") {
+					return
+				}
+			}
+		}
+	}
+	violation(lhs.Pos(), "%s is written in map iteration order", exprString(lhs))
+}
+
+// checkRangeCallStmt vets a statement-position call (pure side effect) in a
+// map range body.
+func checkRangeCallStmt(pass *analysis.Pass, rng *ast.RangeStmt, keyObj types.Object,
+	call *ast.CallExpr, violation func(token.Pos, string, ...any)) {
+
+	if fn := ast.Unparen(call.Fun); fn != nil {
+		if id, ok := fn.(*ast.Ident); ok {
+			switch id.Name {
+			case "delete", "panic", "clear", "print", "println":
+				// delete/clear mutate keyed state; panic aborts. None render
+				// order-dependent output. (print/println are debug scaffolding
+				// the tree does not commit.)
+				return
+			}
+		}
+	}
+	violation(call.Pos(), "call %s runs once per element in map iteration order", exprString(call.Fun))
+}
+
+// sortedAfter reports whether obj is passed to a sort.* / slices.Sort* call
+// lexically after rng within the same function.
+func sortedAfter(pass *analysis.Pass, rng *ast.RangeStmt, obj types.Object) bool {
+	fn := enclosingFuncBody(pass, rng.Pos())
+	if fn == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		callee := calleeFunc(pass.TypesInfo, call)
+		if callee == nil || callee.Pkg() == nil {
+			return true
+		}
+		p := callee.Pkg().Path()
+		if p != "sort" && p != "slices" && !strings.HasSuffix(p, "/slices") {
+			return true
+		}
+		switch name := callee.Name(); {
+		case strings.Contains(name, "Sort") && !strings.Contains(name, "IsSorted"):
+			// sort.Sort, slices.Sort, slices.SortFunc, sort.SliceStable, ...
+		case p == "sort" && (name == "Slice" || name == "Stable" ||
+			name == "Strings" || name == "Ints" || name == "Float64s"):
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func enclosingFuncBody(pass *analysis.Pass, pos token.Pos) *ast.BlockStmt {
+	for _, f := range pass.Files {
+		if f.Pos() <= pos && pos <= f.End() {
+			var body *ast.BlockStmt
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					if n.Body != nil && n.Body.Pos() <= pos && pos <= n.Body.End() {
+						body = n.Body
+					}
+				case *ast.FuncLit:
+					if n.Body.Pos() <= pos && pos <= n.Body.End() {
+						body = n.Body
+					}
+				}
+				return true
+			})
+			return body
+		}
+	}
+	return nil
+}
+
+// --- small shared helpers ---------------------------------------------------
+
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func insideNode(pos token.Pos, n ast.Node) bool {
+	return n.Pos() <= pos && pos <= n.End()
+}
+
+func isIntegerKind(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.CallExpr:
+		return exprString(e.Fun)
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	}
+	return "expression"
+}

@@ -1,0 +1,629 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"oltpsim/internal/lint/analysis"
+)
+
+// Hotalloc statically enforces the zero-allocation contract the runtime
+// AllocsPerRun gates (alloc_test.go, internal/core/alloc_test.go) prove
+// dynamically: functions rooted at //oltpsim:hotpath annotations, and
+// everything statically reachable from them inside their package, must not
+// contain allocation-inducing constructs. Cross-package calls are checked
+// through exported facts when the whole module is analyzed in one process
+// (cmd/oltplint), so a hot engine path calling into storage or catalog still
+// sees an allocation planted there.
+var Hotalloc = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: `forbid allocation on //oltpsim:hotpath functions
+
+Reported constructs (in hot functions and their static callees):
+
+  - make, new, map/slice composite literals, &composite{...}
+  - fmt.* and other known-allocating stdlib calls (strings.Join, sort.Slice,
+    strconv.Itoa, ...)
+  - string concatenation and string<->[]byte conversions
+  - escaping closures (func literals stored, returned, or passed outside the
+    package) and go statements
+  - calls with explicit variadic arguments (the argument slice allocates)
+  - implicit boxing of non-pointer-shaped values into interfaces
+  - calls to functions whose own bodies allocate (transitively, including
+    cross-package via facts)
+
+Escape hatches: //oltpsim:coldpath on a statement line or function
+declaration (known-cold amortized work: growth paths, error construction),
+the panic argument position (aborts end the measurement anyway), and the
+committed allowlist in allowlist.go.`,
+	Run: runHotalloc,
+}
+
+// allocFact marks an exported function as allocating, for dependent
+// packages.
+type allocFact struct {
+	Why string // first allocation site, human-readable
+}
+
+func (allocFact) AFact() {}
+
+// allocSite is one local allocating construct.
+type allocSite struct {
+	pos token.Pos
+	why string
+}
+
+// callEdge is one resolved static call.
+type callEdge struct {
+	pos    token.Pos
+	callee *types.Func
+}
+
+// funcNode aggregates per-function analysis state.
+type funcNode struct {
+	decl  *ast.FuncDecl
+	obj   *types.Func
+	hot   bool // annotated //oltpsim:hotpath
+	cold  bool // annotated //oltpsim:coldpath or allowlisted
+	sites []allocSite
+	calls []callEdge
+
+	allocates bool   // transitive, for fact export
+	allocWhy  string // representative reason
+}
+
+func runHotalloc(pass *analysis.Pass) (any, error) {
+	nodes := make(map[*types.Func]*funcNode)
+	var order []*funcNode
+
+	for _, f := range pass.Files {
+		fm := collectMarkers(pass.Fset, f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			n := &funcNode{decl: fd, obj: obj}
+			if _, ok := hasDeclMarker(fd.Doc, "hotpath"); ok {
+				n.hot = true
+			}
+			if _, ok := hasDeclMarker(fd.Doc, "coldpath"); ok {
+				n.cold = true
+			}
+			if _, ok := Allowlist[funcKey(obj)]; ok {
+				n.cold = true
+			}
+			if !n.cold {
+				collectAllocs(pass, fm, fd.Body, n)
+			}
+			nodes[obj] = n
+			order = append(order, n)
+		}
+	}
+
+	// Transitive allocation (for facts and same-package diagnostics):
+	// iterate to a fixed point over the static call graph.
+	for _, n := range order {
+		if len(n.sites) > 0 {
+			n.allocates, n.allocWhy = true, n.sites[0].why
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range order {
+			if n.allocates || n.cold {
+				continue
+			}
+			for _, e := range n.calls {
+				why, bad := calleeAllocates(pass, nodes, e.callee)
+				if bad {
+					n.allocates = true
+					n.allocWhy = fmt.Sprintf("calls %s, which %s", e.callee.FullName(), why)
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	// Hot closure: reachable from annotated roots via same-package calls.
+	var work []*funcNode
+	for _, n := range order {
+		if n.hot && !n.cold {
+			work = append(work, n)
+		}
+	}
+	hot := make(map[*funcNode]bool)
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		if hot[n] {
+			continue
+		}
+		hot[n] = true
+		for _, e := range n.calls {
+			if cn, ok := nodes[e.callee]; ok && !cn.cold && !hot[cn] {
+				work = append(work, cn)
+			}
+		}
+	}
+
+	// Diagnostics: local sites in hot functions, plus hot calls that leave
+	// the package (or the hot set) into something that allocates.
+	for _, n := range order {
+		if !hot[n] {
+			continue
+		}
+		for _, s := range n.sites {
+			pass.Reportf(s.pos, "%s in hot path (reachable from //oltpsim:hotpath): %s",
+				s.why, n.obj.Name())
+		}
+		for _, e := range n.calls {
+			if cn, ok := nodes[e.callee]; ok && (hot[cn] || cn.cold) {
+				continue // same-package hot callee reports its own sites
+			}
+			if why, bad := calleeAllocates(pass, nodes, e.callee); bad {
+				pass.Reportf(e.pos, "hot path calls %s, which %s", e.callee.FullName(), why)
+			}
+		}
+	}
+
+	// Export facts for every function so dependent packages can check their
+	// cross-package hot calls.
+	for _, n := range order {
+		if n.allocates && !n.cold {
+			pass.ExportObjectFact(n.obj, &allocFact{Why: n.allocWhy})
+		}
+	}
+	return nil, nil
+}
+
+// calleeAllocates decides whether calling fn from a hot context allocates,
+// consulting (in order) same-package analysis, the stdlib deny list, and
+// cross-package facts.
+func calleeAllocates(pass *analysis.Pass, nodes map[*types.Func]*funcNode, fn *types.Func) (string, bool) {
+	if n, ok := nodes[fn]; ok {
+		if n.cold {
+			return "", false
+		}
+		return n.allocWhy, n.allocates
+	}
+	if why, ok := stdlibAllocates(fn); ok {
+		return why, true
+	}
+	var f allocFact
+	if pass.ImportObjectFact(fn, &f) {
+		return f.Why, true
+	}
+	return "", false
+}
+
+// stdlibAllocates is the deny list of standard-library functions that always
+// allocate. Everything else outside the module (and outside the fact store)
+// is assumed clean — the runtime gates backstop that assumption.
+func stdlibAllocates(fn *types.Func) (string, bool) {
+	if fn.Pkg() == nil {
+		return "", false
+	}
+	if fn.Signature().Recv() != nil {
+		return "", false
+	}
+	name := fn.Name()
+	switch fn.Pkg().Path() {
+	case "fmt":
+		return "formats (fmt allocates)", true
+	case "errors":
+		if name == "New" || name == "Join" {
+			return "constructs an error", true
+		}
+	case "strings":
+		switch name {
+		case "Join", "Repeat", "Split", "SplitN", "SplitAfter", "Fields",
+			"Replace", "ReplaceAll", "ToUpper", "ToLower", "Title", "Map",
+			"Clone", "TrimSuffix", "TrimPrefix", "Trim", "TrimSpace":
+			return "builds a string", true
+		}
+	case "strconv":
+		switch name {
+		case "Itoa", "FormatInt", "FormatUint", "FormatFloat", "FormatBool",
+			"Quote", "QuoteToASCII":
+			return "builds a string", true
+		}
+	case "sort":
+		switch name {
+		case "Slice", "SliceStable", "SliceIsSorted", "Strings", "Ints", "Float64s":
+			return "boxes its argument", true
+		}
+	case "slices":
+		switch name {
+		case "Clone", "Collect", "Sorted", "Concat", "AppendSeq", "Repeat":
+			return "builds a slice", true
+		}
+	case "bytes":
+		switch name {
+		case "NewBuffer", "NewBufferString", "Join", "Repeat", "Split",
+			"Fields", "ToUpper", "ToLower", "Clone":
+			return "builds a buffer", true
+		}
+	case "maps":
+		switch name {
+		case "Clone", "Keys", "Values":
+			// Keys/Values return iterators (closures over the map).
+			return "builds map state", true
+		}
+	}
+	return "", false
+}
+
+// collectAllocs walks one function body recording allocating constructs and
+// static call edges, honoring //oltpsim:coldpath lines and skipping panic
+// arguments (a taken panic ends the measured window; its message may
+// allocate).
+func collectAllocs(pass *analysis.Pass, fm *fileMarkers, body *ast.BlockStmt, n *funcNode) {
+	info := pass.TypesInfo
+	parents := make(map[ast.Node]ast.Node)
+
+	// sigs tracks the signature whose results a `return` statement feeds:
+	// the declared function's, or the innermost func literal's.
+	sigs := []*types.Signature{funcSignature(n.obj)}
+
+	var walk func(node, parent ast.Node)
+	walk = func(node, parent ast.Node) {
+		if node == nil {
+			return
+		}
+		parents[node] = parent
+		if fm.at(pass.Fset, node.Pos(), "coldpath") {
+			return // annotated cold line: skip the whole subtree
+		}
+		switch x := node.(type) {
+		case *ast.CallExpr:
+			if isBuiltin(info, x, "panic") {
+				return // abort path: message construction is excused
+			}
+			checkCall(pass, info, x, n)
+		case *ast.CompositeLit:
+			checkCompositeLit(pass, info, x, parents, n)
+		case *ast.FuncLit:
+			checkFuncLit(pass, info, x, parents, n)
+			sig, _ := info.TypeOf(x).(*types.Signature)
+			sigs = append(sigs, sig)
+			for _, c := range childNodes(x) {
+				walk(c, x)
+			}
+			sigs = sigs[:len(sigs)-1]
+			return
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && isStringType(info.TypeOf(x)) && !isConstant(info, x) {
+				n.sites = append(n.sites, allocSite{x.OpPos, "string concatenation"})
+			}
+		case *ast.GoStmt:
+			n.sites = append(n.sites, allocSite{x.Pos(), "goroutine start"})
+		case *ast.AssignStmt:
+			if len(x.Lhs) == len(x.Rhs) {
+				for i, lhs := range x.Lhs {
+					checkBoxing(pass, info, info.TypeOf(lhs), x.Rhs[i], n)
+				}
+			}
+		case *ast.ReturnStmt:
+			if isErrorExit(info, x) {
+				return // error construction: off the measured success path
+			}
+			checkReturnBoxing(pass, info, x, sigs[len(sigs)-1], n)
+		}
+		// Recurse.
+		children := childNodes(node)
+		for _, c := range children {
+			walk(c, node)
+		}
+	}
+	walk(body, nil)
+}
+
+func funcSignature(fn *types.Func) *types.Signature {
+	sig, _ := fn.Type().(*types.Signature)
+	return sig
+}
+
+// isErrorExit reports whether ret constructs its error result inline
+// (fmt.Errorf, errors.New): the return that takes the failure path out of a
+// hot function. The zero-allocation gates measure the steady success path,
+// so these exits — like panic arguments — are cold by definition.
+func isErrorExit(info *types.Info, ret *ast.ReturnStmt) bool {
+	for _, r := range ret.Results {
+		call, ok := ast.Unparen(r).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			continue
+		}
+		p, name := fn.Pkg().Path(), fn.Name()
+		if (p == "fmt" && name == "Errorf") || (p == "errors" && (name == "New" || name == "Join")) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkCall records allocation properties of one call: make/new, string
+// conversions, variadic argument slices, interface boxing of arguments, and
+// the static call edge.
+func checkCall(pass *analysis.Pass, info *types.Info, call *ast.CallExpr, n *funcNode) {
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isB := info.Uses[id].(*types.Builtin); isB {
+			switch id.Name {
+			case "make":
+				n.sites = append(n.sites, allocSite{call.Pos(), "make"})
+			case "new":
+				n.sites = append(n.sites, allocSite{call.Pos(), "new"})
+			}
+			return
+		}
+	}
+	// Conversions: T(x).
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		checkConversion(pass, info, call, tv.Type, n)
+		return
+	}
+	fn := calleeFunc(info, call)
+	if fn != nil {
+		n.calls = append(n.calls, callEdge{call.Pos(), fn})
+	}
+	sig, _ := info.TypeOf(call.Fun).(*types.Signature)
+	if sig == nil {
+		return
+	}
+	// Explicit variadic arguments materialize a slice per call.
+	if sig.Variadic() && call.Ellipsis == token.NoPos && len(call.Args) >= sig.Params().Len() {
+		if nvar := len(call.Args) - sig.Params().Len() + 1; nvar > 0 {
+			n.sites = append(n.sites, allocSite{call.Pos(), "variadic call allocates its argument slice"})
+		}
+	}
+	// Interface boxing of arguments.
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			if call.Ellipsis != token.NoPos {
+				continue // spread: the slice passes through
+			}
+			pt = sig.Params().At(np - 1).Type().(*types.Slice).Elem()
+		case i < np:
+			pt = sig.Params().At(i).Type()
+		}
+		checkBoxing(pass, info, pt, arg, n)
+	}
+}
+
+func checkConversion(pass *analysis.Pass, info *types.Info, call *ast.CallExpr, to types.Type, n *funcNode) {
+	if len(call.Args) != 1 {
+		return
+	}
+	from := info.TypeOf(call.Args[0])
+	if from == nil || isConstant(info, call.Args[0]) {
+		return
+	}
+	toU, fromU := to.Underlying(), from.Underlying()
+	switch {
+	case isStringType(to) && !isStringType(from):
+		n.sites = append(n.sites, allocSite{call.Pos(), "conversion to string"})
+	case isByteOrRuneSlice(toU) && isStringType(from):
+		n.sites = append(n.sites, allocSite{call.Pos(), "string to slice conversion"})
+	case types.IsInterface(toU) && !types.IsInterface(fromU) && !pointerShaped(fromU):
+		n.sites = append(n.sites, allocSite{call.Pos(), "interface conversion boxes its operand"})
+	}
+}
+
+// checkBoxing flags an implicit concrete->interface conversion that
+// allocates: assigning or passing a non-pointer-shaped value where an
+// interface is expected.
+func checkBoxing(pass *analysis.Pass, info *types.Info, target types.Type, expr ast.Expr, n *funcNode) {
+	if target == nil || !types.IsInterface(target.Underlying()) {
+		return
+	}
+	et := info.TypeOf(expr)
+	if et == nil || types.IsInterface(et.Underlying()) {
+		return
+	}
+	if b, ok := et.Underlying().(*types.Basic); ok && b.Info()&types.IsUntyped != 0 {
+		return // nil, untyped constants: no boxing allocation
+	}
+	if isConstant(info, expr) || pointerShaped(et.Underlying()) || isZeroSize(et) {
+		return
+	}
+	n.sites = append(n.sites, allocSite{expr.Pos(), fmt.Sprintf("%s value boxed into interface", et)})
+}
+
+func checkReturnBoxing(pass *analysis.Pass, info *types.Info, ret *ast.ReturnStmt, sig *types.Signature, n *funcNode) {
+	if sig == nil || sig.Results().Len() != len(ret.Results) {
+		return
+	}
+	for i, r := range ret.Results {
+		checkBoxing(pass, info, sig.Results().At(i).Type(), r, n)
+	}
+}
+
+func checkCompositeLit(pass *analysis.Pass, info *types.Info, lit *ast.CompositeLit, parents map[ast.Node]ast.Node, n *funcNode) {
+	t := info.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Map:
+		if escapingContext(pass, info, lit, parents) {
+			n.sites = append(n.sites, allocSite{lit.Pos(), "escaping map literal"})
+		}
+	case *types.Slice:
+		if escapingContext(pass, info, lit, parents) {
+			n.sites = append(n.sites, allocSite{lit.Pos(), "escaping slice literal"})
+		}
+	case *types.Struct, *types.Array:
+		// Value literals live on the stack; the address-taken form is heap
+		// when the pointer escapes.
+		if u, ok := parents[lit].(*ast.UnaryExpr); ok && u.Op == token.AND {
+			if escapingContext(pass, info, u, parents) {
+				n.sites = append(n.sites, allocSite{u.Pos(), "escaping &composite literal"})
+			}
+		}
+	}
+}
+
+// checkFuncLit flags closures that escape: stored, returned, or handed out
+// of the package. Non-escaping closures are stack-allocated and free.
+func checkFuncLit(pass *analysis.Pass, info *types.Info, lit *ast.FuncLit, parents map[ast.Node]ast.Node, n *funcNode) {
+	if escapingContext(pass, info, lit, parents) {
+		n.sites = append(n.sites, allocSite{lit.Pos(), "escaping closure"})
+	}
+}
+
+// escapingContext is the shared heuristic for whether an allocation-shaped
+// expression (composite literal, &literal, closure) escapes to the heap. It
+// mirrors — much more coarsely — the compiler's escape analysis: returned,
+// stored outside the frame, sent, deferred, boxed, or passed out of the
+// package counts as escaping; locals, conditions, direct consumption by
+// builtins and by same-package functions (whose bodies this analyzer also
+// sees, and whose behavior the runtime AllocsPerRun gates backstop) do not.
+func escapingContext(pass *analysis.Pass, info *types.Info, node ast.Node, parents map[ast.Node]ast.Node) bool {
+	for {
+		parent := parents[node]
+		if parent == nil {
+			return true // unknown context: be conservative
+		}
+		switch p := parent.(type) {
+		case *ast.ParenExpr:
+			node = parent
+			continue
+		case *ast.UnaryExpr:
+			if p.Op == token.AND {
+				node = parent
+				continue // judge where the pointer goes
+			}
+			return false
+		case *ast.CallExpr:
+			if ast.Unparen(p.Fun) == node {
+				return false // immediately invoked
+			}
+			if id, ok := ast.Unparen(p.Fun).(*ast.Ident); ok {
+				if _, isB := info.Uses[id].(*types.Builtin); isB {
+					return false // append/len/copy consume without escaping
+				}
+			}
+			if tv, ok := info.Types[p.Fun]; ok && tv.IsType() {
+				node = parent
+				continue // conversion: judge the converted value's context
+			}
+			if fn := calleeFunc(info, p); fn != nil && fn.Pkg() == pass.Pkg {
+				return false // same-package static call: callee body is analyzed
+			}
+			return true // cross-package, interface or dynamic call
+		case *ast.AssignStmt:
+			for i, rhs := range p.Rhs {
+				if rhs != node || i >= len(p.Lhs) {
+					continue
+				}
+				if id, ok := ast.Unparen(p.Lhs[i]).(*ast.Ident); ok {
+					obj := info.Defs[id]
+					if obj == nil {
+						obj = info.Uses[id]
+					}
+					if obj != nil && obj.Parent() != nil && obj.Parent() != obj.Pkg().Scope() {
+						return false // plain local: stack
+					}
+				}
+				return true // field, index, global, or blank-through-pointer store
+			}
+			return false
+		case *ast.ValueSpec:
+			for _, name := range p.Names {
+				if obj := info.Defs[name]; obj != nil && obj.Parent() != nil &&
+					obj.Pkg() != nil && obj.Parent() != obj.Pkg().Scope() {
+					return false
+				}
+			}
+			return true
+		case *ast.ReturnStmt, *ast.SendStmt, *ast.GoStmt, *ast.DeferStmt,
+			*ast.KeyValueExpr, *ast.CompositeLit:
+			return true
+		case *ast.ExprStmt, *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt,
+			*ast.SwitchStmt, *ast.BinaryExpr, *ast.IndexExpr, *ast.SliceExpr,
+			*ast.SelectorExpr, *ast.StarExpr, *ast.TypeSwitchStmt, *ast.CaseClause:
+			return false // read-only consumption within the frame
+		default:
+			return true
+		}
+	}
+}
+
+// --- type helpers -----------------------------------------------------------
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+func isConstant(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// pointerShaped reports whether values of t convert to interface without
+// allocating (the runtime stores them directly in the interface word).
+func pointerShaped(t types.Type) bool {
+	switch t.(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	}
+	if b, ok := t.(*types.Basic); ok && b.Kind() == types.UnsafePointer {
+		return true
+	}
+	return false
+}
+
+func isZeroSize(t types.Type) bool {
+	s := types.SizesFor("gc", "amd64")
+	return s.Sizeof(t) == 0
+}
+
+// funcKey names a function for the allowlist: its FullName as go/types
+// prints it, e.g. "oltpsim/internal/engine.(*Tx).Scan".
+func funcKey(fn *types.Func) string { return fn.FullName() }
+
+// childNodes returns a node's direct children in source order (a minimal
+// replacement for the inspector's stack walk).
+func childNodes(n ast.Node) []ast.Node {
+	var out []ast.Node
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			out = append(out, c)
+		}
+		return false
+	})
+	return out
+}

@@ -1,0 +1,34 @@
+package lint_test
+
+import (
+	"testing"
+
+	"oltpsim/internal/lint"
+	"oltpsim/internal/lint/analysistest"
+)
+
+// TestDetrand runs detrand over the fixture module. fixture/detcrit is
+// temporarily added to the critical prefixes; fixture/detfree is loaded too
+// and must stay silent (the gate itself is under test).
+func TestDetrand(t *testing.T) {
+	old := lint.CriticalPrefixes
+	lint.CriticalPrefixes = append(append([]string(nil), old...), "fixture/detcrit")
+	defer func() { lint.CriticalPrefixes = old }()
+	analysistest.Run(t, "testdata", lint.Detrand, "./detcrit/...", "./detfree/...")
+}
+
+func TestHotalloc(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Hotalloc, "./hot/...")
+}
+
+// TestHotallocAllowlist checks the committed-allowlist escape hatch: with
+// fixture/hotallow.audited allowlisted, only the unlisted twin is flagged.
+func TestHotallocAllowlist(t *testing.T) {
+	lint.Allowlist["fixture/hotallow.audited"] = "audited: bounded one-shot allocation"
+	defer delete(lint.Allowlist, "fixture/hotallow.audited")
+	analysistest.Run(t, "testdata", lint.Hotalloc, "./hotallow/...")
+}
+
+func TestLockcheck(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Lockcheck, "./locks/...")
+}

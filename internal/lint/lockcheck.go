@@ -1,0 +1,351 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"oltpsim/internal/lint/analysis"
+)
+
+// Lockcheck enforces the confinement contract the engine and server document
+// in comments: struct fields annotated //oltpsim:guarded-by <mu> may only be
+// touched while the named sibling mutex is held, and fields that are accessed
+// through sync/atomic anywhere in a package may never be read or written
+// plainly. It is the machine-checked version of the "guarded by mu" doc
+// comment, and the safety net for the planned concurrent-engine work.
+var Lockcheck = &analysis.Analyzer{
+	Name: "lockcheck",
+	Doc: `enforce //oltpsim:guarded-by and atomic-field access discipline
+
+Two rules:
+
+  - A field annotated //oltpsim:guarded-by <mu> may only be accessed from a
+    function whose body locks <mu> (Lock for writes; Lock or RLock for
+    reads), or that is annotated //oltpsim:holds <mu>, or on a value the
+    function itself just constructed (a composite literal or new() bound to
+    a local).
+
+  - A field that is passed by address to a sync/atomic function anywhere in
+    the package is atomic-accessed: every other touch must also go through
+    sync/atomic. Index-only ranges and len/cap of atomic slices are allowed.`,
+	Run: runLockcheck,
+}
+
+// guardedField records one //oltpsim:guarded-by annotation.
+type guardedField struct {
+	mutex string // sibling field name of the guarding mutex
+}
+
+func runLockcheck(pass *analysis.Pass) (any, error) {
+	info := pass.TypesInfo
+
+	guarded := make(map[*types.Var]guardedField)
+	atomicFields := make(map[*types.Var]bool)
+	sanctioned := make(map[*ast.SelectorExpr]bool) // selectors inside &-args of atomic calls
+
+	// Pass 1a: collect annotated fields from struct declarations.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := fieldGuard(field)
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := info.Defs[name].(*types.Var); ok {
+						guarded[v] = guardedField{mutex: mu}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 1b: infer atomic-accessed fields — any field whose address feeds a
+	// sync/atomic call. The selectors inside those calls are sanctioned.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					continue
+				}
+				ast.Inspect(u.X, func(m ast.Node) bool {
+					if sel, ok := m.(*ast.SelectorExpr); ok {
+						if v := fieldVar(info, sel); v != nil {
+							atomicFields[v] = true
+							sanctioned[sel] = true
+						}
+					}
+					return true
+				})
+			}
+			return true
+		})
+	}
+
+	// Pass 2: check every field access in every function body.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncLocks(pass, fd, guarded, atomicFields, sanctioned)
+		}
+	}
+	return nil, nil
+}
+
+// fieldVar resolves a selector to the struct field it selects, or nil.
+func fieldVar(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// lockState summarizes what one function body visibly acquires.
+type lockState struct {
+	locked  map[string]bool // mu.Lock() called somewhere in the body
+	rlocked map[string]bool // mu.RLock() called somewhere in the body
+	holds   map[string]bool // //oltpsim:holds annotation
+	fresh   map[types.Object]bool
+}
+
+func checkFuncLocks(pass *analysis.Pass, fd *ast.FuncDecl,
+	guarded map[*types.Var]guardedField, atomicFields map[*types.Var]bool,
+	sanctioned map[*ast.SelectorExpr]bool) {
+
+	info := pass.TypesInfo
+	st := &lockState{
+		locked:  make(map[string]bool),
+		rlocked: make(map[string]bool),
+		holds:   make(map[string]bool),
+		fresh:   make(map[types.Object]bool),
+	}
+	if args, ok := hasDeclMarker(fd.Doc, "holds"); ok {
+		for _, a := range args {
+			st.holds[a] = true
+		}
+	}
+
+	// Scan for lock acquisitions and freshly-constructed locals.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// <expr>.<mu>.Lock() / RLock(): record by mutex field name.
+			if outer, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if inner, ok := ast.Unparen(outer.X).(*ast.SelectorExpr); ok {
+					switch outer.Sel.Name {
+					case "Lock":
+						st.locked[inner.Sel.Name] = true
+					case "RLock":
+						st.rlocked[inner.Sel.Name] = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			// x := &T{...} / T{...} / new(T): x is unshared until published;
+			// constructors may initialize guarded fields lock-free.
+			if n.Tok != token.DEFINE {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if isFreshExpr(info, n.Rhs[i]) {
+					if obj := info.Defs[id]; obj != nil {
+						st.fresh[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Walk accesses with parent tracking for read/write classification.
+	var walk func(node ast.Node, parents []ast.Node)
+	walk = func(node ast.Node, parents []ast.Node) {
+		if node == nil {
+			return
+		}
+		if sel, ok := node.(*ast.SelectorExpr); ok {
+			v := fieldVar(info, sel)
+			if v != nil {
+				if g, ok := guarded[v]; ok {
+					checkGuardedAccess(pass, fd, st, g, sel, v, parents)
+				}
+				if atomicFields[v] && !sanctioned[sel] && !atomicUseAllowed(sel, parents) {
+					pass.Reportf(sel.Pos(),
+						"field %s is accessed with sync/atomic elsewhere; plain access here races (use atomic.Load/Store/Add)",
+						v.Name())
+				}
+			}
+		}
+		for _, c := range childNodes(node) {
+			walk(c, append(parents, node))
+		}
+	}
+	walk(fd.Body, nil)
+}
+
+// isFreshExpr reports whether e evaluates to storage no other goroutine can
+// reference yet.
+func isFreshExpr(info *types.Info, e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			_, ok := ast.Unparen(x.X).(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "new" {
+			_, isB := info.Uses[id].(*types.Builtin)
+			return isB
+		}
+	}
+	return false
+}
+
+func checkGuardedAccess(pass *analysis.Pass, fd *ast.FuncDecl, st *lockState,
+	g guardedField, sel *ast.SelectorExpr, v *types.Var, parents []ast.Node) {
+
+	// Freshly-constructed receiver: initialization before publication.
+	if base := baseIdent(sel); base != nil {
+		obj := pass.TypesInfo.Uses[base]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[base]
+		}
+		if obj != nil && st.fresh[obj] {
+			return
+		}
+	}
+	if st.holds[g.mutex] {
+		return
+	}
+	write := isWriteContext(sel, parents)
+	if st.locked[g.mutex] {
+		return
+	}
+	if !write && st.rlocked[g.mutex] {
+		return
+	}
+	kind := "read"
+	verb := "Lock or RLock"
+	if write {
+		kind = "write"
+		verb = "Lock"
+	}
+	have := ""
+	if write && st.rlocked[g.mutex] {
+		have = " (RLock is held, but writes need the exclusive Lock)"
+	}
+	pass.Reportf(sel.Pos(),
+		"%s of %s, guarded by %q, without %s of %s in %s%s (or annotate //oltpsim:holds %s)",
+		kind, v.Name(), g.mutex, verb, g.mutex, fd.Name.Name, have, g.mutex)
+}
+
+// isWriteContext classifies a selector access: assignment LHS, ++/--, or
+// address-taken counts as a write.
+func isWriteContext(sel *ast.SelectorExpr, parents []ast.Node) bool {
+	if len(parents) == 0 {
+		return false
+	}
+	child := ast.Node(sel)
+	for i := len(parents) - 1; i >= 0; i-- {
+		switch p := parents[i].(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range p.Lhs {
+				if containsNode(lhs, child) {
+					return true
+				}
+			}
+			return false
+		case *ast.IncDecStmt:
+			return containsNode(p.X, child)
+		case *ast.UnaryExpr:
+			if p.Op == token.AND {
+				return true // address escapes: conservatively a write
+			}
+		case *ast.SelectorExpr, *ast.IndexExpr, *ast.SliceExpr, *ast.ParenExpr, *ast.StarExpr:
+			// keep climbing through the lvalue spine
+		default:
+			return false
+		}
+		child = parents[i]
+	}
+	return false
+}
+
+func containsNode(root ast.Node, target ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// atomicUseAllowed exempts the non-racy shapes of touching an atomic field:
+// index-only iteration over an atomic slice/array and len/cap.
+func atomicUseAllowed(sel *ast.SelectorExpr, parents []ast.Node) bool {
+	if len(parents) == 0 {
+		return false
+	}
+	switch p := parents[len(parents)-1].(type) {
+	case *ast.RangeStmt:
+		// `for i := range x.f` reads only the header/length.
+		if p.X == sel && p.Value == nil {
+			return true
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(p.Fun).(*ast.Ident); ok {
+			if id.Name == "len" || id.Name == "cap" {
+				return true
+			}
+		}
+	case *ast.IndexExpr:
+		// x.f[i] indexing is a read of the slice header plus an element
+		// address computation; the element access itself is what must be
+		// atomic, and that is checked at the enclosing &/call.
+		if p.X == sel && len(parents) >= 2 {
+			if u, ok := parents[len(parents)-2].(*ast.UnaryExpr); ok && u.Op == token.AND {
+				return true // &x.f[i] handed to atomic.* (sanctioned at that site)
+			}
+		}
+	case *ast.UnaryExpr:
+		if p.Op == token.AND {
+			// &x.f on its own reaches here only when NOT inside an atomic
+			// call (those are sanctioned); taking the address to pass
+			// elsewhere is suspicious but not a plain data access — let the
+			// receiving site's checks decide.
+			return true
+		}
+	}
+	return false
+}

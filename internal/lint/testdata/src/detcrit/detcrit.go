@@ -1,0 +1,82 @@
+// Package detcrit is a detrand fixture. The test temporarily extends
+// lint.CriticalPrefixes with "fixture/detcrit" so the analyzer treats it as
+// determinism-critical.
+package detcrit
+
+import (
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+// Clock reads wall clocks and the environment: every call is a finding.
+func Clock() time.Duration {
+	t := time.Now()                // want `call to time.Now \(wall-clock read\) in determinism-critical package`
+	_ = os.Getenv("OLTPSIM_DEBUG") // want `call to os.Getenv \(environment read\)`
+	return time.Since(t)           // want `call to time.Since \(wall-clock read\)`
+}
+
+// AnnotatedClock carries the escape hatch; no findings.
+func AnnotatedClock() time.Time {
+	//oltpsim:nondet-ok startup banner timestamp, never feeds the simulation
+	return time.Now()
+}
+
+// GlobalRand draws from the process-global source: finding. SeededRand
+// constructs its own source: clean.
+func GlobalRand() int {
+	return rand.Intn(10) // want `call to math/rand.Intn \(process-global RNG\)`
+}
+
+func SeededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// LeakyRange appends map keys and never sorts: iteration order escapes.
+func LeakyRange(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order leaks`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// SortedRange uses the collect-then-sort idiom: clean.
+func SortedRange(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// FoldRange only accumulates order-independent integers: clean.
+func FoldRange(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// KeyedRange writes through the iteration key: clean (order-independent).
+func KeyedRange(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+// MarkedRange leaks order but is annotated: clean.
+func MarkedRange(m map[string]int) []string {
+	var keys []string
+	//oltpsim:nondet-ok diagnostic dump, order is cosmetic
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

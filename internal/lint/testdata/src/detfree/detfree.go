@@ -1,0 +1,8 @@
+// Package detfree is outside the determinism-critical prefixes: the same
+// calls that trip detrand in detcrit are clean here (the serving path may
+// read wall clocks).
+package detfree
+
+import "time"
+
+func Clock() time.Time { return time.Now() }

@@ -1,0 +1,12 @@
+// Package dep exists to exercise hotalloc's cross-package facts: Alloc's
+// allocation is discovered here and exported, and the importing package's
+// hot path is flagged at the call site.
+package dep
+
+// Alloc allocates.
+func Alloc(n int) []int {
+	return make([]int, n)
+}
+
+// Clean does not.
+func Clean(n int) int { return n * 2 }

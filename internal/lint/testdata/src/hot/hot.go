@@ -1,0 +1,63 @@
+// Package hot is a hotalloc fixture: one annotated root, helpers reached
+// from it, and the escape hatches.
+package hot
+
+import (
+	"fmt"
+
+	"fixture/hot/dep"
+)
+
+var sink any
+
+// Root is the annotated zero-alloc entry point.
+//
+//oltpsim:hotpath
+func Root(buf []int, n int) int {
+	s := make([]int, n)      // want `make in hot path`
+	_ = fmt.Sprintf("%d", n) // want `hot path calls fmt.Sprintf` `variadic call allocates its argument slice` `int value boxed into interface`
+	sink = n                 // want `int value boxed into interface`
+	_ = dep.Alloc(n)         // want `hot path calls fixture/hot/dep.Alloc`
+	_ = dep.Clean(n)
+	return helper(buf) + len(s)
+}
+
+// helper is unannotated but reachable from Root: its allocation is charged
+// where it happens.
+func helper(buf []int) int {
+	extra := make([]int, 4) // want `make in hot path`
+	return len(buf) + len(extra)
+}
+
+// Grow carries a line-level coldpath marker: the amortized growth make is
+// exempt, the rest of the function is still checked.
+//
+//oltpsim:hotpath
+func Grow(buf []byte, n int) []byte {
+	if cap(buf) < n {
+		buf = make([]byte, n) //oltpsim:coldpath grows to the high-water mark once
+	}
+	return buf[:n]
+}
+
+// report is function-level cold: error rendering off the steady-state path.
+//
+//oltpsim:coldpath error rendering
+func report(n int) string {
+	return fmt.Sprintf("bad value %d", n)
+}
+
+// Checked calls the cold reporter only on the failure path: clean.
+//
+//oltpsim:hotpath
+func Checked(n int) string {
+	if n < 0 {
+		return report(n)
+	}
+	return ""
+}
+
+// Cold allocates freely: never annotated, never reachable from a root.
+func Cold() []int {
+	return append([]int{}, 1, 2, 3)
+}

@@ -1,0 +1,21 @@
+// Package hotallow exercises the committed allowlist: the test inserts
+// "fixture/hotallow.audited" into lint.Allowlist before running, so its
+// allocation is tolerated; the unlisted twin is still flagged.
+package hotallow
+
+// audited allocates but is allowlisted by the test.
+func audited(n int) []int {
+	return make([]int, n)
+}
+
+// unlisted allocates and is not allowlisted.
+func unlisted(n int) []int {
+	return make([]int, n) // want `make in hot path`
+}
+
+// Root reaches both.
+//
+//oltpsim:hotpath
+func Root(n int) int {
+	return len(audited(n)) + len(unlisted(n))
+}

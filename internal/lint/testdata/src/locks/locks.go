@@ -1,0 +1,74 @@
+// Package locks is a lockcheck fixture: guarded fields, the holds and
+// fresh-constructor escape hatches, and atomic-field inference.
+package locks
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Gate mirrors the server's drain gate: draining may only be touched under
+// mu.
+type Gate struct {
+	mu       sync.RWMutex
+	draining bool //oltpsim:guarded-by mu
+}
+
+// BadRead touches the field with no lock in sight.
+func (g *Gate) BadRead() bool {
+	return g.draining // want `read of draining, guarded by "mu", without Lock or RLock`
+}
+
+// BadWrite writes with no lock.
+func (g *Gate) BadWrite() {
+	g.draining = true // want `write of draining, guarded by "mu", without Lock`
+}
+
+// ReadUnderRLock is the sanctioned reader shape.
+func (g *Gate) ReadUnderRLock() bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.draining
+}
+
+// WriteUnderRLock holds only the read lock for a write.
+func (g *Gate) WriteUnderRLock() {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	g.draining = true // want `RLock is held, but writes need the exclusive Lock`
+}
+
+// WriteUnderLock is the sanctioned writer shape.
+func (g *Gate) WriteUnderLock() {
+	g.mu.Lock()
+	g.draining = true
+	g.mu.Unlock()
+}
+
+// held is called with mu already held by its callers.
+//
+//oltpsim:holds mu
+func (g *Gate) held() bool {
+	return g.draining
+}
+
+// NewGate initializes the guarded field before the value is published.
+func NewGate() *Gate {
+	g := &Gate{}
+	g.draining = false
+	return g
+}
+
+// Counter has a field the package touches through sync/atomic: plain access
+// anywhere else races.
+type Counter struct {
+	n int64
+}
+
+// Bump is the sanctioned atomic path.
+func (c *Counter) Bump() { atomic.AddInt64(&c.n, 1) }
+
+// Peek reads the atomic field plainly.
+func (c *Counter) Peek() int64 {
+	return c.n // want `field n is accessed with sync/atomic elsewhere`
+}

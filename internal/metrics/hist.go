@@ -65,6 +65,8 @@ func BucketBounds(i int) (lo, hi uint64) {
 }
 
 // Record adds one observation.
+//
+//oltpsim:hotpath
 func (h *Histogram) Record(v uint64) {
 	atomic.AddUint64(&h.counts[bucketOf(v)], 1)
 	atomic.AddUint64(&h.count, 1)

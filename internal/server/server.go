@@ -84,11 +84,11 @@ type Server struct {
 	workers sync.WaitGroup
 
 	mu       sync.RWMutex // guards draining against enqueue
-	draining bool
+	draining bool         //oltpsim:guarded-by mu
 	closed   chan struct{}
 
 	connMu sync.Mutex
-	conns  map[*conn]struct{}
+	conns  map[*conn]struct{} //oltpsim:guarded-by connMu
 	connWG sync.WaitGroup
 	reqWG  sync.WaitGroup // one count per admitted request, until its response is written
 

@@ -154,6 +154,9 @@ func (m *Arena) page(id Addr) *[pageSize]byte {
 	return m.pageSlow(id)
 }
 
+// pageSlow materializes a page's backing bytes on first touch.
+//
+//oltpsim:coldpath lazy page materialization; runs once per page, amortized to zero
 func (m *Arena) pageSlow(id Addr) *[pageSize]byte {
 	if id < dataBasePage {
 		panic(fmt.Sprintf("simmem: access to unbacked address %#x (below data segment)",
@@ -180,11 +183,15 @@ func (m *Arena) trace(addr Addr, size int, write bool) {
 // Touch reports an access of size bytes at addr without moving any data. It
 // is used by substrates that keep bookkeeping state in Go for speed but still
 // owe the cache hierarchy the corresponding memory traffic.
+//
+//oltpsim:hotpath
 func (m *Arena) Touch(addr Addr, size int, write bool) {
 	m.trace(addr, size, write)
 }
 
 // ReadU64 reads a little-endian uint64 at addr.
+//
+//oltpsim:hotpath
 func (m *Arena) ReadU64(addr Addr) uint64 {
 	if m.tracefn != nil {
 		m.tracefn(addr, 8, false)
@@ -209,6 +216,8 @@ func (m *Arena) ReadU64(addr Addr) uint64 {
 }
 
 // WriteU64 writes a little-endian uint64 at addr.
+//
+//oltpsim:hotpath
 func (m *Arena) WriteU64(addr Addr, v uint64) {
 	if m.tracefn != nil {
 		m.tracefn(addr, 8, true)
@@ -232,6 +241,8 @@ func (m *Arena) WriteU64(addr Addr, v uint64) {
 }
 
 // ReadU32 reads a little-endian uint32 at addr.
+//
+//oltpsim:hotpath
 func (m *Arena) ReadU32(addr Addr) uint32 {
 	if m.tracefn != nil {
 		m.tracefn(addr, 4, false)
@@ -255,6 +266,8 @@ func (m *Arena) ReadU32(addr Addr) uint32 {
 }
 
 // WriteU32 writes a little-endian uint32 at addr.
+//
+//oltpsim:hotpath
 func (m *Arena) WriteU32(addr Addr, v uint32) {
 	if m.tracefn != nil {
 		m.tracefn(addr, 4, true)
@@ -279,6 +292,8 @@ func (m *Arena) WriteU32(addr Addr, v uint32) {
 }
 
 // ReadBytes fills dst with the bytes at addr.
+//
+//oltpsim:hotpath
 func (m *Arena) ReadBytes(addr Addr, dst []byte) {
 	if len(dst) == 0 {
 		return
@@ -294,6 +309,8 @@ func (m *Arena) ReadBytes(addr Addr, dst []byte) {
 }
 
 // WriteBytes stores src at addr.
+//
+//oltpsim:hotpath
 func (m *Arena) WriteBytes(addr Addr, src []byte) {
 	if len(src) == 0 {
 		return

@@ -257,7 +257,7 @@ func (bp *BufferPool) victim() (int, error) {
 func (bp *BufferPool) evict(f int) {
 	pageID := bp.pageOf[f] - 1
 	if bp.dirty[f] {
-		buf := make([]byte, PageSize)
+		buf := make([]byte, PageSize) //oltpsim:coldpath dirty write-back to the simulated disk map on eviction
 		bp.m.ReadBytes(bp.FrameAddr(f), buf)
 		bp.disk[pageID] = buf
 	}

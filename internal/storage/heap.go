@@ -44,7 +44,7 @@ func (h *HeapFile) Count() uint64 { return h.count }
 
 // Insert appends row and returns its RID.
 func (h *HeapFile) Insert(row catalog.Row) (RID, error) {
-	if cap(h.recBuf) < h.schema.RowSize() {
+	if cap(h.recBuf) < h.schema.RowSize() { //oltpsim:coldpath record buffer grows to the row size once
 		h.recBuf = make([]byte, h.schema.RowSize())
 	}
 	rec := h.recBuf[:h.schema.RowSize()]

@@ -69,7 +69,7 @@ func (l *Log) Append(txnID uint64, kind RecordKind, payloadAddr simmem.Addr, pay
 	l.m.WriteU32(rec+16, uint32(kind))
 	l.m.WriteU32(rec+20, uint32(payloadLen))
 	if payloadLen > 0 {
-		if cap(l.imgBuf) < payloadLen {
+		if cap(l.imgBuf) < payloadLen { //oltpsim:coldpath image buffer grows to the largest record once
 			l.imgBuf = make([]byte, payloadLen)
 		}
 		img := l.imgBuf[:payloadLen]

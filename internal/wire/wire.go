@@ -67,36 +67,52 @@ type Buffer struct {
 }
 
 // Reset begins a frame of the given type, reserving the length prefix.
+//
+//oltpsim:hotpath
 func (w *Buffer) Reset(msgType byte) {
 	w.b = append(w.b[:0], 0, 0, 0, 0, msgType)
 }
 
 // Bytes finalizes the frame (patching the length prefix) and returns it.
 // The slice is valid until the next Reset.
+//
+//oltpsim:hotpath
 func (w *Buffer) Bytes() []byte {
 	binary.LittleEndian.PutUint32(w.b[:4], uint32(len(w.b)-4))
 	return w.b
 }
 
 // U8 appends one byte.
+//
+//oltpsim:hotpath
 func (w *Buffer) U8(v byte) { w.b = append(w.b, v) }
 
 // U16 appends a little-endian uint16.
+//
+//oltpsim:hotpath
 func (w *Buffer) U16(v uint16) { w.b = binary.LittleEndian.AppendUint16(w.b, v) }
 
 // U32 appends a little-endian uint32.
+//
+//oltpsim:hotpath
 func (w *Buffer) U32(v uint32) { w.b = binary.LittleEndian.AppendUint32(w.b, v) }
 
 // I64 appends a little-endian int64.
+//
+//oltpsim:hotpath
 func (w *Buffer) I64(v int64) { w.b = binary.LittleEndian.AppendUint64(w.b, uint64(v)) }
 
 // Str appends a u16-length-prefixed string.
+//
+//oltpsim:hotpath
 func (w *Buffer) Str(s string) {
 	w.U16(uint16(len(s)))
 	w.b = append(w.b, s...)
 }
 
 // Blob appends a u32-length-prefixed byte string.
+//
+//oltpsim:hotpath
 func (w *Buffer) Blob(b []byte) {
 	w.U32(uint32(len(b)))
 	w.b = append(w.b, b...)

@@ -139,6 +139,8 @@ func (w *Micro) payloadVal(i int64) catalog.Value {
 // decimal digits + a fixed suffix, zero-filled to the column width). Keys are
 // generated so that their byte order matches numeric order, like the Long
 // encoding. Formatted by hand: this runs once per row during population.
+//
+//oltpsim:coldpath population-time key rendering; the zero-alloc gate runs the Long-keyed config
 func stringKey(i int64) []byte {
 	b := make([]byte, StringColWidth)
 	b[0] = 'k'
@@ -152,6 +154,8 @@ func stringKey(i int64) []byte {
 
 // Gen implements Workload. Generated keys stay within the caller's partition
 // (key mod parts == part), matching the paper's single-site configuration.
+//
+//oltpsim:hotpath
 func (w *Micro) Gen(r *Rand, part, parts int) Call {
 	if parts > 1 && w.cfg.StringKeys {
 		panic("workload: string-key micro supports only single-partition runs")
