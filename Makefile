@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race bench bench-compare figures figures-numa figures-htap figures-serve fuzz cover serve drive serve-smoke
+.PHONY: build vet lint test race bench bench-compare figures figures-numa figures-htap figures-serve fuzz cover serve drive serve-smoke concurrent-smoke
 
 build:
 	$(GO) build ./...
@@ -72,6 +72,15 @@ drive:
 # counts and sane quantiles, then SIGTERM-drain.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# concurrent-smoke is the CI gate for the engine's concurrent mode: race
+# hammers on the MT hierarchy/engine/replay paths, then a race-built oltpd
+# serving 4 shards of ONE engine on loopback with /metrics assertions that
+# concurrent mode was live and every shard executed.
+concurrent-smoke:
+	$(GO) test -race -run 'TestConcurrent|TestEnterConcurrent' ./internal/core ./internal/engine
+	$(GO) test -race -run 'TestRefExecConcurrent' ./internal/workload
+	./scripts/concurrent_smoke.sh
 
 # fuzz runs the SQL front-end fuzz smoke (same budget as CI).
 fuzz:

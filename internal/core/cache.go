@@ -187,6 +187,16 @@ func (c *Cache) FillQuietEvict(lineID uint64) (evicted uint64) {
 	return evicted
 }
 
+// Lines visits every resident line ID, in no particular order, without
+// touching counters or LRU state. Intended for coherence checks.
+func (c *Cache) Lines(visit func(lineID uint64)) {
+	for _, t := range c.tags {
+		if t != 0 {
+			visit(t - 1)
+		}
+	}
+}
+
 // Invalidate removes lineID if present and reports whether it was resident.
 // Used by the coherence directory.
 func (c *Cache) Invalidate(lineID uint64) bool {

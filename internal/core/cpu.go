@@ -25,6 +25,11 @@ type CPU struct {
 
 	perModule [NumModules]ModuleStats
 	curMod    Module
+
+	// mt mirrors the machine's concurrent mode: Exec uses the region's
+	// per-core cold-window rotation instead of the shared one, so several
+	// CPUs can execute the same region at once without racing.
+	mt bool
 }
 
 // Exec retires instrs instructions of region r, streaming the corresponding
@@ -57,7 +62,11 @@ func (c *CPU) Exec(r *Region, instrs int) {
 			cold = span
 		}
 		if span > 0 {
-			start := hot + r.rot%span
+			rot := r.rot
+			if c.mt {
+				rot = int(r.rotMT[c.ID])
+			}
+			start := hot + rot%span
 			first := cold
 			if start+first > r.lines {
 				first = r.lines - start
@@ -66,7 +75,11 @@ func (c *CPU) Exec(r *Region, instrs int) {
 			if rest := cold - first; rest > 0 {
 				stall += c.hier.FetchCode(c.ID, r.Base+simmem.Addr(hot*LineBytes), rest)
 			}
-			r.rot = (r.rot + cold) % span
+			if c.mt {
+				r.rotMT[c.ID] = int32((rot + cold) % span)
+			} else {
+				r.rot = (rot + cold) % span
+			}
 		}
 	}
 	c.Instructions += uint64(instrs)
@@ -110,10 +123,14 @@ func (c *CPU) ModuleStats(m Module) ModuleStats { return c.perModule[m] }
 // core, and routes arena data accesses to the currently executing CPU. It is
 // the top-level object a system archetype is built on.
 //
-// A Machine is not safe for concurrent use: simulated cores are logical —
-// the harness interleaves them from one goroutine via SetCurrent — and the
-// concurrent experiment runner gets its parallelism from giving every cell
-// its own Machine, never from sharing one.
+// By default a Machine is not safe for concurrent use: simulated cores are
+// logical — the harness interleaves them from one goroutine via SetCurrent —
+// and the concurrent experiment runner gets its parallelism from giving
+// every cell its own Machine. SetConcurrent(true) switches the hierarchy
+// into its locked mode, after which different cores may be driven from
+// different goroutines, each accessing memory through its own per-core arena
+// view (Arena.View with TracerFor) so accesses are charged to a fixed CPU
+// instead of the shared current one.
 type Machine struct {
 	Arena *simmem.Arena
 	Hier  *Hierarchy
@@ -160,6 +177,47 @@ func (m *Machine) ClaimHome(addr simmem.Addr, size, socket int) {
 
 // SocketOf returns the socket a core belongs to.
 func (m *Machine) SocketOf(core int) int { return m.Hier.SocketOf(core) }
+
+// SetConcurrent switches the machine between serialized and concurrent mode:
+// it flips the hierarchy's locked paths and every CPU's per-core code-window
+// rotation together. Must be called while no simulated execution is in
+// flight.
+func (m *Machine) SetConcurrent(on bool) {
+	m.Hier.SetConcurrent(on)
+	for _, c := range m.CPUs {
+		c.mt = on
+	}
+}
+
+// Concurrent reports whether the machine is in concurrent mode.
+func (m *Machine) Concurrent() bool { return m.Hier.Concurrent() }
+
+// coreTracer is a simmem.Tracer pinned to one CPU: data accesses through an
+// arena view carrying it are charged to that CPU regardless of the machine's
+// current selection. This is what gives each concurrent worker its own
+// attribution without touching the shared cur pointer.
+type coreTracer struct {
+	m *Machine
+	c *CPU
+}
+
+// OnData implements simmem.Tracer, mirroring Machine.OnData for a fixed CPU.
+//
+//oltpsim:hotpath
+func (t *coreTracer) OnData(addr simmem.Addr, size int, write bool) {
+	c := t.c
+	stall := t.m.Hier.DataAccess(c.ID, addr, size, write)
+	if stall != 0 {
+		c.DStallCycles += uint64(stall)
+		c.perModule[c.curMod].DStallCycles += uint64(stall)
+	}
+}
+
+// TracerFor returns a tracer pinned to the given core, for use with
+// Arena.View in concurrent mode.
+func (m *Machine) TracerFor(core int) simmem.Tracer {
+	return &coreTracer{m: m, c: m.CPUs[core]}
+}
 
 // SetCurrent selects the CPU that subsequent Exec calls and data accesses
 // belong to. The simulation is single-OS-threaded; logical cores are

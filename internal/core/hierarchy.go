@@ -92,6 +92,11 @@ type Hierarchy struct {
 	// homes records explicit home-socket claims (ClaimHome); nil until the
 	// first claim. Unclaimed lines interleave across sockets by 4KB page.
 	homes *homeMap
+
+	// mt holds the concurrent-mode synchronization state (socket locks and
+	// per-core invalidation inboxes); nil in the serialized single-goroutine
+	// mode. See hierarchy_mt.go.
+	mt *hierMT
 }
 
 // The coherence directory is a two-level paged slice keyed by data line ID
@@ -312,6 +317,9 @@ func (h *Hierarchy) TotalCounts() MissCounts {
 // socket's LLC can serve costs the cross-socket forward, everything else
 // fills from memory at the local-DRAM cost (code pages are homed locally).
 func (h *Hierarchy) FetchCode(core int, addr simmem.Addr, nLines int) int {
+	if h.mt != nil {
+		return h.fetchCodeMT(core, addr, nLines)
+	}
 	cc := &h.cores[core]
 	ct := &h.counts[core]
 	l1i, l2 := cc.l1i, cc.l2
@@ -432,6 +440,9 @@ func (h *Hierarchy) invalidateSocket(t int, id uint64, mask uint64, skip int, ct
 func (h *Hierarchy) DataAccess(core int, addr simmem.Addr, size int, write bool) int {
 	if size <= 0 {
 		return 0
+	}
+	if h.mt != nil {
+		return h.dataAccessMT(core, addr, size, write)
 	}
 	cc := &h.cores[core]
 	ct := &h.counts[core]

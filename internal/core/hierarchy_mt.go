@@ -1,0 +1,421 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"oltpsim/internal/simmem"
+)
+
+// This file is the concurrent-execution variant of the hierarchy paths: with
+// SetConcurrent(true), DataAccess and FetchCode may be called for different
+// cores from different goroutines at the same time, which is how the serving
+// path generates cross-core coherence traffic from *actual* concurrent access
+// instead of serialized turns.
+//
+// Synchronization discipline:
+//
+//   - A core's private caches (l1i/l1d/l2) and its MissCounts entry are only
+//     ever touched by the goroutine driving that core — they stay
+//     unsynchronized, like per-CPU hardware counters.
+//   - Each socket's shared state (its LLC and its directory slice) is guarded
+//     by one mutex in socks. Socket locks are never nested: the access path
+//     releases its own socket before probing or invalidating a remote one.
+//   - Writers never touch another core's private caches (the serial path
+//     does, in invalidateSocket). Instead they post the line to the victim
+//     core's invalidation inbox; the victim drains its inbox at the start of
+//     its next data access, invalidating its own copies and clearing its own
+//     directory bits. Inbox order: an enqueuer may hold a socket lock while
+//     taking an inbox lock, so drains never hold an inbox lock while taking a
+//     socket lock (they swap the queue out first).
+//
+// The cost model consequence: invalidations become visible to the victim at
+// its next access rather than instantly (a message-passing approximation of
+// the real protocol's asynchrony), and per-cache Invalidations are credited
+// to the core that *loses* the line rather than the writer. Directory and
+// caches may disagree transiently mid-run; after Quiesce they agree exactly
+// again, which is what CheckCoherent verifies and the concurrent race-hammer
+// tests assert. Cross-core totals remain conserved in both modes: every
+// (line, cache) invalidation event increments exactly one core's counter.
+
+// invQueue is one core's pending-invalidation inbox.
+type invQueue struct {
+	mu      sync.Mutex
+	pending []uint64 //oltpsim:guarded-by mu
+	// draining is the owner core's swap buffer: only the owning core's
+	// goroutine touches it, outside the lock.
+	draining []uint64
+}
+
+// hierMT is the synchronization state of concurrent mode; nil while the
+// hierarchy is in (serialized) single-goroutine mode.
+type hierMT struct {
+	socks []sync.Mutex // one per socket: guards llcs[s] and dirs[s]
+	inq   []invQueue   // one per core
+}
+
+// SetConcurrent switches the hierarchy between the serialized single-
+// goroutine mode (the harness default; byte-identical to the historical
+// paths) and the concurrent mode described above. It must be called while no
+// accesses are in flight. Leaving concurrent mode drains every inbox so the
+// directory and caches agree again.
+func (h *Hierarchy) SetConcurrent(on bool) {
+	if !on {
+		h.Quiesce()
+		h.mt = nil
+		return
+	}
+	if h.mt != nil {
+		return
+	}
+	h.mt = &hierMT{
+		socks: make([]sync.Mutex, h.nSock),
+		inq:   make([]invQueue, len(h.cores)),
+	}
+}
+
+// Concurrent reports whether the hierarchy is in concurrent mode.
+func (h *Hierarchy) Concurrent() bool { return h.mt != nil }
+
+// postInvalidations enqueues line id to the inbox of every socket-t core
+// named in mask except skip. Caller holds socks[t]; inbox locks are leaf
+// locks under socket locks.
+func (h *Hierarchy) postInvalidations(t int, id uint64, mask uint64, skip int) {
+	lo, hi := h.socketRange(t)
+	for other := lo; other < hi; other++ {
+		if other == skip || mask&(uint64(1)<<uint(other)) == 0 {
+			continue
+		}
+		q := &h.mt.inq[other]
+		q.mu.Lock()
+		q.pending = append(q.pending, id)
+		q.mu.Unlock()
+	}
+}
+
+// drainInvalidations applies core's pending invalidations to its own private
+// caches and directory bits. Called by the owning core's goroutine (or by
+// Quiesce while the cores are stopped).
+func (h *Hierarchy) drainInvalidations(core int) {
+	q := &h.mt.inq[core]
+	q.mu.Lock()
+	if len(q.pending) == 0 {
+		q.mu.Unlock()
+		return
+	}
+	q.pending, q.draining = q.draining[:0], q.pending
+	q.mu.Unlock()
+
+	cc := &h.cores[core]
+	ct := &h.counts[core]
+	s := h.sockOf[core]
+	bit := uint64(1) << uint(core)
+	for _, id := range q.draining {
+		if cc.l1d.Invalidate(id) {
+			ct.Invalidations++
+		}
+		if cc.l2.Invalidate(id) {
+			ct.Invalidations++
+		}
+		if h.dirs != nil {
+			h.mt.socks[s].Lock()
+			if m := h.dirs[s].get(id); m&bit != 0 {
+				h.dirs[s].set(id, m&^bit)
+			}
+			h.mt.socks[s].Unlock()
+		}
+	}
+}
+
+// Quiesce drains every core's invalidation inbox. In concurrent mode it must
+// be called with all cores stopped (the engine's Observe path holds every
+// per-core lock); it restores exact directory/cache agreement. A no-op in
+// serialized mode.
+func (h *Hierarchy) Quiesce() {
+	if h.mt == nil {
+		return
+	}
+	for c := range h.cores {
+		h.drainInvalidations(c)
+	}
+}
+
+// dataAccessMT is the concurrent-mode body of DataAccess. Counter semantics
+// match the serial path except that per-cache Invalidations are credited to
+// the victim core at drain time (see the file comment).
+//
+//oltpsim:hotpath
+func (h *Hierarchy) dataAccessMT(core int, addr simmem.Addr, size int, write bool) int {
+	cc := &h.cores[core]
+	ct := &h.counts[core]
+	s := h.sockOf[core]
+	llc := h.llcs[s]
+	mt := h.mt
+	h.drainInvalidations(core)
+	stall := 0
+	first := uint64(addr) >> LineShift
+	last := (uint64(addr) + uint64(size) - 1) >> LineShift
+	for id := first; id <= last; id++ {
+		ct.L1DAcc++
+		if write {
+			if h.dirs != nil {
+				self := uint64(1) << uint(core)
+				mt.socks[s].Lock()
+				if mask := h.dirs[s].get(id); mask&^self != 0 {
+					h.postInvalidations(s, id, mask, core)
+					h.dirs[s].set(id, self)
+				}
+				h.evictPrivate(core, s, cc.l1d.FillQuietEvict(id), cc.l2)
+				h.evictPrivate(core, s, cc.l2.FillQuietEvict(id), cc.l1d)
+				llc.FillQuiet(id)
+				h.dirs[s].set(id, h.dirs[s].get(id)|self)
+				mt.socks[s].Unlock()
+				// Remote sockets: invalidate their LLC copy and post to their
+				// cores' inboxes; the ownership transfer stalls the writer.
+				// Each remote socket is locked on its own, never nested.
+				if h.nSock > 1 {
+					for t := 0; t < h.nSock; t++ {
+						if t == s {
+							continue
+						}
+						mt.socks[t].Lock()
+						rmask := h.dirs[t].get(id)
+						inLLC := h.llcs[t].Invalidate(id)
+						if rmask != 0 {
+							h.postInvalidations(t, id, rmask, -1)
+							h.dirs[t].set(id, 0)
+						}
+						mt.socks[t].Unlock()
+						if rmask != 0 || inLLC {
+							ct.XInvalidations++
+							stall += h.cfg.XInvalidatePenalty
+						}
+					}
+				}
+				continue
+			}
+			cc.l1d.FillQuiet(id)
+			cc.l2.FillQuiet(id)
+			mt.socks[s].Lock()
+			llc.FillQuiet(id)
+			mt.socks[s].Unlock()
+			continue
+		}
+		if h.dirs == nil {
+			if cc.l1d.Access(id, ClassData) {
+				continue
+			}
+			ct.L1DMiss++
+			stall += h.cfg.L1D.MissPenalty
+			if !cc.l2.Access(id, ClassData) {
+				ct.L2DMiss++
+				stall += h.cfg.L2.MissPenalty
+				mt.socks[s].Lock()
+				hit := llc.Access(id, ClassData)
+				mt.socks[s].Unlock()
+				if !hit {
+					ct.LLCDMiss++
+					stall += h.serveDataMissMT(s, id, ct)
+				}
+			}
+			continue
+		}
+		hit, ev := cc.l1d.AccessEvict(id, ClassData)
+		if hit {
+			continue // ev is 0 on a hit; the directory bit is already set
+		}
+		ct.L1DMiss++
+		stall += h.cfg.L1D.MissPenalty
+		hit2, ev2 := cc.l2.AccessEvict(id, ClassData)
+		llcMiss := false
+		mt.socks[s].Lock()
+		h.evictPrivate(core, s, ev, cc.l2)
+		h.evictPrivate(core, s, ev2, cc.l1d)
+		if !hit2 {
+			ct.L2DMiss++
+			stall += h.cfg.L2.MissPenalty
+			if !llc.Access(id, ClassData) {
+				ct.LLCDMiss++
+				llcMiss = true
+			}
+		}
+		h.dirs[s].set(id, h.dirs[s].get(id)|uint64(1)<<uint(core))
+		mt.socks[s].Unlock()
+		if llcMiss {
+			stall += h.serveDataMissMT(s, id, ct)
+		}
+	}
+	return stall
+}
+
+// serveDataMissMT is serveDataMiss with each remote LLC probed under its own
+// socket lock.
+func (h *Hierarchy) serveDataMissMT(s int, id uint64, ct *MissCounts) int {
+	if h.nSock > 1 {
+		for t := range h.llcs {
+			if t == s {
+				continue
+			}
+			h.mt.socks[t].Lock()
+			hit := h.llcs[t].Probe(id)
+			h.mt.socks[t].Unlock()
+			if hit {
+				ct.LLCDRemoteLLC++
+				return h.cfg.RemoteLLCPenalty
+			}
+		}
+		if h.homeOf(id) != s {
+			ct.LLCDRemoteDRAM++
+			return h.cfg.RemoteDRAMPenalty
+		}
+	}
+	return h.cfg.LLC.MissPenalty
+}
+
+// fetchCodeMT is the concurrent-mode body of FetchCode: private I-side caches
+// need no locks (code is read-only and never invalidated), the socket LLC is
+// touched under its lock.
+//
+//oltpsim:hotpath
+func (h *Hierarchy) fetchCodeMT(core int, addr simmem.Addr, nLines int) int {
+	cc := &h.cores[core]
+	ct := &h.counts[core]
+	l1i, l2 := cc.l1i, cc.l2
+	s := h.sockOf[core]
+	llc := h.llcs[s]
+	mt := h.mt
+	stall := 0
+	line := uint64(addr) >> LineShift
+	for i := 0; i < nLines; i++ {
+		id := line + uint64(i)
+		ct.L1IAcc++
+		if !l1i.Access(id, ClassInstr) {
+			ct.L1IMiss++
+			stall += h.cfg.L1I.MissPenalty
+			if !l2.Access(id, ClassInstr) {
+				ct.L2IMiss++
+				stall += h.cfg.L2.MissPenalty
+				mt.socks[s].Lock()
+				hit := llc.Access(id, ClassInstr)
+				mt.socks[s].Unlock()
+				if !hit {
+					ct.LLCIMiss++
+					stall += h.serveInstrMissMT(core, id, ct)
+				}
+			}
+			// Sequential next-line prefetch on the miss path, as in serial
+			// mode. The private fills need no lock; the shared-LLC fills are
+			// batched under one acquisition of the socket lock.
+			if h.cfg.IPrefetchLines > 0 {
+				for p := 1; p <= h.cfg.IPrefetchLines; p++ {
+					pid := id + uint64(p)
+					l1i.FillQuiet(pid)
+					l2.FillQuiet(pid)
+					ct.IPrefetches++
+				}
+				mt.socks[s].Lock()
+				for p := 1; p <= h.cfg.IPrefetchLines; p++ {
+					llc.FillQuiet(id + uint64(p))
+				}
+				mt.socks[s].Unlock()
+			}
+		}
+	}
+	return stall
+}
+
+// serveInstrMissMT is serveInstrMiss with each remote LLC probed under its
+// own socket lock.
+func (h *Hierarchy) serveInstrMissMT(core int, id uint64, ct *MissCounts) int {
+	if h.nSock > 1 {
+		s := h.sockOf[core]
+		for t := range h.llcs {
+			if t == s {
+				continue
+			}
+			h.mt.socks[t].Lock()
+			hit := h.llcs[t].Probe(id)
+			h.mt.socks[t].Unlock()
+			if hit {
+				ct.LLCIRemoteLLC++
+				return h.cfg.RemoteLLCPenalty
+			}
+		}
+	}
+	return h.cfg.LLC.MissPenalty
+}
+
+// CheckCoherent verifies directory/cache agreement: every data line resident
+// in a core's private L1D or L2 must have its directory sharer bit set — a
+// missing bit would make the line invisible to writers and lose
+// invalidations. The reverse direction is a superset check only: a directory
+// bit may outlive the cached copy, because the unified L2 silently evicts
+// data victims on instruction-side fills (in serialized mode too) without
+// notifying the directory; stale bits cost at most a wasted invalidation
+// probe, never correctness. The hierarchy must be quiescent (no accesses in
+// flight; call Quiesce first in concurrent mode). Returns nil when coherence
+// is disabled (no directory).
+func (h *Hierarchy) CheckCoherent() error {
+	if h.dirs == nil {
+		return nil
+	}
+	var err error
+	// Cache -> directory: every resident private data line is recorded. The
+	// L2 is unified, so instruction lines (below the data segment) are
+	// skipped — only data lines live in the directory.
+	dataBase := uint64(simmem.DataBase) >> LineShift
+	for c := range h.cores {
+		s := h.sockOf[c]
+		bit := uint64(1) << uint(c)
+		check := func(which string, cache *Cache) {
+			cache.Lines(func(id uint64) {
+				if err != nil || id < dataBase {
+					return
+				}
+				if h.dirs[s].get(id)&bit == 0 {
+					err = fmt.Errorf("core: line %#x resident in core %d %s but not in socket %d directory",
+						id, c, which, s)
+				}
+			})
+		}
+		check("l1d", h.cores[c].l1d)
+		check("l2", h.cores[c].l2)
+		if err != nil {
+			return err
+		}
+	}
+	// Directory -> cache (superset): sharer bits must at least name cores of
+	// the directory's own socket; bits for stale (evicted) copies are
+	// tolerated, see the function comment.
+	for s := range h.dirs {
+		lo, hi := h.socketRange(s)
+		h.dirs[s].each(func(id, mask uint64) {
+			if err != nil {
+				return
+			}
+			if mask>>uint(hi) != 0 || (lo > 0 && mask&(uint64(1)<<uint(lo)-1) != 0) {
+				err = fmt.Errorf("core: socket %d directory mask %#x for line %#x names cores outside [%d,%d)",
+					s, mask, id, lo, hi)
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return err
+}
+
+// each visits every nonzero directory entry.
+func (d *directory) each(visit func(id, mask uint64)) {
+	for pi, p := range d.pages {
+		if p == nil {
+			continue
+		}
+		base := d.base + uint64(pi)<<dirPageShift
+		for i, mask := range p {
+			if mask != 0 {
+				visit(base+uint64(i), mask)
+			}
+		}
+	}
+}

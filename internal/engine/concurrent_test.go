@@ -1,0 +1,319 @@
+package engine_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"oltpsim/internal/catalog"
+	"oltpsim/internal/core"
+	"oltpsim/internal/engine"
+	"oltpsim/internal/systems"
+)
+
+// This file locks the engine's concurrent mode (EnterConcurrent): the race
+// hammer drives many goroutines across every simulated core at once and
+// asserts that no transaction is lost or duplicated, that the session scrape
+// contract holds at every observation point, that the coherence directory
+// and caches agree after quiesce, and that the PMU counters are conserved
+// across cores. Run with -race to let the detector audit the locking.
+
+// voltConcurrent builds a partitioned VoltDB-style engine with one micro
+// table of rows spread across cores partitions, enters concurrent mode, and
+// returns the engine and table.
+func voltConcurrent(t *testing.T, cores, rows int) (*engine.Engine, *engine.Table) {
+	t.Helper()
+	e := systems.New(systems.VoltDB, systems.Options{Cores: cores})
+	tbl := e.CreateTable(microSchema(), "key")
+	for i := 0; i < rows; i++ {
+		tbl.Load(catalog.Row{catalog.LongVal(int64(i)), catalog.LongVal(0)})
+	}
+	e.Machine().Arena.EnableTracing(true)
+	if err := e.EnterConcurrent(); err != nil {
+		t.Fatalf("EnterConcurrent: %v", err)
+	}
+	return e, tbl
+}
+
+func TestEnterConcurrentQualification(t *testing.T) {
+	// Archetypes with shared transaction infrastructure must refuse.
+	for _, k := range []systems.Kind{systems.ShoreMT, systems.DBMSD, systems.DBMSM} {
+		e := systems.New(k, systems.Options{Cores: 4})
+		if err := e.EnterConcurrent(); err == nil {
+			t.Errorf("%v: EnterConcurrent succeeded, want refusal", k)
+		}
+	}
+	// A single-partition engine has nothing to run concurrently.
+	e := systems.New(systems.VoltDB, systems.Options{Cores: 1})
+	if err := e.EnterConcurrent(); err == nil {
+		t.Error("1-partition EnterConcurrent succeeded, want refusal")
+	}
+	// The qualifying archetype enters and leaves cleanly.
+	e, tbl := voltConcurrent(t, 4, 64)
+	if !e.Concurrent() || !e.Machine().Concurrent() {
+		t.Fatal("engine/machine not in concurrent mode after EnterConcurrent")
+	}
+	if err := e.EnterConcurrent(); err == nil {
+		t.Error("double EnterConcurrent succeeded")
+	}
+	e.LeaveConcurrent()
+	if e.Concurrent() || e.Machine().Concurrent() {
+		t.Fatal("still concurrent after LeaveConcurrent")
+	}
+	// Serialized invocation still works after the round trip.
+	e.Register("read1", func(tx *engine.Tx) error {
+		_, err := tx.Get(tbl, longKey(tx.ArgI(0)), 1)
+		return err
+	})
+	if err := e.Invoke(1, "read1", catalog.LongVal(1)); err != nil {
+		t.Fatalf("serialized invoke after LeaveConcurrent: %v", err)
+	}
+}
+
+// TestConcurrentHammer is the race hammer: goroutines on every core (two
+// sessions per core) bump partition-local rows, then the test asserts
+// transaction conservation, value correctness, coherence, and PMU counter
+// conservation.
+func TestConcurrentHammer(t *testing.T) {
+	const (
+		cores       = 4
+		rows        = 256 // 64 per partition
+		sessPerCore = 2
+		opsPerSess  = 300
+	)
+	e, tbl := voltConcurrent(t, cores, rows)
+	e.Register("bump", func(tx *engine.Tx) error {
+		return tx.UpdateAdd(tbl, longKey(tx.ArgI(0)), 1, 1)
+	})
+
+	var wg sync.WaitGroup
+	sessions := make([]*engine.Session, 0, cores*sessPerCore)
+	for c := 0; c < cores; c++ {
+		for k := 0; k < sessPerCore; k++ {
+			s := e.NewSession()
+			sessions = append(sessions, s)
+			wg.Add(1)
+			go func(c, k int, s *engine.Session) {
+				defer wg.Done()
+				for i := 0; i < opsPerSess; i++ {
+					// Key in partition c: keys are long values, partitioned
+					// by value mod cores.
+					key := int64(c + cores*(i%(rows/cores)))
+					if err := s.Invoke(c, c, "bump", catalog.LongVal(key)); err != nil {
+						t.Errorf("core %d sess %d op %d: %v", c, k, i, err)
+						return
+					}
+				}
+			}(c, k, s)
+		}
+	}
+	wg.Wait()
+
+	const total = cores * sessPerCore * opsPerSess
+	var ops, errs uint64
+	for _, s := range sessions {
+		ops += s.Ops.Load()
+		errs += s.Errs.Load()
+	}
+	if ops != total || errs != 0 {
+		t.Fatalf("session counters: ops=%d errs=%d, want ops=%d errs=0", ops, errs, total)
+	}
+
+	e.Observe(func(m *core.Machine) {
+		// No transaction lost or duplicated: per-core commit counters sum to
+		// exactly the invocation count.
+		var tx uint64
+		for _, cpu := range m.CPUs {
+			tx += cpu.TxCount
+		}
+		if got := tx + e.Aborts.Load(); got != total {
+			t.Errorf("engine counted %d transactions (%d committed + %d aborted), want %d",
+				got, tx, e.Aborts.Load(), total)
+		}
+		// Coherence: after quiesce (Observe quiesces), directory and caches
+		// agree.
+		if err := m.Hier.CheckCoherent(); err != nil {
+			t.Errorf("coherence: %v", err)
+		}
+		// PMU conservation: the machine totals equal the per-core sums.
+		var mc core.MissCounts
+		var instr uint64
+		for i := range m.CPUs {
+			mc.Add(m.Hier.Counts(i))
+			instr += m.CPUs[i].Instructions
+		}
+		if mc != m.Hier.TotalCounts() {
+			t.Errorf("miss counters not conserved: total %+v, per-core sum %+v", m.Hier.TotalCounts(), mc)
+		}
+		if snap := m.Snapshot(); snap.Instructions != instr {
+			t.Errorf("instructions not conserved: snapshot %d, per-core sum %d", snap.Instructions, instr)
+		}
+		// Every core actually executed work — the concurrency is real, not
+		// one worker draining everything.
+		for i, cpu := range m.CPUs {
+			if cpu.TxCount == 0 {
+				t.Errorf("core %d executed no transactions", i)
+			}
+		}
+	})
+
+	// Value correctness: every row in partition c's working set was bumped
+	// once per (session, iteration) that chose it.
+	perKey := make(map[int64]int64)
+	for c := 0; c < cores; c++ {
+		for i := 0; i < opsPerSess; i++ {
+			perKey[int64(c+cores*(i%(rows/cores)))] += sessPerCore
+		}
+	}
+	for key, want := range perKey {
+		row, ok := tbl.LookupRow(longKey(key))
+		if !ok {
+			t.Fatalf("row %d disappeared", key)
+		}
+		if row[1].I != want {
+			t.Errorf("row %d = %d, want %d", key, row[1].I, want)
+		}
+	}
+}
+
+// TestConcurrentScrapeContract samples Engine.Observe while invocations are
+// in flight: at every observation point the engine-side transaction count
+// (commits + aborts) must equal the session-side op count — no engine
+// counter may be visible before the session counted the op (session.go's
+// scrape contract; equality because every op here reaches the engine).
+func TestConcurrentScrapeContract(t *testing.T) {
+	const cores = 4
+	e, tbl := voltConcurrent(t, cores, 128)
+	e.Register("bump", func(tx *engine.Tx) error {
+		return tx.UpdateAdd(tbl, longKey(tx.ArgI(0)), 1, 1)
+	})
+
+	sessions := make([]*engine.Session, cores)
+	var wg sync.WaitGroup
+	for c := 0; c < cores; c++ {
+		sessions[c] = e.NewSession()
+		wg.Add(1)
+		go func(c int, s *engine.Session) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				key := int64(c + cores*(i%16))
+				if err := s.Invoke(c, c, "bump", catalog.LongVal(key)); err != nil {
+					t.Errorf("core %d: %v", c, err)
+					return
+				}
+			}
+		}(c, sessions[c])
+	}
+	for probe := 0; probe < 40; probe++ {
+		e.Observe(func(m *core.Machine) {
+			var tx uint64
+			for _, cpu := range m.CPUs {
+				tx += cpu.TxCount
+			}
+			engineSide := tx + e.Aborts.Load()
+			var ops uint64
+			for _, s := range sessions {
+				ops += s.Ops.Load()
+			}
+			// Ops is read after the engine counters, so concurrent progress
+			// can only push it higher — the contract is engineSide <= ops
+			// at the lock point, and the counters we read under lockAll are
+			// frozen while sessions' Ops can only have counted more.
+			if engineSide > ops {
+				t.Errorf("probe %d: engine counted %d transactions but sessions only %d ops",
+					probe, engineSide, ops)
+			}
+		})
+	}
+	wg.Wait()
+	// Quiescent: exact equality.
+	e.Observe(func(m *core.Machine) {
+		var tx uint64
+		for _, cpu := range m.CPUs {
+			tx += cpu.TxCount
+		}
+		var ops uint64
+		for _, s := range sessions {
+			ops += s.Ops.Load()
+		}
+		if tx+e.Aborts.Load() != ops {
+			t.Errorf("quiescent: engine %d transactions, sessions %d ops", tx+e.Aborts.Load(), ops)
+		}
+	})
+}
+
+// TestConcurrentRoutingAndCrossPartition covers the error and stop-the-world
+// paths: partition/core mismatches are refused, un-marked analytic scans are
+// refused, and a MarkCrossPartition procedure runs under every core lock and
+// sees all partitions.
+func TestConcurrentRoutingAndCrossPartition(t *testing.T) {
+	const cores, rows = 4, 128
+	e, tbl := voltConcurrent(t, cores, rows)
+	e.Register("read1", func(tx *engine.Tx) error {
+		_, err := tx.Get(tbl, longKey(tx.ArgI(0)), 1)
+		return err
+	})
+	e.Register("scan_unmarked", func(tx *engine.Tx) error {
+		var out [1]int64
+		_, err := tx.AnalyticAggregate(tbl, nil, nil, []engine.AggSpec{{Op: engine.AggCount}}, out[:])
+		return err
+	})
+	var total int64
+	e.Register("scan_all", func(tx *engine.Tx) error {
+		var out [1]int64
+		n, err := tx.AnalyticAggregate(tbl, nil, nil, []engine.AggSpec{{Op: engine.AggCount}}, out[:])
+		total = n
+		return err
+	}).MarkCrossPartition()
+
+	s := e.NewSession()
+	if err := s.Invoke(1, 2, "read1", catalog.LongVal(2)); err == nil ||
+		!strings.Contains(err.Error(), "must match") {
+		t.Errorf("part != core: err = %v, want routing refusal", err)
+	}
+	if err := s.Invoke(0, 0, "nope"); err == nil {
+		t.Error("unknown procedure accepted")
+	}
+	if err := s.Invoke(99, 99, "read1", catalog.LongVal(0)); err == nil {
+		t.Error("out-of-range core accepted")
+	}
+	if err := s.Invoke(0, 0, "scan_unmarked"); err == nil ||
+		!strings.Contains(err.Error(), "cross-partition") {
+		t.Errorf("unmarked analytic scan: err = %v, want cross-partition refusal", err)
+	}
+	if err := s.Invoke(2, 2, "scan_all"); err != nil {
+		t.Fatalf("cross-partition scan: %v", err)
+	}
+	if total != rows {
+		t.Errorf("cross-partition scan saw %d rows, want %d", total, rows)
+	}
+
+	// The batch path: valid, cross-partition, and mis-routed requests mixed.
+	reqs := []engine.Request{
+		{Part: 3, Proc: "read1", Args: []catalog.Value{catalog.LongVal(3)}},
+		{Part: 0, Proc: "scan_all"},
+		{Part: 1, Proc: "read1", Args: []catalog.Value{catalog.LongVal(1)}},
+		{Part: 3, Proc: "nope"},
+	}
+	errs := make([]error, len(reqs))
+	sb := e.NewSession()
+	sb.InvokeBatch(3, reqs, errs)
+	if errs[0] != nil {
+		t.Errorf("batch[0]: %v", errs[0])
+	}
+	if errs[1] != nil {
+		t.Errorf("batch[1] cross-partition: %v", errs[1])
+	}
+	if errs[2] == nil {
+		t.Error("batch[2] mis-routed request accepted")
+	}
+	if errs[3] == nil {
+		t.Error("batch[3] unknown procedure accepted")
+	}
+	if got := sb.Ops.Load(); got != 4 {
+		t.Errorf("batch session ops = %d, want 4", got)
+	}
+	if got := sb.Errs.Load(); got != 2 {
+		t.Errorf("batch session errs = %d, want 2", got)
+	}
+}

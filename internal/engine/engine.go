@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"oltpsim/internal/catalog"
 	"oltpsim/internal/core"
@@ -15,11 +16,14 @@ import (
 
 // Engine is one configured OLTP system running on a simulated machine.
 //
-// An Engine (with its Machine, arena, and every substrate built on them) is
-// confined to a single goroutine: nothing in this package takes locks, and
-// nothing is shared between Engine instances. The experiment harness runs
-// cells concurrently by giving each its own Engine; keep any new state
-// instance-scoped (no package-level mutable variables) to preserve that.
+// By default an Engine (with its Machine, arena, and every substrate built
+// on them) is confined to a single goroutine, and nothing is shared between
+// Engine instances — the experiment harness runs cells concurrently by
+// giving each its own Engine. Share-nothing partitioned archetypes can
+// additionally enter concurrent mode (EnterConcurrent, execctx.go), where
+// each partition's transactions execute on their own core from their own
+// goroutine under per-core locks. Keep any new state instance-scoped (no
+// package-level mutable variables) to preserve all of this.
 type Engine struct {
 	cfg  Config
 	mach *core.Machine
@@ -38,30 +42,29 @@ type Engine struct {
 	byName map[string]*Table
 	procs  map[string]*Procedure
 
-	txnSeq  uint64
-	meter   *idxMeter
-	Aborts  uint64
+	txnSeq  atomic.Uint64
+	Aborts  atomic.Uint64
 	curCPU  *core.CPU
 	baseCPI float64
 
-	// Transaction-scoped reusable state. One transaction is active on an
-	// engine at a time (the documented single-goroutine confinement), so
-	// Invoke recycles one Tx value, one MVCC context, one statement-seen set
-	// and one scratch arena across transactions — the steady state of the
-	// hot path allocates nothing.
-	scratch  catalog.Scratch
-	txv      Tx
-	mvtx     txn.MVTx
-	seenStmt map[string]bool // FESQLPerRequest: statements parsed this tx
-	locked   []bool          // table ID -> intent lock held this tx
+	// ctx0 is the serialized-mode execution context: the transaction-scoped
+	// reusable state (Tx value, MVCC context, statement-seen set, scratch
+	// arena, scan executor). One transaction is active at a time in that
+	// mode, so Invoke recycles ctx0 across transactions — the steady state
+	// of the hot path allocates nothing. Concurrent mode (EnterConcurrent,
+	// execctx.go) builds one context per partition instead.
+	ctx0 ExecCtx
 
-	// scan is the recycled analytical-scan executor state (see olap.go); its
-	// index-visit callback is bound once here so scans create no closures.
-	scan scanState
+	// Concurrent-mode state (nil/false while serialized): one context and
+	// one execution lock per partition, indexed by core == partition.
+	ctxs   []*ExecCtx
+	coreMu []sync.Mutex
+	mt     bool
 
 	// execMu serializes transaction execution when the engine is shared
-	// across goroutines through Sessions (see session.go). Single-goroutine
-	// users — the harness, examples, tests — never touch it.
+	// across goroutines through Sessions (see session.go) in serialized
+	// mode. Single-goroutine users — the harness, examples, tests — never
+	// touch it.
 	execMu sync.Mutex
 }
 
@@ -116,9 +119,6 @@ func New(cfg Config) *Engine {
 		curCPU:  mach.Current(),
 		baseCPI: 1.0/core.BaseIPC + cfg.OtherCPI,
 	}
-	if cfg.FrontEnd == FESQLPerRequest {
-		e.seenStmt = make(map[string]bool, 8)
-	}
 	r := cfg.Regions
 	mk := func(name string, mod core.Module, spec RegionSpec) *core.Region {
 		if spec.Size <= 0 {
@@ -162,9 +162,7 @@ func New(cfg Config) *Engine {
 	for i := range e.logs {
 		e.logs[i] = wal.NewLog(mach.Arena, cfg.LogBufBytes)
 	}
-	e.meter = &idxMeter{e: e}
-	e.scan.visit = e.scanVisit
-	e.scan.groupBy = -1
+	e.initCtx(&e.ctx0, nil, mach.Arena)
 	return e
 }
 
@@ -274,7 +272,7 @@ func (e *Engine) newShard(t *Table, idxKind IndexKind) shard {
 	default:
 		panic("engine: unknown index kind")
 	}
-	s.idx.SetMeter(e.meter)
+	s.idx.SetMeter(&e.ctx0.meter)
 	return s
 }
 
@@ -292,15 +290,25 @@ func (e *Engine) Tables() []*Table { return e.tables }
 
 // EncodeKey builds the index key bytes for the key column values (in key
 // order). Long values use the order-preserving big-endian encoding. The key
-// is built in the engine's transaction scratch arena: it stays valid until
-// the end of the current transaction (or bulk-load row), and nothing
-// downstream retains it (indexes and the log copy key bytes into the arena).
+// is built in the engine's serialized-mode transaction scratch arena: it
+// stays valid until the end of the current transaction (or bulk-load row),
+// and nothing downstream retains it (indexes and the log copy key bytes into
+// the arena). Transaction code paths use encodeKeyInto with their own
+// context's scratch instead.
 func (t *Table) EncodeKey(keyVals []catalog.Value) []byte {
+	return t.encodeKeyInto(&t.e.ctx0.scratch, keyVals)
+}
+
+// encodeKeyInto is EncodeKey building into the given scratch arena (the
+// executing context's, so concurrent transactions never share key buffers).
+//
+//oltpsim:hotpath
+func (t *Table) encodeKeyInto(sc *catalog.Scratch, keyVals []catalog.Value) []byte {
 	if len(keyVals) != len(t.KeyCols) {
-		panic(fmt.Sprintf("engine: table %q key arity %d, want %d",
+		panic(fmt.Sprintf("engine: table %q key arity %d, want %d", //oltpsim:coldpath arity violation fails loudly
 			t.Name, len(keyVals), len(t.KeyCols)))
 	}
-	key := t.e.scratch.Bytes(t.KeyWidth) // zeroed: string columns pad with 0
+	key := sc.Bytes(t.KeyWidth) // zeroed: string columns pad with 0
 	off := 0
 	for i, ci := range t.KeyCols {
 		col := t.Schema.Columns[ci]
@@ -365,8 +373,8 @@ func (t *Table) IndexHeightHint() int {
 // The row's partition is derived from its key; replicated tables load a copy
 // into every partition.
 func (t *Table) Load(row catalog.Row) {
-	t.e.scratch.Reset() // no transaction active during bulk load
-	keyVals := t.e.scratch.Row(len(t.KeyCols))
+	t.e.ctx0.scratch.Reset() // no transaction active during bulk load
+	keyVals := t.e.ctx0.scratch.Row(len(t.KeyCols))
 	for i, ci := range t.KeyCols {
 		keyVals[i] = row[ci]
 	}
@@ -424,16 +432,24 @@ func (t *Table) loadShardInto(sh *shard, keyVals []catalog.Value, row catalog.Ro
 }
 
 // idxMeter translates index node visits into instruction execution on the
-// index code region of the engine's current core. It is quiet while tracing
-// is off (bulk population), mirroring how data accesses are untraced then.
+// index code region of its context's core (the engine's current core for the
+// serialized context, whose cpu is nil). It is quiet while tracing is off
+// (bulk population), mirroring how data accesses are untraced then.
 type idxMeter struct {
-	e *Engine
+	e   *Engine
+	cpu *core.CPU     // fixed core in concurrent mode; nil = follow e.curCPU
+	mem *simmem.Arena // the arena handle whose tracing state gates metering
 }
 
+//oltpsim:hotpath
 func (m *idxMeter) NodeVisit(cmpBytes int) {
-	if !m.e.mach.Arena.Tracing() {
+	if !m.mem.Tracing() {
 		return
 	}
 	c := m.e.cfg.Costs
-	m.e.curCPU.Exec(m.e.rIdx, c.IdxNodeBase+c.IdxPerCmpByte*cmpBytes)
+	cpu := m.cpu
+	if cpu == nil {
+		cpu = m.e.curCPU
+	}
+	cpu.Exec(m.e.rIdx, c.IdxNodeBase+c.IdxPerCmpByte*cmpBytes)
 }

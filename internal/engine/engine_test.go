@@ -177,8 +177,8 @@ func TestGetMissingKey(t *testing.T) {
 	if !errors.Is(err, engine.ErrNotFound) {
 		t.Errorf("err = %v, want ErrNotFound", err)
 	}
-	if e.Aborts != 1 {
-		t.Errorf("aborts = %d", e.Aborts)
+	if e.Aborts.Load() != 1 {
+		t.Errorf("aborts = %d", e.Aborts.Load())
 	}
 	if e.Machine().CPUs[0].TxCount != 0 {
 		t.Error("aborted txn counted as committed")

@@ -20,6 +20,20 @@ type Procedure struct {
 	Body func(*Tx) error
 
 	region *core.Region
+	// crossPartition marks procedures whose body may read shards other than
+	// the transaction's own partition (the analytic every-site scans). In
+	// concurrent mode such procedures run stop-the-world: the session takes
+	// every per-core lock instead of just its own (see session.go).
+	crossPartition bool
+}
+
+// MarkCrossPartition declares that the procedure's body may read across
+// partitions (analytic scans of non-replicated tables). Serialized-mode
+// behavior is unchanged; concurrent mode runs the procedure while holding
+// every per-core execution lock.
+func (p *Procedure) MarkCrossPartition() *Procedure {
+	p.crossPartition = true
+	return p
 }
 
 // Register installs a stored procedure. For FECompiled engines this is where
@@ -58,17 +72,27 @@ func (e *Engine) Procedures() []string {
 // Invoke runs a stored procedure on the given partition with args, through
 // the engine's full request path: network, front-end, transaction begin,
 // body, commit (or abort on error). It returns the body's error, if any.
+// Serialized mode: runs on the engine's current core with the serialized
+// execution context.
 //
 //oltpsim:hotpath
 func (e *Engine) Invoke(part int, procName string, args ...catalog.Value) error {
 	p := e.procs[procName]
 	if p == nil {
-		return fmt.Errorf("engine: no procedure %q", procName)
+		return fmt.Errorf("engine: no procedure %q", procName) //oltpsim:coldpath unknown-procedure error
 	}
 	if part < 0 || part >= e.cfg.Partitions {
-		return fmt.Errorf("engine: partition %d out of range", part)
+		return fmt.Errorf("engine: partition %d out of range", part) //oltpsim:coldpath routing error
 	}
-	cpu := e.curCPU
+	return e.invoke(&e.ctx0, e.curCPU, part, p, args)
+}
+
+// invoke is the context-explicit request path shared by the serialized and
+// concurrent modes: cx supplies the recycled per-transaction state and the
+// memory handle, cpu the core every instruction charge lands on.
+//
+//oltpsim:hotpath
+func (e *Engine) invoke(cx *ExecCtx, cpu *core.CPU, part int, p *Procedure, args []catalog.Value) error {
 	c := e.cfg.Costs
 
 	cpu.Exec(e.rNet, c.NetRecv)
@@ -86,38 +110,39 @@ func (e *Engine) Invoke(part int, procName string, args ...catalog.Value) error 
 		cpu.Exec(p.region, c.CompiledEntry)
 	}
 
-	e.txnSeq++
-	// One transaction runs at a time on an engine, so the Tx value, lock
-	// bitmap, statement-seen set, MVCC context and scratch arena are engine
+	id := e.txnSeq.Add(1)
+	// One transaction runs at a time per context, so the Tx value, lock
+	// bitmap, statement-seen set, MVCC context and scratch arena are context
 	// fields recycled across invocations (zero steady-state allocations).
-	e.scratch.Reset()
-	tx := &e.txv
+	cx.scratch.Reset()
+	tx := &cx.txv
 	*tx = Tx{
 		e:    e,
+		ctx:  cx,
 		cpu:  cpu,
 		part: part,
-		id:   e.txnSeq,
+		id:   id,
 		args: args,
 		proc: p,
 	}
 	cpu.Exec(e.rTxn, c.TxnBegin)
 	if e.lm != nil {
-		if len(e.locked) < len(e.tables)+1 {
-			e.locked = make([]bool, len(e.tables)+1) //oltpsim:coldpath lock bitmap grows to the table count once
+		if len(cx.locked) < len(e.tables)+1 {
+			cx.locked = make([]bool, len(e.tables)+1) //oltpsim:coldpath lock bitmap grows to the table count once
 		} else {
-			for i := range e.locked {
-				e.locked[i] = false
+			for i := range cx.locked {
+				cx.locked[i] = false
 			}
 		}
-		tx.tableLocks = e.locked
+		tx.tableLocks = cx.locked
 	}
-	if e.seenStmt != nil {
-		clear(e.seenStmt)
-		tx.seenStmt = e.seenStmt
+	if cx.seenStmt != nil {
+		clear(cx.seenStmt)
+		tx.seenStmt = cx.seenStmt
 	}
 	if e.mv != nil {
-		e.mv.BeginInto(&e.mvtx)
-		tx.mtx = &e.mvtx
+		e.mv.BeginInto(&cx.mvtx)
+		tx.mtx = &cx.mvtx
 	}
 
 	if err := e.runBody(tx, p); err != nil {
@@ -192,7 +217,7 @@ func (e *Engine) abort(tx *Tx) {
 		tx.mtx.Abort()
 	}
 	tx.cpu.Exec(e.rTxn, c.TxnCommit)
-	e.Aborts++
+	e.Aborts.Add(1)
 }
 
 // stmtInfo is the cached shape of one generated SQL statement: its text plus

@@ -105,7 +105,7 @@ func (tx *Tx) AnalyticScan(t *Table, from, to []catalog.Value, fn func(key []byt
 		kind = opScan
 	}
 	tx.chargeOp(kind, t)
-	st := &tx.e.scan
+	st := &tx.ctx.scan
 	st.beginQuery(tx, t, to)
 	st.aggregating = false
 	st.fn = fn
@@ -133,7 +133,7 @@ func (tx *Tx) AnalyticAggregate(t *Table, from, to []catalog.Value, specs []AggS
 		kind = opAggRange
 	}
 	tx.chargeOp(kind, t)
-	st := &tx.e.scan
+	st := &tx.ctx.scan
 	st.beginQuery(tx, t, to)
 	st.aggregating = true
 	st.specs = specs
@@ -161,7 +161,7 @@ func (tx *Tx) AnalyticAggregateGroup(t *Table, groupBy int, specs []AggSpec, vis
 			t.Schema.Columns[groupBy].Name, t.Name)
 	}
 	tx.chargeOp(opAggGroup, t)
-	st := &tx.e.scan
+	st := &tx.ctx.scan
 	st.beginQuery(tx, t, nil)
 	st.aggregating = true
 	st.specs = specs
@@ -222,7 +222,7 @@ func (st *scanState) beginQuery(tx *Tx, t *Table, to []catalog.Value) {
 	st.rows = 0
 	st.toKey = nil
 	if to != nil {
-		st.toKey = t.EncodeKey(to)
+		st.toKey = t.encodeKeyInto(&tx.ctx.scratch, to)
 	}
 }
 
@@ -243,6 +243,12 @@ func (st *scanState) ensureRowBuf(s *catalog.Schema) {
 // systems do for index scans.
 func (tx *Tx) runScan(t *Table, from []catalog.Value) error {
 	e := tx.e
+	// In concurrent mode an every-site scan of a non-replicated table reads
+	// shards other cores are executing on; it is only safe stop-the-world,
+	// which Sessions arrange for procedures marked cross-partition.
+	if e.mt && !t.Replicated && e.cfg.Partitions > 1 && (tx.proc == nil || !tx.proc.crossPartition) {
+		return fmt.Errorf("engine: analytic scan of %q in concurrent mode requires a cross-partition procedure (MarkCrossPartition)", t.Name)
+	}
 	if e.lm != nil && !tx.tableLocks[t.ID] {
 		tx.cpu.Exec(e.rLock, e.cfg.Costs.LockAcquire)
 		if err := e.lm.Acquire(tx.id, txn.TableLockID(uint32(t.ID)), txn.LockIS); err != nil {
@@ -252,11 +258,11 @@ func (tx *Tx) runScan(t *Table, from []catalog.Value) error {
 	}
 	var fromKey []byte
 	if from != nil {
-		fromKey = t.EncodeKey(from)
+		fromKey = t.encodeKeyInto(&tx.ctx.scratch, from)
 	} else {
-		fromKey = e.scratch.Bytes(t.KeyWidth) // zeroed: the minimum key
+		fromKey = tx.ctx.scratch.Bytes(t.KeyWidth) // zeroed: the minimum key
 	}
-	st := &e.scan
+	st := &tx.ctx.scan
 	for p := range t.shards {
 		if t.Replicated && p != tx.part {
 			continue
@@ -277,17 +283,18 @@ func (tx *Tx) runScan(t *Table, from []catalog.Value) error {
 }
 
 // scanVisit is the per-entry index callback of every analytic scan; it is
-// bound once per engine so the hot loop creates no closures.
+// bound once per execution context so the hot loop creates no closures.
 //
 //oltpsim:hotpath
-func (e *Engine) scanVisit(key []byte, val uint64) bool {
-	st := &e.scan
+func (cx *ExecCtx) scanVisit(key []byte, val uint64) bool {
+	e := cx.e
+	st := &cx.scan
 	tx := st.tx
 	if st.toKey != nil && bytes.Compare(key, st.toKey) > 0 {
 		return false // past the upper bound; next shard restarts at fromKey
 	}
 	c := e.cfg.Costs
-	m := e.mach.Arena
+	m := cx.mem
 	var addr simmem.Addr
 	switch e.cfg.Storage {
 	case StorageHeap:
@@ -403,7 +410,7 @@ func (tx *Tx) aggRowCharge(nSpecs int) {
 // not be called while a transaction is executing on the engine.
 func (t *Table) LookupRow(keyVals []catalog.Value) (catalog.Row, bool) {
 	e := t.e
-	e.scratch.Reset()
+	e.ctx0.scratch.Reset()
 	sh := &t.shards[0]
 	if !t.Replicated && e.cfg.Partitions > 1 {
 		sh = &t.shards[t.PartitionOf(keyVals)]

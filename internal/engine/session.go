@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"sync/atomic"
 
 	"oltpsim/internal/catalog"
@@ -9,22 +10,34 @@ import (
 
 // Session is a thread-safe invocation handle for an Engine.
 //
-// The Engine and everything under it (machine, arena, caches) are documented
-// as single-goroutine confined: the simulated hardware has exactly one
-// timeline, so two transactions can never execute on it at the same instant.
-// Sessions make the engine shareable anyway by serializing execution on the
-// engine's execution mutex — concurrent connections multiplex onto the one
-// simulated machine the same way concurrent clients multiplex onto a real
-// server's cores. The recycled per-transaction state (scratch arena, Tx
-// value, lock bitmap, MVCC context) keeps working unchanged because the
-// mutex guarantees one transaction at a time, so the zero-allocation hot
-// path is preserved.
+// In serialized mode (the default), the Engine and everything under it
+// (machine, arena, caches) are single-goroutine confined: the simulated
+// hardware has one timeline, so Sessions make the engine shareable by
+// serializing execution on the engine's execution mutex — concurrent
+// connections multiplex onto the one simulated machine the same way
+// concurrent clients multiplex onto a real server's cores.
+//
+// In concurrent mode (Engine.EnterConcurrent), execution is keyed by core:
+// each core == partition has its own execution lock and its own recycled
+// ExecCtx, so invocations on different cores genuinely interleave on the
+// simulated machine — cross-core coherence traffic comes from real
+// concurrent access. Cross-partition procedures (MarkCrossPartition) run
+// stop-the-world under every per-core lock.
+//
+// Scrape contract (both modes): session counters are incremented while the
+// execution lock that ran the transaction is still held. An observer inside
+// Engine.Observe therefore never sees an engine-side counter advance
+// (TxCount, Aborts) without the matching session op already counted: at any
+// Observe point, sum(TxCount) + Aborts <= sum of session Ops, with equality
+// when every invocation flows through Sessions and reaches the engine (an
+// unknown procedure name or a mis-keyed core fails before the engine counts
+// anything, but still counts as a session op and err).
 //
 // Sessions are cheap: oltpd creates one per client connection (for per-
 // session accounting) and one per shard worker (for batch execution). Code
 // that uses Sessions must not call Engine.Invoke/SetCore directly while
 // sessions are live; the single-goroutine harness paths keep doing so
-// without ever touching the mutex, which is why the simulator hot path pays
+// without ever touching any lock, which is why the simulator hot path pays
 // nothing for this API.
 type Session struct {
 	e *Engine
@@ -46,51 +59,159 @@ type Request struct {
 // NewSession returns a new thread-safe handle onto e.
 func (e *Engine) NewSession() *Session { return &Session{e: e} }
 
-// Invoke runs one stored procedure on the given partition, with the
-// simulated core pinned to core for the duration. It is safe to call from
-// any goroutine; calls serialize on the engine.
+// Invoke runs one stored procedure on the given partition, on the given
+// simulated core. It is safe to call from any goroutine. Serialized mode
+// pins the engine's current core and serializes on the engine; concurrent
+// mode requires core == part (shard execution is core-keyed) and serializes
+// only on that core's lock, so different cores run simultaneously.
+//
+//oltpsim:hotpath
 func (s *Session) Invoke(core, part int, proc string, args ...catalog.Value) error {
 	e := s.e
+	if e.mt {
+		return s.invokeMT(core, part, proc, args)
+	}
 	e.execMu.Lock()
 	e.SetCore(core)
 	err := e.Invoke(part, proc, args...)
+	// Count before releasing: a scrape under Observe must never see the
+	// engine's counters advance without the matching session op.
+	s.count(err)
 	e.execMu.Unlock()
-	s.Ops.Add(1)
-	if err != nil {
-		s.Errs.Add(1)
+	return err
+}
+
+// invokeMT is the concurrent-mode invocation path.
+//
+//oltpsim:hotpath
+func (s *Session) invokeMT(core, part int, proc string, args []catalog.Value) error {
+	e := s.e
+	p := e.procs[proc]
+	var err error
+	switch {
+	case p == nil:
+		err = fmt.Errorf("engine: no procedure %q", proc) //oltpsim:coldpath unknown-procedure error
+		s.count(err)
+	case core < 0 || core >= len(e.ctxs):
+		err = fmt.Errorf("engine: core %d out of concurrent range [0,%d)", core, len(e.ctxs)) //oltpsim:coldpath routing error
+		s.count(err)
+	case p.crossPartition:
+		e.lockAll()
+		err = e.invoke(e.ctxs[core], e.ctxs[core].cpu, part, p, args)
+		s.count(err)
+		e.unlockAll()
+	case part != core:
+		// Shard execution is core-keyed: partition p's context, substrates
+		// and lock all belong to core p.
+		err = fmt.Errorf("engine: concurrent invoke of partition %d on core %d (must match)", part, core) //oltpsim:coldpath routing error
+		s.count(err)
+	default:
+		mu := &e.coreMu[core]
+		mu.Lock()
+		err = e.invoke(e.ctxs[core], e.ctxs[core].cpu, part, p, args)
+		s.count(err)
+		mu.Unlock()
 	}
 	return err
 }
 
-// InvokeBatch is the group-execute loop: it acquires the engine once, pins
-// the simulated core, and runs every request back to back, writing per-
-// request errors into errs (which must be at least len(reqs) long). Batching
-// is what lets a shard worker amortize the engine handoff across every
-// request queued on its shard — the server-side analogue of the driver's
-// pipelining.
-func (s *Session) InvokeBatch(core int, reqs []Request, errs []error) {
-	e := s.e
-	e.execMu.Lock()
-	e.SetCore(core)
-	var nerr uint64
-	for i := range reqs {
-		err := e.Invoke(reqs[i].Part, reqs[i].Proc, reqs[i].Args...)
-		errs[i] = err
-		if err != nil {
-			nerr++
-		}
-	}
-	e.execMu.Unlock()
-	s.Ops.Add(uint64(len(reqs)))
-	if nerr > 0 {
-		s.Errs.Add(nerr)
+// count records one invocation outcome. Callers invoke it while still
+// holding the execution lock the transaction ran under (see the scrape
+// contract above).
+//
+//oltpsim:hotpath
+func (s *Session) count(err error) {
+	s.Ops.Add(1)
+	if err != nil {
+		s.Errs.Add(1)
 	}
 }
 
-// Observe runs f with the engine's execution lock held, giving it a
-// consistent view of the machine and its PMU counters while sessions are
-// active (the /metrics scrape path). f must not invoke transactions.
+// InvokeBatch is the group-execute loop: it acquires the execution lock
+// once, pins the simulated core, and runs every request back to back,
+// writing per-request errors into errs (which must be at least len(reqs)
+// long). Batching is what lets a shard worker amortize the engine handoff
+// across every request queued on its shard — the server-side analogue of the
+// driver's pipelining. In concurrent mode the lock held is the core's own;
+// a cross-partition request momentarily trades it for the stop-the-world
+// set.
+//
+//oltpsim:hotpath
+func (s *Session) InvokeBatch(core int, reqs []Request, errs []error) {
+	e := s.e
+	if e.mt {
+		s.invokeBatchMT(core, reqs, errs)
+		return
+	}
+	e.execMu.Lock()
+	e.SetCore(core)
+	for i := range reqs {
+		err := e.Invoke(reqs[i].Part, reqs[i].Proc, reqs[i].Args...)
+		errs[i] = err
+		s.count(err)
+	}
+	e.execMu.Unlock()
+}
+
+// invokeBatchMT is the concurrent-mode batch path.
+//
+//oltpsim:hotpath
+func (s *Session) invokeBatchMT(core int, reqs []Request, errs []error) {
+	e := s.e
+	if core < 0 || core >= len(e.ctxs) {
+		err := fmt.Errorf("engine: core %d out of concurrent range [0,%d)", core, len(e.ctxs)) //oltpsim:coldpath routing error
+		for i := range reqs {
+			errs[i] = err
+			s.count(err)
+		}
+		return
+	}
+	cx := e.ctxs[core]
+	mu := &e.coreMu[core]
+	mu.Lock()
+	for i := range reqs {
+		p := e.procs[reqs[i].Proc]
+		var err error
+		switch {
+		case p == nil:
+			err = fmt.Errorf("engine: no procedure %q", reqs[i].Proc) //oltpsim:coldpath unknown-procedure error
+		case p.crossPartition:
+			// Trade the core lock for the stop-the-world set, run, trade
+			// back. Requests behind this one in the batch wait, as do other
+			// cores — an every-site transaction on a partitioned engine.
+			mu.Unlock()
+			e.lockAll()
+			err = e.invoke(cx, cx.cpu, reqs[i].Part, p, reqs[i].Args)
+			s.count(err)
+			e.unlockAll()
+			mu.Lock()
+			errs[i] = err
+			continue
+		case reqs[i].Part != core:
+			err = fmt.Errorf("engine: concurrent invoke of partition %d on core %d (must match)", reqs[i].Part, core) //oltpsim:coldpath routing error
+		default:
+			err = e.invoke(cx, cx.cpu, reqs[i].Part, p, reqs[i].Args)
+		}
+		errs[i] = err
+		s.count(err)
+	}
+	mu.Unlock()
+}
+
+// Observe runs f with every execution lock held, giving it a consistent,
+// quiescent view of the machine and its PMU counters while sessions are
+// active (the /metrics scrape path). In concurrent mode it additionally
+// drains the hierarchy's pending invalidations first, so the coherence
+// directory and caches agree exactly when f looks. f must not invoke
+// transactions.
 func (e *Engine) Observe(f func(m *core.Machine)) {
+	if e.mt {
+		e.lockAll()
+		e.mach.Hier.Quiesce()
+		f(e.mach)
+		e.unlockAll()
+		return
+	}
 	e.execMu.Lock()
 	f(e.mach)
 	e.execMu.Unlock()

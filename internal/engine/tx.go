@@ -20,6 +20,7 @@ var ErrNotFound = errors.New("engine: key not found")
 // the engine. All ops route through the engine's configured component stack.
 type Tx struct {
 	e    *Engine
+	ctx  *ExecCtx // the executing context: scratch, memory handle, scan state
 	cpu  *core.CPU
 	part int
 	id   uint64
@@ -142,7 +143,7 @@ func (tx *Tx) GetRow(t *Table, keyVals []catalog.Value) (catalog.Row, error) {
 func (tx *Tx) getCols(t *Table, keyVals []catalog.Value, cols []int) (catalog.Row, error) {
 	tx.chargeOp(opGet, t)
 	sh := tx.shardFor(t, keyVals)
-	key := t.EncodeKey(keyVals)
+	key := t.encodeKeyInto(&tx.ctx.scratch, keyVals)
 	if err := tx.lockRow(t, key, false); err != nil {
 		return nil, err
 	}
@@ -151,15 +152,15 @@ func (tx *Tx) getCols(t *Table, keyVals []catalog.Value, cols []int) (catalog.Ro
 		return nil, ErrNotFound
 	}
 	c := tx.e.cfg.Costs
-	m := tx.e.mach.Arena
+	m := tx.ctx.mem
 	readFields := func(addr simmem.Addr) catalog.Row {
 		tx.cpu.Exec(tx.e.rStorage, c.StorageAccess)
 		if cols == nil {
-			return t.Schema.ReadRowS(m, addr, &tx.e.scratch)
+			return t.Schema.ReadRowS(m, addr, &tx.ctx.scratch)
 		}
-		row := tx.e.scratch.Row(len(cols))
+		row := tx.ctx.scratch.Row(len(cols))
 		for i, ci := range cols {
-			row[i] = t.Schema.ReadFieldS(m, addr, ci, &tx.e.scratch)
+			row[i] = t.Schema.ReadFieldS(m, addr, ci, &tx.ctx.scratch)
 		}
 		return row
 	}
@@ -205,7 +206,7 @@ func (tx *Tx) UpdateAdd(t *Table, keyVals []catalog.Value, col int, delta int64)
 func (tx *Tx) update(t *Table, keyVals []catalog.Value, col int, f func(catalog.Value) catalog.Value) error {
 	tx.chargeOp(opUpdate, t)
 	sh := tx.shardFor(t, keyVals)
-	key := t.EncodeKey(keyVals)
+	key := t.encodeKeyInto(&tx.ctx.scratch, keyVals)
 	if err := tx.lockRow(t, key, true); err != nil {
 		return err
 	}
@@ -214,7 +215,7 @@ func (tx *Tx) update(t *Table, keyVals []catalog.Value, col int, f func(catalog.
 		return ErrNotFound
 	}
 	c := tx.e.cfg.Costs
-	m := tx.e.mach.Arena
+	m := tx.ctx.mem
 	rowSize := t.Schema.RowSize()
 	switch tx.e.cfg.Storage {
 	case StorageHeap:
@@ -225,7 +226,7 @@ func (tx *Tx) update(t *Table, keyVals []catalog.Value, col int, f func(catalog.
 			return err
 		}
 		tx.cpu.Exec(tx.e.rStorage, c.StorageAccess)
-		old := t.Schema.ReadFieldS(m, addr, col, &tx.e.scratch)
+		old := t.Schema.ReadFieldS(m, addr, col, &tx.ctx.scratch)
 		// Physiological logging: before-image of the row.
 		tx.cpu.Exec(tx.e.rLog, c.LogBase+c.LogPerByte*rowSize)
 		tx.e.logs[tx.part].Append(tx.id, wal.RecUpdate, addr, rowSize)
@@ -235,7 +236,7 @@ func (tx *Tx) update(t *Table, keyVals []catalog.Value, col int, f func(catalog.
 	case StorageRows:
 		addr := simmem.Addr(val)
 		tx.cpu.Exec(tx.e.rStorage, c.StorageAccess)
-		old := t.Schema.ReadFieldS(m, addr, col, &tx.e.scratch)
+		old := t.Schema.ReadFieldS(m, addr, col, &tx.ctx.scratch)
 		tx.cpu.Exec(tx.e.rLog, c.LogBase+c.LogPerByte*rowSize)
 		tx.e.logs[tx.part].Append(tx.id, wal.RecUpdate, addr, rowSize)
 		t.Schema.WriteField(m, addr, col, f(old))
@@ -248,7 +249,7 @@ func (tx *Tx) update(t *Table, keyVals []catalog.Value, col int, f func(catalog.
 			return ErrNotFound
 		}
 		tx.cpu.Exec(tx.e.rStorage, c.StorageAccess)
-		row := t.Schema.ReadRowS(m, cur, &tx.e.scratch)
+		row := t.Schema.ReadRowS(m, cur, &tx.ctx.scratch)
 		row[col] = f(row[col])
 		newAddr := sh.rows.Insert(row)
 		tx.cpu.Exec(tx.e.rLog, c.LogBase+c.LogPerByte*rowSize)
@@ -267,7 +268,7 @@ func (tx *Tx) update(t *Table, keyVals []catalog.Value, col int, f func(catalog.
 func (tx *Tx) Modify(t *Table, keyVals []catalog.Value, f func(catalog.Row) catalog.Row) error {
 	tx.chargeOp(opUpdate, t)
 	sh := tx.shardFor(t, keyVals)
-	key := t.EncodeKey(keyVals)
+	key := t.encodeKeyInto(&tx.ctx.scratch, keyVals)
 	if err := tx.lockRow(t, key, true); err != nil {
 		return err
 	}
@@ -276,7 +277,7 @@ func (tx *Tx) Modify(t *Table, keyVals []catalog.Value, f func(catalog.Row) cata
 		return ErrNotFound
 	}
 	c := tx.e.cfg.Costs
-	m := tx.e.mach.Arena
+	m := tx.ctx.mem
 	rowSize := t.Schema.RowSize()
 	writeBack := func(addr simmem.Addr, row catalog.Row) {
 		tx.cpu.Exec(tx.e.rLog, c.LogBase+c.LogPerByte*rowSize)
@@ -292,13 +293,13 @@ func (tx *Tx) Modify(t *Table, keyVals []catalog.Value, f func(catalog.Row) cata
 			return err
 		}
 		tx.cpu.Exec(tx.e.rStorage, c.StorageAccess)
-		writeBack(addr, f(t.Schema.ReadRowS(m, addr, &tx.e.scratch)))
+		writeBack(addr, f(t.Schema.ReadRowS(m, addr, &tx.ctx.scratch)))
 		sh.heap.Unfix(rid, true)
 		return nil
 	case StorageRows:
 		addr := simmem.Addr(val)
 		tx.cpu.Exec(tx.e.rStorage, c.StorageAccess)
-		writeBack(addr, f(t.Schema.ReadRowS(m, addr, &tx.e.scratch)))
+		writeBack(addr, f(t.Schema.ReadRowS(m, addr, &tx.ctx.scratch)))
 		return nil
 	default: // StorageMVCC
 		anchor := simmem.Addr(val)
@@ -308,7 +309,7 @@ func (tx *Tx) Modify(t *Table, keyVals []catalog.Value, f func(catalog.Row) cata
 			return ErrNotFound
 		}
 		tx.cpu.Exec(tx.e.rStorage, c.StorageAccess)
-		row := f(t.Schema.ReadRowS(m, cur, &tx.e.scratch))
+		row := f(t.Schema.ReadRowS(m, cur, &tx.ctx.scratch))
 		newAddr := sh.rows.Insert(row)
 		tx.cpu.Exec(tx.e.rLog, c.LogBase+c.LogPerByte*rowSize)
 		tx.e.logs[tx.part].Append(tx.id, wal.RecUpdate, newAddr, rowSize)
@@ -322,12 +323,12 @@ func (tx *Tx) Modify(t *Table, keyVals []catalog.Value, f func(catalog.Row) cata
 //oltpsim:hotpath
 func (tx *Tx) Insert(t *Table, row catalog.Row) error {
 	tx.chargeOp(opInsert, t)
-	keyVals := tx.e.scratch.Row(len(t.KeyCols))
+	keyVals := tx.ctx.scratch.Row(len(t.KeyCols))
 	for i, ci := range t.KeyCols {
 		keyVals[i] = row[ci]
 	}
 	sh := tx.shardFor(t, keyVals)
-	key := t.EncodeKey(keyVals)
+	key := t.encodeKeyInto(&tx.ctx.scratch, keyVals)
 	if err := tx.lockRow(t, key, true); err != nil {
 		return err
 	}
@@ -351,7 +352,7 @@ func (tx *Tx) Insert(t *Table, row catalog.Row) error {
 		sh.idx.Insert(key, uint64(anchor))
 	}
 	tx.cpu.Exec(tx.e.rLog, c.LogBase+c.LogPerByte*rowSize)
-	img := tx.e.scratch.Bytes(rowSize) // zeroed logical insert image
+	img := tx.ctx.scratch.Bytes(rowSize) // zeroed logical insert image
 	tx.e.logs[tx.part].AppendBytes(tx.id, wal.RecInsert, img)
 	return nil
 }
@@ -362,7 +363,7 @@ func (tx *Tx) Insert(t *Table, row catalog.Row) error {
 func (tx *Tx) Delete(t *Table, keyVals []catalog.Value) error {
 	tx.chargeOp(opDelete, t)
 	sh := tx.shardFor(t, keyVals)
-	key := t.EncodeKey(keyVals)
+	key := t.encodeKeyInto(&tx.ctx.scratch, keyVals)
 	if err := tx.lockRow(t, key, true); err != nil {
 		return err
 	}
@@ -385,7 +386,7 @@ func (tx *Tx) Scan(t *Table, fromKey []catalog.Value, limit int, fn func(key []b
 	if !ok {
 		return fmt.Errorf("engine: table %q index %s does not support scans", t.Name, sh.idx.Name())
 	}
-	from := t.EncodeKey(fromKey)
+	from := t.encodeKeyInto(&tx.ctx.scratch, fromKey)
 	if tx.e.lm != nil {
 		// Scans take a table-level S intent; per-row locks would be the
 		// dominant cost for long scans, which matches the coarse-grained
@@ -397,7 +398,7 @@ func (tx *Tx) Scan(t *Table, fromKey []catalog.Value, limit int, fn func(key []b
 		tx.tableLocks[t.ID] = true
 	}
 	c := tx.e.cfg.Costs
-	m := tx.e.mach.Arena
+	m := tx.ctx.mem
 	visited := 0
 	oi.Scan(from, func(key []byte, val uint64) bool {
 		var addr simmem.Addr
@@ -422,7 +423,7 @@ func (tx *Tx) Scan(t *Table, fromKey []catalog.Value, limit int, fn func(key []b
 			addr = a
 		}
 		tx.scanRowCharge()
-		row := t.Schema.ReadRowS(m, addr, &tx.e.scratch)
+		row := t.Schema.ReadRowS(m, addr, &tx.ctx.scratch)
 		visited++
 		if !fn(key, row) {
 			return false

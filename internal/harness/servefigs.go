@@ -13,7 +13,7 @@ import (
 	"oltpsim/internal/workload"
 )
 
-// The serve figures (FigS1-FigS2) measure the serving path end to end: a
+// The serve figures (FigS1-FigS3) measure the serving path end to end: a
 // real oltpd on loopback under oltpdrive load, sweeping offered load and
 // shard placement. Unlike the paper figures they measure wall-clock behavior
 // of this process on this machine — network stack, scheduling, batching —
@@ -26,6 +26,7 @@ import (
 var ServeFigures = map[string]Builder{
 	"S1": FigS1,
 	"S2": FigS2,
+	"S3": FigS3,
 }
 
 // ServeFigureIDs returns the serve figure IDs in presentation order.
@@ -149,6 +150,108 @@ func FigS2(r *Runner) *Figure {
 				fmt.Sprintf("%.0f", rep.Throughput),
 				rep.P50.Round(time.Microsecond).String(),
 				rep.P99.Round(time.Microsecond).String(),
+			})
+		}
+	}
+	return f
+}
+
+// serveCellPMU runs one closed-loop serving measurement on an oltpd with the
+// given shard count and placement, bracketing the driver window with
+// simulated-PMU snapshots (taken under Engine.Observe, so the concurrent
+// shard workers are quiesced at both edges). It returns the driver's
+// wall-clock report, the PMU measurement of the window, and whether the
+// engine served in concurrent mode.
+func serveCellPMU(r *Runner, shards int, placement core.HomePlacement) (*driver.Report, core.Measurement, bool, error) {
+	serveMu.Lock()
+	defer serveMu.Unlock()
+	spec := workload.Spec{Kind: "micro", Rows: 200_000, RowsPerTx: 1}
+	sockets := 1
+	if shards > 1 {
+		sockets = 2
+	}
+	srv, err := server.New(server.Config{
+		System:    systems.VoltDB,
+		Shards:    shards,
+		Sockets:   sockets,
+		Placement: placement,
+		Spec:      spec,
+	})
+	if err != nil {
+		return nil, core.Measurement{}, false, err
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		return nil, core.Measurement{}, false, err
+	}
+	defer srv.Shutdown()
+
+	eng := srv.Engine()
+	warm, measure := serveWindows(r.Scale)
+	var before core.Snapshot
+	eng.Observe(func(m *core.Machine) { before = m.Snapshot() })
+	rep, err := driver.Run(driver.Config{
+		Addr:    srv.Addr().String(),
+		Spec:    spec,
+		Conns:   2 * shards,
+		Rate:    0,
+		Warmup:  warm,
+		Measure: measure,
+		Seed:    42,
+	})
+	if err != nil {
+		return nil, core.Measurement{}, false, err
+	}
+	var meas core.Measurement
+	eng.Observe(func(m *core.Machine) {
+		meas = core.NewMeasurement(before, m.Snapshot(), m.Hier.Config(), eng.BaseCPI())
+	})
+	return rep, meas, eng.Concurrent(), nil
+}
+
+// FigS3: closed-loop throughput and simulated stall breakdown versus shard
+// count on ONE engine, partitioned versus interleaved placement. The 1-shard
+// cell serializes on the engine; the multi-shard cells run the engine's
+// concurrent mode, where shard workers execute simultaneously on the one
+// simulated machine and the coherence/NUMA traffic between them is real
+// concurrent traffic, not interleaved-by-hand. Stall columns come from the
+// simulated PMU (per transaction); throughput is wall clock.
+func FigS3(r *Runner) *Figure {
+	f := &Figure{
+		ID:     "S3",
+		Title:  "oltpd loopback: throughput and stall breakdown vs shard count on one engine (closed loop)",
+		Header: []string{"Shards", "Placement", "Mode", "Throughput op/s", "IPC", "I-stall/tx", "D-stall/tx", "Remote/tx"},
+		Notes: []string{
+			"live serving measurement (wall clock throughput; simulated-PMU stalls) — not deterministic, not golden-locked",
+			"multi-shard cells execute shard workers concurrently on the one simulated machine (engine concurrent mode)",
+		},
+	}
+	for _, shards := range []int{1, 2, 4} {
+		for _, pl := range []struct {
+			p    core.HomePlacement
+			name string
+		}{{core.PlacePartitioned, "partitioned"}, {core.PlaceInterleaved, "interleaved"}} {
+			if shards == 1 && pl.p == core.PlaceInterleaved {
+				continue // single socket: placement is moot
+			}
+			rep, meas, concurrent, err := serveCellPMU(r, shards, pl.p)
+			if err != nil {
+				f.Notes = append(f.Notes, fmt.Sprintf("shards=%d/%s failed: %v", shards, pl.name, err))
+				continue
+			}
+			mode := "serialized"
+			if concurrent {
+				mode = "concurrent"
+			}
+			st := meas.StallsPerTx()
+			f.Rows = append(f.Rows, []string{
+				fmt.Sprintf("%d", shards),
+				pl.name,
+				mode,
+				fmt.Sprintf("%.0f", rep.Throughput),
+				fmt.Sprintf("%.3f", meas.IPC()),
+				fmt.Sprintf("%.0f", st.Instr()),
+				fmt.Sprintf("%.0f", st.Data()),
+				fmt.Sprintf("%.0f", st.RemoteI+st.RemoteD),
 			})
 		}
 	}

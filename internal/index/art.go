@@ -82,6 +82,9 @@ func (t *ART) Count() uint64 { return t.count }
 // SetMeter implements Index.
 func (t *ART) SetMeter(m Meter) { t.meter = meterOrNop(m) }
 
+// SetArena implements Index.SetArena.
+func (t *ART) SetArena(m *simmem.Arena) { t.m = m }
+
 func (t *ART) kind(n simmem.Addr) int { return int(t.m.ReadU32(n) & 0xff) }
 
 func (t *ART) newLeaf(key []byte, val uint64) simmem.Addr {

@@ -99,6 +99,9 @@ func (t *BTree) Count() uint64 { return t.count }
 // SetMeter implements Index.
 func (t *BTree) SetMeter(m Meter) { t.meter = meterOrNop(m) }
 
+// SetArena implements Index.SetArena.
+func (t *BTree) SetArena(m *simmem.Arena) { t.m = m }
+
 // Height returns the number of levels (1 = a single leaf).
 func (t *BTree) Height() int { return t.height }
 

@@ -84,6 +84,9 @@ func (t *CCTree) Count() uint64 { return t.count }
 // SetMeter implements Index.
 func (t *CCTree) SetMeter(m Meter) { t.meter = meterOrNop(m) }
 
+// SetArena implements Index.SetArena.
+func (t *CCTree) SetArena(m *simmem.Arena) { t.m = m }
+
 // Height returns the number of levels (1 = a single leaf).
 func (t *CCTree) Height() int { return t.height }
 

@@ -66,6 +66,9 @@ func (h *HashIndex) Count() uint64 { return h.count }
 // SetMeter implements Index.
 func (h *HashIndex) SetMeter(m Meter) { h.meter = meterOrNop(m) }
 
+// SetArena implements Index.SetArena.
+func (h *HashIndex) SetArena(m *simmem.Arena) { h.m = m }
+
 // Buckets returns the directory size.
 func (h *HashIndex) Buckets() uint64 { return h.mask + 1 }
 

@@ -11,6 +11,8 @@
 // data-side cache behaviour the paper attributes to each structure.
 package index
 
+import "oltpsim/internal/simmem"
+
 // Index is a unique-key ordered (except hash) index from fixed-width byte
 // keys to 64-bit values (row addresses or RIDs).
 type Index interface {
@@ -28,6 +30,11 @@ type Index interface {
 	Count() uint64
 	// SetMeter attaches a work meter (may be nil).
 	SetMeter(Meter)
+	// SetArena repoints the index's arena handle. Handles created by
+	// simmem.Arena.View share all storage — only tracer attribution changes —
+	// so the engine's concurrent mode uses this to charge each partition's
+	// index traffic to the core executing that partition.
+	SetArena(*simmem.Arena)
 }
 
 // OrderedIndex additionally supports ascending range scans.

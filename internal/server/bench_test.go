@@ -187,3 +187,57 @@ func (c *rawClient) execWait(id, procID uint32, part int, key int64) error {
 	_, err := c.readResult()
 	return err
 }
+
+// BenchmarkServeLoopbackShards4 drives a 4-shard single-engine oltpd with a
+// pipelined window spread across every shard, so all four shard workers
+// group-execute concurrently on the one simulated machine (the concurrent
+// engine mode): the multi-core serving configuration FigS3 sweeps.
+func BenchmarkServeLoopbackShards4(b *testing.B) {
+	s, err := New(Config{
+		System: systems.VoltDB,
+		Shards: 4,
+		Spec:   workload.Spec{Kind: "micro", Rows: 4096, RowsPerTx: 1},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !s.Engine().Concurrent() {
+		b.Fatal("4-shard VoltDB server is not in concurrent mode")
+	}
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	defer s.Shutdown()
+
+	nc, err := dialRaw(s.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer nc.nc.Close()
+	procID, err := nc.prepare("micro_ro")
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	const window = 16 // 4 in flight per shard
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += window {
+		n := window
+		if rem := b.N - i; rem < n {
+			n = rem
+		}
+		for j := 0; j < n; j++ {
+			part := (i + j) % 4
+			key := int64(4*((i+j)%1000) + part)
+			if err := nc.exec(uint32(i+j), procID, part, key); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for j := 0; j < n; j++ {
+			if _, err := nc.readResult(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -51,6 +51,9 @@ type Config struct {
 	// QueueDepth is the per-shard admission queue capacity (default 1024).
 	// A full queue applies backpressure to connection readers.
 	QueueDepth int
+	// Serial forces the serialized session path even for multi-shard
+	// share-nothing engines that could serve concurrently.
+	Serial bool
 }
 
 func (c Config) withDefaults() Config {
@@ -123,6 +126,17 @@ func New(cfg Config) (*Server, error) {
 	eng.Machine().Arena.EnableTracing(false)
 	wl.Populate(eng)
 	eng.Machine().Arena.EnableTracing(true)
+
+	// Multi-shard share-nothing engines serve concurrently: each shard
+	// worker drives its own simulated core under its own lock, so shard
+	// execution genuinely interleaves on the one machine. Archetypes that
+	// don't qualify (locking, buffer pool, MVCC, per-request SQL) or
+	// Serial=true keep the serialized session path.
+	if !cfg.Serial && eng.Partitions() > 1 {
+		// A refusal (non-qualifying archetype) is a clean fallback, not an
+		// error: the oltpd_concurrent gauge reports which mode is live.
+		_ = eng.EnterConcurrent()
+	}
 
 	s := &Server{
 		cfg:    cfg,
@@ -393,6 +407,13 @@ func (s *Server) registerMetrics() {
 	r.Register("oltpd_rejected_total", "counter", "requests refused while draining", func(emit func(metrics.Sample)) {
 		emit(metrics.Sample{Name: "oltpd_rejected_total", Value: float64(s.rejectTotal.Load())})
 	})
+	r.Register("oltpd_concurrent", "gauge", "1 when shard workers execute concurrently on one engine, 0 when serialized", func(emit func(metrics.Sample)) {
+		v := 0.0
+		if s.eng.Concurrent() {
+			v = 1.0
+		}
+		emit(metrics.Sample{Name: "oltpd_concurrent", Value: v})
+	})
 
 	perShard := func(name string, vals func(shard int) float64) func(emit func(metrics.Sample)) {
 		return func(emit func(metrics.Sample)) {
@@ -435,7 +456,7 @@ func (s *Server) registerMetrics() {
 					meas: core.NewMeasurement(core.Snapshot{}, snap, hcfg, s.eng.BaseCPI()),
 				}
 			}
-			pmu.aborts = s.eng.Aborts
+			pmu.aborts = s.eng.Aborts.Load()
 			pmu.dataBytes = m.Arena.DataAllocated()
 			pmu.Unlock()
 		})

@@ -13,9 +13,22 @@
 //
 // Tracing can be switched off (Population of multi-hundred-megabyte databases
 // runs untraced for speed) and on (warm-up and measured benchmark windows).
+//
+// One simulated address space can be reached through several *Arena handles:
+// New returns the root handle, and View derives additional handles that share
+// every byte and allocation cursor but carry their own tracer. This is how
+// the concurrent serving mode gives each simulated core a handle whose
+// accesses are charged to that core: per-handle tracer state needs no
+// synchronization, while the shared page table uses atomic publication and
+// the shared allocator a mutex, so handles may be used from different
+// goroutines concurrently.
 package simmem
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
 
 // Addr is a virtual address in the simulated address space.
 type Addr uint64
@@ -36,7 +49,27 @@ const (
 	pageMask  = pageSize - 1
 
 	dataBasePage = Addr(DataBase >> pageShift)
+
+	// The page table is two-level: a fixed-size top table of chunk pointers
+	// (so its header is never rewritten and lock-free readers need no bounds
+	// against a growing slice) over lazily materialized chunks of page
+	// pointers. 1<<chunkShift pages per chunk x maxChunks bounds the data
+	// segment at 1 TiB of simulated address space.
+	chunkShift = 10 // 1024 pages (64 MiB) per chunk
+	chunkPages = 1 << chunkShift
+	chunkMask  = chunkPages - 1
+	maxChunks  = 1 << 14
 )
+
+type pageBuf = [pageSize]byte
+
+// chunk is one lazily materialized run of page pointers. Entries are
+// published atomically so concurrent readers (per-core arena views) never
+// race the materializing writer.
+type chunk [chunkPages]atomic.Pointer[pageBuf]
+
+// chunkTable is the fixed-size top level of the page table.
+type chunkTable [maxChunks]atomic.Pointer[chunk]
 
 // Tracer receives one event per data access. Implemented by the cache
 // hierarchy in internal/core.
@@ -47,8 +80,24 @@ type Tracer interface {
 	OnData(addr Addr, size int, write bool)
 }
 
-// Arena is a simulated virtual address space with lazily materialized backing
-// pages. The zero value is not usable; call New.
+// arenaShared is the state all handles onto one address space share: the page
+// table, the allocation cursors, and the handle list (so EnableTracing
+// reaches every view). mu guards the cursors, page materialization and the
+// view list; the page table itself is read lock-free through the atomic
+// pointers.
+type arenaShared struct {
+	chunks *chunkTable
+
+	mu            sync.Mutex
+	codeTop       Addr
+	dataTop       Addr
+	dataAllocated uint64
+	views         []*Arena //oltpsim:guarded-by mu
+}
+
+// Arena is one handle onto a simulated virtual address space with lazily
+// materialized backing pages. The zero value is not usable; call New (and
+// View for additional same-space handles).
 type Arena struct {
 	// tracefn is non-nil exactly while tracing is enabled and a tracer is
 	// attached: the per-access fast path tests one word. onData keeps the
@@ -58,28 +107,42 @@ type Arena struct {
 	onData  func(addr Addr, size int, write bool)
 	tracing bool
 
-	codeTop Addr
-	dataTop Addr
-
-	// pages is the flat page table over the data segment, indexed by page ID
-	// relative to DataBase. One bounds check and one load replace a map
-	// probe on the per-access hot path; the table grows with the data top
-	// (one pointer per 64 KiB of reserved address space), and backing pages
-	// still materialize lazily on first access.
-	pages []*[pageSize]byte
-
-	dataAllocated uint64
+	sh *arenaShared
 }
 
-// New returns an empty arena with no tracer attached.
+// New returns the root handle of an empty arena with no tracer attached.
 func New() *Arena {
-	return &Arena{
+	sh := &arenaShared{
+		chunks:  new(chunkTable),
 		codeTop: CodeBase,
 		dataTop: DataBase,
 	}
+	m := &Arena{sh: sh}
+	sh.views = append(sh.views, m)
+	return m
 }
 
-// SetTracer attaches t; accesses are only reported while tracing is enabled.
+// View returns a new handle onto the same address space with its own tracer.
+// The handle shares all bytes, allocation cursors and the tracing on/off
+// state (EnableTracing on any handle switches every handle), but reports its
+// accesses to t — the concurrent serving mode derives one view per simulated
+// core so each core's traffic is charged to its own caches. Views are
+// intended to be long-lived (one per core); they are never unregistered.
+func (m *Arena) View(t Tracer) *Arena {
+	v := &Arena{sh: m.sh}
+	if t != nil {
+		v.onData = t.OnData
+	}
+	m.sh.mu.Lock()
+	v.tracing = m.tracing
+	v.retrace()
+	m.sh.views = append(m.sh.views, v)
+	m.sh.mu.Unlock()
+	return v
+}
+
+// SetTracer attaches t to this handle; accesses through this handle are only
+// reported while tracing is enabled.
 func (m *Arena) SetTracer(t Tracer) {
 	if t == nil {
 		m.onData = nil
@@ -89,11 +152,17 @@ func (m *Arena) SetTracer(t Tracer) {
 	m.retrace()
 }
 
-// EnableTracing turns access reporting on or off. Population code disables
-// tracing; measurement windows enable it.
+// EnableTracing turns access reporting on or off for every handle onto this
+// address space. Population code disables tracing; measurement windows enable
+// it. Must not be called while other goroutines are accessing the arena.
 func (m *Arena) EnableTracing(on bool) {
-	m.tracing = on
-	m.retrace()
+	sh := m.sh
+	sh.mu.Lock()
+	for _, v := range sh.views {
+		v.tracing = on
+		v.retrace()
+	}
+	sh.mu.Unlock()
 }
 
 func (m *Arena) retrace() {
@@ -104,16 +173,21 @@ func (m *Arena) retrace() {
 	}
 }
 
-// Tracing reports whether accesses are currently being reported.
+// Tracing reports whether accesses through this handle are currently being
+// reported.
 func (m *Arena) Tracing() bool { return m.tracefn != nil }
 
 // DataAllocated returns the number of data-segment bytes handed out so far.
-func (m *Arena) DataAllocated() uint64 { return m.dataAllocated }
+// The value is exact only while no other goroutine is allocating (population,
+// quiesced observation).
+func (m *Arena) DataAllocated() uint64 { return m.sh.dataAllocated }
 
 // DataTop returns the current top of the data segment: every allocation made
 // so far lies below it. Callers bracketing a load with two DataTop reads get
-// the exact address range the load allocated (used for NUMA home claims).
-func (m *Arena) DataTop() Addr { return m.dataTop }
+// the exact address range the load allocated (used for NUMA home claims);
+// like DataAllocated, that bracketing is only meaningful while no other
+// goroutine allocates.
+func (m *Arena) DataTop() Addr { return m.sh.dataTop }
 
 // AllocCode reserves size bytes in the code segment, aligned to 4 KiB, and
 // returns the base address. Code bytes have no backing storage.
@@ -122,13 +196,18 @@ func (m *Arena) AllocCode(size int) Addr {
 		panic(fmt.Sprintf("simmem: AllocCode size %d", size))
 	}
 	const codeAlign = 4096
-	base := (m.codeTop + codeAlign - 1) &^ (codeAlign - 1)
-	m.codeTop = base + Addr(size)
+	sh := m.sh
+	sh.mu.Lock()
+	base := (sh.codeTop + codeAlign - 1) &^ (codeAlign - 1)
+	sh.codeTop = base + Addr(size)
+	sh.mu.Unlock()
 	return base
 }
 
 // AllocData reserves size bytes in the data segment with the given alignment
 // (which must be a power of two, at least 1) and returns the base address.
+// Safe to call from concurrent handles (substrates allocate segments and
+// index nodes while serving).
 func (m *Arena) AllocData(size, align int) Addr {
 	if size <= 0 {
 		panic(fmt.Sprintf("simmem: AllocData size %d", size))
@@ -136,41 +215,58 @@ func (m *Arena) AllocData(size, align int) Addr {
 	if align <= 0 || align&(align-1) != 0 {
 		panic(fmt.Sprintf("simmem: AllocData alignment %d", align))
 	}
-	base := (m.dataTop + Addr(align) - 1) &^ (Addr(align) - 1)
-	m.dataTop = base + Addr(size)
-	m.dataAllocated += uint64(size)
+	sh := m.sh
+	sh.mu.Lock()
+	base := (sh.dataTop + Addr(align) - 1) &^ (Addr(align) - 1)
+	sh.dataTop = base + Addr(size)
+	sh.dataAllocated += uint64(size)
+	sh.mu.Unlock()
 	return base
 }
 
 // page translates a page ID to its backing bytes, falling to pageSlow for
 // pages not yet materialized.
-func (m *Arena) page(id Addr) *[pageSize]byte {
+func (m *Arena) page(id Addr) *pageBuf {
 	idx := id - dataBasePage
-	if uint64(idx) < uint64(len(m.pages)) {
-		if p := m.pages[idx]; p != nil {
-			return p
+	if uint64(idx>>chunkShift) < maxChunks {
+		if ch := m.sh.chunks[idx>>chunkShift].Load(); ch != nil {
+			if p := ch[idx&chunkMask].Load(); p != nil {
+				return p
+			}
 		}
 	}
 	return m.pageSlow(id)
 }
 
-// pageSlow materializes a page's backing bytes on first touch.
+// pageSlow materializes a page's backing bytes on first touch. Publication is
+// atomic under the shared mutex, so concurrent handles racing on a fresh page
+// all end up with the same backing bytes.
 //
 //oltpsim:coldpath lazy page materialization; runs once per page, amortized to zero
-func (m *Arena) pageSlow(id Addr) *[pageSize]byte {
+func (m *Arena) pageSlow(id Addr) *pageBuf {
 	if id < dataBasePage {
 		panic(fmt.Sprintf("simmem: access to unbacked address %#x (below data segment)",
 			uint64(id)<<pageShift))
 	}
-	idx := int(id - dataBasePage)
-	for idx >= len(m.pages) {
-		m.pages = append(m.pages, nil)
+	idx := id - dataBasePage
+	ci := idx >> chunkShift
+	if uint64(ci) >= maxChunks {
+		panic(fmt.Sprintf("simmem: access to %#x beyond the simulated data segment cap",
+			uint64(id)<<pageShift))
 	}
-	p := m.pages[idx]
+	sh := m.sh
+	sh.mu.Lock()
+	ch := sh.chunks[ci].Load()
+	if ch == nil {
+		ch = new(chunk)
+		sh.chunks[ci].Store(ch)
+	}
+	p := ch[idx&chunkMask].Load()
 	if p == nil {
-		p = new([pageSize]byte)
-		m.pages[idx] = p
+		p = new(pageBuf)
+		ch[idx&chunkMask].Store(p)
 	}
+	sh.mu.Unlock()
 	return p
 }
 
@@ -201,9 +297,11 @@ func (m *Arena) ReadU64(addr Addr) uint64 {
 		// Manually inlined page translation (this is the hottest path in the
 		// simulator; see page()).
 		idx := (addr >> pageShift) - dataBasePage
-		var p *[pageSize]byte
-		if uint64(idx) < uint64(len(m.pages)) {
-			p = m.pages[idx]
+		var p *pageBuf
+		if uint64(idx>>chunkShift) < maxChunks {
+			if ch := m.sh.chunks[idx>>chunkShift].Load(); ch != nil {
+				p = ch[idx&chunkMask].Load()
+			}
 		}
 		if p == nil {
 			p = m.pageSlow(addr >> pageShift)
@@ -225,9 +323,11 @@ func (m *Arena) WriteU64(addr Addr, v uint64) {
 	off := int(addr & pageMask)
 	if off+8 <= pageSize {
 		idx := (addr >> pageShift) - dataBasePage
-		var p *[pageSize]byte
-		if uint64(idx) < uint64(len(m.pages)) {
-			p = m.pages[idx]
+		var p *pageBuf
+		if uint64(idx>>chunkShift) < maxChunks {
+			if ch := m.sh.chunks[idx>>chunkShift].Load(); ch != nil {
+				p = ch[idx&chunkMask].Load()
+			}
 		}
 		if p == nil {
 			p = m.pageSlow(addr >> pageShift)
@@ -250,9 +350,11 @@ func (m *Arena) ReadU32(addr Addr) uint32 {
 	off := int(addr & pageMask)
 	if off+4 <= pageSize {
 		idx := (addr >> pageShift) - dataBasePage
-		var p *[pageSize]byte
-		if uint64(idx) < uint64(len(m.pages)) {
-			p = m.pages[idx]
+		var p *pageBuf
+		if uint64(idx>>chunkShift) < maxChunks {
+			if ch := m.sh.chunks[idx>>chunkShift].Load(); ch != nil {
+				p = ch[idx&chunkMask].Load()
+			}
 		}
 		if p == nil {
 			p = m.pageSlow(addr >> pageShift)
@@ -275,9 +377,11 @@ func (m *Arena) WriteU32(addr Addr, v uint32) {
 	off := int(addr & pageMask)
 	if off+4 <= pageSize {
 		idx := (addr >> pageShift) - dataBasePage
-		var p *[pageSize]byte
-		if uint64(idx) < uint64(len(m.pages)) {
-			p = m.pages[idx]
+		var p *pageBuf
+		if uint64(idx>>chunkShift) < maxChunks {
+			if ch := m.sh.chunks[idx>>chunkShift].Load(); ch != nil {
+				p = ch[idx&chunkMask].Load()
+			}
 		}
 		if p == nil {
 			p = m.pageSlow(addr >> pageShift)

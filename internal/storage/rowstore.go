@@ -26,6 +26,10 @@ type RowStore struct {
 const rowStoreSegment = 1 << 20
 
 // NewRowStore creates a row store for the given schema.
+// SetArena repoints the store's arena handle (a View sharing all storage);
+// see index.Index.SetArena for why the engine's concurrent mode does this.
+func (rs *RowStore) SetArena(m *simmem.Arena) { rs.m = m }
+
 func NewRowStore(m *simmem.Arena, schema *catalog.Schema) *RowStore {
 	return &RowStore{m: m, schema: schema, rowSize: schema.RowSize()}
 }

@@ -44,6 +44,10 @@ type Log struct {
 }
 
 // NewLog creates a log with the given buffer size.
+// SetArena repoints the log's arena handle (a View sharing all storage);
+// see index.Index.SetArena for why the engine's concurrent mode does this.
+func (l *Log) SetArena(m *simmem.Arena) { l.m = m }
+
 func NewLog(m *simmem.Arena, bufSize int) *Log {
 	if bufSize < 4096 {
 		bufSize = 4096

@@ -79,7 +79,7 @@ func (w *Hybrid) Setup(e *engine.Engine) {
 		w.Last = OLAPResult{Proc: "olap_revenue", Rows: n,
 			Count: w.out[0], Sum: w.out[1], Min: w.out[2], Max: w.out[3], Groups: w.Last.Groups}
 		return nil
-	})
+	}).MarkCrossPartition()
 	// olap_district: COUNT/SUM of ol_amount for one district's order range —
 	// the bounded-range reader. Args are the two encoded bound keys:
 	// (w, d, oLo, 1) then (w, d, oHi, maxOL).
@@ -94,7 +94,7 @@ func (w *Hybrid) Setup(e *engine.Engine) {
 		w.Last = OLAPResult{Proc: "olap_district", Rows: n,
 			Count: w.out[0], Sum: w.out[1], Groups: w.Last.Groups}
 		return nil
-	})
+	}).MarkCrossPartition()
 	// olap_by_district: SUM(ol_amount) grouped by district over a full pass.
 	e.Register("olap_by_district", func(tx *engine.Tx) error {
 		clear(w.Last.Groups)
@@ -105,7 +105,7 @@ func (w *Hybrid) Setup(e *engine.Engine) {
 		g := w.Last.Groups
 		w.Last = OLAPResult{Proc: "olap_by_district", Rows: n, Groups: g}
 		return nil
-	})
+	}).MarkCrossPartition()
 }
 
 // Populate implements Workload.

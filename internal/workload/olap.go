@@ -103,7 +103,7 @@ func (w *OLAP) Setup(e *engine.Engine) {
 		w.Last = OLAPResult{Proc: "olap_sum", Rows: n,
 			Count: w.out[0], Sum: w.out[1], Min: w.out[2], Max: w.out[3], Groups: w.Last.Groups}
 		return nil
-	})
+	}).MarkCrossPartition()
 	// olap_range: COUNT/SUM of val over keys in [lo, hi].
 	e.Register("olap_range", func(tx *engine.Tx) error {
 		n, err := tx.AnalyticAggregate(w.tbl,
@@ -114,7 +114,7 @@ func (w *OLAP) Setup(e *engine.Engine) {
 		w.Last = OLAPResult{Proc: "olap_range", Rows: n,
 			Count: w.out[0], Sum: w.out[1], Groups: w.Last.Groups}
 		return nil
-	})
+	}).MarkCrossPartition()
 	// olap_group: SUM(val) per grp over a full pass.
 	e.Register("olap_group", func(tx *engine.Tx) error {
 		clear(w.Last.Groups)
@@ -125,7 +125,7 @@ func (w *OLAP) Setup(e *engine.Engine) {
 		g := w.Last.Groups
 		w.Last = OLAPResult{Proc: "olap_group", Rows: n, Groups: g}
 		return nil
-	})
+	}).MarkCrossPartition()
 }
 
 // olapVal is the payload of logical row i.

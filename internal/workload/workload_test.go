@@ -59,8 +59,8 @@ func TestMicroROAllSystems(t *testing.T) {
 			if got := e.Machine().CPUs[0].TxCount; got != 50 {
 				t.Errorf("committed %d txns", got)
 			}
-			if e.Aborts != 0 {
-				t.Errorf("aborts = %d", e.Aborts)
+			if e.Aborts.Load() != 0 {
+				t.Errorf("aborts = %d", e.Aborts.Load())
 			}
 		})
 	}
@@ -172,7 +172,7 @@ func TestTPCCAllSystemsAllTxnTypes(t *testing.T) {
 			})
 			run(t, e, w, 300, 6)
 			if got := e.Machine().CPUs[0].TxCount; got != 300 {
-				t.Errorf("committed %d txns, aborts=%d", got, e.Aborts)
+				t.Errorf("committed %d txns, aborts=%d", got, e.Aborts.Load())
 			}
 		})
 	}
