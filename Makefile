@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race bench bench-compare figures figures-numa figures-htap figures-serve fuzz cover serve drive serve-smoke concurrent-smoke
+.PHONY: build vet lint test race bench bench-compare figures figures-numa figures-htap figures-serve figures-islands fuzz cover serve drive serve-smoke concurrent-smoke cluster-smoke
 
 build:
 	$(GO) build ./...
@@ -54,6 +54,12 @@ figures-htap:
 figures-serve:
 	$(GO) run ./cmd/oltpsim -figure serve -scale quick
 
+# figures-islands renders the cluster figures (FigI1-FigI3): multi-node
+# oltpd clusters with shard-routed traffic and a 2PC multi-partition mix,
+# wall-clock, never golden-locked.
+figures-islands:
+	$(GO) run ./cmd/oltpsim -figure islands -scale quick
+
 # serve starts an oltpd on loopback serving the hybrid TPC-C x analytical
 # workload across 2 shards on a 2-socket partitioned topology, with live
 # telemetry at http://127.0.0.1:7891/metrics. Ctrl-C drains gracefully.
@@ -81,6 +87,15 @@ concurrent-smoke:
 	$(GO) test -race -run 'TestConcurrent|TestEnterConcurrent' ./internal/core ./internal/engine
 	$(GO) test -race -run 'TestRefExecConcurrent' ./internal/workload
 	./scripts/concurrent_smoke.sh
+
+# cluster-smoke is the CI gate for the distributed serving tier: the cluster
+# differential replay and 2PC fault-injection batteries under -race, then
+# two race-built oltpd processes sharing a shard map, a routed oltpdrive
+# burst with a 20% multi-partition (2PC) rate, /metrics assertions that both
+# nodes prepared and committed 2PC branches, and a SIGTERM drain of both.
+cluster-smoke:
+	$(GO) test -race -run 'TestClusterDifferential|TestTwoPC' ./internal/cluster
+	./scripts/cluster_smoke.sh
 
 # fuzz runs the SQL front-end fuzz smoke (same budget as CI).
 fuzz:

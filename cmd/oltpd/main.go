@@ -10,6 +10,15 @@
 //	oltpd -addr 127.0.0.1:7890 -metrics-addr 127.0.0.1:7891 \
 //	      -system voltdb -shards 2 -workload hybrid -warehouses 2
 //
+// Cluster mode: -cluster gives the shared shard map ("range:2x4" = range
+// placement, 2 nodes, 4 partitions) and -node this process's node ID. The
+// engine keeps the global partition count but loads and serves only the
+// partitions the map assigns to this node; multi-partition transactions
+// arrive as 2PC frames from a cluster-mode oltpdrive:
+//
+//	oltpd -addr 127.0.0.1:7890 -cluster range:2x4 -node 0 &
+//	oltpd -addr 127.0.0.1:7990 -cluster range:2x4 -node 1 &
+//
 // SIGINT/SIGTERM drain gracefully: in-flight requests complete and receive
 // responses, new requests are refused with a draining error, then sockets
 // close.
@@ -23,6 +32,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"oltpsim/internal/cluster"
 	"oltpsim/internal/core"
 	"oltpsim/internal/server"
 	"oltpsim/internal/systems"
@@ -39,6 +49,8 @@ func main() {
 		sockets     = fs.Int("sockets", 0, "simulated sockets (0 = topology default: 1 per 10 cores)")
 		placement   = fs.String("placement", "interleaved", "NUMA data placement: interleaved|partitioned")
 		batch       = fs.Int("batch", 64, "max requests per shard group-execute batch")
+		clusterMap  = fs.String("cluster", "", "cluster shard map, e.g. range:2x4 ('' = standalone)")
+		node        = fs.Int("node", 0, "this process's node ID in -cluster")
 	)
 	spec := workload.SpecFlags(fs)
 	fs.Parse(os.Args[1:])
@@ -57,22 +69,36 @@ func main() {
 		fatal(fmt.Errorf("oltpd: unknown -placement %q (want interleaved|partitioned)", *placement))
 	}
 
-	s, err := server.New(server.Config{
+	cfg := server.Config{
 		System:    kind,
 		Shards:    *shards,
 		Sockets:   *sockets,
 		Placement: place,
 		Spec:      *spec,
 		BatchMax:  *batch,
-	})
+	}
+	if *clusterMap != "" {
+		m, err := cluster.Parse(*clusterMap)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Cluster = m
+		cfg.Node = *node
+	}
+	s, err := server.New(cfg)
 	if err != nil {
 		fatal(err)
 	}
 	if err := s.Start(*addr); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("oltpd: serving %s on %s (%s, %d shards)\n",
-		s.Spec(), s.Addr(), kind, s.Shards())
+	if cfg.Cluster != nil {
+		fmt.Printf("oltpd: serving %s on %s (%s, node %d of %s, local partitions %v)\n",
+			s.Spec(), s.Addr(), kind, *node, cfg.Cluster, cfg.Cluster.LocalParts(*node))
+	} else {
+		fmt.Printf("oltpd: serving %s on %s (%s, %d shards)\n",
+			s.Spec(), s.Addr(), kind, s.Shards())
+	}
 
 	if *metricsAddr != "" {
 		mux := http.NewServeMux()

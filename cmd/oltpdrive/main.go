@@ -10,6 +10,14 @@
 //	oltpdrive -addr 127.0.0.1:7890 -workload micro -rows 100000 \
 //	          -rate 20000 -poisson        # open loop, 20k ops/s offered
 //
+// Cluster mode: -addrs lists every node of a cluster (comma-separated, in
+// node-ID order), -cluster gives the shard map shared with the servers, and
+// -mp makes that percentage of transactional calls two-branch 2PC
+// transactions spanning distinct partitions (closed loop only):
+//
+//	oltpdrive -addrs 127.0.0.1:7890,127.0.0.1:7990 -cluster range:2x4 \
+//	          -workload micro -rows 100000 -mp 20
+//
 // The workload flags must match the serving oltpd; the Hello exchange
 // verifies this and the driver refuses to run against a mismatched server.
 // Exits nonzero if the run completes zero operations.
@@ -20,8 +28,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"oltpsim/internal/cluster"
 	"oltpsim/internal/driver"
 	"oltpsim/internal/workload"
 )
@@ -38,21 +48,48 @@ func main() {
 		duration = fs.Duration("duration", 3*time.Second, "measurement window")
 		seed     = fs.Uint64("seed", 42, "generator seed")
 		jsonOut  = fs.Bool("json", false, "emit the report as JSON")
+		addrs    = fs.String("addrs", "", "cluster mode: comma-separated node addresses in node-ID order")
+		cmap     = fs.String("cluster", "", "cluster mode: shard map shared with the servers, e.g. range:2x4")
+		mp       = fs.Int("mp", 0, "cluster mode: percentage of calls issued as multi-partition (2PC) transactions")
 	)
 	spec := workload.SpecFlags(fs)
 	fs.Parse(os.Args[1:])
 
-	rep, err := driver.Run(driver.Config{
-		Addr:     *addr,
-		Spec:     *spec,
-		Conns:    *conns,
-		Rate:     *rate,
-		Poisson:  *poisson,
-		Pipeline: *pipeline,
-		Warmup:   *warmup,
-		Measure:  *duration,
-		Seed:     *seed,
-	})
+	var rep *driver.Report
+	var err error
+	if *addrs != "" || *cmap != "" {
+		if *addrs == "" || *cmap == "" {
+			fmt.Fprintln(os.Stderr, "oltpdrive: cluster mode needs both -addrs and -cluster")
+			os.Exit(2)
+		}
+		m, perr := cluster.Parse(*cmap)
+		if perr != nil {
+			fmt.Fprintln(os.Stderr, perr)
+			os.Exit(2)
+		}
+		rep, err = driver.RunCluster(driver.ClusterConfig{
+			Addrs:   strings.Split(*addrs, ","),
+			Map:     m,
+			Spec:    *spec,
+			Conns:   *conns,
+			MPRate:  *mp,
+			Warmup:  *warmup,
+			Measure: *duration,
+			Seed:    *seed,
+		})
+	} else {
+		rep, err = driver.Run(driver.Config{
+			Addr:     *addr,
+			Spec:     *spec,
+			Conns:    *conns,
+			Rate:     *rate,
+			Poisson:  *poisson,
+			Pipeline: *pipeline,
+			Warmup:   *warmup,
+			Measure:  *duration,
+			Seed:     *seed,
+		})
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -69,6 +106,7 @@ func main() {
 			Ops        uint64
 			Errors     uint64
 			Rejected   uint64
+			MultiPart  uint64
 			Throughput float64
 			MeanNs     int64
 			P50Ns      int64
@@ -79,6 +117,7 @@ func main() {
 		}{
 			Spec: rep.Spec, Shards: rep.Shards, Conns: rep.Conns, RateOps: rep.Rate,
 			Ops: rep.Ops, Errors: rep.Errors, Rejected: rep.Rejected,
+			MultiPart:  rep.MultiPart,
 			Throughput: rep.Throughput,
 			MeanNs:     rep.Mean.Nanoseconds(), P50Ns: rep.P50.Nanoseconds(),
 			P90Ns: rep.P90.Nanoseconds(), P99Ns: rep.P99.Nanoseconds(),

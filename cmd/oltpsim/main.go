@@ -52,6 +52,10 @@ func main() {
 		for _, id := range harness.ServeFigureIDs() {
 			fmt.Printf("  %s\n", id)
 		}
+		fmt.Println("Islands figures (multi-node cluster with 2PC; -figure islands):")
+		for _, id := range harness.IslandFigureIDs() {
+			fmt.Printf("  %s\n", id)
+		}
 		return
 	}
 	if *figures == "" {
@@ -70,10 +74,11 @@ func main() {
 
 	// "all" expands to the paper set (its quick-scale output is locked by the
 	// committed goldens); "numa" expands to the FigN scaling figures; "htap"
-	// expands to the FigH hybrid figures; "serve" expands to the live
-	// serving figures (FigS1-FigS2, wall-clock, never golden-locked). The
-	// keywords and explicit IDs compose: -figure all,numa,htap,serve runs
-	// everything. Unknown IDs are rejected here, before any cell simulates.
+	// expands to the FigH hybrid figures; "serve" and "islands" expand to
+	// the live serving and cluster figures (wall-clock, never golden-locked).
+	// The keywords and explicit IDs compose: -figure all,numa,htap,serve
+	// runs everything. Unknown IDs are rejected here, before any cell
+	// simulates.
 	ids, err := harness.ExpandFigureIDs(*figures)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%v (use -list)\n", err)

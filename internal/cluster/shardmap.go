@@ -1,0 +1,109 @@
+// Package cluster implements the multi-node serving tier: a static shard
+// map shared by clients and servers (which oltpd process owns which
+// partition), a routing client that sends each single-partition call to the
+// owning node, and a two-phase-commit coordinator for the multi-partition
+// fraction, speaking the PREPARE2PC/COMMIT2PC/ABORT2PC frames of
+// internal/wire against the participant path in internal/engine.
+//
+// The deployment model follows the "OLTP on Hardware Islands" question the
+// paper leaves open: the GLOBAL partition count is fixed (so key routing is
+// identical everywhere — Table.PartitionOf on any node agrees), and a shard
+// map assigns each partition to one node. Every node runs an engine with the
+// global partition count but populates only its owned shards.
+package cluster
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ShardMap is the static assignment of global partitions to nodes. Both
+// sides parse the same textual form, so a map mismatch is a configuration
+// error caught by routing (a node rejects calls for partitions it does not
+// own) rather than silent misplacement.
+//
+// Textual form: "<policy>:<nodes>x<parts>", policy one of:
+//
+//	range — node owns a contiguous partition range: owner(p) = p*nodes/parts
+//	        (the "few fat islands" placement: co-locates neighboring shards)
+//	hash  — partitions stripe round-robin: owner(p) = p mod nodes
+//	        (the "scattered" placement: neighboring shards land on
+//	        different nodes, maximizing cross-node multi-partition pairs)
+type ShardMap struct {
+	Policy string // "range" or "hash"
+	Nodes  int
+	Parts  int
+}
+
+// NewMap builds a shard map, validating policy and shape.
+func NewMap(policy string, nodes, parts int) (*ShardMap, error) {
+	if policy != "range" && policy != "hash" {
+		return nil, fmt.Errorf("cluster: unknown shard-map policy %q (want range or hash)", policy)
+	}
+	if nodes < 1 || parts < 1 {
+		return nil, fmt.Errorf("cluster: shard map needs nodes >= 1 and parts >= 1, got %dx%d", nodes, parts)
+	}
+	if nodes > parts {
+		return nil, fmt.Errorf("cluster: %d nodes for %d partitions leaves empty nodes", nodes, parts)
+	}
+	return &ShardMap{Policy: policy, Nodes: nodes, Parts: parts}, nil
+}
+
+// Parse decodes the textual form "<policy>:<nodes>x<parts>".
+func Parse(s string) (*ShardMap, error) {
+	policy, shape, ok := strings.Cut(s, ":")
+	if !ok {
+		return nil, fmt.Errorf("cluster: bad shard map %q (want policy:NxP)", s)
+	}
+	ns, ps, ok := strings.Cut(shape, "x")
+	if !ok {
+		return nil, fmt.Errorf("cluster: bad shard map shape %q (want NxP)", shape)
+	}
+	nodes, err := strconv.Atoi(ns)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: bad node count in %q: %v", s, err)
+	}
+	parts, err := strconv.Atoi(ps)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: bad partition count in %q: %v", s, err)
+	}
+	return NewMap(policy, nodes, parts)
+}
+
+// String renders the canonical textual form.
+func (m *ShardMap) String() string {
+	return fmt.Sprintf("%s:%dx%d", m.Policy, m.Nodes, m.Parts)
+}
+
+// Owner returns the node that stores partition p.
+func (m *ShardMap) Owner(p int) int {
+	if p < 0 || p >= m.Parts {
+		panic(fmt.Sprintf("cluster: partition %d out of range [0,%d)", p, m.Parts))
+	}
+	if m.Policy == "hash" {
+		return p % m.Nodes
+	}
+	return p * m.Nodes / m.Parts
+}
+
+// LocalParts returns node's owned partitions in ascending order.
+func (m *ShardMap) LocalParts(node int) []int {
+	var ps []int
+	for p := 0; p < m.Parts; p++ {
+		if m.Owner(p) == node {
+			ps = append(ps, p)
+		}
+	}
+	return ps
+}
+
+// OwnedMask returns node's ownership as a per-partition mask (the shape
+// engine.SetOwnedPartitions takes).
+func (m *ShardMap) OwnedMask(node int) []bool {
+	mask := make([]bool, m.Parts)
+	for p := 0; p < m.Parts; p++ {
+		mask[p] = m.Owner(p) == node
+	}
+	return mask
+}

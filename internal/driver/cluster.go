@@ -1,0 +1,194 @@
+package driver
+
+// Cluster mode: oltpdrive pointed at N oltpd processes sharing one shard
+// map. Each driver connection owns a cluster.Conn (one socket per node),
+// routes every generated call to the partition's owner, and turns a
+// configurable fraction of transactional calls into two-branch 2PC
+// transactions spanning distinct partitions — the multi-partition knob the
+// hardware-islands experiments sweep. Cluster mode is closed-loop only:
+// the 2PC coordinator is synchronous, so one outstanding transaction per
+// connection is the natural unit.
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"oltpsim/internal/catalog"
+	"oltpsim/internal/cluster"
+	"oltpsim/internal/metrics"
+	"oltpsim/internal/workload"
+)
+
+// ClusterConfig shapes a cluster driver run.
+type ClusterConfig struct {
+	// Addrs are the oltpd node addresses, indexed by node ID; the length
+	// must match Map.Nodes.
+	Addrs []string
+	// Map is the shard map shared with the servers.
+	Map *cluster.ShardMap
+	// Spec is the traffic to generate (must match every server's workload).
+	Spec workload.Spec
+	// Conns is the number of concurrent coordinators (default 4).
+	Conns int
+	// MPRate is the percentage [0,100] of transactional calls issued as
+	// two-branch multi-partition transactions.
+	MPRate int
+	// Warmup and Measure bound the run (defaults 1s / 3s).
+	Warmup, Measure time.Duration
+	// Seed drives the deterministic per-connection generators.
+	Seed uint64
+}
+
+func (c ClusterConfig) withDefaults() ClusterConfig {
+	if c.Conns <= 0 {
+		c.Conns = 4
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = time.Second
+	}
+	if c.Measure <= 0 {
+		c.Measure = 3 * time.Second
+	}
+	if c.Spec.Kind == "" {
+		c.Spec = workload.DefaultSpec()
+	}
+	return c
+}
+
+// RunCluster executes the configured load against the cluster and returns
+// the measured report.
+func RunCluster(cfg ClusterConfig) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Map == nil {
+		return nil, fmt.Errorf("driver: cluster mode needs a shard map")
+	}
+	if len(cfg.Addrs) != cfg.Map.Nodes {
+		return nil, fmt.Errorf("driver: %d addrs for a %d-node map", len(cfg.Addrs), cfg.Map.Nodes)
+	}
+	if cfg.MPRate < 0 || cfg.MPRate > 100 {
+		return nil, fmt.Errorf("driver: multi-partition rate %d%% out of [0,100]", cfg.MPRate)
+	}
+	if err := cfg.Spec.Validate(cfg.Map.Parts); err != nil {
+		return nil, err
+	}
+
+	workers := make([]*clusterWorker, cfg.Conns)
+	for i := range workers {
+		conn, err := cluster.Dial(cluster.Config{Addrs: cfg.Addrs, Map: cfg.Map, Spec: cfg.Spec})
+		if err != nil {
+			for _, p := range workers[:i] {
+				p.conn.Close()
+			}
+			return nil, fmt.Errorf("driver: conn %d: %w", i, err)
+		}
+		workers[i] = &clusterWorker{
+			cfg:  cfg,
+			idx:  i,
+			conn: conn,
+			wl:   cfg.Spec.New(cfg.Map.Parts),
+			rng:  workload.NewRand(cfg.Seed ^ 0x5eed<<32 ^ uint64(i)*1_000_003),
+			hist: &metrics.Histogram{},
+		}
+	}
+
+	base := time.Now()
+	warmEnd := cfg.Warmup.Nanoseconds()
+	end := warmEnd + cfg.Measure.Nanoseconds()
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *clusterWorker) { defer wg.Done(); w.loop(base, warmEnd, end) }(w)
+	}
+	wg.Wait()
+
+	rep := &Report{
+		Spec:    cfg.Spec.String(),
+		Shards:  cfg.Map.Parts,
+		Conns:   cfg.Conns,
+		Elapsed: cfg.Measure,
+		Hist:    &metrics.Histogram{},
+	}
+	for _, w := range workers {
+		rep.Hist.Merge(w.hist)
+		rep.Ops += w.ops
+		rep.Errors += w.errs
+		rep.MultiPart += w.conn.MultiPart
+		w.conn.Close()
+	}
+	if s := rep.Elapsed.Seconds(); s > 0 {
+		rep.Throughput = float64(rep.Ops) / s
+	}
+	rep.Mean = time.Duration(rep.Hist.Mean())
+	rep.P50 = time.Duration(rep.Hist.Quantile(0.5))
+	rep.P90 = time.Duration(rep.Hist.Quantile(0.9))
+	rep.P99 = time.Duration(rep.Hist.Quantile(0.99))
+	rep.P999 = time.Duration(rep.Hist.Quantile(0.999))
+	rep.Max = time.Duration(rep.Hist.Max())
+	return rep, nil
+}
+
+// clusterWorker is one closed-loop coordinator.
+type clusterWorker struct {
+	cfg  ClusterConfig
+	idx  int
+	conn *cluster.Conn
+	wl   workload.Workload
+	rng  *workload.Rand
+	hist *metrics.Histogram
+	ops  uint64
+	errs uint64
+}
+
+func (w *clusterWorker) loop(base time.Time, warmEnd, end int64) {
+	parts := w.cfg.Map.Parts
+	part := w.idx % parts
+	args := make([]catalog.Value, 0, 16)
+	for {
+		start := time.Since(base).Nanoseconds()
+		if start >= end {
+			return
+		}
+		p := part
+		part = (part + 1) % parts
+
+		c := w.wl.Gen(w.rng, p, parts)
+		var err error
+		switch {
+		case strings.HasPrefix(c.Proc, "olap_"):
+			err = w.conn.ExecAll(c.Proc, c.Args)
+		case parts > 1 && w.cfg.MPRate > 0 && w.rng.Intn(100) < w.cfg.MPRate:
+			// Two-branch 2PC: this call plus a second generated for another
+			// partition. Gen recycles its argument buffer, so the first
+			// call's args are copied before the second draw.
+			args = append(args[:0], c.Args...)
+			pp := (p + 1 + w.rng.Intn(parts-1)) % parts
+			c2 := w.wl.Gen(w.rng, pp, parts)
+			err = w.conn.ExecMulti([]cluster.Branch{
+				{Part: p, Proc: c.Proc, Args: args},
+				{Part: pp, Proc: c2.Proc, Args: c2.Args},
+			})
+		default:
+			err = w.conn.Exec(p, c.Proc, c.Args)
+		}
+		now := time.Since(base).Nanoseconds()
+		if start >= warmEnd && start < end {
+			lat := now - start
+			if lat < 0 {
+				lat = 0
+			}
+			w.hist.Record(uint64(lat))
+			w.ops++
+			if err != nil {
+				w.errs++
+			}
+		}
+		// An abort is a definitive answer and the loop continues; anything
+		// else (transport failure, drain) ends this coordinator.
+		if err != nil && !errors.Is(err, cluster.ErrAborted) {
+			return
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package driver_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"oltpsim/internal/cluster"
+	"oltpsim/internal/driver"
+	"oltpsim/internal/server"
+	"oltpsim/internal/systems"
+	"oltpsim/internal/workload"
+)
+
+// TestDriveClusterLoopback drives a 2-node cluster over loopback with a 20%
+// multi-partition rate: the run must complete ops on both nodes and commit a
+// nonzero number of 2PC transactions.
+func TestDriveClusterLoopback(t *testing.T) {
+	m, err := cluster.NewMap("hash", 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := workload.Spec{Kind: "micro", Rows: 4096, RowsPerTx: 2, ReadWrite: true}
+	addrs := make([]string, m.Nodes)
+	for i := 0; i < m.Nodes; i++ {
+		s := startServer(t, server.Config{
+			System:  systems.VoltDB,
+			Spec:    spec,
+			Cluster: m,
+			Node:    i,
+		})
+		addrs[i] = s.Addr().String()
+	}
+
+	rep, err := driver.RunCluster(driver.ClusterConfig{
+		Addrs:   addrs,
+		Map:     m,
+		Spec:    spec,
+		Conns:   2,
+		MPRate:  20,
+		Warmup:  50 * time.Millisecond,
+		Measure: 300 * time.Millisecond,
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatalf("driver.RunCluster: %v", err)
+	}
+	if rep.Ops == 0 {
+		t.Fatal("no measured ops")
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d errors in %d ops", rep.Errors, rep.Ops)
+	}
+	if rep.MultiPart == 0 {
+		t.Fatal("no multi-partition commits at a 20% rate")
+	}
+	if !strings.Contains(rep.String(), "multi-partition commits") {
+		t.Fatalf("report does not mention 2PC:\n%s", rep.String())
+	}
+}
+
+// TestDriveClusterRejectsBadConfig pins the config validation surface.
+func TestDriveClusterRejectsBadConfig(t *testing.T) {
+	m, _ := cluster.NewMap("range", 2, 4)
+	if _, err := driver.RunCluster(driver.ClusterConfig{Addrs: []string{"x"}, Map: m}); err == nil {
+		t.Fatal("addr/node count mismatch accepted")
+	}
+	if _, err := driver.RunCluster(driver.ClusterConfig{
+		Addrs: []string{"x", "y"}, Map: m, MPRate: 101,
+	}); err == nil {
+		t.Fatal("multi-partition rate 101% accepted")
+	}
+}

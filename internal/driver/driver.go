@@ -85,6 +85,7 @@ type Report struct {
 	Ops        uint64 // measured completed ops
 	Errors     uint64 // measured failed ops (included in Ops)
 	Rejected   uint64 // ops refused by a draining server (not in Ops)
+	MultiPart  uint64 // committed multi-partition (2PC) transactions — cluster mode
 	Throughput float64
 	Mean       time.Duration
 	P50        time.Duration
@@ -108,6 +109,9 @@ func (r *Report) String() string {
 	fmt.Fprintf(&b, "  window     %.2fs measured (%d shards)\n", r.Elapsed.Seconds(), r.Shards)
 	fmt.Fprintf(&b, "  throughput %.0f ops/s  (%d ops, %d errors, %d rejected)\n",
 		r.Throughput, r.Ops, r.Errors, r.Rejected)
+	if r.MultiPart > 0 {
+		fmt.Fprintf(&b, "  2pc        %d multi-partition commits\n", r.MultiPart)
+	}
 	fmt.Fprintf(&b, "  latency    mean %s  p50 %s  p90 %s  p99 %s  p999 %s  max %s\n",
 		fmtDur(r.Mean), fmtDur(r.P50), fmtDur(r.P90), fmtDur(r.P99), fmtDur(r.P999), fmtDur(r.Max))
 	return b.String()

@@ -61,6 +61,16 @@ type Engine struct {
 	coreMu []sync.Mutex
 	mt     bool
 
+	// owned, when non-nil, marks the partitions this engine actually stores:
+	// a cluster node's engine keeps the GLOBAL partition count (so key
+	// routing is identical on every node) but populates only its own shards.
+	// nil means all partitions are local (the single-process default).
+	owned []bool
+
+	// staged holds at most one prepared-but-undecided 2PC branch per
+	// partition (see twopc.go); staged[p] is guarded by coreMu[p].
+	staged []stagedTx
+
 	// execMu serializes transaction execution when the engine is shared
 	// across goroutines through Sessions (see session.go) in serialized
 	// mode. Single-goroutine users — the harness, examples, tests — never
@@ -168,6 +178,33 @@ func New(cfg Config) *Engine {
 
 // Config returns the engine's configuration.
 func (e *Engine) Config() Config { return e.cfg }
+
+// SetOwnedPartitions restricts which partitions this engine stores rows for:
+// a cluster node keeps the global partition count for routing but loads only
+// its own shards (replicated tables load a copy into every OWNED shard).
+// Must be called before population; len(owned) must equal the partition
+// count and at least one partition must be owned. nil resets to all-local.
+func (e *Engine) SetOwnedPartitions(owned []bool) {
+	if owned == nil {
+		e.owned = nil
+		return
+	}
+	if len(owned) != e.cfg.Partitions {
+		panic(fmt.Sprintf("engine: owned mask has %d entries for %d partitions", len(owned), e.cfg.Partitions))
+	}
+	any := false
+	for _, o := range owned {
+		any = any || o
+	}
+	if !any {
+		panic("engine: owned mask owns no partitions")
+	}
+	e.owned = append([]bool(nil), owned...)
+}
+
+// OwnsPartition reports whether partition p is stored locally (always true
+// without an owned mask).
+func (e *Engine) OwnsPartition(p int) bool { return e.owned == nil || e.owned[p] }
 
 // Machine returns the underlying simulated machine.
 func (e *Engine) Machine() *core.Machine { return e.mach }
@@ -380,11 +417,15 @@ func (t *Table) Load(row catalog.Row) {
 	}
 	if t.Replicated {
 		for p := range t.shards {
-			t.loadShard(p, keyVals, row)
+			if t.e.OwnsPartition(p) {
+				t.loadShard(p, keyVals, row)
+			}
 		}
 		return
 	}
-	t.loadShard(t.PartitionOf(keyVals), keyVals, row)
+	if p := t.PartitionOf(keyVals); t.e.OwnsPartition(p) {
+		t.loadShard(p, keyVals, row)
+	}
 }
 
 // loadShard inserts row into shard p. Under PlacePartitioned on a

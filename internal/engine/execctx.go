@@ -94,6 +94,7 @@ func (e *Engine) EnterConcurrent() error {
 	}
 	e.ctxs = make([]*ExecCtx, p)
 	e.coreMu = make([]sync.Mutex, p)
+	e.staged = make([]stagedTx, p)
 	for i := 0; i < p; i++ {
 		cx := new(ExecCtx)
 		view := e.mach.Arena.View(e.mach.TracerFor(i))
@@ -117,6 +118,7 @@ func (e *Engine) LeaveConcurrent() {
 	e.mt = false
 	e.ctxs = nil
 	e.coreMu = nil
+	e.staged = nil
 	e.rebindShards()
 	e.mach.SetConcurrent(false)
 }

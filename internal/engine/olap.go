@@ -414,6 +414,14 @@ func (t *Table) LookupRow(keyVals []catalog.Value) (catalog.Row, bool) {
 	sh := &t.shards[0]
 	if !t.Replicated && e.cfg.Partitions > 1 {
 		sh = &t.shards[t.PartitionOf(keyVals)]
+	} else if t.Replicated && e.owned != nil {
+		// Cluster node: shard 0 may not be local; read the first owned copy.
+		for p := range t.shards {
+			if e.owned[p] {
+				sh = &t.shards[p]
+				break
+			}
+		}
 	}
 	key := t.EncodeKey(keyVals)
 	val, ok := sh.idx.Lookup(key)

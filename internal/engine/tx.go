@@ -37,6 +37,10 @@ type Tx struct {
 	// what makes longer transactions amortize the SQL stack, the effect the
 	// paper measures in Figure 7. Backed by the engine's reusable map.
 	seenStmt map[string]bool
+	// staged, when non-nil, marks a 2PC prepare: writes divert into the
+	// partition's staging buffer instead of applying in place, and reads see
+	// only the committed pre-transaction state (twopc.go).
+	staged *stagedTx
 }
 
 // Part returns the transaction's partition.
@@ -214,6 +218,9 @@ func (tx *Tx) update(t *Table, keyVals []catalog.Value, col int, f func(catalog.
 	if !ok {
 		return ErrNotFound
 	}
+	if tx.staged != nil { // 2PC prepare: concurrent mode implies StorageRows
+		return tx.stageFieldUpdate(t, simmem.Addr(val), col, f)
+	}
 	c := tx.e.cfg.Costs
 	m := tx.ctx.mem
 	rowSize := t.Schema.RowSize()
@@ -276,6 +283,9 @@ func (tx *Tx) Modify(t *Table, keyVals []catalog.Value, f func(catalog.Row) cata
 	if !ok {
 		return ErrNotFound
 	}
+	if tx.staged != nil { // 2PC prepare: concurrent mode implies StorageRows
+		return tx.stageModify(t, simmem.Addr(val), f)
+	}
 	c := tx.e.cfg.Costs
 	m := tx.ctx.mem
 	rowSize := t.Schema.RowSize()
@@ -332,6 +342,9 @@ func (tx *Tx) Insert(t *Table, row catalog.Row) error {
 	if err := tx.lockRow(t, key, true); err != nil {
 		return err
 	}
+	if tx.staged != nil { // 2PC prepare: buffer the insert
+		return tx.stageInsert(t, key, row)
+	}
 	c := tx.e.cfg.Costs
 	rowSize := t.Schema.RowSize()
 	tx.cpu.Exec(tx.e.rStorage, c.StorageAccess)
@@ -366,6 +379,9 @@ func (tx *Tx) Delete(t *Table, keyVals []catalog.Value) error {
 	key := t.encodeKeyInto(&tx.ctx.scratch, keyVals)
 	if err := tx.lockRow(t, key, true); err != nil {
 		return err
+	}
+	if tx.staged != nil { // 2PC prepare: buffer the unlink
+		return tx.stageDelete(t, sh, key)
 	}
 	if !sh.idx.Delete(key) {
 		return ErrNotFound

@@ -17,15 +17,15 @@ func TestExpandFigureIDs(t *testing.T) {
 	if len(ids) != len(FigureIDs()) {
 		t.Fatalf("all expanded to %d IDs, want %d", len(ids), len(FigureIDs()))
 	}
-	ids, err = ExpandFigureIDs("numa,htap,serve")
+	ids, err = ExpandFigureIDs("numa,htap,serve,islands")
 	if err != nil {
-		t.Fatalf("numa,htap,serve: %v", err)
+		t.Fatalf("numa,htap,serve,islands: %v", err)
 	}
-	want := len(NUMAFigureIDs()) + len(HTAPFigureIDs()) + len(ServeFigureIDs())
+	want := len(NUMAFigureIDs()) + len(HTAPFigureIDs()) + len(ServeFigureIDs()) + len(IslandFigureIDs())
 	if len(ids) != want {
 		t.Fatalf("keyword expansion = %d IDs, want %d", len(ids), want)
 	}
-	if ids[0] != NUMAFigureIDs()[0] || ids[len(ids)-1] != ServeFigureIDs()[len(ServeFigureIDs())-1] {
+	if ids[0] != NUMAFigureIDs()[0] || ids[len(ids)-1] != IslandFigureIDs()[len(IslandFigureIDs())-1] {
 		t.Fatalf("expansion out of request order: %v", ids)
 	}
 
@@ -40,7 +40,7 @@ func TestExpandFigureIDs(t *testing.T) {
 	}
 
 	// Every registered ID resolves.
-	for _, kw := range []string{"all", "numa", "htap", "serve"} {
+	for _, kw := range []string{"all", "numa", "htap", "serve", "islands"} {
 		ids, _ := ExpandFigureIDs(kw)
 		for _, id := range ids {
 			if _, ok := FigureBuilder(id); !ok {

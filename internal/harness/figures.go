@@ -27,8 +27,9 @@ var Figures = map[string]Builder{
 
 // FigureBuilder resolves a figure ID against every registry: the paper
 // figures above, the NUMA scaling figures (FigN1-FigN3, see numafigs.go),
-// the HTAP figures (FigH1-FigH3, see htapfigs.go) and the live serving
-// figures (FigS1-FigS2, see servefigs.go).
+// the HTAP figures (FigH1-FigH3, see htapfigs.go), the live serving
+// figures (FigS1-FigS3, see servefigs.go) and the cluster islands figures
+// (FigI1-FigI3, see islandfigs.go).
 func FigureBuilder(id string) (Builder, bool) {
 	if b, ok := Figures[id]; ok {
 		return b, true
@@ -39,13 +40,16 @@ func FigureBuilder(id string) (Builder, bool) {
 	if b, ok := HTAPFigures[id]; ok {
 		return b, true
 	}
-	b, ok := ServeFigures[id]
+	if b, ok := ServeFigures[id]; ok {
+		return b, true
+	}
+	b, ok := IslandFigures[id]
 	return b, ok
 }
 
 // ExpandFigureIDs resolves a comma-separated -figure argument into concrete
-// figure IDs: the keywords "all" (the paper set), "numa", "htap" and
-// "serve" expand to their registries, everything else must name a known
+// figure IDs: the keywords "all" (the paper set), "numa", "htap", "serve"
+// and "islands" expand to their registries, everything else must name a known
 // figure. Unknown or empty IDs are an error — a typo must fail loudly, not
 // silently skip a figure (duplicates are preserved: the runner's cell cache
 // makes them free, and output order mirrors the request).
@@ -61,6 +65,8 @@ func ExpandFigureIDs(arg string) ([]string, error) {
 			ids = append(ids, HTAPFigureIDs()...)
 		case "serve":
 			ids = append(ids, ServeFigureIDs()...)
+		case "islands":
+			ids = append(ids, IslandFigureIDs()...)
 		case "":
 			return nil, fmt.Errorf("harness: empty figure ID in %q", arg)
 		default:

@@ -1,0 +1,296 @@
+package refdb
+
+import (
+	"fmt"
+
+	"oltpsim/internal/catalog"
+	"oltpsim/internal/workload"
+)
+
+// Column indexes used by the reference transaction bodies. Deliberately
+// re-declared (not imported) so the reference stays an independent reading of
+// the schemas: if a workload reorders a column, the differential tests fail
+// instead of silently following.
+const (
+	wYTD = 2 // warehouse: w_id | w_tax, w_ytd
+
+	dYTD    = 3 // district: d_w_id, d_id | d_tax, d_ytd, d_next_o_id
+	dNextO  = 4
+	cBal    = 3 // customer: c_w_id, c_d_id, c_id | c_balance, c_ytd_pay, c_pay_cnt, c_del_cnt, c_credit
+	cYTD    = 4
+	cPayCnt = 5
+	cDelCnt = 6
+
+	iPrice = 1 // item: i_id | i_price, i_im_id, i_data
+
+	sQty = 2 // stock: s_w_id, s_i_id | s_quantity, s_ytd, s_order_cnt, s_remote_cnt
+	sYTD = 3
+	sCnt = 4
+
+	oCID     = 3 // orders: o_w_id, o_d_id, o_id | o_c_id, o_carrier, o_ol_cnt, o_entry_d
+	oCarrier = 4
+	oOLCnt   = 5
+
+	olAmount = 6 // orderline: ol_w, ol_d, ol_o, ol_number | ol_i_id, ol_qty, ol_amount, ol_delivery_d
+	olDeliv  = 7
+
+	clOID = 3 // clast: cl_w, cl_d, cl_c | cl_o_id
+)
+
+// ApplyMicro applies one generated micro call to the reference.
+func ApplyMicro(db *DB, w *workload.Micro, c workload.Call) error {
+	rt := db.Table("micro")
+	n := w.Config().RowsPerTx
+	switch c.Proc {
+	case "micro_ro":
+		for i := 0; i < n; i++ {
+			if _, err := rt.need(c.Args[i]); err != nil {
+				return err
+			}
+		}
+	case "micro_rw":
+		for i := 0; i < n; i++ {
+			row, err := rt.need(c.Args[i])
+			if err != nil {
+				return err
+			}
+			row[1] = c.Args[n+i]
+			rt.Put(row)
+		}
+	default:
+		return fmt.Errorf("ref: unknown micro proc %q", c.Proc)
+	}
+	return nil
+}
+
+// ApplyTPCB applies one account_update to the reference.
+func ApplyTPCB(db *DB, c workload.Call) error {
+	if c.Proc != "account_update" {
+		return fmt.Errorf("ref: unknown TPC-B proc %q", c.Proc)
+	}
+	b, tl, a, delta, h := c.Args[0], c.Args[1], c.Args[2], c.Args[3].I, c.Args[4]
+	acc, err := db.Table("account").need(a)
+	if err != nil {
+		return err
+	}
+	acc[2] = long(acc[2].I + delta)
+	db.Table("account").Put(acc)
+	tel, err := db.Table("teller").need(tl)
+	if err != nil {
+		return err
+	}
+	tel[2] = long(tel[2].I + delta)
+	db.Table("teller").Put(tel)
+	br, err := db.Table("branch").need(b)
+	if err != nil {
+		return err
+	}
+	br[1] = long(br[1].I + delta)
+	db.Table("branch").Put(br)
+	db.Table("history").Put([]catalog.Value{h, b, tl, a, long(delta)})
+	return nil
+}
+
+// ApplyTPCC applies one generated TPC-C call to the reference.
+func ApplyTPCC(db *DB, c workload.Call) error {
+	args := c.Args
+	switch c.Proc {
+	case "new_order":
+		wid, did, cid, olCnt := args[0], args[1], args[2], args[3].I
+		d, err := db.Table("district").need(wid, args[1])
+		if err != nil {
+			return err
+		}
+		oid := d[dNextO].I
+		d[dNextO] = long(oid + 1)
+		db.Table("district").Put(d)
+		db.Table("orders").Put([]catalog.Value{
+			wid, did, long(oid), cid, long(0), long(olCnt), long(0)})
+		db.Table("new_order").Put([]catalog.Value{wid, did, long(oid)})
+		cl, err := db.Table("clast").need(wid, did, cid)
+		if err != nil {
+			return err
+		}
+		cl[clOID] = long(oid)
+		db.Table("clast").Put(cl)
+		for i := int64(0); i < olCnt; i++ {
+			item := args[4+2*i]
+			qty := args[4+2*i+1].I
+			irow, err := db.Table("item").need(item)
+			if err != nil {
+				return err
+			}
+			srow, err := db.Table("stock").need(wid, item)
+			if err != nil {
+				return err
+			}
+			q := srow[sQty].I - qty
+			if q < 10 {
+				q += 91
+			}
+			srow[sQty] = long(q)
+			srow[sYTD] = long(srow[sYTD].I + qty)
+			srow[sCnt] = long(srow[sCnt].I + 1)
+			db.Table("stock").Put(srow)
+			db.Table("order_line").Put([]catalog.Value{
+				wid, did, long(oid), long(i + 1),
+				item, long(qty), long(irow[iPrice].I * qty), long(0)})
+		}
+	case "payment":
+		wid, did, cid, amt, seq := args[0], args[1], args[2], args[3].I, args[4]
+		wrow, err := db.Table("warehouse").need(wid)
+		if err != nil {
+			return err
+		}
+		wrow[wYTD] = long(wrow[wYTD].I + amt)
+		db.Table("warehouse").Put(wrow)
+		drow, err := db.Table("district").need(wid, did)
+		if err != nil {
+			return err
+		}
+		drow[dYTD] = long(drow[dYTD].I + amt)
+		db.Table("district").Put(drow)
+		crow, err := db.Table("customer").need(wid, did, cid)
+		if err != nil {
+			return err
+		}
+		crow[cBal] = long(crow[cBal].I - amt)
+		crow[cYTD] = long(crow[cYTD].I + amt)
+		crow[cPayCnt] = long(crow[cPayCnt].I + 1)
+		db.Table("customer").Put(crow)
+		db.Table("history").Put([]catalog.Value{wid, seq, did, cid, long(amt)})
+	case "order_status", "stock_level":
+		// Read-only; state unchanged. (Their read paths are covered by the
+		// row-level state comparison feeding them.)
+	case "delivery":
+		wid, carrier := args[0].I, args[1].I
+		for did := int64(1); did <= workload.DistrictsPerWarehouse; did++ {
+			oid := MinNewOrder(db, wid, did)
+			if oid < 0 {
+				continue
+			}
+			db.Table("new_order").Delete(long(wid), long(did), long(oid))
+			orow, err := db.Table("orders").need(long(wid), long(did), long(oid))
+			if err != nil {
+				return err
+			}
+			cid, olCnt := orow[oCID].I, orow[oOLCnt].I
+			orow[oCarrier] = long(carrier)
+			db.Table("orders").Put(orow)
+			var total int64
+			for ol := int64(1); ol <= olCnt; ol++ {
+				olrow, err := db.Table("order_line").need(long(wid), long(did), long(oid), long(ol))
+				if err != nil {
+					return err
+				}
+				total += olrow[olAmount].I
+				olrow[olDeliv] = long(1)
+				db.Table("order_line").Put(olrow)
+			}
+			crow, err := db.Table("customer").need(long(wid), long(did), long(cid))
+			if err != nil {
+				return err
+			}
+			crow[cBal] = long(crow[cBal].I + total)
+			crow[cDelCnt] = long(crow[cDelCnt].I + 1)
+			db.Table("customer").Put(crow)
+		}
+	default:
+		return fmt.Errorf("ref: unknown TPC-C proc %q", c.Proc)
+	}
+	return nil
+}
+
+// MinNewOrder finds the lowest undelivered order id of (wid, did), the row
+// the engine's limit-1 index scan returns.
+func MinNewOrder(db *DB, wid, did int64) int64 {
+	min := int64(-1)
+	db.Table("new_order").Each(func(row []catalog.Value) {
+		if row[0].I == wid && row[1].I == did {
+			if min < 0 || row[2].I < min {
+				min = row[2].I
+			}
+		}
+	})
+	return min
+}
+
+// CheckOLAP folds the reference table the way the OLAP workload's analytical
+// procedures do and compares against got, the engine's captured result. The
+// result is a parameter (not read from the workload) so a cluster test can
+// pass per-node captures merged across the fan-out.
+func CheckOLAP(db *DB, got workload.OLAPResult, c workload.Call) error {
+	rt := db.Table("olap")
+	if got.Proc != c.Proc {
+		return fmt.Errorf("ref: engine captured %q for call %q", got.Proc, c.Proc)
+	}
+	switch c.Proc {
+	case "olap_sum":
+		cnt, sum, mn, mx := rt.Fold(2, nil, nil)
+		if got.Rows != cnt || got.Count != cnt || got.Sum != sum || got.Min != mn || got.Max != mx {
+			return fmt.Errorf("olap_sum: engine %+v, ref cnt=%d sum=%d min=%d max=%d", got, cnt, sum, mn, mx)
+		}
+	case "olap_range":
+		lo, hi := c.Args[0], c.Args[1]
+		loK, hiK := rt.Key([]catalog.Value{lo}), rt.Key([]catalog.Value{hi})
+		cnt, sum, _, _ := rt.Fold(2, &loK, &hiK)
+		if got.Rows != cnt || got.Count != cnt || got.Sum != sum {
+			return fmt.Errorf("olap_range[%d,%d]: engine %+v, ref cnt=%d sum=%d", lo.I, hi.I, got, cnt, sum)
+		}
+	case "olap_group":
+		want, rows := rt.GroupSums(1, 2)
+		if err := compareGroups(c.Proc, got, want, rows); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("ref: unknown OLAP proc %q", c.Proc)
+	}
+	return nil
+}
+
+// CheckHybrid checks a hybrid call: analytical procedures against folds over
+// the reference order_line table, everything else as a TPC-C apply.
+func CheckHybrid(db *DB, got workload.OLAPResult, c workload.Call) error {
+	switch c.Proc {
+	case "olap_revenue", "olap_district", "olap_by_district":
+	default:
+		return ApplyTPCC(db, c)
+	}
+	rt := db.Table("order_line")
+	if got.Proc != c.Proc {
+		return fmt.Errorf("ref: engine captured %q for call %q", got.Proc, c.Proc)
+	}
+	switch c.Proc {
+	case "olap_revenue":
+		cnt, sum, mn, mx := rt.Fold(olAmount, nil, nil)
+		if got.Rows != cnt || got.Count != cnt || got.Sum != sum || got.Min != mn || got.Max != mx {
+			return fmt.Errorf("olap_revenue: engine %+v, ref cnt=%d sum=%d min=%d max=%d", got, cnt, sum, mn, mx)
+		}
+	case "olap_district":
+		loK := rt.Key(c.Args[0:4])
+		hiK := rt.Key(c.Args[4:8])
+		cnt, sum, _, _ := rt.Fold(olAmount, &loK, &hiK)
+		if got.Rows != cnt || got.Count != cnt || got.Sum != sum {
+			return fmt.Errorf("olap_district: engine %+v, ref cnt=%d sum=%d", got, cnt, sum)
+		}
+	case "olap_by_district":
+		want, rows := rt.GroupSums(1, olAmount)
+		if err := compareGroups(c.Proc, got, want, rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func compareGroups(proc string, got workload.OLAPResult, want map[int64]int64, rows int64) error {
+	if got.Rows != rows || len(got.Groups) != len(want) {
+		return fmt.Errorf("%s: engine rows=%d groups=%d, ref rows=%d groups=%d",
+			proc, got.Rows, len(got.Groups), rows, len(want))
+	}
+	for g, s := range want {
+		if got.Groups[g] != s {
+			return fmt.Errorf("%s: group %d = %d, ref %d", proc, g, got.Groups[g], s)
+		}
+	}
+	return nil
+}

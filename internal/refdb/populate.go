@@ -1,0 +1,96 @@
+package refdb
+
+import (
+	"oltpsim/internal/catalog"
+	"oltpsim/internal/workload"
+)
+
+func long(v int64) catalog.Value { return catalog.LongVal(v) }
+
+// PopulateMicro mirrors Micro.Populate.
+func PopulateMicro(db *DB, w *workload.Micro) {
+	rt := db.Table("micro")
+	for i := int64(0); i < w.Config().Rows; i++ {
+		rt.Put([]catalog.Value{w.KeyVal(i), w.PayloadVal(i)})
+	}
+}
+
+// PopulateTPCB mirrors TPCB.Populate.
+func PopulateTPCB(db *DB, w *workload.TPCB) {
+	cfg := w.Config()
+	for b := int64(0); b < int64(cfg.Branches); b++ {
+		db.Table("branch").Put([]catalog.Value{long(b), long(0)})
+	}
+	for t := int64(0); t < int64(cfg.Branches*workload.TellersPerBranch); t++ {
+		db.Table("teller").Put([]catalog.Value{long(t), long(t / workload.TellersPerBranch), long(0)})
+	}
+	apb := int64(cfg.AccountsPerBranch)
+	for a := int64(0); a < w.Accounts(); a++ {
+		db.Table("account").Put([]catalog.Value{long(a), long(a / apb), long(0)})
+	}
+}
+
+// PopulateOLAP mirrors OLAP.Populate.
+func PopulateOLAP(db *DB, w *workload.OLAP) {
+	rt := db.Table("olap")
+	cfg := w.Config()
+	for i := int64(0); i < cfg.Rows; i++ {
+		rt.Put([]catalog.Value{long(i), long(i % cfg.Groups), long(workload.OLAPVal(i))})
+	}
+}
+
+// PopulateTPCC mirrors TPCC.Populate independently, including its
+// deterministic per-district RNG stream.
+func PopulateTPCC(db *DB, w *workload.TPCC) {
+	cfg := w.Config()
+	for i := 1; i <= cfg.Items; i++ {
+		db.Table("item").Put([]catalog.Value{
+			long(int64(i)), long(int64(i%90 + 10)), long(int64(i % 1000)), long(0)})
+	}
+	for wid := int64(1); wid <= int64(cfg.Warehouses); wid++ {
+		db.Table("warehouse").Put([]catalog.Value{long(wid), long(7), long(0)})
+		for i := 1; i <= cfg.Items; i++ {
+			db.Table("stock").Put([]catalog.Value{
+				long(wid), long(int64(i)), long(50 + int64(i%50)), long(0), long(0), long(0)})
+		}
+		for did := int64(1); did <= workload.DistrictsPerWarehouse; did++ {
+			db.Table("district").Put([]catalog.Value{wlong(wid), long(did), long(9), long(0),
+				long(int64(cfg.OrdersPerDistrict) + 1)})
+			for c := int64(1); c <= int64(cfg.CustomersPerDistrict); c++ {
+				db.Table("customer").Put([]catalog.Value{
+					long(wid), long(did), long(c), long(-10), long(10), long(1), long(0), long(0)})
+			}
+			lastOrder := make(map[int64]int64)
+			rng := workload.NewRand(uint64(wid)<<16 ^ uint64(did))
+			for o := int64(1); o <= int64(cfg.OrdersPerDistrict); o++ {
+				cid := (o-1)%int64(cfg.CustomersPerDistrict) + 1
+				olCnt := int64(rng.Range(5, 15))
+				carrier := int64(rng.Range(1, 10))
+				delivered := o <= int64(cfg.OrdersPerDistrict*7/10)
+				if !delivered {
+					carrier = 0
+					db.Table("new_order").Put([]catalog.Value{long(wid), long(did), long(o)})
+				}
+				db.Table("orders").Put([]catalog.Value{long(wid), long(did), long(o),
+					long(cid), long(carrier), long(olCnt), long(0)})
+				for ol := int64(1); ol <= olCnt; ol++ {
+					item := int64(rng.Intn(cfg.Items)) + 1
+					qty := int64(rng.Range(1, 10))
+					deliv := int64(0)
+					if delivered {
+						deliv = 1
+					}
+					db.Table("order_line").Put([]catalog.Value{long(wid), long(did), long(o), long(ol),
+						long(item), long(qty), long(qty * 10), long(deliv)})
+				}
+				lastOrder[cid] = o
+			}
+			for c := int64(1); c <= int64(cfg.CustomersPerDistrict); c++ {
+				db.Table("clast").Put([]catalog.Value{long(wid), long(did), long(c), long(lastOrder[c])})
+			}
+		}
+	}
+}
+
+// wlong guards against accidental shadowing in the mirrored loops.
+func wlong(v int64) catalog.Value { return long(v) }

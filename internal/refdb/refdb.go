@@ -1,0 +1,270 @@
+// Package refdb is the differential reference executor: a naive, map-based
+// in-memory database with an independent implementation of every stored
+// procedure the workloads register. Tests replay the exact generated call
+// stream of a workload against both the real engine (through its full
+// front-end / concurrency / storage / index stack) and this reference, then
+// assert row-level agreement: every reference row must be readable from the
+// engine with identical values, the cardinalities must match, and the
+// analytical procedures' captured results must equal naive folds over the
+// reference state. Because the reference shares no code with the engine's
+// execution path, any disagreement localizes a semantic bug in one of them.
+//
+// The package started life inside internal/workload's test files and was
+// extracted so the cluster-level differential battery (internal/cluster) can
+// replay the same procedures against a multi-node deployment: a committed
+// two-phase transaction applies to the reference as one staged transaction,
+// which is exactly the engine's prepare-time write-staging semantics.
+package refdb
+
+import (
+	"fmt"
+
+	"oltpsim/internal/catalog"
+	"oltpsim/internal/engine"
+)
+
+// Table is one reference table: rows keyed by their order-preserving encoded
+// primary key.
+type Table struct {
+	Name    string
+	KeyCols []int
+	Schema  *catalog.Schema
+	rows    map[string][]catalog.Value
+
+	// Staged-transaction state (OCC mode, see DB.Begin): reads serve the
+	// committed rows above, writes collect here and install at commit — the
+	// snapshot semantics of the MVCC archetype and of the engine's 2PC
+	// prepare path, under which two writes to the same row in one
+	// transaction both derive from the pre-transaction version and the last
+	// one wins.
+	staged   bool
+	stagePut map[string][]catalog.Value
+	stageDel map[string]bool
+}
+
+// DB is the reference database.
+type DB struct {
+	tables map[string]*Table
+}
+
+// New mirrors the engine's catalog (after Workload.Setup).
+func New(e *engine.Engine) *DB {
+	db := &DB{tables: make(map[string]*Table)}
+	for _, t := range e.Tables() {
+		db.tables[t.Name] = &Table{
+			Name:    t.Name,
+			KeyCols: t.KeyCols,
+			Schema:  t.Schema,
+			rows:    make(map[string][]catalog.Value),
+		}
+	}
+	return db
+}
+
+// Table returns the named table (nil if absent).
+func (db *DB) Table(name string) *Table { return db.tables[name] }
+
+// Key builds the order-preserving encoded key of vals (one per key column).
+func (rt *Table) Key(vals []catalog.Value) string {
+	var b []byte
+	for i, ci := range rt.KeyCols {
+		col := rt.Schema.Columns[ci]
+		if col.Type == catalog.TypeLong {
+			var kb [8]byte
+			catalog.PutKeyLong(kb[:], vals[i].I)
+			b = append(b, kb[:]...)
+		} else {
+			kb := make([]byte, col.Width)
+			copy(kb, vals[i].S)
+			b = append(b, kb...)
+		}
+	}
+	return string(b)
+}
+
+// RowKey extracts the encoded key of a full row.
+func (rt *Table) RowKey(row []catalog.Value) string {
+	vals := make([]catalog.Value, len(rt.KeyCols))
+	for i, ci := range rt.KeyCols {
+		vals[i] = row[ci]
+	}
+	return rt.Key(vals)
+}
+
+// Put inserts or replaces a row (deep-copied, strings padded to width so the
+// comparison against the engine's fixed-width reads is exact).
+func (rt *Table) Put(row []catalog.Value) {
+	cp := make([]catalog.Value, len(row))
+	for i, v := range row {
+		if c := rt.Schema.Columns[i]; c.Type == catalog.TypeString {
+			s := make([]byte, c.Width)
+			copy(s, v.S)
+			cp[i] = catalog.StringVal(s)
+		} else {
+			cp[i] = v
+		}
+	}
+	if rt.staged {
+		rt.stagePut[rt.RowKey(cp)] = cp
+		return
+	}
+	rt.rows[rt.RowKey(cp)] = cp
+}
+
+// Get returns a copy of the committed row, or nil (staged writes are
+// invisible to reads, matching the engine's MVCC and 2PC-prepare read paths;
+// 2PL engines run unstaged, so the committed row is always current there).
+func (rt *Table) Get(vals ...catalog.Value) []catalog.Value {
+	row := rt.rows[rt.Key(vals)]
+	if row == nil {
+		return nil
+	}
+	cp := make([]catalog.Value, len(row))
+	copy(cp, row)
+	return cp
+}
+
+// need is Get that errors on a missing row.
+func (rt *Table) need(vals ...catalog.Value) ([]catalog.Value, error) {
+	row := rt.Get(vals...)
+	if row == nil {
+		return nil, fmt.Errorf("ref %s: missing row %v", rt.Name, vals)
+	}
+	return row, nil
+}
+
+// Delete removes the row, honoring staged mode; reports whether it existed.
+func (rt *Table) Delete(vals ...catalog.Value) bool {
+	k := rt.Key(vals)
+	if _, ok := rt.rows[k]; !ok {
+		return false
+	}
+	if rt.staged {
+		rt.stageDel[k] = true
+		return true
+	}
+	delete(rt.rows, k)
+	return true
+}
+
+// Len returns the committed row count.
+func (rt *Table) Len() int { return len(rt.rows) }
+
+// Each calls f for every committed row, in arbitrary order. Callers that
+// render or compare must not depend on visit order.
+func (rt *Table) Each(f func(row []catalog.Value)) {
+	for _, row := range rt.rows {
+		f(row)
+	}
+}
+
+// Begin and Commit switch the whole reference database into and out of
+// staged (OCC) transaction mode.
+func (db *DB) Begin() {
+	for _, rt := range db.tables {
+		rt.staged = true
+		rt.stagePut = make(map[string][]catalog.Value)
+		rt.stageDel = make(map[string]bool)
+	}
+}
+
+func (db *DB) Commit() {
+	for _, rt := range db.tables {
+		rt.staged = false
+		for k := range rt.stageDel {
+			delete(rt.rows, k)
+		}
+		for k, row := range rt.stagePut {
+			rt.rows[k] = row
+		}
+		rt.stagePut, rt.stageDel = nil, nil
+	}
+}
+
+// Fold computes count/sum/min/max of column col over rows whose encoded key
+// lies in [lo, hi] (nil = unbounded).
+func (rt *Table) Fold(col int, lo, hi *string) (cnt, sum, mn, mx int64) {
+	mn, mx = int64(1)<<62, -(int64(1) << 62)
+	first := true
+	for k, row := range rt.rows {
+		if lo != nil && k < *lo {
+			continue
+		}
+		if hi != nil && k > *hi {
+			continue
+		}
+		v := row[col].I
+		cnt++
+		sum += v
+		if first || v < mn {
+			mn = v
+		}
+		if first || v > mx {
+			mx = v
+		}
+		first = false
+	}
+	return
+}
+
+// GroupSums folds SUM(row[valCol]) keyed by row[grpCol], returning the group
+// map and the row count.
+func (rt *Table) GroupSums(grpCol, valCol int) (map[int64]int64, int64) {
+	want := map[int64]int64{}
+	var rows int64
+	for _, row := range rt.rows {
+		want[row[grpCol].I] += row[valCol].I
+		rows++
+	}
+	return want, rows
+}
+
+// Compare asserts row-level agreement against one engine: every reference
+// row must read back identically, and cardinalities must match (replicated
+// tables hold one copy per partition). Each mismatch becomes one message.
+func Compare(e *engine.Engine, db *DB) []string {
+	var msgs []string
+	for _, et := range e.Tables() {
+		rt := db.Table(et.Name)
+		wantCount := uint64(rt.Len())
+		if et.Replicated {
+			wantCount *= uint64(e.Partitions())
+		}
+		if got := et.Count(); got != wantCount {
+			msgs = append(msgs, fmt.Sprintf("table %s: engine has %d rows, reference %d", et.Name, got, wantCount))
+			continue
+		}
+		msgs = append(msgs, CompareRows(et, rt)...)
+	}
+	return msgs
+}
+
+// CompareRows checks that every reference row of rt reads back identically
+// from the engine table et (cardinality is the caller's concern: a cluster
+// sums counts across the owning nodes first).
+func CompareRows(et *engine.Table, rt *Table) []string {
+	var msgs []string
+	keyVals := make([]catalog.Value, len(et.KeyCols))
+	rt.Each(func(row []catalog.Value) {
+		for i, ci := range et.KeyCols {
+			keyVals[i] = row[ci]
+		}
+		erow, ok := et.LookupRow(keyVals)
+		if !ok {
+			msgs = append(msgs, fmt.Sprintf("table %s: engine is missing row %v", et.Name, keyVals))
+			return
+		}
+		for i := range row {
+			if et.Schema.Columns[i].Type == catalog.TypeLong {
+				if erow[i].I != row[i].I {
+					msgs = append(msgs, fmt.Sprintf("table %s row %v col %d: engine %d, reference %d",
+						et.Name, keyVals, i, erow[i].I, row[i].I))
+				}
+			} else if string(erow[i].S) != string(row[i].S) {
+				msgs = append(msgs, fmt.Sprintf("table %s row %v col %d: engine %q, reference %q",
+					et.Name, keyVals, i, erow[i].S, row[i].S))
+			}
+		}
+	})
+	return msgs
+}

@@ -74,6 +74,14 @@ func (c *conn) serve() {
 			if !c.handleExec(payload) {
 				return
 			}
+		case wire.MsgPrepare2PC:
+			if !c.handlePrepare2PC(payload) {
+				return
+			}
+		case wire.MsgCommit2PC, wire.MsgAbort2PC:
+			if !c.handleDecision(typ, payload) {
+				return
+			}
 		default:
 			c.sendErr(0, fmt.Sprintf("oltpd: unexpected frame type %#x", typ))
 			return
@@ -104,14 +112,31 @@ func (c *conn) handlePrepare(payload []byte) bool {
 }
 
 // handleExec decodes one Exec into a pooled request and admits it to its
-// shard queue. Decoded argument bytes are copied into the request's own
-// backing storage — the frame buffer is reused for the next read while the
-// request is still queued.
+// shard queue.
 func (c *conn) handleExec(payload []byte) bool {
 	r := wire.NewReader(payload)
 	reqID := r.U32()
 	procID := r.U32()
 	part := int(r.U16())
+	return c.admitCall(&r, reqID, procID, part, 0, false)
+}
+
+// handlePrepare2PC decodes one 2PC branch prepare — an Exec carrying a
+// global transaction ID — and admits it to the owning shard queue; the shard
+// worker answers with a Vote frame.
+func (c *conn) handlePrepare2PC(payload []byte) bool {
+	r := wire.NewReader(payload)
+	reqID := r.U32()
+	gtid := r.U64()
+	procID := r.U32()
+	part := int(r.U16())
+	return c.admitCall(&r, reqID, procID, part, gtid, true)
+}
+
+// admitCall validates and admits a decoded Exec/Prepare2PC. Decoded argument
+// bytes are copied into the request's own backing storage — the frame buffer
+// is reused for the next read while the request is still queued.
+func (c *conn) admitCall(r *wire.Reader, reqID, procID uint32, part int, gtid uint64, is2pc bool) bool {
 	argc := int(r.U16())
 	if r.Err != nil {
 		return false
@@ -124,6 +149,10 @@ func (c *conn) handleExec(payload []byte) bool {
 		c.sendErr(reqID, fmt.Sprintf("oltpd: partition %d out of range", part))
 		return true
 	}
+	if !c.s.ownsShard(part) {
+		c.sendErr(reqID, fmt.Sprintf("oltpd: partition %d not served by this node (shard map mismatch?)", part))
+		return true
+	}
 
 	req := getRequest()
 	req.c = c
@@ -131,6 +160,8 @@ func (c *conn) handleExec(payload []byte) bool {
 	req.part = part
 	req.proc = c.s.procNames[procID]
 	req.arrived = time.Now()
+	req.is2pc = is2pc
+	req.gtid = gtid
 	if cap(req.args) < argc {
 		req.args = make([]catalog.Value, argc)
 	}
@@ -178,17 +209,75 @@ func (c *conn) handleExec(payload []byte) bool {
 	return true
 }
 
+// handleDecision resolves a coordinator's COMMIT2PC/ABORT2PC. Decision
+// frames bypass admission entirely (the prepared branch already holds its
+// admitted slot, and decisions must land even during drain): the reader
+// claims the partition's pending slot and hands the verdict to the parked
+// shard worker, which resolves and acks. Per presumed abort, an ABORT2PC
+// for a gtid this node no longer (or never) holds prepared acks OK; a
+// COMMIT2PC for one is answered with an Err — the participant may have
+// timed out and aborted, and the coordinator must hear that.
+func (c *conn) handleDecision(typ byte, payload []byte) bool {
+	r := wire.NewReader(payload)
+	reqID := r.U32()
+	gtid := r.U64()
+	part := int(r.U16())
+	if r.Err != nil {
+		return false
+	}
+	commit := typ == wire.MsgCommit2PC
+	if part < 0 || part >= c.s.Shards() || !c.s.ownsShard(part) {
+		return c.sendErr(reqID, fmt.Sprintf("oltpd: partition %d not served by this node", part))
+	}
+	slot := &c.s.pend[part]
+	slot.mu.Lock()
+	if slot.active && slot.gtid == gtid {
+		ch := slot.ch
+		slot.active = false
+		slot.mu.Unlock()
+		ch <- decision{commit: commit, c: c, reqID: reqID}
+		return true // the worker acks after resolving
+	}
+	slot.mu.Unlock()
+	if commit {
+		return c.sendErr(reqID, fmt.Sprintf("oltpd: commit for unknown 2PC transaction %d on partition %d", gtid, part))
+	}
+	return c.respondID(reqID, nil)
+}
+
 // respond delivers a request's result frame; called from shard workers.
 func (c *conn) respond(req *request, err error) {
+	c.respondID(req.id, err)
+}
+
+// respondID writes an OK/Err frame for reqID; returns false if the
+// connection is gone.
+func (c *conn) respondID(reqID uint32, err error) bool {
 	if err != nil {
-		c.sendErr(req.id, err.Error())
-		return
+		return c.sendErr(reqID, err.Error())
 	}
 	c.writeMu.Lock()
 	c.wbuf.Reset(wire.MsgOK)
-	c.wbuf.U32(req.id)
-	c.write(c.wbuf.Bytes())
+	c.wbuf.U32(reqID)
+	werr := c.write(c.wbuf.Bytes())
 	c.writeMu.Unlock()
+	return werr == nil
+}
+
+// sendVote writes a 2PC Vote frame; called from shard workers.
+func (c *conn) sendVote(reqID uint32, commit bool, reason string) bool {
+	c.writeMu.Lock()
+	c.wbuf.Reset(wire.MsgVote)
+	c.wbuf.U32(reqID)
+	if commit {
+		c.wbuf.U8(1)
+	} else {
+		c.wbuf.U8(0)
+		c.wbuf.Str(reason)
+	}
+	err := c.write(c.wbuf.Bytes())
+	c.writeMu.Unlock()
+	return err == nil
 }
 
 // sendErr writes an Err frame; returns false if the connection is gone.

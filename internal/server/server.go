@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"oltpsim/internal/catalog"
+	"oltpsim/internal/cluster"
 	"oltpsim/internal/core"
 	"oltpsim/internal/engine"
 	"oltpsim/internal/metrics"
@@ -54,6 +55,19 @@ type Config struct {
 	// Serial forces the serialized session path even for multi-shard
 	// share-nothing engines that could serve concurrently.
 	Serial bool
+
+	// Cluster, when set, makes this oltpd one node of a multi-process
+	// cluster: the engine keeps the map's GLOBAL partition count (so key
+	// routing agrees on every node) but stores and serves only the
+	// partitions the map assigns to Node. Shards is ignored in cluster mode.
+	Cluster *cluster.ShardMap
+	// Node is this process's node ID within Cluster.
+	Node int
+	// TwoPCTimeout bounds how long a shard worker holds a prepared 2PC
+	// branch awaiting the coordinator's decision before presuming abort
+	// (default 10s). Coordinator-side vote/ack timeouts must be comfortably
+	// below it.
+	TwoPCTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -68,6 +82,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Spec.Kind == "" {
 		c.Spec = workload.DefaultSpec()
+	}
+	if c.TwoPCTimeout <= 0 {
+		c.TwoPCTimeout = 10 * time.Second
 	}
 	return c
 }
@@ -86,6 +103,11 @@ type Server struct {
 	queues  []chan *request
 	workers sync.WaitGroup
 
+	// Cluster mode: which global partitions this node serves (nil = all),
+	// and the per-partition pending-decision slot for in-flight 2PC.
+	owned []bool
+	pend  []pendSlot
+
 	mu       sync.RWMutex // guards draining against enqueue
 	draining bool         //oltpsim:guarded-by mu
 	closed   chan struct{}
@@ -96,15 +118,18 @@ type Server struct {
 	reqWG  sync.WaitGroup // one count per admitted request, until its response is written
 
 	// Telemetry.
-	reg         *metrics.Registry
-	svcHist     []*metrics.Histogram // per-shard request latency (arrival→response), ns
-	reqTotal    []atomic.Uint64      // per-shard admitted requests
-	errTotal    []atomic.Uint64      // per-shard failed requests
-	batchTotal  []atomic.Uint64      // per-shard executed batches
-	connsLive   atomic.Int64
-	connsTotal  atomic.Uint64
-	rejectTotal atomic.Uint64 // requests refused during drain
-	started     time.Time
+	reg          *metrics.Registry
+	svcHist      []*metrics.Histogram // per-shard request latency (arrival→response), ns
+	reqTotal     []atomic.Uint64      // per-shard admitted requests
+	errTotal     []atomic.Uint64      // per-shard failed requests
+	batchTotal   []atomic.Uint64      // per-shard executed batches
+	prep2pcTotal []atomic.Uint64      // per-shard 2PC YES votes
+	cmt2pcTotal  []atomic.Uint64      // per-shard 2PC branch commits
+	abt2pcTotal  []atomic.Uint64      // per-shard 2PC branch aborts (NO votes, abort decisions, timeouts)
+	connsLive    atomic.Int64
+	connsTotal   atomic.Uint64
+	rejectTotal  atomic.Uint64 // requests refused during drain
+	started      time.Time
 }
 
 // New builds the engine, installs and populates the workload, and prepares
@@ -113,11 +138,29 @@ type Server struct {
 // dataset.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Cluster != nil {
+		if cfg.Node < 0 || cfg.Node >= cfg.Cluster.Nodes {
+			return nil, fmt.Errorf("server: node %d out of range for %s", cfg.Node, cfg.Cluster)
+		}
+		// Cluster node: the engine keeps the GLOBAL partition count so
+		// Table.PartitionOf routes keys identically on every node; the owned
+		// mask below restricts what this node actually stores.
+		cfg.Shards = cfg.Cluster.Parts
+	}
 	eng := systems.New(cfg.System, systems.Options{
 		Cores:     cfg.Shards,
 		Sockets:   cfg.Sockets,
 		Placement: cfg.Placement,
 	})
+	var owned []bool
+	if cfg.Cluster != nil {
+		if eng.Partitions() != cfg.Cluster.Parts {
+			return nil, fmt.Errorf("server: archetype %s cannot shard %d ways for cluster serving (it runs %d partitions)",
+				eng.Config().Name, cfg.Cluster.Parts, eng.Partitions())
+		}
+		owned = cfg.Cluster.OwnedMask(cfg.Node)
+		eng.SetOwnedPartitions(owned)
+	}
 	if err := cfg.Spec.Validate(eng.Partitions()); err != nil {
 		return nil, err
 	}
@@ -137,6 +180,13 @@ func New(cfg Config) (*Server, error) {
 		// error: the oltpd_concurrent gauge reports which mode is live.
 		_ = eng.EnterConcurrent()
 	}
+	if cfg.Cluster != nil && cfg.Cluster.Parts > 1 && !eng.Concurrent() {
+		// The 2PC participant path (engine staged writes) is concurrent-mode
+		// only, and a multi-partition cluster without it cannot serve the
+		// mis-routed fraction.
+		return nil, fmt.Errorf("server: cluster serving requires a concurrent-capable archetype (share-nothing, e.g. voltdb/hyper), not %s",
+			eng.Config().Name)
+	}
 
 	s := &Server{
 		cfg:    cfg,
@@ -153,12 +203,17 @@ func New(cfg Config) (*Server, error) {
 	for i, n := range s.procNames {
 		s.procIDs[n] = uint32(i)
 	}
+	s.owned = owned
 	shards := s.Shards()
 	s.queues = make([]chan *request, shards)
+	s.pend = make([]pendSlot, shards)
 	s.svcHist = make([]*metrics.Histogram, shards)
 	s.reqTotal = make([]atomic.Uint64, shards)
 	s.errTotal = make([]atomic.Uint64, shards)
 	s.batchTotal = make([]atomic.Uint64, shards)
+	s.prep2pcTotal = make([]atomic.Uint64, shards)
+	s.cmt2pcTotal = make([]atomic.Uint64, shards)
+	s.abt2pcTotal = make([]atomic.Uint64, shards)
 	for i := range s.queues {
 		s.queues[i] = make(chan *request, cfg.QueueDepth)
 		s.svcHist[i] = &metrics.Histogram{}
@@ -167,11 +222,19 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
+// ownsShard reports whether this node serves global partition p (always
+// true outside cluster mode).
+func (s *Server) ownsShard(p int) bool { return s.owned == nil || s.owned[p] }
+
 // Shards returns the number of shard workers (= engine partitions).
 func (s *Server) Shards() int { return s.eng.Partitions() }
 
 // Engine exposes the engine (tests and figures read counters through it).
 func (s *Server) Engine() *engine.Engine { return s.eng }
+
+// Workload exposes the served workload instance (the cluster scatter-gather
+// path reads per-node analytic capture state through it).
+func (s *Server) Workload() workload.Workload { return s.wl }
 
 // Registry returns the server's metrics registry; serve it over HTTP with
 // net/http (it implements http.Handler).
@@ -190,6 +253,9 @@ func (s *Server) Start(addr string) error {
 	s.ln = ln
 	s.started = time.Now()
 	for w := 0; w < s.Shards(); w++ {
+		if !s.ownsShard(w) {
+			continue // another node's partition: no worker, conns refuse it
+		}
 		s.workers.Add(1)
 		go s.shardWorker(w)
 	}
@@ -291,25 +357,128 @@ func (s *Server) shardWorker(w int) {
 			}
 		}
 
-		for i, br := range batch {
-			ereqs[i] = engine.Request{Part: br.part, Proc: br.proc, Args: br.args}
-		}
-		sess.InvokeBatch(w, ereqs[:len(batch)], errs)
-		s.batchTotal[w].Add(1)
-
-		now := time.Now()
-		for i, br := range batch {
-			br.c.sess.Ops.Add(1)
-			if errs[i] != nil {
-				s.errTotal[w].Add(1)
-				br.c.sess.Errs.Add(1)
+		// 2PC prepares block the worker between vote and decision, so they
+		// execute individually; runs of plain Execs between them keep the
+		// group-execute batching.
+		i := 0
+		for i < len(batch) {
+			if batch[i].is2pc {
+				s.run2PCPrepare(w, sess, batch[i])
+				i++
+				continue
 			}
-			br.c.respond(br, errs[i])
-			s.svcHist[w].Record(uint64(now.Sub(br.arrived)))
-			s.reqWG.Done()
-			putRequest(br)
+			j := i
+			for j < len(batch) && !batch[j].is2pc {
+				ereqs[j-i] = engine.Request{Part: batch[j].part, Proc: batch[j].proc, Args: batch[j].args}
+				j++
+			}
+			sess.InvokeBatch(w, ereqs[:j-i], errs)
+			s.batchTotal[w].Add(1)
+
+			now := time.Now()
+			for k := i; k < j; k++ {
+				br := batch[k]
+				err := errs[k-i]
+				br.c.sess.Ops.Add(1)
+				if err != nil {
+					s.errTotal[w].Add(1)
+					br.c.sess.Errs.Add(1)
+				}
+				br.c.respond(br, err)
+				s.svcHist[w].Record(uint64(now.Sub(br.arrived)))
+				s.reqWG.Done()
+				putRequest(br)
+			}
+			i = j
 		}
 	}
+}
+
+// pendSlot is one partition's pending-decision rendezvous: between a YES
+// vote and the coordinator's decision, the shard worker parks here and any
+// connection reader that decodes the matching COMMIT2PC/ABORT2PC claims the
+// slot and hands the decision over. The claim protocol (flip active under
+// mu, then send on the buffered channel) guarantees exactly one of
+// reader/timeout consumes each prepared branch.
+type pendSlot struct {
+	mu     sync.Mutex
+	active bool          //oltpsim:guarded-by mu
+	gtid   uint64        //oltpsim:guarded-by mu
+	ch     chan decision //oltpsim:guarded-by mu
+}
+
+// decision is a coordinator verdict handed from a connection reader to the
+// parked shard worker (c/reqID identify the decision frame to ack).
+type decision struct {
+	commit bool
+	c      *conn
+	reqID  uint32
+}
+
+// run2PCPrepare executes one 2PC branch: prepare (staged), vote, park for
+// the decision (or presume abort on timeout), resolve, ack. The worker
+// blocking here is what preserves per-partition serializability between
+// vote and decision — it is the partition's only executor, so nothing else
+// can run on the partition while the branch is undecided.
+func (s *Server) run2PCPrepare(w int, sess *engine.Session, r *request) {
+	err := sess.Prepare(w, r.part, r.gtid, r.proc, r.args)
+	r.c.sess.Ops.Add(1)
+	if err != nil {
+		// NO vote: the branch aborted during prepare, nothing is retained.
+		s.errTotal[w].Add(1)
+		r.c.sess.Errs.Add(1)
+		s.abt2pcTotal[w].Add(1)
+		r.c.sendVote(r.id, false, err.Error())
+		s.finishReq(w, r)
+		return
+	}
+	s.prep2pcTotal[w].Add(1)
+	slot := &s.pend[w]
+	ch := make(chan decision, 1)
+	slot.mu.Lock()
+	slot.active, slot.gtid, slot.ch = true, r.gtid, ch
+	slot.mu.Unlock()
+	// Vote after arming the slot: the decision can race back before the
+	// vote write even returns. A failed vote write still parks — the
+	// decision timeout is the backstop either way.
+	r.c.sendVote(r.id, true, "")
+
+	var d decision
+	timer := time.NewTimer(s.cfg.TwoPCTimeout)
+	select {
+	case d = <-ch:
+	case <-timer.C:
+		slot.mu.Lock()
+		if slot.active && slot.gtid == r.gtid {
+			slot.active = false
+			slot.mu.Unlock()
+			d = decision{commit: false} // presumed abort
+		} else {
+			// A reader claimed the slot as the timer fired; its decision is
+			// already in flight on the buffered channel.
+			slot.mu.Unlock()
+			d = <-ch
+		}
+	}
+	timer.Stop()
+
+	rerr := sess.Resolve(w, r.part, r.gtid, d.commit)
+	if d.commit {
+		s.cmt2pcTotal[w].Add(1)
+	} else {
+		s.abt2pcTotal[w].Add(1)
+	}
+	if d.c != nil {
+		d.c.respondID(d.reqID, rerr)
+	}
+	s.finishReq(w, r)
+}
+
+// finishReq retires an admitted request after its terminal frame.
+func (s *Server) finishReq(w int, r *request) {
+	s.svcHist[w].Record(uint64(time.Since(r.arrived)))
+	s.reqWG.Done()
+	putRequest(r)
 }
 
 // Shutdown drains the server: it stops accepting connections, refuses new
@@ -352,7 +521,7 @@ const ErrDraining = wire.ErrDraining
 
 // --- request pool ----------------------------------------------------------
 
-// request is one admitted Exec, from decode to response.
+// request is one admitted Exec or Prepare2PC, from decode to response.
 type request struct {
 	c       *conn
 	id      uint32
@@ -361,6 +530,8 @@ type request struct {
 	args    []catalog.Value
 	argMem  []byte // backing storage for TagBytes argument values
 	arrived time.Time
+	is2pc   bool   // Prepare2PC: execute staged, vote, await decision
+	gtid    uint64 // global transaction ID (is2pc only)
 }
 
 var requestPool = sync.Pool{New: func() any { return new(request) }}
@@ -430,6 +601,12 @@ func (s *Server) registerMetrics() {
 		perShard("oltpd_request_errors_total", func(i int) float64 { return float64(s.errTotal[i].Load()) }))
 	r.Register("oltpd_batches_total", "counter", "group-execute batches per shard",
 		perShard("oltpd_batches_total", func(i int) float64 { return float64(s.batchTotal[i].Load()) }))
+	r.Register("oltpd_2pc_prepares_total", "counter", "2PC branches prepared (YES votes) per shard",
+		perShard("oltpd_2pc_prepares_total", func(i int) float64 { return float64(s.prep2pcTotal[i].Load()) }))
+	r.Register("oltpd_2pc_commits_total", "counter", "2PC branches committed per shard",
+		perShard("oltpd_2pc_commits_total", func(i int) float64 { return float64(s.cmt2pcTotal[i].Load()) }))
+	r.Register("oltpd_2pc_aborts_total", "counter", "2PC branches aborted per shard (NO votes, abort decisions, decision timeouts)",
+		perShard("oltpd_2pc_aborts_total", func(i int) float64 { return float64(s.abt2pcTotal[i].Load()) }))
 
 	// PMU families. An OnScrape hook refreshes one shared observation —
 	// a single engine-lock acquisition per scrape, before any family

@@ -18,6 +18,20 @@
 //	OK       (server→client): u32 reqID
 //	Err      (server→client): u32 reqID | u16 len | message
 //
+// Two-phase-commit messages (the cluster serving tier, internal/cluster):
+//
+//	Prepare2PC (coordinator→participant): u32 reqID | u64 gtid |
+//	           u32 procID | u16 part | u16 argc | argc × arg —
+//	           execute the branch with staged writes and vote
+//	Vote       (participant→coordinator): u32 reqID | u8 commit |
+//	           (commit=0 only) u16 len | reason
+//	Commit2PC  (coordinator→participant): u32 reqID | u64 gtid | u16 part —
+//	           install the staged writes; acked with OK
+//	Abort2PC   (coordinator→participant): u32 reqID | u64 gtid | u16 part —
+//	           discard the staged writes; acked with OK (presumed abort:
+//	           an Abort2PC for an unknown gtid is a successful no-op,
+//	           a Commit2PC for an unknown gtid is an Err)
+//
 // Argument encoding: u8 tag, then for TagLong an i64, for TagBytes a
 // u32 length + raw bytes. This mirrors catalog.Value (I int64 / S []byte).
 //
@@ -43,6 +57,12 @@ const (
 	MsgExec     = 0x04
 	MsgOK       = 0x05
 	MsgErr      = 0x06
+
+	// Two-phase commit (cluster serving tier).
+	MsgPrepare2PC = 0x07
+	MsgVote       = 0x08
+	MsgCommit2PC  = 0x09
+	MsgAbort2PC   = 0x0A
 )
 
 // Argument tags.
@@ -101,6 +121,11 @@ func (w *Buffer) U32(v uint32) { w.b = binary.LittleEndian.AppendUint32(w.b, v) 
 //
 //oltpsim:hotpath
 func (w *Buffer) I64(v int64) { w.b = binary.LittleEndian.AppendUint64(w.b, uint64(v)) }
+
+// U64 appends a little-endian uint64 (2PC global transaction IDs).
+//
+//oltpsim:hotpath
+func (w *Buffer) U64(v uint64) { w.b = binary.LittleEndian.AppendUint64(w.b, v) }
 
 // Str appends a u16-length-prefixed string.
 //
@@ -195,6 +220,17 @@ func (r *Reader) I64() int64 {
 		return 0
 	}
 	v := int64(binary.LittleEndian.Uint64(r.b))
+	r.b = r.b[8:]
+	return v
+}
+
+// U64 decodes a little-endian uint64.
+func (r *Reader) U64() uint64 {
+	if len(r.b) < 8 {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b)
 	r.b = r.b[8:]
 	return v
 }

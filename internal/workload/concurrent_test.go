@@ -1,4 +1,4 @@
-package workload
+package workload_test
 
 // The concurrent half of the differential suite: replay a workload's call
 // stream through the engine's concurrent mode — real goroutines, one per
@@ -17,22 +17,24 @@ import (
 	"oltpsim/internal/catalog"
 	"oltpsim/internal/core"
 	"oltpsim/internal/engine"
+	"oltpsim/internal/refdb"
 	"oltpsim/internal/systems"
+	"oltpsim/internal/workload"
 )
 
 // genStreams pre-generates per-partition call streams single-threaded
 // (Workload.Gen recycles an argument buffer, so the calls are deep-copied
 // before the workers share them).
-func genStreams(w Workload, parts, perPart int, seed uint64) [][]Call {
-	streams := make([][]Call, parts)
+func genStreams(w workload.Workload, parts, perPart int, seed uint64) [][]workload.Call {
+	streams := make([][]workload.Call, parts)
 	for p := 0; p < parts; p++ {
-		rng := NewRand(seed + uint64(p)*1e9)
-		calls := make([]Call, perPart)
+		rng := workload.NewRand(seed + uint64(p)*1e9)
+		calls := make([]workload.Call, perPart)
 		for i := range calls {
 			c := w.Gen(rng, p, parts)
 			args := make([]catalog.Value, len(c.Args))
 			copy(args, c.Args)
-			calls[i] = Call{Proc: c.Proc, Args: args}
+			calls[i] = workload.Call{Proc: c.Proc, Args: args}
 		}
 		streams[p] = calls
 	}
@@ -44,11 +46,11 @@ func TestRefExecConcurrentMicro(t *testing.T) {
 	for _, seed := range refSeeds {
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
 			e := systems.New(systems.VoltDB, systems.Options{Cores: cores})
-			w := NewMicro(MicroConfig{Rows: 2048, RowsPerTx: 4, ReadWrite: true})
+			w := workload.NewMicro(workload.MicroConfig{Rows: 2048, RowsPerTx: 4, ReadWrite: true})
 			w.Setup(e)
 			w.Populate(e)
-			db := newRefDB(e)
-			refPopulateMicro(db, w)
+			db := refdb.New(e)
+			refdb.PopulateMicro(db, w)
 			streams := genStreams(w, cores, perPart, seed)
 			e.Machine().Arena.EnableTracing(true)
 			if err := e.EnterConcurrent(); err != nil {
@@ -58,7 +60,7 @@ func TestRefExecConcurrentMicro(t *testing.T) {
 			var wg sync.WaitGroup
 			for p := 0; p < cores; p++ {
 				wg.Add(1)
-				go func(p int, calls []Call) {
+				go func(p int, calls []workload.Call) {
 					defer wg.Done()
 					s := e.NewSession()
 					for i, c := range calls {
@@ -75,8 +77,8 @@ func TestRefExecConcurrentMicro(t *testing.T) {
 			// reference replays them sequentially. Disjoint partitions make
 			// the orders equivalent.
 			for p := 0; p < cores; p++ {
-				for _, c := range streams[p] {
-					refApplyMicro(t, db, w, c)
+				for i, c := range streams[p] {
+					apply(t, i, refdb.ApplyMicro(db, w, c))
 				}
 			}
 			e.Observe(func(m *core.Machine) {
@@ -99,12 +101,12 @@ func TestRefExecConcurrentMicro(t *testing.T) {
 // TestRefExecConcurrentMatchesSerialized replays the identical streams once
 // through concurrent mode and once serialized on a fresh engine: the final
 // database states must agree row for row (the reference is the bridge — both
-// runs are compared against the same refDB).
+// runs are compared against the same reference DB).
 func TestRefExecConcurrentMatchesSerialized(t *testing.T) {
 	const cores, perPart, seed = 4, 150, 4242
-	build := func() (*engine.Engine, *Micro) {
+	build := func() (*engine.Engine, *workload.Micro) {
 		e := systems.New(systems.VoltDB, systems.Options{Cores: cores})
-		w := NewMicro(MicroConfig{Rows: 1024, RowsPerTx: 2, ReadWrite: true})
+		w := workload.NewMicro(workload.MicroConfig{Rows: 1024, RowsPerTx: 2, ReadWrite: true})
 		w.Setup(e)
 		w.Populate(e)
 		e.Machine().Arena.EnableTracing(true)
@@ -131,7 +133,7 @@ func TestRefExecConcurrentMatchesSerialized(t *testing.T) {
 	var wg sync.WaitGroup
 	for p := 0; p < cores; p++ {
 		wg.Add(1)
-		go func(p int, calls []Call) {
+		go func(p int, calls []workload.Call) {
 			defer wg.Done()
 			s := eCon.NewSession()
 			for _, c := range calls {
@@ -145,11 +147,11 @@ func TestRefExecConcurrentMatchesSerialized(t *testing.T) {
 	wg.Wait()
 
 	// Same reference state must match both engines.
-	db := newRefDB(eSer)
-	refPopulateMicro(db, wSer)
+	db := refdb.New(eSer)
+	refdb.PopulateMicro(db, wSer)
 	for p := 0; p < cores; p++ {
 		for _, c := range streams[p] {
-			refApplyMicro(t, db, wSer, c)
+			apply(t, 0, refdb.ApplyMicro(db, wSer, c))
 		}
 	}
 	compareState(t, eSer, db)

@@ -116,19 +116,21 @@ func (w *Micro) Setup(e *engine.Engine) {
 // Populate implements Workload.
 func (w *Micro) Populate(e *engine.Engine) {
 	for i := int64(0); i < w.cfg.Rows; i++ {
-		w.tbl.Load(catalog.Row{w.keyVal(i), w.payloadVal(i)})
+		w.tbl.Load(catalog.Row{w.KeyVal(i), w.PayloadVal(i)})
 	}
 }
 
-// keyVal builds the key column value for logical key i.
-func (w *Micro) keyVal(i int64) catalog.Value {
+// KeyVal builds the key column value for logical key i. Exported for the
+// reference executor (internal/refdb), which mirrors the population.
+func (w *Micro) KeyVal(i int64) catalog.Value {
 	if !w.cfg.StringKeys {
 		return long(i)
 	}
 	return catalog.StringVal(stringKey(i))
 }
 
-func (w *Micro) payloadVal(i int64) catalog.Value {
+// PayloadVal builds the value column for logical key i (see KeyVal).
+func (w *Micro) PayloadVal(i int64) catalog.Value {
 	if !w.cfg.StringKeys {
 		return long(i * 3)
 	}
@@ -170,11 +172,11 @@ func (w *Micro) Gen(r *Rand, part, parts int) Call {
 		} else {
 			k = r.Int63n(w.cfg.Rows)
 		}
-		args = append(args, w.keyVal(k))
+		args = append(args, w.KeyVal(k))
 	}
 	if w.cfg.ReadWrite {
 		for i := 0; i < n; i++ {
-			args = append(args, w.payloadVal(r.Int63n(w.cfg.Rows)))
+			args = append(args, w.PayloadVal(r.Int63n(w.cfg.Rows)))
 		}
 	}
 	w.argBuf = args

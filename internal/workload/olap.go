@@ -128,8 +128,8 @@ func (w *OLAP) Setup(e *engine.Engine) {
 	}).MarkCrossPartition()
 }
 
-// olapVal is the payload of logical row i.
-func olapVal(i int64) int64 { return i*3 - 1 }
+// OLAPVal is the payload of logical row i, exported for internal/refdb.
+func OLAPVal(i int64) int64 { return i*3 - 1 }
 
 // Populate implements Workload.
 func (w *OLAP) Populate(e *engine.Engine) {
@@ -137,7 +137,7 @@ func (w *OLAP) Populate(e *engine.Engine) {
 		w.tbl.Load(catalog.Row{
 			catalog.LongVal(i),
 			catalog.LongVal(i % w.cfg.Groups),
-			catalog.LongVal(olapVal(i)),
+			catalog.LongVal(OLAPVal(i)),
 		})
 	}
 }

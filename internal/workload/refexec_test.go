@@ -1,552 +1,50 @@
-package workload
+package workload_test
 
-// The differential reference executor: a naive, map-based in-memory database
-// with an independent implementation of every stored procedure the workloads
-// register. Tests replay the exact generated call stream of each workload
-// against both the real engine (through its full front-end / concurrency /
-// storage / index stack) and the reference, then assert row-level agreement:
-// every reference row must be readable from the engine with identical
-// values, the cardinalities must match, and the analytical procedures'
-// captured results must equal naive folds over the reference state. Because
-// the reference shares no code with the engine's execution path, any
-// disagreement localizes a semantic bug in one of them.
+// The single-engine half of the differential suite. The reference executor
+// itself (naive map-based database + independent procedure implementations)
+// lives in internal/refdb so the cluster-level battery can reuse it; these
+// tests replay each workload archetype through one engine and assert
+// row-level agreement. See also concurrent_test.go (concurrent mode) and
+// internal/cluster's differential tests (multi-node with 2PC).
 
 import (
 	"fmt"
 	"testing"
 
-	"oltpsim/internal/catalog"
 	"oltpsim/internal/core"
 	"oltpsim/internal/engine"
+	"oltpsim/internal/refdb"
 	"oltpsim/internal/systems"
+	"oltpsim/internal/workload"
 )
 
-// --- the reference database --------------------------------------------------
-
-type refTable struct {
-	name    string
-	keyCols []int
-	schema  *catalog.Schema
-	rows    map[string][]catalog.Value
-
-	// Staged-transaction state (OCC mode, see refDB.begin): reads serve the
-	// committed rows above, writes collect here and install at commit — the
-	// snapshot semantics of the MVCC archetype, under which two writes to
-	// the same row in one transaction both derive from the pre-transaction
-	// version and the last one wins.
-	staged   bool
-	stagePut map[string][]catalog.Value
-	stageDel map[string]bool
-}
-
-type refDB struct {
-	tables map[string]*refTable
-}
-
-// newRefDB mirrors the engine's catalog (after Workload.Setup).
-func newRefDB(e *engine.Engine) *refDB {
-	db := &refDB{tables: make(map[string]*refTable)}
-	for _, t := range e.Tables() {
-		db.tables[t.Name] = &refTable{
-			name:    t.Name,
-			keyCols: t.KeyCols,
-			schema:  t.Schema,
-			rows:    make(map[string][]catalog.Value),
-		}
-	}
-	return db
-}
-
-// key builds the order-preserving encoded key of vals (one per key column).
-func (rt *refTable) key(vals []catalog.Value) string {
-	var b []byte
-	for i, ci := range rt.keyCols {
-		col := rt.schema.Columns[ci]
-		if col.Type == catalog.TypeLong {
-			var kb [8]byte
-			catalog.PutKeyLong(kb[:], vals[i].I)
-			b = append(b, kb[:]...)
-		} else {
-			kb := make([]byte, col.Width)
-			copy(kb, vals[i].S)
-			b = append(b, kb...)
-		}
-	}
-	return string(b)
-}
-
-// rowKey extracts the key of a full row.
-func (rt *refTable) rowKey(row []catalog.Value) string {
-	vals := make([]catalog.Value, len(rt.keyCols))
-	for i, ci := range rt.keyCols {
-		vals[i] = row[ci]
-	}
-	return rt.key(vals)
-}
-
-// put inserts or replaces a row (deep-copied, strings padded to width so the
-// comparison against the engine's fixed-width reads is exact).
-func (rt *refTable) put(row []catalog.Value) {
-	cp := make([]catalog.Value, len(row))
-	for i, v := range row {
-		if c := rt.schema.Columns[i]; c.Type == catalog.TypeString {
-			s := make([]byte, c.Width)
-			copy(s, v.S)
-			cp[i] = catalog.StringVal(s)
-		} else {
-			cp[i] = v
-		}
-	}
-	if rt.staged {
-		rt.stagePut[rt.rowKey(cp)] = cp
-		return
-	}
-	rt.rows[rt.rowKey(cp)] = cp
-}
-
-// get returns a copy of the committed row (staged writes are invisible to
-// reads, matching the engine's MVCC read path; 2PL engines run unstaged, so
-// the committed row is always current there).
-func (rt *refTable) get(vals ...catalog.Value) []catalog.Value {
-	row := rt.rows[rt.key(vals)]
-	if row == nil {
-		return nil
-	}
-	cp := make([]catalog.Value, len(row))
-	copy(cp, row)
-	return cp
-}
-
-func (rt *refTable) mustGet(t *testing.T, vals ...catalog.Value) []catalog.Value {
+// apply funnels a refdb apply/check error into a test failure.
+func apply(t *testing.T, i int, err error) {
 	t.Helper()
-	row := rt.get(vals...)
-	if row == nil {
-		t.Fatalf("ref %s: missing row %v", rt.name, vals)
-	}
-	return row
-}
-
-func (rt *refTable) delete(vals ...catalog.Value) bool {
-	k := rt.key(vals)
-	if _, ok := rt.rows[k]; !ok {
-		return false
-	}
-	if rt.staged {
-		rt.stageDel[k] = true
-		return true
-	}
-	delete(rt.rows, k)
-	return true
-}
-
-// begin/commit switch the whole reference database into and out of staged
-// (OCC) transaction mode.
-func (db *refDB) begin() {
-	for _, rt := range db.tables {
-		rt.staged = true
-		rt.stagePut = make(map[string][]catalog.Value)
-		rt.stageDel = make(map[string]bool)
+	if err != nil {
+		t.Fatalf("call %d: %v", i, err)
 	}
 }
 
-func (db *refDB) commit() {
-	for _, rt := range db.tables {
-		rt.staged = false
-		for k := range rt.stageDel {
-			delete(rt.rows, k)
-		}
-		for k, row := range rt.stagePut {
-			rt.rows[k] = row
-		}
-		rt.stagePut, rt.stageDel = nil, nil
-	}
-}
-
-func (db *refDB) table(name string) *refTable { return db.tables[name] }
-
-// --- reference populations ---------------------------------------------------
-
-func refPopulateMicro(db *refDB, w *Micro) {
-	rt := db.table("micro")
-	for i := int64(0); i < w.cfg.Rows; i++ {
-		rt.put([]catalog.Value{w.keyVal(i), w.payloadVal(i)})
-	}
-}
-
-func refPopulateTPCB(db *refDB, w *TPCB) {
-	cfg := w.Config()
-	for b := int64(0); b < int64(cfg.Branches); b++ {
-		db.table("branch").put([]catalog.Value{long(b), long(0)})
-	}
-	for t := int64(0); t < int64(cfg.Branches*TellersPerBranch); t++ {
-		db.table("teller").put([]catalog.Value{long(t), long(t / TellersPerBranch), long(0)})
-	}
-	apb := int64(cfg.AccountsPerBranch)
-	for a := int64(0); a < w.Accounts(); a++ {
-		db.table("account").put([]catalog.Value{long(a), long(a / apb), long(0)})
-	}
-}
-
-func refPopulateOLAP(db *refDB, w *OLAP) {
-	rt := db.table("olap")
-	for i := int64(0); i < w.cfg.Rows; i++ {
-		rt.put([]catalog.Value{long(i), long(i % w.cfg.Groups), long(olapVal(i))})
-	}
-}
-
-// refPopulateTPCC mirrors TPCC.Populate independently, including its
-// deterministic per-district RNG stream.
-func refPopulateTPCC(db *refDB, w *TPCC) {
-	cfg := w.Config()
-	for i := 1; i <= cfg.Items; i++ {
-		db.table("item").put([]catalog.Value{
-			long(int64(i)), long(int64(i%90 + 10)), long(int64(i % 1000)), long(0)})
-	}
-	for wid := int64(1); wid <= int64(cfg.Warehouses); wid++ {
-		db.table("warehouse").put([]catalog.Value{long(wid), long(7), long(0)})
-		for i := 1; i <= cfg.Items; i++ {
-			db.table("stock").put([]catalog.Value{
-				long(wid), long(int64(i)), long(50 + int64(i%50)), long(0), long(0), long(0)})
-		}
-		for did := int64(1); did <= DistrictsPerWarehouse; did++ {
-			db.table("district").put([]catalog.Value{wlong(wid), long(did), long(9), long(0),
-				long(int64(cfg.OrdersPerDistrict) + 1)})
-			for c := int64(1); c <= int64(cfg.CustomersPerDistrict); c++ {
-				db.table("customer").put([]catalog.Value{
-					long(wid), long(did), long(c), long(-10), long(10), long(1), long(0), long(0)})
-			}
-			lastOrder := make(map[int64]int64)
-			rng := NewRand(uint64(wid)<<16 ^ uint64(did))
-			for o := int64(1); o <= int64(cfg.OrdersPerDistrict); o++ {
-				cid := (o-1)%int64(cfg.CustomersPerDistrict) + 1
-				olCnt := int64(rng.Range(5, 15))
-				carrier := int64(rng.Range(1, 10))
-				delivered := o <= int64(cfg.OrdersPerDistrict*7/10)
-				if !delivered {
-					carrier = 0
-					db.table("new_order").put([]catalog.Value{long(wid), long(did), long(o)})
-				}
-				db.table("orders").put([]catalog.Value{long(wid), long(did), long(o),
-					long(cid), long(carrier), long(olCnt), long(0)})
-				for ol := int64(1); ol <= olCnt; ol++ {
-					item := int64(rng.Intn(cfg.Items)) + 1
-					qty := int64(rng.Range(1, 10))
-					deliv := int64(0)
-					if delivered {
-						deliv = 1
-					}
-					db.table("order_line").put([]catalog.Value{long(wid), long(did), long(o), long(ol),
-						long(item), long(qty), long(qty * 10), long(deliv)})
-				}
-				lastOrder[cid] = o
-			}
-			for c := int64(1); c <= int64(cfg.CustomersPerDistrict); c++ {
-				db.table("clast").put([]catalog.Value{long(wid), long(did), long(c), long(lastOrder[c])})
-			}
-		}
-	}
-}
-
-// wlong guards against accidental shadowing in the mirrored loops.
-func wlong(v int64) catalog.Value { return long(v) }
-
-// --- reference procedure implementations -------------------------------------
-
-func refApplyMicro(t *testing.T, db *refDB, w *Micro, c Call) {
-	rt := db.table("micro")
-	n := w.cfg.RowsPerTx
-	switch c.Proc {
-	case "micro_ro":
-		for i := 0; i < n; i++ {
-			rt.mustGet(t, c.Args[i])
-		}
-	case "micro_rw":
-		for i := 0; i < n; i++ {
-			row := rt.mustGet(t, c.Args[i])
-			row[1] = c.Args[n+i]
-			rt.put(row)
-		}
-	default:
-		t.Fatalf("ref: unknown micro proc %q", c.Proc)
-	}
-}
-
-func refApplyTPCB(t *testing.T, db *refDB, c Call) {
-	if c.Proc != "account_update" {
-		t.Fatalf("ref: unknown TPC-B proc %q", c.Proc)
-	}
-	b, tl, a, delta, h := c.Args[0], c.Args[1], c.Args[2], c.Args[3].I, c.Args[4]
-	acc := db.table("account").mustGet(t, a)
-	acc[2] = long(acc[2].I + delta)
-	db.table("account").put(acc)
-	tel := db.table("teller").mustGet(t, tl)
-	tel[2] = long(tel[2].I + delta)
-	db.table("teller").put(tel)
-	br := db.table("branch").mustGet(t, b)
-	br[1] = long(br[1].I + delta)
-	db.table("branch").put(br)
-	db.table("history").put([]catalog.Value{h, b, tl, a, long(delta)})
-}
-
-func refApplyTPCC(t *testing.T, db *refDB, c Call) {
-	args := c.Args
-	switch c.Proc {
-	case "new_order":
-		wid, did, cid, olCnt := args[0], args[1], args[2], args[3].I
-		d := db.table("district").mustGet(t, wid, args[1])
-		oid := d[dNextO].I
-		d[dNextO] = long(oid + 1)
-		db.table("district").put(d)
-		db.table("orders").put([]catalog.Value{
-			wid, did, long(oid), cid, long(0), long(olCnt), long(0)})
-		db.table("new_order").put([]catalog.Value{wid, did, long(oid)})
-		cl := db.table("clast").mustGet(t, wid, did, cid)
-		cl[clOID] = long(oid)
-		db.table("clast").put(cl)
-		for i := int64(0); i < olCnt; i++ {
-			item := args[4+2*i]
-			qty := args[4+2*i+1].I
-			irow := db.table("item").mustGet(t, item)
-			srow := db.table("stock").mustGet(t, wid, item)
-			q := srow[sQty].I - qty
-			if q < 10 {
-				q += 91
-			}
-			srow[sQty] = long(q)
-			srow[sYTD] = long(srow[sYTD].I + qty)
-			srow[sCnt] = long(srow[sCnt].I + 1)
-			db.table("stock").put(srow)
-			db.table("order_line").put([]catalog.Value{
-				wid, did, long(oid), long(i + 1),
-				item, long(qty), long(irow[iPrice].I * qty), long(0)})
-		}
-	case "payment":
-		wid, did, cid, amt, seq := args[0], args[1], args[2], args[3].I, args[4]
-		wrow := db.table("warehouse").mustGet(t, wid)
-		wrow[wYTD] = long(wrow[wYTD].I + amt)
-		db.table("warehouse").put(wrow)
-		drow := db.table("district").mustGet(t, wid, did)
-		drow[dYTD] = long(drow[dYTD].I + amt)
-		db.table("district").put(drow)
-		crow := db.table("customer").mustGet(t, wid, did, cid)
-		crow[cBal] = long(crow[cBal].I - amt)
-		crow[cYTD] = long(crow[cYTD].I + amt)
-		crow[cPayCnt] = long(crow[cPayCnt].I + 1)
-		db.table("customer").put(crow)
-		db.table("history").put([]catalog.Value{wid, seq, did, cid, long(amt)})
-	case "order_status", "stock_level":
-		// Read-only; state unchanged. (Their read paths are covered by the
-		// row-level state comparison feeding them.)
-	case "delivery":
-		wid, carrier := args[0].I, args[1].I
-		for did := int64(1); did <= DistrictsPerWarehouse; did++ {
-			oid := refMinNewOrder(db, wid, did)
-			if oid < 0 {
-				continue
-			}
-			db.table("new_order").delete(long(wid), long(did), long(oid))
-			orow := db.table("orders").mustGet(t, long(wid), long(did), long(oid))
-			cid, olCnt := orow[oCID].I, orow[oOLCnt].I
-			orow[oCarrier] = long(carrier)
-			db.table("orders").put(orow)
-			var total int64
-			for ol := int64(1); ol <= olCnt; ol++ {
-				olrow := db.table("order_line").mustGet(t, long(wid), long(did), long(oid), long(ol))
-				total += olrow[olAmount].I
-				olrow[olDeliv] = long(1)
-				db.table("order_line").put(olrow)
-			}
-			crow := db.table("customer").mustGet(t, long(wid), long(did), long(cid))
-			crow[cBal] = long(crow[cBal].I + total)
-			crow[cDelCnt] = long(crow[cDelCnt].I + 1)
-			db.table("customer").put(crow)
-		}
-	default:
-		t.Fatalf("ref: unknown TPC-C proc %q", c.Proc)
-	}
-}
-
-// refMinNewOrder finds the lowest undelivered order id of (wid, did), the
-// row the engine's limit-1 index scan returns.
-func refMinNewOrder(db *refDB, wid, did int64) int64 {
-	min := int64(-1)
-	for _, row := range db.table("new_order").rows {
-		if row[0].I == wid && row[1].I == did {
-			if min < 0 || row[2].I < min {
-				min = row[2].I
-			}
-		}
-	}
-	return min
-}
-
-// refAggOLAP folds the reference table the way the workload's analytical
-// procedures do and compares against the engine's captured result.
-func refCheckOLAP(t *testing.T, db *refDB, w *OLAP, c Call) {
-	rt := db.table("olap")
-	got := w.Last
-	if got.Proc != c.Proc {
-		t.Fatalf("ref: engine captured %q for call %q", got.Proc, c.Proc)
-	}
-	switch c.Proc {
-	case "olap_sum":
-		cnt, sum, mn, mx := refFold(rt, 2, nil, nil)
-		if got.Rows != cnt || got.Count != cnt || got.Sum != sum || got.Min != mn || got.Max != mx {
-			t.Fatalf("olap_sum: engine %+v, ref cnt=%d sum=%d min=%d max=%d", got, cnt, sum, mn, mx)
-		}
-	case "olap_range":
-		lo, hi := c.Args[0], c.Args[1]
-		loK, hiK := rt.key([]catalog.Value{lo}), rt.key([]catalog.Value{hi})
-		cnt, sum, _, _ := refFold(rt, 2, &loK, &hiK)
-		if got.Rows != cnt || got.Count != cnt || got.Sum != sum {
-			t.Fatalf("olap_range[%d,%d]: engine %+v, ref cnt=%d sum=%d", lo.I, hi.I, got, cnt, sum)
-		}
-	case "olap_group":
-		want := map[int64]int64{}
-		var rows int64
-		for _, row := range rt.rows {
-			want[row[1].I] += row[2].I
-			rows++
-		}
-		if got.Rows != rows || len(got.Groups) != len(want) {
-			t.Fatalf("olap_group: engine rows=%d groups=%d, ref rows=%d groups=%d",
-				got.Rows, len(got.Groups), rows, len(want))
-		}
-		for g, s := range want {
-			if got.Groups[g] != s {
-				t.Fatalf("olap_group: group %d = %d, ref %d", g, got.Groups[g], s)
-			}
-		}
-	default:
-		t.Fatalf("ref: unknown OLAP proc %q", c.Proc)
-	}
-}
-
-// refFold computes count/sum/min/max of column col over rows whose encoded
-// key lies in [lo, hi] (nil = unbounded).
-func refFold(rt *refTable, col int, lo, hi *string) (cnt, sum, mn, mx int64) {
-	mn, mx = int64(1)<<62, -(int64(1) << 62)
-	first := true
-	for k, row := range rt.rows {
-		if lo != nil && k < *lo {
-			continue
-		}
-		if hi != nil && k > *hi {
-			continue
-		}
-		v := row[col].I
-		cnt++
-		sum += v
-		if first || v < mn {
-			mn = v
-		}
-		if first || v > mx {
-			mx = v
-		}
-		first = false
-	}
-	return
-}
-
-func refCheckHybrid(t *testing.T, db *refDB, w *Hybrid, c Call) {
-	switch c.Proc {
-	case "olap_revenue", "olap_district", "olap_by_district":
-	default:
-		refApplyTPCC(t, db, c)
-		return
-	}
-	rt := db.table("order_line")
-	got := w.Last
-	if got.Proc != c.Proc {
-		t.Fatalf("ref: engine captured %q for call %q", got.Proc, c.Proc)
-	}
-	switch c.Proc {
-	case "olap_revenue":
-		cnt, sum, mn, mx := refFold(rt, olAmount, nil, nil)
-		if got.Rows != cnt || got.Count != cnt || got.Sum != sum || got.Min != mn || got.Max != mx {
-			t.Fatalf("olap_revenue: engine %+v, ref cnt=%d sum=%d min=%d max=%d", got, cnt, sum, mn, mx)
-		}
-	case "olap_district":
-		loK := rt.key(c.Args[0:4])
-		hiK := rt.key(c.Args[4:8])
-		cnt, sum, _, _ := refFold(rt, olAmount, &loK, &hiK)
-		if got.Rows != cnt || got.Count != cnt || got.Sum != sum {
-			t.Fatalf("olap_district: engine %+v, ref cnt=%d sum=%d", got, cnt, sum)
-		}
-	case "olap_by_district":
-		want := map[int64]int64{}
-		var rows int64
-		for _, row := range rt.rows {
-			want[row[1].I] += row[olAmount].I
-			rows++
-		}
-		if got.Rows != rows || len(got.Groups) != len(want) {
-			t.Fatalf("olap_by_district: engine rows=%d groups=%d, ref rows=%d groups=%d",
-				got.Rows, len(got.Groups), rows, len(want))
-		}
-		for g, s := range want {
-			if got.Groups[g] != s {
-				t.Fatalf("olap_by_district: group %d = %d, ref %d", g, got.Groups[g], s)
-			}
-		}
-	}
-}
-
-// --- state comparison --------------------------------------------------------
-
-// compareState asserts row-level agreement: every reference row must read
-// back identically through the engine, and cardinalities must match
-// (replicated tables hold one copy per partition).
-func compareState(t *testing.T, e *engine.Engine, db *refDB) {
+// compareState asserts row-level agreement between engine and reference.
+func compareState(t *testing.T, e *engine.Engine, db *refdb.DB) {
 	t.Helper()
-	for _, et := range e.Tables() {
-		rt := db.table(et.Name)
-		wantCount := uint64(len(rt.rows))
-		if et.Replicated {
-			wantCount *= uint64(e.Partitions())
-		}
-		if got := et.Count(); got != wantCount {
-			t.Errorf("table %s: engine has %d rows, reference %d", et.Name, got, wantCount)
-			continue
-		}
-		keyVals := make([]catalog.Value, len(et.KeyCols))
-		for _, row := range rt.rows {
-			for i, ci := range et.KeyCols {
-				keyVals[i] = row[ci]
-			}
-			erow, ok := et.LookupRow(keyVals)
-			if !ok {
-				t.Errorf("table %s: engine is missing row %v", et.Name, keyVals)
-				continue
-			}
-			for i := range row {
-				if et.Schema.Columns[i].Type == catalog.TypeLong {
-					if erow[i].I != row[i].I {
-						t.Errorf("table %s row %v col %d: engine %d, reference %d",
-							et.Name, keyVals, i, erow[i].I, row[i].I)
-					}
-				} else if string(erow[i].S) != string(row[i].S) {
-					t.Errorf("table %s row %v col %d: engine %q, reference %q",
-						et.Name, keyVals, i, erow[i].S, row[i].S)
-				}
-			}
-		}
+	for _, msg := range refdb.Compare(e, db) {
+		t.Error(msg)
 	}
 }
-
-// --- the replay harness ------------------------------------------------------
 
 // replay runs n generated calls through engine and reference, comparing
 // per-call results for the analytical procedures and the full state at the
 // end. The invocation pattern mirrors harness.Bench: worker w pinned to
 // core w, one partition per core on partitioned engines.
-func replay(t *testing.T, e *engine.Engine, w Workload, db *refDB,
-	apply func(*testing.T, *refDB, Call), seed uint64, n int) {
+func replay(t *testing.T, e *engine.Engine, w workload.Workload, db *refdb.DB,
+	applyCall func(int, workload.Call), seed uint64, n int) {
 	t.Helper()
 	cores := len(e.Machine().CPUs)
 	parts := e.Partitions()
 	occ := e.Config().Storage == engine.StorageMVCC
-	rng := NewRand(seed)
+	rng := workload.NewRand(seed)
 	for i := 0; i < n; i++ {
 		c := i % cores
 		e.SetCore(c)
@@ -562,11 +60,11 @@ func replay(t *testing.T, e *engine.Engine, w Workload, db *refDB,
 			// The MVCC archetype stages writes against the transaction's
 			// snapshot and installs them at commit; mirror that so intra-
 			// transaction rewrites of one row agree with the engine.
-			db.begin()
+			db.Begin()
 		}
-		apply(t, db, call)
+		applyCall(i, call)
 		if occ {
-			db.commit()
+			db.Commit()
 		}
 	}
 	compareState(t, e, db)
@@ -597,19 +95,19 @@ var refSeeds = []uint64{101, 202, 303}
 func TestRefExecMicro(t *testing.T) {
 	cases := []struct {
 		name string
-		cfg  MicroConfig
+		cfg  workload.MicroConfig
 		sys  []refSystem
 	}{
-		{"ro", MicroConfig{Rows: 2048, RowsPerTx: 4},
+		{"ro", workload.MicroConfig{Rows: 2048, RowsPerTx: 4},
 			[]refSystem{refSingle(systems.DBMSM), refSingle(systems.ShoreMT),
 				refVoltDB(4, core.PlaceInterleaved, "VoltDB-4c"),
 				refVoltDB(12, core.PlacePartitioned, "VoltDB-12c-partitioned"),
 				refVoltDB(12, core.PlaceInterleaved, "VoltDB-12c-interleaved")}},
-		{"rw", MicroConfig{Rows: 2048, RowsPerTx: 4, ReadWrite: true},
+		{"rw", workload.MicroConfig{Rows: 2048, RowsPerTx: 4, ReadWrite: true},
 			[]refSystem{refSingle(systems.HyPer), refSingle(systems.DBMSM),
 				refVoltDB(4, core.PlaceInterleaved, "VoltDB-4c"),
 				refVoltDB(12, core.PlacePartitioned, "VoltDB-12c-partitioned")}},
-		{"rw-string", MicroConfig{Rows: 512, RowsPerTx: 2, ReadWrite: true, StringKeys: true},
+		{"rw-string", workload.MicroConfig{Rows: 512, RowsPerTx: 2, ReadWrite: true, StringKeys: true},
 			[]refSystem{refSingle(systems.DBMSM), refSingle(systems.ShoreMT)}},
 	}
 	for _, tc := range cases {
@@ -617,13 +115,13 @@ func TestRefExecMicro(t *testing.T) {
 			for _, seed := range refSeeds {
 				t.Run(fmt.Sprintf("%s/%s/seed%d", tc.name, sys.name, seed), func(t *testing.T) {
 					e := sys.make()
-					w := NewMicro(tc.cfg)
+					w := workload.NewMicro(tc.cfg)
 					w.Setup(e)
 					w.Populate(e)
-					db := newRefDB(e)
-					refPopulateMicro(db, w)
+					db := refdb.New(e)
+					refdb.PopulateMicro(db, w)
 					replay(t, e, w, db,
-						func(t *testing.T, db *refDB, c Call) { refApplyMicro(t, db, w, c) },
+						func(i int, c workload.Call) { apply(t, i, refdb.ApplyMicro(db, w, c)) },
 						seed, 150)
 				})
 			}
@@ -636,21 +134,40 @@ func TestRefExecTPCB(t *testing.T) {
 		for _, seed := range refSeeds {
 			t.Run(fmt.Sprintf("%s/seed%d", sys.name, seed), func(t *testing.T) {
 				e := sys.make()
-				w := NewTPCB(TPCBConfig{Branches: 2, AccountsPerBranch: 500})
+				w := workload.NewTPCB(workload.TPCBConfig{Branches: 2, AccountsPerBranch: 500})
 				w.Setup(e)
 				w.Populate(e)
-				db := newRefDB(e)
-				refPopulateTPCB(db, w)
+				db := refdb.New(e)
+				refdb.PopulateTPCB(db, w)
 				replay(t, e, w, db,
-					func(t *testing.T, db *refDB, c Call) { refApplyTPCB(t, db, c) },
+					func(i int, c workload.Call) { apply(t, i, refdb.ApplyTPCB(db, c)) },
 					seed, 120)
 			})
 		}
 	}
 }
 
+// TestRefExecTPCBPartitioned replays the partitioned TPC-B generator through
+// the share-nothing archetype: every generated id must route to the worker's
+// own partition, and the final state must agree with the reference.
+func TestRefExecTPCBPartitioned(t *testing.T) {
+	for _, seed := range refSeeds {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			e := systems.New(systems.VoltDB, systems.Options{Cores: 4})
+			w := workload.NewTPCB(workload.TPCBConfig{Branches: 6, AccountsPerBranch: 300})
+			w.Setup(e)
+			w.Populate(e)
+			db := refdb.New(e)
+			refdb.PopulateTPCB(db, w)
+			replay(t, e, w, db,
+				func(i int, c workload.Call) { apply(t, i, refdb.ApplyTPCB(db, c)) },
+				seed, 160)
+		})
+	}
+}
+
 func TestRefExecTPCC(t *testing.T) {
-	cfg := TPCCConfig{Warehouses: 4, Items: 200, CustomersPerDistrict: 40, OrdersPerDistrict: 40}
+	cfg := workload.TPCCConfig{Warehouses: 4, Items: 200, CustomersPerDistrict: 40, OrdersPerDistrict: 40}
 	dbmsM := refSystem{"DBMS M", func() *engine.Engine {
 		return systems.New(systems.DBMSM, systems.Options{
 			Index: engine.IndexCCTree512, HasIndexOverride: true})
@@ -666,12 +183,14 @@ func TestRefExecTPCC(t *testing.T) {
 		for _, seed := range refSeeds {
 			t.Run(fmt.Sprintf("%s/seed%d", sys.name, seed), func(t *testing.T) {
 				e := sys.make()
-				w := NewTPCC(cfg)
+				w := workload.NewTPCC(cfg)
 				w.Setup(e)
 				w.Populate(e)
-				db := newRefDB(e)
-				refPopulateTPCC(db, w)
-				replay(t, e, w, db, refApplyTPCC, seed, 120)
+				db := refdb.New(e)
+				refdb.PopulateTPCC(db, w)
+				replay(t, e, w, db,
+					func(i int, c workload.Call) { apply(t, i, refdb.ApplyTPCC(db, c)) },
+					seed, 120)
 			})
 		}
 	}
@@ -687,13 +206,13 @@ func TestRefExecOLAP(t *testing.T) {
 		for _, seed := range refSeeds {
 			t.Run(fmt.Sprintf("%s/seed%d", sys.name, seed), func(t *testing.T) {
 				e := sys.make()
-				w := NewOLAP(OLAPConfig{Rows: 3000})
+				w := workload.NewOLAP(workload.OLAPConfig{Rows: 3000})
 				w.Setup(e)
 				w.Populate(e)
-				db := newRefDB(e)
-				refPopulateOLAP(db, w)
+				db := refdb.New(e)
+				refdb.PopulateOLAP(db, w)
 				replay(t, e, w, db,
-					func(t *testing.T, db *refDB, c Call) { refCheckOLAP(t, db, w, c) },
+					func(i int, c workload.Call) { apply(t, i, refdb.CheckOLAP(db, w.Last, c)) },
 					seed, 60)
 			})
 		}
@@ -713,17 +232,17 @@ func TestRefExecHybrid(t *testing.T) {
 		for _, seed := range refSeeds {
 			t.Run(fmt.Sprintf("%s/seed%d", sys.name, seed), func(t *testing.T) {
 				e := sys.make()
-				w := NewHybrid(HybridConfig{
-					TPCC: TPCCConfig{Warehouses: sys.warehouses, Items: 150,
+				w := workload.NewHybrid(workload.HybridConfig{
+					TPCC: workload.TPCCConfig{Warehouses: sys.warehouses, Items: 150,
 						CustomersPerDistrict: 30, OrdersPerDistrict: 30},
 					OLAPPercent: 40,
 				})
 				w.Setup(e)
 				w.Populate(e)
-				db := newRefDB(e)
-				refPopulateTPCC(db, w.TPCC())
+				db := refdb.New(e)
+				refdb.PopulateTPCC(db, w.TPCC())
 				replay(t, e, w, db,
-					func(t *testing.T, db *refDB, c Call) { refCheckHybrid(t, db, w, c) },
+					func(i int, c workload.Call) { apply(t, i, refdb.CheckHybrid(db, w.Last, c)) },
 					seed, 80)
 			})
 		}

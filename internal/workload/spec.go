@@ -19,13 +19,19 @@ type Spec struct {
 	RowsPerTx int
 	ReadWrite bool
 
-	// TPC-B parameters.
-	Branches int
+	// TPC-B parameters. AccountsPerBranch of 0 means the spec default
+	// (100,000); cluster tests shrink it to keep populations small.
+	Branches          int
+	AccountsPerBranch int
 
 	// TPC-C / hybrid parameters. Warehouses is rounded up to a multiple of
-	// the partition count at New time (TPC-C generation requires it).
-	Warehouses  int
-	OLAPPercent int
+	// the partition count at New time (TPC-C generation requires it). The
+	// per-district sizes are serving-scale defaults when 0; tests override.
+	Warehouses           int
+	OLAPPercent          int
+	Items                int
+	CustomersPerDistrict int
+	OrdersPerDistrict    int
 
 	// OLAP parameters (Rows is shared with micro).
 	Groups int64
@@ -70,8 +76,17 @@ func (s Spec) Validate(parts int) error {
 	switch s.Kind {
 	case "micro", "tpcc", "olap", "hybrid":
 	case "tpcb":
-		if parts > 1 {
-			return fmt.Errorf("workload: tpcb supports only 1 shard (got %d)", parts)
+		// Partitioned TPC-B draws every id from the arithmetic progression
+		// congruent to the home partition; each per-branch range must contain
+		// at least one member per partition (see TPCB.Gen).
+		if parts > TellersPerBranch {
+			return fmt.Errorf("workload: tpcb supports at most %d shards (got %d)", TellersPerBranch, parts)
+		}
+		if parts > 1 && s.Branches < parts {
+			return fmt.Errorf("workload: tpcb needs branches >= shards (%d < %d)", s.Branches, parts)
+		}
+		if parts > 1 && s.AccountsPerBranch > 0 && s.AccountsPerBranch < parts {
+			return fmt.Errorf("workload: tpcb needs accounts/branch >= shards (%d < %d)", s.AccountsPerBranch, parts)
 		}
 	default:
 		return fmt.Errorf("workload: unknown kind %q (want micro|tpcb|tpcc|olap|hybrid)", s.Kind)
@@ -87,12 +102,22 @@ func (s Spec) tpccConfig(parts int) TPCCConfig {
 	if parts > 1 && w%parts != 0 {
 		w += parts - w%parts
 	}
-	return TPCCConfig{
+	cfg := TPCCConfig{
 		Warehouses:           w,
 		Items:                10_000,
 		CustomersPerDistrict: 600,
 		OrdersPerDistrict:    600,
 	}
+	if s.Items > 0 {
+		cfg.Items = s.Items
+	}
+	if s.CustomersPerDistrict > 0 {
+		cfg.CustomersPerDistrict = s.CustomersPerDistrict
+	}
+	if s.OrdersPerDistrict > 0 {
+		cfg.OrdersPerDistrict = s.OrdersPerDistrict
+	}
+	return cfg
 }
 
 // New builds a fresh workload instance for an engine with the given
@@ -107,7 +132,11 @@ func (s Spec) New(parts int) Workload {
 	case "micro":
 		return NewMicro(MicroConfig{Rows: s.Rows, RowsPerTx: s.RowsPerTx, ReadWrite: s.ReadWrite})
 	case "tpcb":
-		return NewTPCB(TPCBConfig{Branches: s.Branches, AccountsPerBranch: 10_000})
+		apb := 10_000
+		if s.AccountsPerBranch > 0 {
+			apb = s.AccountsPerBranch
+		}
+		return NewTPCB(TPCBConfig{Branches: s.Branches, AccountsPerBranch: apb})
 	case "tpcc":
 		return NewTPCC(s.tpccConfig(parts))
 	case "olap":
@@ -142,20 +171,41 @@ func (s Spec) ProcNames() []string {
 }
 
 // String renders the canonical form exchanged in the wire Hello. Two specs
-// with equal strings generate compatible traffic for the same schema.
+// with equal strings generate compatible traffic for the same schema. The
+// sizing overrides appear only when set, so default specs render exactly as
+// they always have.
 func (s Spec) String() string {
 	s = s.normalized()
 	switch s.Kind {
 	case "micro":
 		return fmt.Sprintf("micro:rows=%d,per-tx=%d,rw=%v", s.Rows, s.RowsPerTx, s.ReadWrite)
 	case "tpcb":
-		return fmt.Sprintf("tpcb:branches=%d", s.Branches)
+		str := fmt.Sprintf("tpcb:branches=%d", s.Branches)
+		if s.AccountsPerBranch > 0 {
+			str += fmt.Sprintf(",apb=%d", s.AccountsPerBranch)
+		}
+		return str
 	case "tpcc":
-		return fmt.Sprintf("tpcc:warehouses=%d", s.Warehouses)
+		return "tpcc:warehouses=" + s.sizes()
 	case "olap":
 		return fmt.Sprintf("olap:rows=%d,groups=%d", s.Rows, s.Groups)
 	case "hybrid":
-		return fmt.Sprintf("hybrid:warehouses=%d,olap=%d%%", s.Warehouses, s.OLAPPercent)
+		return fmt.Sprintf("hybrid:warehouses=%s,olap=%d%%", s.sizes(), s.OLAPPercent)
 	}
 	return "invalid:" + s.Kind
+}
+
+// sizes renders the warehouse count plus any TPC-C sizing overrides.
+func (s Spec) sizes() string {
+	str := fmt.Sprintf("%d", s.Warehouses)
+	if s.Items > 0 {
+		str += fmt.Sprintf(",items=%d", s.Items)
+	}
+	if s.CustomersPerDistrict > 0 {
+		str += fmt.Sprintf(",cust=%d", s.CustomersPerDistrict)
+	}
+	if s.OrdersPerDistrict > 0 {
+		str += fmt.Sprintf(",orders=%d", s.OrdersPerDistrict)
+	}
+	return str
 }

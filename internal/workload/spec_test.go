@@ -53,8 +53,17 @@ func TestSpecValidate(t *testing.T) {
 	if err := (Spec{Kind: "nope"}).Validate(1); err == nil || !strings.Contains(err.Error(), "unknown kind") {
 		t.Fatalf("unknown kind: err = %v", err)
 	}
-	if err := (Spec{Kind: "tpcb"}).Validate(2); err == nil {
-		t.Fatal("tpcb with 2 shards must be rejected")
+	if err := (Spec{Kind: "tpcb"}).Validate(2); err != nil {
+		t.Fatalf("tpcb with 2 shards (8 branches): %v", err)
+	}
+	if err := (Spec{Kind: "tpcb"}).Validate(TellersPerBranch + 1); err == nil {
+		t.Fatalf("tpcb with %d shards must be rejected (tellers/branch)", TellersPerBranch+1)
+	}
+	if err := (Spec{Kind: "tpcb", Branches: 2}).Validate(4); err == nil {
+		t.Fatal("tpcb with fewer branches than shards must be rejected")
+	}
+	if err := (Spec{Kind: "tpcb", AccountsPerBranch: 2}).Validate(4); err == nil {
+		t.Fatal("tpcb with fewer accounts/branch than shards must be rejected")
 	}
 	if err := (Spec{Kind: "hybrid"}).Validate(4); err != nil {
 		t.Fatalf("hybrid: %v", err)

@@ -108,22 +108,39 @@ func (w *TPCB) Populate(e *engine.Engine) {
 	}
 }
 
-// Gen implements Workload. TPC-B is used single-partition in the paper's
-// experiments; cross-partition generation is rejected.
+// Gen implements Workload. All four table keys of one transaction must land
+// on the caller's partition (Long keys route as key mod parts), so the
+// partitioned form draws each id from the arithmetic progression
+// {off, off+parts, ...} congruent to part within its natural range. With
+// parts == 1 every progression collapses to the full range and the draw
+// sequence is bit-identical to the historical single-partition generator
+// (the serving goldens depend on that).
 func (w *TPCB) Gen(r *Rand, part, parts int) Call {
-	if parts > 1 {
-		panic("workload: TPC-B supports only single-partition runs (as in the paper)")
+	if parts > 1 && (parts > TellersPerBranch || w.cfg.Branches < parts || w.cfg.AccountsPerBranch < parts) {
+		panic(fmt.Sprintf(
+			"workload: partitioned TPC-B needs parts <= %d tellers/branch, branches >= parts, accounts/branch >= parts (got %d parts, %d branches, %d apb)",
+			TellersPerBranch, parts, w.cfg.Branches, w.cfg.AccountsPerBranch))
 	}
-	b := int64(r.Intn(w.cfg.Branches))
-	t := b*TellersPerBranch + int64(r.Intn(TellersPerBranch))
-	a := b*int64(w.cfg.AccountsPerBranch) + r.Int63n(int64(w.cfg.AccountsPerBranch))
+	p64 := int64(parts)
+	bcount := (w.cfg.Branches - part + parts - 1) / parts
+	b := int64(part + parts*r.Intn(bcount))
+	toff := int(((int64(part)-b*TellersPerBranch)%p64 + p64) % p64)
+	tcount := (TellersPerBranch - toff + parts - 1) / parts
+	t := b*TellersPerBranch + int64(toff+parts*r.Intn(tcount))
+	apb := int64(w.cfg.AccountsPerBranch)
+	aoff := ((int64(part)-b*apb)%p64 + p64) % p64
+	acount := (apb - aoff + p64 - 1) / p64
+	a := b*apb + aoff + p64*r.Int63n(acount)
 	delta := r.Int63n(1_999_999) - 999_999
 	for len(w.histSeq) <= part {
 		w.histSeq = append(w.histSeq, 0)
 	}
 	w.histSeq[part]++
+	// h_id = seq*parts + part is unique across partitions and routes home;
+	// for parts == 1 it reduces to the historical plain sequence.
+	h := w.histSeq[part]*p64 + int64(part)
 	args := append(w.argBuf[:0],
-		long(b), long(t), long(a), long(delta), long(w.histSeq[part]))
+		long(b), long(t), long(a), long(delta), long(h))
 	w.argBuf = args
 	return Call{Proc: "account_update", Args: args}
 }

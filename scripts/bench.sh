@@ -24,6 +24,9 @@ go test -run '^$' -bench . -benchmem -benchtime 1x . ./internal/index | tee "$ra
 # The serving-path round-trip benchmarks need more than one iteration to
 # amortize server startup/population out of ns/op.
 go test -run '^$' -bench 'BenchmarkServeLoopback' -benchmem -benchtime 2000x ./internal/server | tee -a "$raw"
+# Cluster path: shard-routed coordinator over two loopback nodes with a
+# 1-in-8 two-branch 2PC mix.
+go test -run '^$' -bench 'BenchmarkClusterLoopback' -benchmem -benchtime 2000x ./internal/cluster | tee -a "$raw"
 go run ./cmd/benchjson -out "$out" < "$raw"
 echo "wrote $out"
 
