@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race bench bench-compare figures figures-numa figures-htap figures-serve figures-islands fuzz cover serve drive serve-smoke concurrent-smoke cluster-smoke
+.PHONY: build vet lint test race bench bench-compare figures figures-numa figures-htap figures-serve figures-scenario figures-islands fuzz cover serve drive serve-smoke concurrent-smoke cluster-smoke scenario-smoke
 
 build:
 	$(GO) build ./...
@@ -54,6 +54,15 @@ figures-htap:
 figures-serve:
 	$(GO) run ./cmd/oltpsim -figure serve -scale quick
 
+# figures-scenario renders the scenario figures (FigC1-FigC2): time-
+# compressed load profiles (a diurnal day, a flash crowd with and without
+# admission control) replayed through the open-loop driver against a live
+# oltpd, wall-clock, never golden-locked. Run from the repo root it also
+# regenerates the committed sample timelines in testdata/scenario/.
+figures-scenario:
+	@mkdir -p testdata/scenario
+	$(GO) run ./cmd/oltpsim -figure scenario -scale quick
+
 # figures-islands renders the cluster figures (FigI1-FigI3): multi-node
 # oltpd clusters with shard-routed traffic and a 2PC multi-partition mix,
 # wall-clock, never golden-locked.
@@ -96,6 +105,15 @@ concurrent-smoke:
 cluster-smoke:
 	$(GO) test -race -run 'TestClusterDifferential|TestTwoPC' ./internal/cluster
 	./scripts/cluster_smoke.sh
+
+# scenario-smoke is the CI gate for the scenario engine: the profile/pacer
+# determinism and flash-crowd scenario tests under -race, then a race-built
+# oltpd with queue-depth admission control under a time-compressed flash
+# crowd from a race-built oltpdrive, with timeline assertions (nonzero shed,
+# p99 bounded through the spike) and a SIGTERM drain.
+scenario-smoke:
+	$(GO) test -race -run 'TestPacer|TestProfile|TestScenario|TestAdmission' ./internal/driver ./internal/server
+	./scripts/scenario_smoke.sh
 
 # fuzz runs the SQL front-end fuzz smoke (same budget as CI).
 fuzz:

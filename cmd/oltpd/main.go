@@ -51,6 +51,8 @@ func main() {
 		batch       = fs.Int("batch", 64, "max requests per shard group-execute batch")
 		clusterMap  = fs.String("cluster", "", "cluster shard map, e.g. range:2x4 ('' = standalone)")
 		node        = fs.Int("node", 0, "this process's node ID in -cluster")
+		admitQueue  = fs.Int("admit-queue", 0, "admission control: shed (overload error) when a shard queue holds this many requests (0 = off)")
+		admitLat    = fs.Duration("admit-latency", 0, "admission control: shed while a shard's service-latency EWMA exceeds this bound (0 = off)")
 	)
 	spec := workload.SpecFlags(fs)
 	fs.Parse(os.Args[1:])
@@ -70,12 +72,14 @@ func main() {
 	}
 
 	cfg := server.Config{
-		System:    kind,
-		Shards:    *shards,
-		Sockets:   *sockets,
-		Placement: place,
-		Spec:      *spec,
-		BatchMax:  *batch,
+		System:          kind,
+		Shards:          *shards,
+		Sockets:         *sockets,
+		Placement:       place,
+		Spec:            *spec,
+		BatchMax:        *batch,
+		AdmitQueueMax:   *admitQueue,
+		AdmitLatencyMax: *admitLat,
 	}
 	if *clusterMap != "" {
 		m, err := cluster.Parse(*clusterMap)

@@ -18,6 +18,24 @@
 //	oltpdrive -addrs 127.0.0.1:7890,127.0.0.1:7990 -cluster range:2x4 \
 //	          -workload micro -rows 100000 -mp 20
 //
+// Scenario mode replays a shaped load story — a compressed day, a flash
+// crowd, a batch window — through the open-loop sender: -profile picks the
+// shape, -rate the offered load at multiplier 1 in simulated ops/s, and
+// -time-scale compresses simulated time onto the wall clock (-sim-duration
+// simulated seconds run in sim-duration/time-scale wall seconds). A
+// per-interval timeline (throughput, errors, shed, p50/p99, and — with
+// -scrape — per-shard IPC and stall mix) goes to -timeline as CSV, or JSON
+// when the path ends in .json:
+//
+//	oltpdrive -addr 127.0.0.1:7890 -workload micro -rows 100000 \
+//	          -rate 5000 -poisson -profile flash:at=0.4,dur=0.1,x=8 \
+//	          -time-scale 60 -sim-duration 1h -timeline timeline.csv \
+//	          -scrape http://127.0.0.1:7891/metrics
+//
+// In scenario mode -warmup and -duration are ignored; the simulated clock
+// (-sim-duration, -sim-warmup, -agg-interval) governs. Scenario and profile
+// flags are open-loop only and incompatible with cluster mode.
+//
 // The workload flags must match the serving oltpd; the Hello exchange
 // verifies this and the driver refuses to run against a mismatched server.
 // Exits nonzero if the run completes zero operations.
@@ -51,15 +69,39 @@ func main() {
 		addrs    = fs.String("addrs", "", "cluster mode: comma-separated node addresses in node-ID order")
 		cmap     = fs.String("cluster", "", "cluster mode: shard map shared with the servers, e.g. range:2x4")
 		mp       = fs.Int("mp", 0, "cluster mode: percentage of calls issued as multi-partition (2PC) transactions")
+
+		profSpec  = fs.String("profile", "", "open loop: load profile shaping the offered rate (steady|diurnal|flash|batch|ramp|step[:k=v,...])")
+		timeScale = fs.Float64("time-scale", 1, "scenario mode: time-compression factor (simulated seconds per wall second)")
+		simDur    = fs.Duration("sim-duration", 0, "scenario mode: simulated scenario length (default 1m)")
+		simWarm   = fs.Duration("sim-warmup", 0, "scenario mode: simulated warmup (default sim-duration/20)")
+		aggInt    = fs.Duration("agg-interval", 0, "scenario mode: simulated timeline aggregation interval (default sim-duration/40)")
+		timeline  = fs.String("timeline", "", `scenario mode: write the per-interval timeline here (.json = JSON, else CSV, "-" = stdout CSV)`)
+		scrapeURL = fs.String("scrape", "", "scenario mode: oltpd metrics URL scraped per interval for IPC and stall-mix columns")
 	)
 	spec := workload.SpecFlags(fs)
 	fs.Parse(os.Args[1:])
 
+	var prof driver.Profile
+	if *profSpec != "" {
+		p, perr := driver.ParseProfile(*profSpec)
+		if perr != nil {
+			fmt.Fprintln(os.Stderr, perr)
+			os.Exit(2)
+		}
+		prof = p
+	}
+	scenario := *timeline != "" || *timeScale != 1 || *simDur != 0 || *simWarm != 0 || *aggInt != 0
+
 	var rep *driver.Report
 	var err error
-	if *addrs != "" || *cmap != "" {
+	switch {
+	case *addrs != "" || *cmap != "":
 		if *addrs == "" || *cmap == "" {
 			fmt.Fprintln(os.Stderr, "oltpdrive: cluster mode needs both -addrs and -cluster")
+			os.Exit(2)
+		}
+		if scenario || prof != nil {
+			fmt.Fprintln(os.Stderr, "oltpdrive: scenario and profile flags are open-loop only (cluster mode is closed-loop)")
 			os.Exit(2)
 		}
 		m, perr := cluster.Parse(*cmap)
@@ -77,7 +119,48 @@ func main() {
 			Measure: *duration,
 			Seed:    *seed,
 		})
-	} else {
+	case scenario:
+		sc := driver.ScenarioConfig{
+			Driver: driver.Config{
+				Addr:     *addr,
+				Spec:     *spec,
+				Conns:    *conns,
+				Rate:     *rate,
+				Poisson:  *poisson,
+				Pipeline: *pipeline,
+				Seed:     *seed,
+				Profile:  prof,
+			},
+			TimeScale:   *timeScale,
+			SimDuration: *simDur,
+			SimWarmup:   *simWarm,
+			AggInterval: *aggInt,
+		}
+		if *scrapeURL != "" {
+			sc.Scrape = driver.MetricsScraper(*scrapeURL)
+		}
+		var tl *os.File
+		switch {
+		case *timeline == "" || *timeline == "-":
+			sc.CSV = os.Stdout
+		case strings.HasSuffix(*timeline, ".json"):
+			tl, err = os.Create(*timeline)
+			sc.JSON = tl
+		default:
+			tl, err = os.Create(*timeline)
+			sc.CSV = tl
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		rep, _, err = driver.RunScenario(sc)
+		if tl != nil {
+			if cerr := tl.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+	default:
 		rep, err = driver.Run(driver.Config{
 			Addr:     *addr,
 			Spec:     *spec,
@@ -88,6 +171,7 @@ func main() {
 			Warmup:   *warmup,
 			Measure:  *duration,
 			Seed:     *seed,
+			Profile:  prof,
 		})
 	}
 	if err != nil {
@@ -106,6 +190,7 @@ func main() {
 			Ops        uint64
 			Errors     uint64
 			Rejected   uint64
+			Shed       uint64
 			MultiPart  uint64
 			Throughput float64
 			MeanNs     int64
@@ -116,7 +201,7 @@ func main() {
 			MaxNs      int64
 		}{
 			Spec: rep.Spec, Shards: rep.Shards, Conns: rep.Conns, RateOps: rep.Rate,
-			Ops: rep.Ops, Errors: rep.Errors, Rejected: rep.Rejected,
+			Ops: rep.Ops, Errors: rep.Errors, Rejected: rep.Rejected, Shed: rep.Shed,
 			MultiPart:  rep.MultiPart,
 			Throughput: rep.Throughput,
 			MeanNs:     rep.Mean.Nanoseconds(), P50Ns: rep.P50.Nanoseconds(),

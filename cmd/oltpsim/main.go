@@ -52,6 +52,10 @@ func main() {
 		for _, id := range harness.ServeFigureIDs() {
 			fmt.Printf("  %s\n", id)
 		}
+		fmt.Println("Scenario figures (time-compressed load profiles; -figure scenario):")
+		for _, id := range harness.ScenarioFigureIDs() {
+			fmt.Printf("  %s\n", id)
+		}
 		fmt.Println("Islands figures (multi-node cluster with 2PC; -figure islands):")
 		for _, id := range harness.IslandFigureIDs() {
 			fmt.Printf("  %s\n", id)
@@ -74,8 +78,9 @@ func main() {
 
 	// "all" expands to the paper set (its quick-scale output is locked by the
 	// committed goldens); "numa" expands to the FigN scaling figures; "htap"
-	// expands to the FigH hybrid figures; "serve" and "islands" expand to
-	// the live serving and cluster figures (wall-clock, never golden-locked).
+	// expands to the FigH hybrid figures; "serve", "scenario" and "islands"
+	// expand to the live serving, load-scenario and cluster figures
+	// (wall-clock, never golden-locked).
 	// The keywords and explicit IDs compose: -figure all,numa,htap,serve
 	// runs everything. Unknown IDs are rejected here, before any cell
 	// simulates.

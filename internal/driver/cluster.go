@@ -19,6 +19,7 @@ import (
 	"oltpsim/internal/catalog"
 	"oltpsim/internal/cluster"
 	"oltpsim/internal/metrics"
+	"oltpsim/internal/wire"
 	"oltpsim/internal/workload"
 )
 
@@ -111,12 +112,23 @@ func RunCluster(cfg ClusterConfig) (*Report, error) {
 		Elapsed: cfg.Measure,
 		Hist:    &metrics.Histogram{},
 	}
+	var lastDone int64
 	for _, w := range workers {
 		rep.Hist.Merge(w.hist)
 		rep.Ops += w.ops
 		rep.Errors += w.errs
+		rep.Rejected += w.rejected
 		rep.MultiPart += w.conn.MultiPart
+		if w.lastMeasured > lastDone {
+			lastDone = w.lastMeasured
+		}
 		w.conn.Close()
+	}
+	// As in Run: a coordinator cut short (server drain, socket error)
+	// measured a shorter window than configured — report throughput over the
+	// window actually covered, not the nominal one.
+	if covered := time.Duration(lastDone - warmEnd); covered > 0 && covered < rep.Elapsed {
+		rep.Elapsed = covered
 	}
 	if s := rep.Elapsed.Seconds(); s > 0 {
 		rep.Throughput = float64(rep.Ops) / s
@@ -132,14 +144,19 @@ func RunCluster(cfg ClusterConfig) (*Report, error) {
 
 // clusterWorker is one closed-loop coordinator.
 type clusterWorker struct {
-	cfg  ClusterConfig
-	idx  int
-	conn *cluster.Conn
-	wl   workload.Workload
-	rng  *workload.Rand
-	hist *metrics.Histogram
-	ops  uint64
-	errs uint64
+	cfg      ClusterConfig
+	idx      int
+	conn     *cluster.Conn
+	wl       workload.Workload
+	rng      *workload.Rand
+	hist     *metrics.Histogram
+	ops      uint64
+	errs     uint64
+	rejected uint64 // calls refused by a draining server (not in ops)
+	// lastMeasured is the completion time (ns since base) of the newest call
+	// recorded in the measurement window; it bounds the effective window when
+	// this coordinator ends early.
+	lastMeasured int64
 }
 
 func (w *clusterWorker) loop(base time.Time, warmEnd, end int64) {
@@ -166,27 +183,49 @@ func (w *clusterWorker) loop(base time.Time, warmEnd, end int64) {
 			args = append(args[:0], c.Args...)
 			pp := (p + 1 + w.rng.Intn(parts-1)) % parts
 			c2 := w.wl.Gen(w.rng, pp, parts)
-			err = w.conn.ExecMulti([]cluster.Branch{
-				{Part: p, Proc: c.Proc, Args: args},
-				{Part: pp, Proc: c2.Proc, Args: c2.Args},
-			})
+			if strings.HasPrefix(c2.Proc, "olap_") {
+				// The second draw came out analytic (hybrid workload): a
+				// cross-partition procedure cannot be a 2PC branch, so run the
+				// pair as a single-partition exec plus a scatter-gather
+				// analytic instead of mis-routing the analytic through 2PC.
+				err = w.conn.Exec(p, c.Proc, args)
+				if err == nil {
+					err = w.conn.ExecAll(c2.Proc, c2.Args)
+				}
+			} else {
+				err = w.conn.ExecMulti([]cluster.Branch{
+					{Part: p, Proc: c.Proc, Args: args},
+					{Part: pp, Proc: c2.Proc, Args: c2.Args},
+				})
+			}
 		default:
 			err = w.conn.Exec(p, c.Proc, c.Args)
 		}
 		now := time.Since(base).Nanoseconds()
+		drained := err != nil && strings.Contains(err.Error(), wire.ErrDraining)
 		if start >= warmEnd && start < end {
-			lat := now - start
-			if lat < 0 {
-				lat = 0
-			}
-			w.hist.Record(uint64(lat))
-			w.ops++
-			if err != nil {
-				w.errs++
+			if drained {
+				w.rejected++
+			} else {
+				lat := now - start
+				if lat < 0 {
+					lat = 0
+				}
+				w.hist.Record(uint64(lat))
+				w.ops++
+				if err != nil {
+					w.errs++
+				}
+				if now > w.lastMeasured {
+					w.lastMeasured = now
+				}
 			}
 		}
+		if drained {
+			return // the server is going away; this coordinator is done
+		}
 		// An abort is a definitive answer and the loop continues; anything
-		// else (transport failure, drain) ends this coordinator.
+		// else (transport failure) ends this coordinator.
 		if err != nil && !errors.Is(err, cluster.ErrAborted) {
 			return
 		}

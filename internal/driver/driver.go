@@ -14,7 +14,6 @@ package driver
 import (
 	"bufio"
 	"fmt"
-	"math"
 	"net"
 	"strings"
 	"sync"
@@ -49,6 +48,11 @@ type Config struct {
 	Warmup, Measure time.Duration
 	// Seed drives the (deterministic) per-connection generators.
 	Seed uint64
+	// Profile shapes the offered rate over the measurement window (open loop
+	// only): the instantaneous rate at fraction f of the window is
+	// Rate · Profile.Mult(f). nil = steady. See ParseProfile for the
+	// vocabulary and scenario.go for time-compressed replay.
+	Profile Profile
 }
 
 func (c Config) withDefaults() Config {
@@ -77,22 +81,27 @@ func (c Config) withDefaults() Config {
 // Report is the outcome of a run. Latency quantiles cover the measurement
 // window only.
 type Report struct {
-	Spec       string
-	Shards     int
-	Conns      int
-	Rate       float64 // offered; 0 = closed loop
-	Elapsed    time.Duration
-	Ops        uint64 // measured completed ops
-	Errors     uint64 // measured failed ops (included in Ops)
-	Rejected   uint64 // ops refused by a draining server (not in Ops)
-	MultiPart  uint64 // committed multi-partition (2PC) transactions — cluster mode
-	Throughput float64
-	Mean       time.Duration
-	P50        time.Duration
-	P90        time.Duration
-	P99        time.Duration
-	P999       time.Duration
-	Max        time.Duration
+	Spec      string
+	Shards    int
+	Conns     int
+	Rate      float64 // offered; 0 = closed loop
+	Elapsed   time.Duration
+	Ops       uint64 // measured completed ops
+	Errors    uint64 // measured failed ops (included in Ops)
+	Rejected  uint64 // ops refused by a draining server (not in Ops)
+	Shed      uint64 // ops shed by admission control (wire.ErrOverload; not in Ops)
+	MultiPart uint64 // committed multi-partition (2PC) transactions — cluster mode
+	// DirtyDrains counts connections whose in-flight tail had to be abandoned
+	// at the drain deadline instead of being reclaimed token by token; a
+	// clean run reports 0.
+	DirtyDrains uint64
+	Throughput  float64
+	Mean        time.Duration
+	P50         time.Duration
+	P90         time.Duration
+	P99         time.Duration
+	P999        time.Duration
+	Max         time.Duration
 
 	// Hist is the merged latency histogram (nanoseconds).
 	Hist *metrics.Histogram
@@ -107,8 +116,8 @@ func (r *Report) String() string {
 	}
 	fmt.Fprintf(&b, "oltpdrive: %s  conns=%d  %s\n", r.Spec, r.Conns, mode)
 	fmt.Fprintf(&b, "  window     %.2fs measured (%d shards)\n", r.Elapsed.Seconds(), r.Shards)
-	fmt.Fprintf(&b, "  throughput %.0f ops/s  (%d ops, %d errors, %d rejected)\n",
-		r.Throughput, r.Ops, r.Errors, r.Rejected)
+	fmt.Fprintf(&b, "  throughput %.0f ops/s  (%d ops, %d errors, %d rejected, %d shed)\n",
+		r.Throughput, r.Ops, r.Errors, r.Rejected, r.Shed)
 	if r.MultiPart > 0 {
 		fmt.Fprintf(&b, "  2pc        %d multi-partition commits\n", r.MultiPart)
 	}
@@ -132,8 +141,16 @@ func fmtDur(d time.Duration) string {
 
 // Run executes the configured load against the server and returns the
 // measured report.
-func Run(cfg Config) (*Report, error) {
+func Run(cfg Config) (*Report, error) { return run(cfg, nil) }
+
+// run is Run plus an optional mid-run observer: the scenario timeline
+// emitter attaches here to snapshot per-connection histograms and counters
+// at every aggregation interval while traffic is in flight.
+func run(cfg Config, obs *observer) (*Report, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Profile != nil && cfg.Rate <= 0 {
+		return nil, fmt.Errorf("driver: load profiles require open-loop operation (set Rate)")
+	}
 
 	// Establish every connection (Hello + prepare) before traffic starts, so
 	// the warmup window measures serving, not ramp-up.
@@ -159,6 +176,9 @@ func Run(cfg Config) (*Report, error) {
 	base := time.Now()
 	warmEnd := cfg.Warmup.Nanoseconds()
 	end := warmEnd + cfg.Measure.Nanoseconds()
+	if obs != nil {
+		obs.start(conns, base, warmEnd, end)
+	}
 	var wg sync.WaitGroup
 	for _, c := range conns {
 		wg.Add(2)
@@ -166,6 +186,9 @@ func Run(cfg Config) (*Report, error) {
 		go func(c *clientConn) { defer wg.Done(); c.sendLoop(base, warmEnd, end) }(c)
 	}
 	wg.Wait()
+	if obs != nil {
+		obs.stop()
+	}
 
 	rep := &Report{
 		Spec:    cfg.Spec.String(),
@@ -181,6 +204,10 @@ func Run(cfg Config) (*Report, error) {
 		rep.Ops += c.ops.Load()
 		rep.Errors += c.errs.Load()
 		rep.Rejected += c.rejected.Load()
+		rep.Shed += c.shed.Load()
+		if c.dirty.Load() {
+			rep.DirtyDrains++
+		}
 		if ld := c.lastMeasured.Load(); ld > lastDone {
 			lastDone = ld
 		}
@@ -231,14 +258,20 @@ type clientConn struct {
 	// order across shards, so slots cannot simply be reqID mod window — the
 	// free-list is what prevents a live slot from being overwritten (and the
 	// channel hand-off is the happens-before edge between the two
-	// goroutines' accesses to the slot).
+	// goroutines' accesses to the slot). tokens is never closed — a sender
+	// that took a slot and then stopped can always hand it back; done (closed
+	// by the reader on exit) is what wakes a sender blocked on an empty
+	// free list.
 	tokens chan int
+	done   chan struct{}
 
 	hist     *metrics.Histogram
 	ops      atomic.Uint64
 	errs     atomic.Uint64
 	rejected atomic.Uint64
+	shed     atomic.Uint64
 	stop     atomic.Bool
+	dirty    atomic.Bool // finish() abandoned the in-flight tail at its deadline
 	inflight atomic.Int64
 	// lastMeasured is the completion time (ns since base) of the newest
 	// response recorded in the measurement window; it bounds the effective
@@ -265,6 +298,7 @@ func dial(cfg Config, idx int) (*clientConn, error) {
 	}
 	c.ring = make([]slot, c.window)
 	c.tokens = make(chan int, c.window)
+	c.done = make(chan struct{})
 	for i := 0; i < c.window; i++ {
 		c.tokens <- i
 	}
@@ -337,39 +371,38 @@ func dial(cfg Config, idx int) (*clientConn, error) {
 func (c *clientConn) sendLoop(base time.Time, warmEnd, end int64) {
 	defer c.finish()
 
-	var id uint32  // request ID = the owned slot index
-	var next int64 // open loop: next scheduled arrival (ns since base)
-	interval := 0.0
+	var id uint32 // request ID = the owned slot index
+	var pc *pacer // open loop: the deterministic (profile-shaped) arrival schedule
+	measure := float64(end - warmEnd)
 	if c.cfg.Rate > 0 {
-		interval = float64(time.Second.Nanoseconds()) / (c.cfg.Rate / float64(c.cfg.Conns))
-		next = int64(float64(c.idx) * interval / float64(c.cfg.Conns)) // stagger conns
+		pc = newPacer(c.cfg, c.idx)
 	}
 	part := c.idx % c.shards
 
 	for !c.stop.Load() {
 		now := time.Since(base).Nanoseconds()
 		sched := now
-		if c.cfg.Rate > 0 {
-			if next > now {
-				time.Sleep(time.Duration(next-now) * time.Nanosecond)
-			}
-			sched = next
-			if c.cfg.Poisson {
-				// Exponential inter-arrival: -ln(U) * mean.
-				u := float64(c.rng.Next()>>11) / (1 << 53)
-				if u <= 0 {
-					u = math.SmallestNonzeroFloat64
-				}
-				next += int64(-math.Log(u) * interval)
-			} else {
-				next += int64(interval)
+		if pc != nil {
+			sched = warmEnd + int64(pc.next()*measure)
+			if sched > now {
+				time.Sleep(time.Duration(sched-now) * time.Nanosecond)
 			}
 		}
 		if sched >= end {
 			return
 		}
-		slotIdx, open := <-c.tokens // in-flight cap (and the closed-loop pacing itself)
-		if !open || c.stop.Load() {
+		var slotIdx int
+		select {
+		case slotIdx = <-c.tokens: // in-flight cap (and the closed-loop pacing itself)
+		case <-c.done:
+			return
+		}
+		if c.stop.Load() {
+			// Stopped after winning the slot: hand the token back so finish()
+			// can account for the whole free list and drain cleanly instead of
+			// leaning on its deadline. Never blocks — we hold the only claim
+			// on this token and capacity equals the slot count.
+			c.tokens <- slotIdx
 			return
 		}
 
@@ -410,18 +443,22 @@ func (c *clientConn) sendLoop(base time.Time, warmEnd, end int64) {
 	}
 }
 
-// finish reclaims the in-flight tail (bounded) and closes the socket.
+// finish reclaims the in-flight tail (bounded) and closes the socket. A
+// deadline firing means tokens went missing or the server sat on responses —
+// it is recorded in dirty and surfaces as Report.DirtyDrains.
 func (c *clientConn) finish() {
 	deadline := time.NewTimer(5 * time.Second)
 	defer deadline.Stop()
 	for c.inflight.Load() > 0 {
 		select {
-		case _, open := <-c.tokens:
-			if !open {
-				c.nc.Close()
-				return
-			}
+		case <-c.tokens:
+		case <-c.done:
+			// Reader gone (socket error or drain): the in-flight tail is
+			// forfeited, nothing more will arrive.
+			c.nc.Close()
+			return
 		case <-deadline.C:
+			c.dirty.Store(true)
 			c.nc.Close()
 			return
 		}
@@ -437,7 +474,7 @@ func (c *clientConn) readLoop(base time.Time, warmEnd, end int64) {
 		typ, payload, f, err := wire.ReadFrame(c.br, frame)
 		if err != nil {
 			c.stop.Store(true)
-			close(c.tokens) // wake and stop a sender blocked on a slot
+			close(c.done) // wake and stop a sender blocked on a slot
 			return
 		}
 		frame = f
@@ -450,12 +487,12 @@ func (c *clientConn) readLoop(base time.Time, warmEnd, end int64) {
 		}
 		if r.Err != nil {
 			c.stop.Store(true)
-			close(c.tokens)
+			close(c.done)
 			return
 		}
 		if int(id) >= c.window {
 			c.stop.Store(true)
-			close(c.tokens)
+			close(c.done)
 			return // corrupt response ID
 		}
 		sl := &c.ring[id]
@@ -463,6 +500,14 @@ func (c *clientConn) readLoop(base time.Time, warmEnd, end int64) {
 		if isErr && msg == wire.ErrDraining {
 			c.rejected.Add(1)
 			c.stop.Store(true)
+		} else if isErr && msg == wire.ErrOverload {
+			// Shed by admission control: the server refused this one request
+			// but the connection lives on — count it, keep the offered
+			// schedule, and leave the latency histogram alone (a fast reject
+			// is not a serviced op).
+			if sl.measure {
+				c.shed.Add(1)
+			}
 		} else if sl.measure {
 			lat := now - sl.sched
 			if lat < 0 {

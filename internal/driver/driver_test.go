@@ -192,4 +192,9 @@ func TestDriveAgainstDrainingServer(t *testing.T) {
 	if rep.Ops == 0 {
 		t.Fatal("no ops completed before the drain")
 	}
+	// Every connection must drain cleanly through the done channel — a sender
+	// stuck on the token ring until the 5s deadline marks the drain dirty.
+	if rep.DirtyDrains != 0 {
+		t.Fatalf("%d connections hit the drain deadline instead of draining cleanly", rep.DirtyDrains)
+	}
 }

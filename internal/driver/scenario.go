@@ -1,0 +1,364 @@
+// The scenario engine: time-compressed replay of a load profile with a
+// per-interval timeline. A scenario states its traffic in simulated time —
+// "a day of diurnal load", "a six-minute flash crowd" — and RunScenario
+// plays it through the open-loop sender at a -time-scale compression factor:
+// at scale S, one wall-clock second carries S simulated seconds, so the
+// offered wall rate is S times the simulated rate and the whole profile
+// finishes in SimDuration/S. The arrival schedule is computed in fractions
+// of the window (see pacer), so the same seed produces the identical
+// simulated schedule at every compression factor.
+//
+// While traffic runs, an observer snapshots every connection's latency
+// histogram and counters once per aggregation interval, plus (optionally)
+// the served oltpd's /metrics; successive snapshots are differenced into
+// TimelineRows — per-interval throughput, error/rejection/shed counts,
+// p50/p99 from histogram-bucket deltas, and per-shard IPC and stall mix
+// from scrape deltas — emitted as CSV and/or JSON.
+package driver
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"time"
+
+	"oltpsim/internal/metrics"
+)
+
+// ScenarioConfig shapes a RunScenario call.
+type ScenarioConfig struct {
+	// Driver carries the connection/workload setup. Rate is the SIMULATED
+	// offered ops per SIMULATED second at multiplier 1 (RunScenario converts
+	// to the wall rate); Profile shapes it (nil = steady); Warmup and Measure
+	// are ignored (SimWarmup and SimDuration govern).
+	Driver Config
+	// TimeScale is the compression factor: simulated seconds per wall-clock
+	// second (default 1; 60 plays a simulated minute per wall second).
+	TimeScale float64
+	// SimDuration is the simulated span the profile covers (default 1m).
+	SimDuration time.Duration
+	// SimWarmup is the simulated warmup before the profile window (default
+	// SimDuration/20), run at the profile's opening multiplier.
+	SimWarmup time.Duration
+	// AggInterval is the simulated width of one timeline row (default
+	// SimDuration/40).
+	AggInterval time.Duration
+	// Scrape, when set, is called once per interval to read the served
+	// oltpd's metrics (see MetricsScraper); per-shard IPC and the stall mix
+	// are computed from deltas of successive scrapes. Scrape failures leave
+	// those columns zero rather than failing the run.
+	Scrape func() (map[string]float64, error)
+	// CSV and JSON, when set, receive the timeline in the respective format.
+	CSV  io.Writer
+	JSON io.Writer
+}
+
+func (sc ScenarioConfig) withDefaults() ScenarioConfig {
+	if sc.TimeScale <= 0 {
+		sc.TimeScale = 1
+	}
+	if sc.SimDuration <= 0 {
+		sc.SimDuration = time.Minute
+	}
+	if sc.SimWarmup <= 0 {
+		sc.SimWarmup = sc.SimDuration / 20
+	}
+	if sc.AggInterval <= 0 {
+		sc.AggInterval = sc.SimDuration / 40
+	}
+	return sc
+}
+
+// TimelineRow is one aggregation interval of a scenario run. Quantiles come
+// from histogram-bucket deltas between the interval's two snapshots; IPC and
+// the stall mix come from scrape deltas (zero without a scraper). Times and
+// rates are in simulated units except Throughput, which is measured wall
+// ops/s (divide by the time scale for simulated ops per simulated second).
+type TimelineRow struct {
+	Interval   int     `json:"interval"`
+	SimSeconds float64 `json:"sim_seconds"` // interval end, simulated seconds since the profile started
+	Mult       float64 `json:"mult"`        // profile multiplier at the interval midpoint
+	Ops        uint64  `json:"ops"`
+	Errors     uint64  `json:"errors"`
+	Rejected   uint64  `json:"rejected"`
+	Shed       uint64  `json:"shed"`
+	Throughput float64 `json:"throughput_ops"` // wall ops/s over the interval
+	P50us      float64 `json:"p50_us"`
+	P99us      float64 `json:"p99_us"`
+	// Per-shard IPC over the interval (Δinstructions/Δcycles from the
+	// scrape); empty without a scraper.
+	ShardIPC []float64 `json:"shard_ipc,omitempty"`
+	// Stall-cycle mix over the interval, aggregated across shards: the
+	// instruction-fetch share (L1I/L2I/LLC-I), the data share (L1D/L2D/LLC-D),
+	// and the remote-socket share, as percentages of interval stall cycles.
+	StallInstrPct  float64 `json:"stall_instr_pct"`
+	StallDataPct   float64 `json:"stall_data_pct"`
+	StallRemotePct float64 `json:"stall_remote_pct"`
+}
+
+// RunScenario plays sc.Driver's workload under the configured profile at
+// TimeScale compression and returns the overall report plus the per-interval
+// timeline (also written to sc.CSV / sc.JSON when set).
+func RunScenario(sc ScenarioConfig) (*Report, []TimelineRow, error) {
+	sc = sc.withDefaults()
+	cfg := sc.Driver
+	if cfg.Rate <= 0 {
+		return nil, nil, fmt.Errorf("driver: scenarios are open-loop; set Driver.Rate (simulated ops/s)")
+	}
+	if cfg.Profile == nil {
+		cfg.Profile = steadyProfile{}
+	}
+	cfg.Rate *= sc.TimeScale
+	cfg.Measure = time.Duration(float64(sc.SimDuration) / sc.TimeScale)
+	cfg.Warmup = time.Duration(float64(sc.SimWarmup) / sc.TimeScale)
+	if cfg.Measure <= 0 || cfg.Warmup <= 0 {
+		return nil, nil, fmt.Errorf("driver: time scale %g compresses the scenario below the clock resolution", sc.TimeScale)
+	}
+
+	obs := &observer{sc: sc}
+	rep, err := run(cfg, obs)
+	if err != nil {
+		return nil, nil, err
+	}
+	if sc.CSV != nil {
+		if err := WriteTimelineCSV(sc.CSV, obs.rows); err != nil {
+			return rep, obs.rows, err
+		}
+	}
+	if sc.JSON != nil {
+		if err := WriteTimelineJSON(sc.JSON, obs.rows); err != nil {
+			return rep, obs.rows, err
+		}
+	}
+	return rep, obs.rows, nil
+}
+
+// MetricsScraper returns a Scrape func reading a Prometheus-text endpoint
+// (oltpd's -metrics-addr), e.g. MetricsScraper("http://127.0.0.1:7891/metrics").
+func MetricsScraper(url string) func() (map[string]float64, error) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	return func() (map[string]float64, error) {
+		resp, err := client.Get(url)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+		if err != nil {
+			return nil, err
+		}
+		return metrics.Parse(string(body))
+	}
+}
+
+// WriteTimelineCSV renders rows in the schema
+//
+//	interval,sim_seconds,mult,ops,errors,rejected,shed,throughput_ops,
+//	p50_us,p99_us,stall_instr_pct,stall_data_pct,stall_remote_pct
+//	[,shard<i>_ipc ...]
+//
+// with one shard IPC column per served shard when a scraper ran.
+func WriteTimelineCSV(w io.Writer, rows []TimelineRow) error {
+	shards := 0
+	for _, r := range rows {
+		if len(r.ShardIPC) > shards {
+			shards = len(r.ShardIPC)
+		}
+	}
+	hdr := "interval,sim_seconds,mult,ops,errors,rejected,shed,throughput_ops,p50_us,p99_us,stall_instr_pct,stall_data_pct,stall_remote_pct"
+	for i := 0; i < shards; i++ {
+		hdr += fmt.Sprintf(",shard%d_ipc", i)
+	}
+	if _, err := fmt.Fprintln(w, hdr); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		line := fmt.Sprintf("%d,%.3f,%.4f,%d,%d,%d,%d,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f",
+			r.Interval, r.SimSeconds, r.Mult, r.Ops, r.Errors, r.Rejected, r.Shed,
+			r.Throughput, r.P50us, r.P99us, r.StallInstrPct, r.StallDataPct, r.StallRemotePct)
+		for i := 0; i < shards; i++ {
+			ipc := 0.0
+			if i < len(r.ShardIPC) {
+				ipc = r.ShardIPC[i]
+			}
+			line += fmt.Sprintf(",%.3f", ipc)
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTimelineJSON renders rows as an indented JSON array.
+func WriteTimelineJSON(w io.Writer, rows []TimelineRow) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}
+
+// --- observer ---------------------------------------------------------------
+
+// obsSnap is one instant's view of the run: merged histogram buckets and
+// counters across connections, plus the optional server scrape.
+type obsSnap struct {
+	at                        time.Time
+	counts                    [metrics.NumBuckets]uint64
+	ops, errs, rejected, shed uint64
+	scrape                    map[string]float64
+}
+
+// observer samples the live connections once per (wall) aggregation interval
+// from inside run(); successive snapshots are differenced into timeline rows.
+type observer struct {
+	sc      ScenarioConfig
+	conns   []*clientConn
+	base    time.Time
+	warmEnd int64
+	end     int64
+	quit    chan struct{}
+	fin     chan struct{}
+	rows    []TimelineRow
+}
+
+func (o *observer) start(conns []*clientConn, base time.Time, warmEnd, end int64) {
+	o.conns = conns
+	o.base = base
+	o.warmEnd = warmEnd
+	o.end = end
+	o.quit = make(chan struct{})
+	o.fin = make(chan struct{})
+	go o.loop()
+}
+
+func (o *observer) stop() {
+	close(o.quit)
+	<-o.fin
+}
+
+func (o *observer) loop() {
+	defer close(o.fin)
+	wallInterval := time.Duration(float64(o.sc.AggInterval) / o.sc.TimeScale)
+	if wallInterval <= 0 {
+		wallInterval = time.Millisecond
+	}
+	n := int(math.Round(float64(o.end-o.warmEnd) / float64(wallInterval)))
+	if n < 1 {
+		n = 1
+	}
+	start := o.base.Add(time.Duration(o.warmEnd))
+	prev := o.snapshot()
+	for k := 1; k <= n; k++ {
+		target := start.Add(time.Duration(k) * wallInterval)
+		if d := time.Until(target); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-o.quit:
+				// The run ended early (drain, socket error): one final row
+				// covers whatever the tail interval saw.
+				cur := o.snapshot()
+				if cur.ops+cur.errs+cur.rejected+cur.shed > prev.ops+prev.errs+prev.rejected+prev.shed {
+					o.emit(k, cur, prev, start)
+				}
+				return
+			}
+		}
+		cur := o.snapshot()
+		o.emit(k, cur, prev, start)
+		prev = cur
+	}
+}
+
+func (o *observer) snapshot() obsSnap {
+	var s obsSnap
+	var tmp [metrics.NumBuckets]uint64
+	for _, c := range o.conns {
+		c.hist.CopyCounts(&tmp)
+		metrics.AddCounts(&s.counts, &tmp)
+		s.ops += c.ops.Load()
+		s.errs += c.errs.Load()
+		s.rejected += c.rejected.Load()
+		s.shed += c.shed.Load()
+	}
+	if o.sc.Scrape != nil {
+		if m, err := o.sc.Scrape(); err == nil {
+			s.scrape = m
+		}
+	}
+	s.at = time.Now()
+	return s
+}
+
+// emit differences two snapshots into one TimelineRow.
+func (o *observer) emit(k int, cur, prev obsSnap, start time.Time) {
+	row := TimelineRow{
+		Interval: k,
+		Ops:      cur.ops - prev.ops,
+		Errors:   cur.errs - prev.errs,
+		Rejected: cur.rejected - prev.rejected,
+		Shed:     cur.shed - prev.shed,
+	}
+	// Simulated positions of the interval's endpoints (seconds since the
+	// profile window opened).
+	scale := o.sc.TimeScale
+	simPrev := prev.at.Sub(start).Seconds() * scale
+	simCur := cur.at.Sub(start).Seconds() * scale
+	if simPrev < 0 {
+		simPrev = 0
+	}
+	row.SimSeconds = simCur
+	if prof := o.sc.Driver.Profile; prof != nil {
+		frac := ((simPrev + simCur) / 2) / o.sc.SimDuration.Seconds()
+		row.Mult = prof.Mult(math.Min(math.Max(frac, 0), 1))
+	} else {
+		row.Mult = 1
+	}
+	if wallDt := cur.at.Sub(prev.at).Seconds(); wallDt > 0 {
+		row.Throughput = float64(row.Ops) / wallDt
+	}
+	var delta [metrics.NumBuckets]uint64
+	if metrics.SubCounts(&delta, &cur.counts, &prev.counts) > 0 {
+		row.P50us = metrics.CountsQuantile(&delta, 0.5) / 1e3
+		row.P99us = metrics.CountsQuantile(&delta, 0.99) / 1e3
+	}
+	o.emitPMU(&row, cur.scrape, prev.scrape)
+	o.rows = append(o.rows, row)
+}
+
+// emitPMU fills the scrape-derived columns: per-shard interval IPC and the
+// aggregate stall mix.
+func (o *observer) emitPMU(row *TimelineRow, cur, prev map[string]float64) {
+	if cur == nil || prev == nil {
+		return
+	}
+	shards := o.conns[0].shards
+	var instrStall, dataStall, remoteStall float64
+	for i := 0; i < shards; i++ {
+		sh := fmt.Sprintf("%d", i)
+		di := cur[`oltpd_instructions_total{shard="`+sh+`"}`] - prev[`oltpd_instructions_total{shard="`+sh+`"}`]
+		dc := cur[`oltpd_cycles_total{shard="`+sh+`"}`] - prev[`oltpd_cycles_total{shard="`+sh+`"}`]
+		ipc := 0.0
+		if dc > 0 {
+			ipc = di / dc
+		}
+		row.ShardIPC = append(row.ShardIPC, ipc)
+		for _, comp := range []struct {
+			name string
+			dst  *float64
+		}{
+			{"l1i", &instrStall}, {"l2i", &instrStall}, {"llci", &instrStall},
+			{"l1d", &dataStall}, {"l2d", &dataStall}, {"llcd", &dataStall},
+			{"remote_i", &remoteStall}, {"remote_d", &remoteStall},
+		} {
+			key := `oltpd_stall_cycles_total{shard="` + sh + `",component="` + comp.name + `"}`
+			*comp.dst += cur[key] - prev[key]
+		}
+	}
+	if total := instrStall + dataStall + remoteStall; total > 0 {
+		row.StallInstrPct = 100 * instrStall / total
+		row.StallDataPct = 100 * dataStall / total
+		row.StallRemotePct = 100 * remoteStall / total
+	}
+}

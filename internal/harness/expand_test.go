@@ -17,11 +17,12 @@ func TestExpandFigureIDs(t *testing.T) {
 	if len(ids) != len(FigureIDs()) {
 		t.Fatalf("all expanded to %d IDs, want %d", len(ids), len(FigureIDs()))
 	}
-	ids, err = ExpandFigureIDs("numa,htap,serve,islands")
+	ids, err = ExpandFigureIDs("numa,htap,serve,scenario,islands")
 	if err != nil {
-		t.Fatalf("numa,htap,serve,islands: %v", err)
+		t.Fatalf("numa,htap,serve,scenario,islands: %v", err)
 	}
-	want := len(NUMAFigureIDs()) + len(HTAPFigureIDs()) + len(ServeFigureIDs()) + len(IslandFigureIDs())
+	want := len(NUMAFigureIDs()) + len(HTAPFigureIDs()) + len(ServeFigureIDs()) +
+		len(ScenarioFigureIDs()) + len(IslandFigureIDs())
 	if len(ids) != want {
 		t.Fatalf("keyword expansion = %d IDs, want %d", len(ids), want)
 	}
@@ -40,7 +41,7 @@ func TestExpandFigureIDs(t *testing.T) {
 	}
 
 	// Every registered ID resolves.
-	for _, kw := range []string{"all", "numa", "htap", "serve", "islands"} {
+	for _, kw := range []string{"all", "numa", "htap", "serve", "scenario", "islands"} {
 		ids, _ := ExpandFigureIDs(kw)
 		for _, id := range ids {
 			if _, ok := FigureBuilder(id); !ok {

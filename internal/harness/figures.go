@@ -43,14 +43,17 @@ func FigureBuilder(id string) (Builder, bool) {
 	if b, ok := ServeFigures[id]; ok {
 		return b, true
 	}
+	if b, ok := ScenarioFigures[id]; ok {
+		return b, true
+	}
 	b, ok := IslandFigures[id]
 	return b, ok
 }
 
 // ExpandFigureIDs resolves a comma-separated -figure argument into concrete
-// figure IDs: the keywords "all" (the paper set), "numa", "htap", "serve"
-// and "islands" expand to their registries, everything else must name a known
-// figure. Unknown or empty IDs are an error — a typo must fail loudly, not
+// figure IDs: the keywords "all" (the paper set), "numa", "htap", "serve",
+// "scenario" and "islands" expand to their registries, everything else must
+// name a known figure. Unknown or empty IDs are an error — a typo must fail loudly, not
 // silently skip a figure (duplicates are preserved: the runner's cell cache
 // makes them free, and output order mirrors the request).
 func ExpandFigureIDs(arg string) ([]string, error) {
@@ -65,6 +68,8 @@ func ExpandFigureIDs(arg string) ([]string, error) {
 			ids = append(ids, HTAPFigureIDs()...)
 		case "serve":
 			ids = append(ids, ServeFigureIDs()...)
+		case "scenario":
+			ids = append(ids, ScenarioFigureIDs()...)
 		case "islands":
 			ids = append(ids, IslandFigureIDs()...)
 		case "":

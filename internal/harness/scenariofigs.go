@@ -1,0 +1,261 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"oltpsim/internal/core"
+	"oltpsim/internal/driver"
+	"oltpsim/internal/metrics"
+	"oltpsim/internal/server"
+	"oltpsim/internal/systems"
+	"oltpsim/internal/workload"
+)
+
+// The scenario figures (FigC1-FigC2) replay time-compressed load stories —
+// a diurnal day, a flash crowd — through the open-loop driver against a real
+// oltpd on loopback (keyword: -figure scenario). Like the serve figures they
+// measure wall-clock behavior of this process on this machine, so their
+// output is NOT deterministic and is deliberately excluded from `-figure
+// all` and the byte-identity goldens. When run from the repo root (where
+// testdata/scenario/ exists, e.g. via `make figures-scenario`) they also
+// regenerate the committed sample timelines there.
+
+// ScenarioFigures maps the scenario figure IDs to builders.
+var ScenarioFigures = map[string]Builder{
+	"C1": FigC1,
+	"C2": FigC2,
+}
+
+// ScenarioFigureIDs returns the scenario figure IDs in presentation order.
+func ScenarioFigureIDs() []string {
+	ids := make([]string, 0, len(ScenarioFigures))
+	for id := range ScenarioFigures {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// scenarioSimDuration is the simulated length of every scenario figure: a
+// five-minute story, compressed onto the wall clock by scenarioTimeScale.
+const scenarioSimDuration = 5 * time.Minute
+
+// scenarioTimeScale picks the compression factor by scale: quick squeezes
+// the five simulated minutes into 2.5 wall seconds, full gives the quantiles
+// twelve seconds to settle.
+func scenarioTimeScale(s Scale) float64 {
+	switch {
+	case s.TxFactor <= 0.26:
+		return 120
+	case s.TxFactor >= 3:
+		return 25
+	default:
+		return 50
+	}
+}
+
+// scenarioCell runs one loopback scenario: an oltpd (2 shards, partitioned,
+// optionally with queue-depth admission control) under the open-loop driver
+// shaped by the given profile. wallRate is the offered load at multiplier 1
+// in wall ops/s — holding it constant across time scales keeps every scale
+// inside the same capacity envelope. If sample is nonempty and
+// testdata/scenario/ exists under the current directory, the timeline CSV is
+// (re)written there.
+func scenarioCell(r *Runner, profSpec string, admitQueue int, wallRate float64, sample string) (*driver.Report, []driver.TimelineRow, error) {
+	serveMu.Lock()
+	defer serveMu.Unlock()
+	spec := workload.Spec{Kind: "micro", Rows: 200_000, RowsPerTx: 1}
+	srv, err := server.New(server.Config{
+		System:        systems.VoltDB,
+		Shards:        2,
+		Sockets:       2,
+		Placement:     core.PlacePartitioned,
+		Spec:          spec,
+		AdmitQueueMax: admitQueue,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		return nil, nil, err
+	}
+	defer srv.Shutdown()
+
+	prof, err := driver.ParseProfile(profSpec)
+	if err != nil {
+		return nil, nil, err
+	}
+	scale := scenarioTimeScale(r.Scale)
+
+	sc := driver.ScenarioConfig{
+		Driver: driver.Config{
+			Addr:    srv.Addr().String(),
+			Spec:    spec,
+			Conns:   4,
+			Rate:    wallRate / scale, // simulated ops/s at multiplier 1
+			Poisson: true,
+			Seed:    42,
+			Profile: prof,
+		},
+		TimeScale:   scale,
+		SimDuration: scenarioSimDuration,
+		SimWarmup:   15 * time.Second,
+		AggInterval: scenarioSimDuration / 12,
+		Scrape: func() (map[string]float64, error) {
+			return metrics.Parse(srv.Registry().Render())
+		},
+	}
+	var sampleFile *os.File
+	if sample != "" {
+		if st, serr := os.Stat("testdata/scenario"); serr == nil && st.IsDir() {
+			sampleFile, err = os.Create(filepath.Join("testdata", "scenario", sample))
+			if err != nil {
+				return nil, nil, err
+			}
+			sc.CSV = sampleFile
+		}
+	}
+	rep, rows, err := driver.RunScenario(sc)
+	if sampleFile != nil {
+		if cerr := sampleFile.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return rep, rows, err
+}
+
+// simTime renders a timeline row's simulated timestamp.
+func simTime(simSeconds float64) string {
+	return time.Duration(simSeconds * float64(time.Second)).Round(time.Second).String()
+}
+
+// FigC1: a compressed diurnal day through the open-loop sender — offered
+// load follows the day's sinusoid while the interval timeline tracks how
+// achieved throughput and tail latency breathe with it.
+func FigC1(r *Runner) *Figure {
+	f := &Figure{
+		ID:    "C1",
+		Title: "oltpd loopback: diurnal load profile, time-compressed (open loop, 2 shards)",
+		Header: []string{
+			"Sim time", "Mult", "Achieved sim op/s", "p50", "p99", "Shed",
+		},
+		Notes: []string{
+			"live serving measurement (wall clock) — not deterministic, not golden-locked",
+			fmt.Sprintf("%s simulated at %gx compression (profile diurnal:lo=0.2)",
+				scenarioSimDuration, scenarioTimeScale(r.Scale)),
+		},
+	}
+	scale := scenarioTimeScale(r.Scale)
+	_, rows, err := scenarioCell(r, "diurnal:lo=0.2", 0, 1500, "diurnal.csv")
+	if err != nil {
+		f.Notes = append(f.Notes, fmt.Sprintf("scenario failed: %v", err))
+		return f
+	}
+	for _, row := range rows {
+		f.Rows = append(f.Rows, []string{
+			simTime(row.SimSeconds),
+			fmt.Sprintf("%.2f", row.Mult),
+			fmt.Sprintf("%.0f", row.Throughput/scale),
+			fmt.Sprintf("%.0fµs", row.P50us),
+			fmt.Sprintf("%.0fµs", row.P99us),
+			fmt.Sprintf("%d", row.Shed),
+		})
+	}
+	return f
+}
+
+// figC2Phase buckets a timeline row of the flash-crowd scenario into its
+// phase by the multiplier the profile reported for the interval.
+func figC2Phase(row driver.TimelineRow, pulseStart float64) string {
+	switch {
+	case row.Mult > 1:
+		return "pulse"
+	case row.SimSeconds <= pulseStart*scenarioSimDuration.Seconds():
+		return "before"
+	default:
+		return "after"
+	}
+}
+
+// FigC2: a flash crowd — a 12x spike for a fifth of the run — with and
+// without queue-depth admission control. With admission the server sheds the
+// un-servable part of the spike and p99 stays bounded through and after it;
+// without, the queues absorb the spike and the tail diverges, dragging
+// through the post-pulse phase until the backlog drains.
+func FigC2(r *Runner) *Figure {
+	const (
+		pulseAt  = 0.4
+		profSpec = "flash:at=0.4,dur=0.2,x=12"
+	)
+	f := &Figure{
+		ID:    "C2",
+		Title: "oltpd loopback: flash crowd with vs without admission control (open loop, 2 shards)",
+		Header: []string{
+			"Admission", "Phase", "Achieved sim op/s", "p99 (worst interval)", "Shed",
+		},
+		Notes: []string{
+			"live serving measurement (wall clock) — not deterministic, not golden-locked",
+			fmt.Sprintf("%s simulated at %gx compression (profile %s)",
+				scenarioSimDuration, scenarioTimeScale(r.Scale), profSpec),
+		},
+	}
+	scale := scenarioTimeScale(r.Scale)
+	for _, mode := range []struct {
+		queue  int
+		label  string
+		sample string
+	}{
+		{12, "queue<=12", "flash_admission.csv"},
+		{0, "off", "flash_no_admission.csv"},
+	} {
+		_, rows, err := scenarioCell(r, profSpec, mode.queue, 2000, mode.sample)
+		if err != nil {
+			f.Notes = append(f.Notes, fmt.Sprintf("admission=%s failed: %v", mode.label, err))
+			continue
+		}
+		type agg struct {
+			ops, shed uint64
+			wall      float64
+			p99       float64
+		}
+		phases := map[string]*agg{}
+		for _, row := range rows {
+			ph := figC2Phase(row, pulseAt)
+			a := phases[ph]
+			if a == nil {
+				a = &agg{}
+				phases[ph] = a
+			}
+			a.ops += row.Ops
+			a.shed += row.Shed
+			if row.Throughput > 0 {
+				a.wall += float64(row.Ops) / row.Throughput
+			}
+			if row.P99us > a.p99 {
+				a.p99 = row.P99us
+			}
+		}
+		for _, ph := range []string{"before", "pulse", "after"} {
+			a := phases[ph]
+			if a == nil {
+				continue
+			}
+			tput := 0.0
+			if a.wall > 0 {
+				tput = float64(a.ops) / a.wall / scale
+			}
+			f.Rows = append(f.Rows, []string{
+				mode.label,
+				ph,
+				fmt.Sprintf("%.0f", tput),
+				fmt.Sprintf("%.0fµs", a.p99),
+				fmt.Sprintf("%d", a.shed),
+			})
+		}
+	}
+	return f
+}

@@ -126,6 +126,81 @@ func (h *Histogram) Merge(other *Histogram) {
 	}
 }
 
+// CopyCounts atomically copies the per-bucket counts into dst and returns
+// the total observation count at the same (near-consistent) instant. It is
+// the snapshot half of the timeline emitter's interval-delta math: subtract
+// two successive snapshots bucket-wise and feed the difference to
+// CountsQuantile to get quantiles over exactly the interval between them.
+func (h *Histogram) CopyCounts(dst *[NumBuckets]uint64) uint64 {
+	for i := range h.counts {
+		dst[i] = atomic.LoadUint64(&h.counts[i])
+	}
+	return atomic.LoadUint64(&h.count)
+}
+
+// AddCounts accumulates src into dst bucket-wise and returns the combined
+// total, merging per-connection snapshots into one interval vector.
+func AddCounts(dst, src *[NumBuckets]uint64) (total uint64) {
+	for i := range dst {
+		dst[i] += src[i]
+		total += dst[i]
+	}
+	return total
+}
+
+// SubCounts writes cur-prev into dst bucket-wise and returns the delta's
+// total count. cur must have been snapshotted after prev from the same
+// (set of) histograms, so every difference is non-negative.
+func SubCounts(dst, cur, prev *[NumBuckets]uint64) (total uint64) {
+	for i := range dst {
+		dst[i] = cur[i] - prev[i]
+		total += dst[i]
+	}
+	return total
+}
+
+// CountsQuantile returns the q-quantile of a raw bucket-count vector — the
+// same nearest-rank-plus-interpolation convention as Histogram.Quantile,
+// minus the true-max clamp (a count delta carries no per-interval max, so
+// the top bucket's upper bound stands in; the error stays within the
+// histogram's 1/64 relative quantization bound). An empty vector returns 0.
+func CountsQuantile(counts *[NumBuckets]uint64, q float64) float64 {
+	var n uint64
+	for i := range counts {
+		n += counts[i]
+	}
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	var cum uint64
+	for i := range counts {
+		c := counts[i]
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			lo, hi := BucketBounds(i)
+			frac := (float64(rank-cum) - 0.5) / float64(c)
+			return float64(lo) + frac*float64(hi-lo)
+		}
+		cum += c
+	}
+	return 0 // unreachable: ranks are covered by the buckets above
+}
+
 // Quantile returns the q-quantile (q in [0, 1]) of the recorded values,
 // linearly interpolated within the containing bucket. An empty histogram
 // returns 0. The true max is substituted at the top so Quantile(1) is exact.

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -230,4 +231,84 @@ func TestRegistryDuplicatePanics(t *testing.T) {
 		}
 	}()
 	r.Register("x", "gauge", "", func(func(Sample)) {})
+}
+
+// TestIntervalDeltaQuantiles is the timeline emitter's math, verified from
+// first principles: snapshot a cumulative histogram at two interval edges,
+// subtract bucket-wise, and the delta's quantiles must agree with (a) a
+// from-scratch histogram fed only the interval's values — bucket-exact —
+// and (b) a naive sorted-slice quantile of those values, within the
+// histogram's 1/64 relative quantization bound.
+func TestIntervalDeltaQuantiles(t *testing.T) {
+	rng := uint64(0x5eed)
+	next := func() uint64 {
+		// splitmix64, values spread across several octaves like latencies.
+		rng += 0x9e3779b97f4a7c15
+		z := rng
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return (z ^ (z >> 31)) % 50_000_000
+	}
+
+	cum := &Histogram{}
+	for i := 0; i < 4000; i++ { // interval 1: background the delta must exclude
+		cum.Record(next())
+	}
+	var s1 [NumBuckets]uint64
+	n1 := cum.CopyCounts(&s1)
+	if n1 != 4000 {
+		t.Fatalf("snapshot 1 count = %d, want 4000", n1)
+	}
+
+	fresh := &Histogram{} // the from-scratch reference over interval 2 only
+	var vals []uint64
+	for i := 0; i < 2500; i++ {
+		v := next()
+		cum.Record(v)
+		fresh.Record(v)
+		vals = append(vals, v)
+	}
+	var s2, delta [NumBuckets]uint64
+	cum.CopyCounts(&s2)
+	if n := SubCounts(&delta, &s2, &s1); n != 2500 {
+		t.Fatalf("delta count = %d, want 2500", n)
+	}
+
+	// (a) bucket-exact agreement with the from-scratch histogram.
+	var freshCounts [NumBuckets]uint64
+	fresh.CopyCounts(&freshCounts)
+	if delta != freshCounts {
+		t.Fatal("delta bucket counts differ from a from-scratch histogram of the same values")
+	}
+
+	// (b) quantiles agree with a naive sort within quantization error.
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.99, 0.999} {
+		got := CountsQuantile(&delta, q)
+		rank := int(math.Ceil(q * float64(len(vals))))
+		if rank < 1 {
+			rank = 1
+		}
+		exact := float64(vals[rank-1])
+		lo, hi := BucketBounds(bucketOf(uint64(exact)))
+		if got < float64(lo)-1 || got > float64(hi)+1 {
+			t.Fatalf("q=%g: delta quantile %.0f outside exact value %.0f's bucket [%d,%d)",
+				q, got, exact, lo, hi)
+		}
+		if exact > 0 {
+			if rel := math.Abs(got-exact) / exact; rel > 2.0/histSub {
+				t.Fatalf("q=%g: delta quantile %.0f vs exact %.0f, relative error %.4f > %.4f",
+					q, got, exact, rel, 2.0/histSub)
+			}
+		}
+	}
+
+	// The delta and from-scratch quantile paths agree exactly except for the
+	// from-scratch histogram's true-max clamp, which only tightens the top
+	// bucket — below the max's bucket they are identical.
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		if d, f := CountsQuantile(&delta, q), fresh.Quantile(q); d != f {
+			t.Fatalf("q=%g: CountsQuantile %.2f != fresh Histogram.Quantile %.2f", q, d, f)
+		}
+	}
 }

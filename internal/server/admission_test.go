@@ -1,0 +1,197 @@
+package server
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"oltpsim/internal/metrics"
+	"oltpsim/internal/wire"
+)
+
+// prepare2PC sends a Prepare2PC frame (an Exec carrying a gtid) and returns
+// once it is written; the Vote comes back as a normal frame.
+func (c *testClient) prepare2PC(reqID uint32, gtid uint64, procID uint32, part int, args ...int64) {
+	c.t.Helper()
+	c.wbuf.Reset(wire.MsgPrepare2PC)
+	c.wbuf.U32(reqID)
+	c.wbuf.U64(gtid)
+	c.wbuf.U32(procID)
+	c.wbuf.U16(uint16(part))
+	c.wbuf.U16(uint16(len(args)))
+	for _, a := range args {
+		c.wbuf.U8(wire.TagLong)
+		c.wbuf.I64(a)
+	}
+	if _, err := c.nc.Write(c.wbuf.Bytes()); err != nil {
+		c.t.Fatalf("write prepare2pc: %v", err)
+	}
+}
+
+// commit2PC sends the coordinator's commit decision for a prepared branch.
+func (c *testClient) commit2PC(reqID uint32, gtid uint64, part int) {
+	c.t.Helper()
+	c.wbuf.Reset(wire.MsgCommit2PC)
+	c.wbuf.U32(reqID)
+	c.wbuf.U64(gtid)
+	c.wbuf.U16(uint16(part))
+	if _, err := c.nc.Write(c.wbuf.Bytes()); err != nil {
+		c.t.Fatalf("write commit2pc: %v", err)
+	}
+}
+
+// TestAdmissionQueueShed fills shard 0's queue deterministically — a 2PC
+// prepare parks the shard worker between vote and decision, so nothing
+// drains — then asserts that requests beyond AdmitQueueMax are shed with
+// wire.ErrOverload (connection stays up, shed counted in oltpd_shed_total,
+// NOT in the drain-reject counter) while every queued request still completes
+// once the worker resumes.
+func TestAdmissionQueueShed(t *testing.T) {
+	const queueMax = 4
+	cfg := microConfig(2)
+	cfg.AdmitQueueMax = queueMax
+	s := startServer(t, cfg)
+
+	coord := dialClient(t, s)
+	defer coord.nc.Close()
+	procID := coord.prepare("micro_ro")
+
+	// Park shard worker 0: prepare a branch, await its YES vote. The worker
+	// now blocks for the decision and shard 0's queue cannot drain.
+	const gtid = 77
+	coord.prepare2PC(1, gtid, procID, 0, 0)
+	typ, payload := coord.read()
+	if typ != wire.MsgVote {
+		t.Fatalf("expected vote, got frame %#x (%q)", typ, payload)
+	}
+	r := wire.NewReader(payload)
+	_ = r.U32()
+	if r.U8() != 1 {
+		t.Fatalf("2PC prepare voted NO: %q", payload)
+	}
+
+	// Pipeline queueMax + extra execs at the parked shard from a second
+	// connection: the first queueMax fill the queue, the rest must be shed
+	// immediately by the reader with the overload error.
+	const extra = 5
+	cl := dialClient(t, s)
+	defer cl.nc.Close()
+	clProc := cl.prepare("micro_ro")
+	for i := uint32(0); i < queueMax+extra; i++ {
+		cl.exec(i, clProc, 0, int64(2*i))
+	}
+	for i := 0; i < extra; i++ {
+		typ, payload := cl.read()
+		if typ != wire.MsgErr {
+			t.Fatalf("shed response %d: frame %#x (%q), want Err", i, typ, payload)
+		}
+		r := wire.NewReader(payload)
+		_ = r.U32()
+		if msg := r.Str(); msg != wire.ErrOverload {
+			t.Fatalf("shed response %d: error %q, want %q", i, msg, wire.ErrOverload)
+		}
+	}
+
+	// Release the worker; the queued requests all complete.
+	coord.commit2PC(2, gtid, 0)
+	if typ, payload := coord.read(); typ != wire.MsgOK {
+		t.Fatalf("commit ack: frame %#x (%q)", typ, payload)
+	}
+	for i := 0; i < queueMax; i++ {
+		if typ, payload := cl.read(); typ != wire.MsgOK {
+			t.Fatalf("queued exec %d: frame %#x (%q), want OK after release", i, typ, payload)
+		}
+	}
+
+	parsed, err := metrics.Parse(s.Registry().Render())
+	if err != nil {
+		t.Fatalf("parse metrics: %v", err)
+	}
+	if v := parsed[`oltpd_shed_total{shard="0"}`]; v != extra {
+		t.Errorf(`oltpd_shed_total{shard="0"} = %g, want %d`, v, extra)
+	}
+	if v := parsed[`oltpd_shed_total{shard="1"}`]; v != 0 {
+		t.Errorf(`oltpd_shed_total{shard="1"} = %g, want 0`, v)
+	}
+	// Shed is overload, not drain: the drain counter stays zero and the
+	// connection kept serving (the OKs above already proved that).
+	if v := parsed["oltpd_rejected_total"]; v != 0 {
+		t.Errorf("oltpd_rejected_total = %g, want 0 (shed must not count as drain)", v)
+	}
+}
+
+// TestAdmissionLatencyShed exercises the latency bound at the admit level:
+// with the EWMA over the bound, a request finds admission only while the
+// shard queue is empty — the nonempty-queue guard is what keeps a stale EWMA
+// from wedging an idle shard into shedding forever.
+func TestAdmissionLatencyShed(t *testing.T) {
+	cfg := microConfig(2)
+	cfg.AdmitLatencyMax = time.Millisecond
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	// Not started: no shard workers, so admitted requests stay queued and the
+	// queue-length precondition is under test control.
+	s.svcEWMA[0].Store(int64(5 * time.Millisecond)) // well over the bound
+
+	// Empty queue: the latency trigger must NOT fire even though the EWMA is
+	// over the bound (a completion-starved reading proves nothing).
+	if v := s.admit(&request{part: 0}); v != admitOK {
+		t.Fatalf("admit on empty queue with high EWMA = %v, want admitOK", v)
+	}
+	// Nonempty queue + high EWMA: shed.
+	if v := s.admit(&request{part: 0}); v != admitShed {
+		t.Fatalf("admit on nonempty queue with high EWMA = %v, want admitShed", v)
+	}
+	if got := s.shedTotal[0].Load(); got != 1 {
+		t.Fatalf("shedTotal[0] = %d, want 1", got)
+	}
+	// EWMA back under the bound: admitted again.
+	s.svcEWMA[0].Store(int64(100 * time.Microsecond))
+	if v := s.admit(&request{part: 0}); v != admitOK {
+		t.Fatalf("admit with low EWMA = %v, want admitOK", v)
+	}
+	// Other shards are independent.
+	if v := s.admit(&request{part: 1}); v != admitOK {
+		t.Fatalf("admit on shard 1 = %v, want admitOK", v)
+	}
+	s.reqWG.Add(-3) // balance the admitted requests we will never serve
+
+	// noteLatency converges the EWMA toward the observed latency.
+	s.svcEWMA[1].Store(0)
+	for i := 0; i < 64; i++ {
+		s.noteLatency(1, 8*time.Millisecond)
+	}
+	got := time.Duration(s.svcEWMA[1].Load())
+	if got < 7*time.Millisecond || got > 8*time.Millisecond {
+		t.Fatalf("EWMA after 64 identical observations = %v, want ≈8ms", got)
+	}
+}
+
+// TestAdmissionOffKeepsBackpressure: with neither bound configured the server
+// must never emit ErrOverload — full queues mean blocking backpressure, as
+// before.
+func TestAdmissionOffKeepsBackpressure(t *testing.T) {
+	cfg := microConfig(2)
+	if cfg.AdmissionEnabled() {
+		t.Fatal("default config claims admission enabled")
+	}
+	s := startServer(t, cfg)
+	c := dialClient(t, s)
+	defer c.nc.Close()
+	procID := c.prepare("micro_ro")
+	const n = 64
+	for i := uint32(0); i < n; i++ {
+		c.exec(i, procID, 0, int64(2*i))
+	}
+	for i := 0; i < n; i++ {
+		typ, payload := c.read()
+		if typ != wire.MsgOK {
+			if typ == wire.MsgErr && strings.Contains(string(payload), "overload") {
+				t.Fatalf("admission-off server shed request %d", i)
+			}
+			t.Fatalf("exec %d: frame %#x (%q)", i, typ, payload)
+		}
+	}
+}

@@ -201,10 +201,16 @@ func (c *conn) admitCall(r *wire.Reader, reqID, procID uint32, part int, gtid ui
 		req.args[sp.idx] = catalog.StringVal(req.argMem[sp.off : sp.off+sp.len])
 	}
 
-	if !c.s.admit(req) {
+	switch c.s.admit(req) {
+	case admitDraining:
 		putRequest(req)
 		c.s.rejectTotal.Add(1)
 		return c.sendErr(reqID, ErrDraining)
+	case admitShed:
+		// Shed, not drained: the connection stays up and the client keeps its
+		// offered schedule; shedTotal (not rejectTotal) already counted it.
+		putRequest(req)
+		return c.sendErr(reqID, wire.ErrOverload)
 	}
 	return true
 }

@@ -68,6 +68,23 @@ type Config struct {
 	// (default 10s). Coordinator-side vote/ack timeouts must be comfortably
 	// below it.
 	TwoPCTimeout time.Duration
+
+	// AdmitQueueMax, when > 0, enables queue-depth admission control: a
+	// request arriving for a shard whose queue already holds AdmitQueueMax
+	// requests is shed with wire.ErrOverload instead of applying unbounded
+	// backpressure. Shed responses are counted in oltpd_shed_total.
+	AdmitQueueMax int
+	// AdmitLatencyMax, when > 0, enables latency admission control: a
+	// request arriving for a shard whose recent mean service latency
+	// (an EWMA over completions, arrival to response) exceeds the bound —
+	// while requests are still queued, so the signal is current — is shed
+	// with wire.ErrOverload. Both bounds may be combined; either sheds.
+	AdmitLatencyMax time.Duration
+}
+
+// AdmissionEnabled reports whether either admission-control bound is set.
+func (c Config) AdmissionEnabled() bool {
+	return c.AdmitQueueMax > 0 || c.AdmitLatencyMax > 0
 }
 
 func (c Config) withDefaults() Config {
@@ -110,12 +127,17 @@ type Server struct {
 
 	mu       sync.RWMutex // guards draining against enqueue
 	draining bool         //oltpsim:guarded-by mu
+	shutOnce sync.Once    // runs the close sequence exactly once
 	closed   chan struct{}
 
 	connMu sync.Mutex
 	conns  map[*conn]struct{} //oltpsim:guarded-by connMu
 	connWG sync.WaitGroup
 	reqWG  sync.WaitGroup // one count per admitted request, until its response is written
+
+	// Admission control (read in admit, written by shard workers).
+	shedTotal []atomic.Uint64 // per-shard requests shed by admission control
+	svcEWMA   []atomic.Int64  // per-shard EWMA of service latency, ns (single writer: the shard worker)
 
 	// Telemetry.
 	reg          *metrics.Registry
@@ -214,6 +236,8 @@ func New(cfg Config) (*Server, error) {
 	s.prep2pcTotal = make([]atomic.Uint64, shards)
 	s.cmt2pcTotal = make([]atomic.Uint64, shards)
 	s.abt2pcTotal = make([]atomic.Uint64, shards)
+	s.shedTotal = make([]atomic.Uint64, shards)
+	s.svcEWMA = make([]atomic.Int64, shards)
 	for i := range s.queues {
 		s.queues[i] = make(chan *request, cfg.QueueDepth)
 		s.svcHist[i] = &metrics.Histogram{}
@@ -308,21 +332,57 @@ func (s *Server) dropConn(c *conn) {
 	s.connWG.Done()
 }
 
-// admit routes a decoded request to its shard queue. It returns false when
-// the server is draining (the caller responds with ErrDraining). The
-// blocking send applies backpressure to the connection reader when the
-// shard's queue is full.
-func (s *Server) admit(r *request) bool {
+// admitVerdict is the outcome of routing one decoded request.
+type admitVerdict int
+
+const (
+	admitOK       admitVerdict = iota // queued; the shard worker will respond
+	admitDraining                     // server shutting down: refuse with ErrDraining
+	admitShed                         // admission control shed it: refuse with ErrOverload
+)
+
+// admit routes a decoded request to its shard queue, or refuses it: draining
+// refuses everything, and — when admission control is configured — a shard
+// whose queue depth or recent service latency is over its bound sheds the
+// request instead of letting the queue (and every queued request's latency)
+// grow without bound. The blocking send still applies backpressure to the
+// connection reader when the queue is full and admission control is off.
+func (s *Server) admit(r *request) admitVerdict {
 	s.mu.RLock()
 	if s.draining {
 		s.mu.RUnlock()
-		return false
+		return admitDraining
+	}
+	p := r.part
+	if s.cfg.AdmitQueueMax > 0 && len(s.queues[p]) >= s.cfg.AdmitQueueMax {
+		s.shedTotal[p].Add(1)
+		s.mu.RUnlock()
+		return admitShed
+	}
+	// The latency trigger only fires while the queue is nonempty: completions
+	// of queued requests are what keep the EWMA current, so an idle shard can
+	// never wedge itself shedding on a stale reading.
+	if s.cfg.AdmitLatencyMax > 0 && len(s.queues[p]) > 0 &&
+		time.Duration(s.svcEWMA[p].Load()) > s.cfg.AdmitLatencyMax {
+		s.shedTotal[p].Add(1)
+		s.mu.RUnlock()
+		return admitShed
 	}
 	s.reqWG.Add(1)
-	s.reqTotal[r.part].Add(1)
-	s.queues[r.part] <- r
+	s.reqTotal[p].Add(1)
+	s.queues[p] <- r
 	s.mu.RUnlock()
-	return true
+	return admitOK
+}
+
+// noteLatency records one completed request's arrival-to-response latency
+// into the shard's service histogram and admission EWMA (gain 1/8). The
+// shard worker is the only writer of its shard's EWMA, so load-then-store
+// needs no CAS; admit reads it concurrently.
+func (s *Server) noteLatency(w int, d time.Duration) {
+	s.svcHist[w].Record(uint64(d))
+	old := s.svcEWMA[w].Load()
+	s.svcEWMA[w].Store(old + (d.Nanoseconds()-old)/8)
 }
 
 // shardWorker is the group-execute loop for one shard: it owns simulated
@@ -385,7 +445,7 @@ func (s *Server) shardWorker(w int) {
 					br.c.sess.Errs.Add(1)
 				}
 				br.c.respond(br, err)
-				s.svcHist[w].Record(uint64(now.Sub(br.arrived)))
+				s.noteLatency(w, now.Sub(br.arrived))
 				s.reqWG.Done()
 				putRequest(br)
 			}
@@ -476,7 +536,7 @@ func (s *Server) run2PCPrepare(w int, sess *engine.Session, r *request) {
 
 // finishReq retires an admitted request after its terminal frame.
 func (s *Server) finishReq(w int, r *request) {
-	s.svcHist[w].Record(uint64(time.Since(r.arrived)))
+	s.noteLatency(w, time.Since(r.arrived))
 	s.reqWG.Done()
 	putRequest(r)
 }
@@ -486,32 +546,41 @@ func (s *Server) finishReq(w int, r *request) {
 // request has had its response written, then closes every connection and
 // stops the shard workers. Safe to call more than once.
 func (s *Server) Shutdown() {
+	s.Drain()
+	s.shutOnce.Do(func() {
+		// Every admitted request gets its response before the sockets close.
+		s.reqWG.Wait()
+		for _, q := range s.queues {
+			close(q)
+		}
+		s.workers.Wait()
+
+		s.connMu.Lock()
+		for c := range s.conns {
+			c.nc.Close()
+		}
+		s.connMu.Unlock()
+		s.connWG.Wait()
+		close(s.closed)
+	})
+	<-s.closed
+}
+
+// Drain puts the server into its draining state without closing it: the
+// listener stops accepting, new requests are refused with ErrDraining, but
+// established connections and already-admitted work proceed to completion.
+// Idempotent; Shutdown drains first and then completes the close.
+func (s *Server) Drain() {
 	s.mu.Lock()
-	if s.draining {
-		s.mu.Unlock()
-		<-s.closed
-		return
-	}
+	already := s.draining
 	s.draining = true
 	s.mu.Unlock()
-
+	if already {
+		return
+	}
 	if s.ln != nil {
 		s.ln.Close()
 	}
-	// Every admitted request gets its response before the sockets close.
-	s.reqWG.Wait()
-	for _, q := range s.queues {
-		close(q)
-	}
-	s.workers.Wait()
-
-	s.connMu.Lock()
-	for c := range s.conns {
-		c.nc.Close()
-	}
-	s.connMu.Unlock()
-	s.connWG.Wait()
-	close(s.closed)
 }
 
 // ErrDraining is the error text clients receive for requests that arrive
@@ -607,6 +676,10 @@ func (s *Server) registerMetrics() {
 		perShard("oltpd_2pc_commits_total", func(i int) float64 { return float64(s.cmt2pcTotal[i].Load()) }))
 	r.Register("oltpd_2pc_aborts_total", "counter", "2PC branches aborted per shard (NO votes, abort decisions, decision timeouts)",
 		perShard("oltpd_2pc_aborts_total", func(i int) float64 { return float64(s.abt2pcTotal[i].Load()) }))
+	r.Register("oltpd_shed_total", "counter", "requests shed by admission control per shard (wire.ErrOverload)",
+		perShard("oltpd_shed_total", func(i int) float64 { return float64(s.shedTotal[i].Load()) }))
+	r.Register("oltpd_admit_latency_ewma_seconds", "gauge", "per-shard service-latency EWMA driving latency admission control",
+		perShard("oltpd_admit_latency_ewma_seconds", func(i int) float64 { return float64(s.svcEWMA[i].Load()) * 1e-9 }))
 
 	// PMU families. An OnScrape hook refreshes one shared observation —
 	// a single engine-lock acquisition per scrape, before any family
@@ -699,6 +772,13 @@ func (s *Server) registerMetrics() {
 			emit(metrics.Sample{Name: "oltpd_ipc",
 				Labels: []metrics.Label{metrics.L("shard", shardLabel[i])},
 				Value:  p.meas.IPC()})
+		}
+	})
+	r.Register("oltpd_cycles_total", "counter", "modeled execution cycles per shard (simulated PMU); delta against oltpd_instructions_total yields per-interval IPC", func(emit func(metrics.Sample)) {
+		for i, p := range collectPMU() {
+			emit(metrics.Sample{Name: "oltpd_cycles_total",
+				Labels: []metrics.Label{metrics.L("shard", shardLabel[i])},
+				Value:  p.meas.Cycles()})
 		}
 	})
 	r.Register("oltpd_aborts_total", "counter", "aborted transactions (engine-wide)", func(emit func(metrics.Sample)) {

@@ -79,6 +79,14 @@ const MaxFrame = 1 << 20
 // refuses; clients recognize it and wind the connection down cleanly.
 const ErrDraining = "oltpd: draining"
 
+// ErrOverload is the Err-frame text an overloaded server sends for requests
+// its per-shard admission control sheds (queue depth or measured service
+// latency over the configured bound). Unlike ErrDraining it is a transient
+// verdict about THIS request only: the connection stays up and clients keep
+// sending — the warp-style drivers count shed responses separately from
+// errors and keep their offered schedule.
+const ErrOverload = "oltpd: overload"
+
 // Buffer accumulates one outgoing frame. The zero value is ready; the
 // backing array is reused across frames, so steady-state encoding does not
 // allocate. Not safe for concurrent use — each connection/worker owns one.

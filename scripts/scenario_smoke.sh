@@ -1,0 +1,87 @@
+#!/bin/sh
+# scenario_smoke.sh — build oltpd (race) + oltpdrive, replay a time-compressed
+# flash crowd through the open-loop sender against queue-depth admission
+# control, and assert the scenario engine end to end: the timeline covers the
+# run, the spike shows in the multiplier column, admission shed nonzero work,
+# p99 stays bounded through the spike, and SIGTERM drains cleanly. CI runs
+# this as the scenario-smoke job; `make scenario-smoke` runs it locally.
+set -eu
+cd "$(dirname "$0")/.."
+
+ADDR=127.0.0.1:17892
+MADDR=127.0.0.1:17893
+WL="-workload micro -rows 100000"
+
+tmp="$(mktemp -d)"
+OLTPD_PID=""
+trap '[ -n "$OLTPD_PID" ] && kill "$OLTPD_PID" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+
+go build -race -o "$tmp/oltpd" ./cmd/oltpd
+go build -o "$tmp/oltpdrive" ./cmd/oltpdrive
+
+"$tmp/oltpd" -addr "$ADDR" -metrics-addr "$MADDR" \
+    -system voltdb -shards 2 -sockets 2 -placement partitioned \
+    -admit-queue 12 $WL &
+OLTPD_PID=$!
+
+# Wait for the listener (population takes a moment).
+i=0
+until "$tmp/oltpdrive" -addr "$ADDR" $WL -conns 1 -warmup 10ms -duration 50ms >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "scenario_smoke: oltpd did not come up" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+# A five-minute flash-crowd story at 60x compression: 5 wall seconds, with an
+# 8x spike for a fifth of the simulated run. The baseline rate is well inside
+# the race-built server's capacity; the spike is far outside it, so admission
+# control must shed rather than let the queues take the tail to infinity.
+echo "== flash-crowd scenario =="
+"$tmp/oltpdrive" -addr "$ADDR" $WL -conns 4 -poisson \
+    -rate 10 -profile flash:at=0.4,dur=0.2,x=8 \
+    -time-scale 60 -sim-duration 5m -sim-warmup 15s -agg-interval 25s \
+    -timeline "$tmp/timeline.csv" -scrape "http://$MADDR/metrics" \
+    -json | tee "$tmp/report.json"
+
+echo "== timeline =="
+cat "$tmp/timeline.csv"
+
+python3 - "$tmp/report.json" "$tmp/timeline.csv" <<'EOF'
+import csv, json, sys
+rep = json.load(open(sys.argv[1]))
+assert rep["Ops"] > 0, "scenario completed zero ops"
+assert rep["Errors"] == 0, f"scenario saw {rep['Errors']} errors"
+assert rep["Shed"] > 0, "admission control shed nothing through the spike"
+
+rows = list(csv.DictReader(open(sys.argv[2])))
+assert len(rows) >= 8, f"timeline has only {len(rows)} intervals"
+mults = [float(r["mult"]) for r in rows]
+assert any(m == 8 for m in mults), "spike never showed in the multiplier column"
+assert any(m == 1 for m in mults), "baseline never showed in the multiplier column"
+assert sum(int(r["shed"]) for r in rows) > 0, "shed never surfaced in the timeline"
+
+# p99 bounded: with admission shedding the un-servable part of the spike, the
+# worst interval p99 must stay within an order of magnitude of the baseline
+# p99 (without admission the queues grow for the whole pulse and the tail
+# diverges by orders of magnitude).
+base = [float(r["p99_us"]) for r in rows if float(r["mult"]) == 1 and float(r["p99_us"]) > 0]
+spike = [float(r["p99_us"]) for r in rows if float(r["mult"]) > 1]
+assert base and spike, "timeline lacks baseline or spike intervals"
+bound = 10 * max(base)
+assert max(spike) <= bound, \
+    f"p99 diverged through the spike: {max(spike):.0f}us vs bound {bound:.0f}us"
+
+ipc_cols = [c for c in rows[0] if c.endswith("_ipc")]
+assert ipc_cols, "timeline carries no per-shard IPC columns"
+assert any(float(r[c]) > 0 for r in rows for c in ipc_cols), "scraped IPC never nonzero"
+print("scenario_smoke: OK —", rep["Ops"], "ops,", rep["Shed"], "shed,",
+      f"worst spike p99 {max(spike)/1e3:.1f}ms")
+EOF
+
+# Graceful drain: SIGTERM must exit 0 after draining.
+kill -TERM "$OLTPD_PID"
+wait "$OLTPD_PID"
+echo "scenario_smoke: drain OK"
