@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race bench bench-compare figures figures-numa figures-htap figures-serve figures-scenario figures-islands fuzz cover serve drive serve-smoke concurrent-smoke cluster-smoke scenario-smoke
+.PHONY: build vet lint test race bench bench-compare figures figures-numa figures-htap figures-serve figures-scenario figures-islands fuzz cover serve drive serve-smoke concurrent-smoke cluster-smoke scenario-smoke analyze-smoke
 
 build:
 	$(GO) build ./...
@@ -114,6 +114,18 @@ cluster-smoke:
 scenario-smoke:
 	$(GO) test -race -run 'TestPacer|TestProfile|TestScenario|TestAdmission' ./internal/driver ./internal/server
 	./scripts/scenario_smoke.sh
+
+# analyze-smoke is the CI gate for the offline analysis pipeline: the
+# request-log/analysis/collector-group unit tests under -race, then a real
+# oltpdrive burst captured with -reqlog, re-analyzed with `oltpsim analyze`
+# (quantiles must match the live report within histogram bucket error),
+# self-compared with `oltpsim compare`, and group-scoped /metrics scrapes
+# asserting serving scrapes carry no engine PMU families.
+analyze-smoke:
+	$(GO) test -race ./internal/olog ./internal/analyze
+	$(GO) test -race -run 'TestMetricsCollectorGroups|TestDriveReqLog|TestAutoTermStopsEarly|TestStabilizer' \
+	    ./internal/server ./internal/driver
+	./scripts/analyze_smoke.sh
 
 # fuzz runs the SQL front-end fuzz smoke (same budget as CI).
 fuzz:

@@ -5,8 +5,9 @@
 //	go test -run '^$' -bench . -benchmem ./... | benchjson -out BENCH_2026-07-29.json
 //
 // With -compare it diffs two recorded files instead, printing per-benchmark
-// ns/op, B/op and allocs/op deltas, and exits non-zero when any benchmark
-// regresses by more than -threshold (fractional, default 0.25) on ns/op or
+// ns/op, B/op and allocs/op deltas sorted by severity (regressions first,
+// worst delta on top), and exits non-zero when any benchmark regresses by
+// more than -threshold (fractional, default 0.25) on ns/op, B/op or
 // allocs/op:
 //
 //	benchjson -compare BENCH_old.json BENCH_new.json
@@ -18,8 +19,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -46,7 +49,7 @@ type Record struct {
 func main() {
 	out := flag.String("out", "", "output path (default stdout)")
 	compare := flag.Bool("compare", false, "compare two recorded files: benchjson -compare old.json new.json")
-	threshold := flag.Float64("threshold", 0.25, "with -compare: fail when ns/op or allocs/op regress by more than this fraction")
+	threshold := flag.Float64("threshold", 0.25, "with -compare: fail when ns/op, B/op or allocs/op regress by more than this fraction")
 	flag.Parse()
 
 	if *compare {
@@ -96,10 +99,11 @@ func main() {
 }
 
 // runCompare prints per-benchmark ns/op, B/op and allocs/op deltas between
-// two recorded files and returns the process exit code: 1 when any benchmark
-// present in both files regresses beyond threshold on ns/op or allocs/op,
-// 0 otherwise. Benchmarks present in only one file are listed but never fail
-// the comparison.
+// two recorded files — sorted by severity, regressions first with the worst
+// fractional delta on top — and returns the process exit code: 1 when any
+// benchmark present in both files regresses beyond threshold on ns/op, B/op
+// or allocs/op, 0 otherwise. Benchmarks present in only one file are listed
+// at the bottom but never fail the comparison.
 func runCompare(oldPath, newPath string, threshold float64) int {
 	oldRec, err := readRecord(oldPath)
 	if err != nil {
@@ -116,51 +120,82 @@ func runCompare(oldPath, newPath string, threshold float64) int {
 		oldBy[b.Name] = b
 	}
 
-	fmt.Printf("%-40s %12s %12s %12s\n", "benchmark", "ns/op", "B/op", "allocs/op")
+	type row struct {
+		name     string
+		cells    [3]string
+		severity float64 // worst gated fractional regression (+Inf: appeared from zero)
+		bad      bool
+	}
+	var rows []row
 	failed := false
 	seen := make(map[string]bool, len(newRec.Benchmarks))
 	for _, nb := range newRec.Benchmarks {
 		seen[nb.Name] = true
 		ob, ok := oldBy[nb.Name]
 		if !ok {
-			fmt.Printf("%-40s %12s %12s %12s  (new)\n", nb.Name, "-", "-", "-")
+			rows = append(rows, row{name: nb.Name + "  (new)", cells: [3]string{"-", "-", "-"},
+				severity: math.Inf(-1)})
 			continue
 		}
-		cells := make([]string, 0, 3)
-		bad := false
-		for _, unit := range []string{"ns/op", "B/op", "allocs/op"} {
+		r := row{name: nb.Name, severity: math.Inf(-1)}
+		for i, unit := range []string{"ns/op", "B/op", "allocs/op"} {
 			ov, okOld := ob.Metrics[unit]
 			nv, okNew := nb.Metrics[unit]
 			if !okOld || !okNew {
-				cells = append(cells, "-")
+				r.cells[i] = "-"
 				continue
 			}
-			cells = append(cells, deltaString(ov, nv))
-			gate := unit == "ns/op" || unit == "allocs/op"
-			// A zero old value (e.g. the zero-alloc steady state) regresses
-			// on any nonzero new value; otherwise apply the fractional gate.
-			if gate && ((ov == 0 && nv > 0) || (ov > 0 && nv > ov*(1+threshold))) {
-				bad = true
+			r.cells[i] = deltaString(ov, nv)
+			// Severity is the worst fractional worsening across the gated
+			// units. A zero old value (e.g. the zero-alloc steady state)
+			// regresses on any nonzero new value; otherwise apply the
+			// fractional gate.
+			var delta float64
+			switch {
+			case ov == 0 && nv > 0:
+				delta = math.Inf(1)
+			case ov > 0:
+				delta = (nv - ov) / ov
+			}
+			if delta > r.severity {
+				r.severity = delta
+			}
+			if delta > threshold {
+				r.bad = true
 			}
 		}
-		mark := ""
-		if bad {
-			mark = "  REGRESSION"
+		if r.bad {
 			failed = true
 		}
-		fmt.Printf("%-40s %12s %12s %12s%s\n", nb.Name, cells[0], cells[1], cells[2], mark)
+		rows = append(rows, r)
 	}
 	for _, ob := range oldRec.Benchmarks {
 		if !seen[ob.Name] {
-			fmt.Printf("%-40s %12s %12s %12s  (removed)\n", ob.Name, "-", "-", "-")
+			rows = append(rows, row{name: ob.Name + "  (removed)", cells: [3]string{"-", "-", "-"},
+				severity: math.Inf(-1)})
 		}
 	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].bad != rows[j].bad {
+			return rows[i].bad
+		}
+		return rows[i].severity > rows[j].severity
+	})
+
+	fmt.Printf("%-40s %12s %12s %12s\n", "benchmark", "ns/op", "B/op", "allocs/op")
+	for _, r := range rows {
+		mark := ""
+		if r.bad {
+			mark = "  REGRESSION"
+		}
+		fmt.Printf("%-40s %12s %12s %12s%s\n", r.name, r.cells[0], r.cells[1], r.cells[2], mark)
+	}
 	if failed {
-		fmt.Printf("\nFAIL: at least one benchmark regressed more than %.0f%% on ns/op or allocs/op\n",
+		fmt.Printf("\nFAIL: at least one benchmark regressed more than %.0f%% on ns/op, B/op or allocs/op\n",
 			threshold*100)
 		return 1
 	}
-	fmt.Printf("\nOK: no benchmark regressed more than %.0f%% on ns/op or allocs/op\n", threshold*100)
+	fmt.Printf("\nOK: no benchmark regressed more than %.0f%% on ns/op, B/op or allocs/op\n", threshold*100)
 	return 0
 }
 

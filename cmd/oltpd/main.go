@@ -30,6 +30,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"oltpsim/internal/cluster"
@@ -53,6 +54,7 @@ func main() {
 		node        = fs.Int("node", 0, "this process's node ID in -cluster")
 		admitQueue  = fs.Int("admit-queue", 0, "admission control: shed (overload error) when a shard queue holds this many requests (0 = off)")
 		admitLat    = fs.Duration("admit-latency", 0, "admission control: shed while a shard's service-latency EWMA exceeds this bound (0 = off)")
+		collectors  = fs.String("collectors", "", "comma-separated collector groups a bare /metrics scrape serves (engine,storage,txn,serving,twopc; '' = all); any scrape can override with ?collect=")
 	)
 	spec := workload.SpecFlags(fs)
 	fs.Parse(os.Args[1:])
@@ -92,6 +94,11 @@ func main() {
 	s, err := server.New(cfg)
 	if err != nil {
 		fatal(err)
+	}
+	if *collectors != "" {
+		if err := s.Registry().SetDefaultGroups(strings.Split(*collectors, ",")...); err != nil {
+			fatal(err)
+		}
 	}
 	if err := s.Start(*addr); err != nil {
 		fatal(err)

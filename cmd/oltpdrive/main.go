@@ -36,6 +36,11 @@
 // (-sim-duration, -sim-warmup, -agg-interval) governs. Scenario and profile
 // flags are open-loop only and incompatible with cluster mode.
 //
+// -reqlog run.olog persists one compact binary record per request for
+// offline re-analysis with `oltpsim analyze` / `oltpsim compare`; -autoterm
+// ends the measurement window early once throughput is stable (rolling
+// coefficient of variation under -autoterm-pct across -autoterm-window).
+//
 // The workload flags must match the serving oltpd; the Hello exchange
 // verifies this and the driver refuses to run against a mismatched server.
 // Exits nonzero if the run completes zero operations.
@@ -66,6 +71,10 @@ func main() {
 		duration = fs.Duration("duration", 3*time.Second, "measurement window")
 		seed     = fs.Uint64("seed", 42, "generator seed")
 		jsonOut  = fs.Bool("json", false, "emit the report as JSON")
+		reqlog   = fs.String("reqlog", "", "write a binary per-request log (olog) here for offline `oltpsim analyze`/`compare`")
+		autoterm = fs.Bool("autoterm", false, "stop the measurement window early once throughput is stable")
+		atWindow = fs.Duration("autoterm-window", 2*time.Second, "autoterm: rolling stability window")
+		atPct    = fs.Float64("autoterm-pct", 7.5, "autoterm: coefficient-of-variation threshold in percent")
 		addrs    = fs.String("addrs", "", "cluster mode: comma-separated node addresses in node-ID order")
 		cmap     = fs.String("cluster", "", "cluster mode: shard map shared with the servers, e.g. range:2x4")
 		mp       = fs.Int("mp", 0, "cluster mode: percentage of calls issued as multi-partition (2PC) transactions")
@@ -109,6 +118,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, perr)
 			os.Exit(2)
 		}
+		if *autoterm {
+			fmt.Fprintln(os.Stderr, "oltpdrive: -autoterm is not supported in cluster mode")
+			os.Exit(2)
+		}
 		rep, err = driver.RunCluster(driver.ClusterConfig{
 			Addrs:   strings.Split(*addrs, ","),
 			Map:     m,
@@ -118,8 +131,13 @@ func main() {
 			Warmup:  *warmup,
 			Measure: *duration,
 			Seed:    *seed,
+			ReqLog:  *reqlog,
 		})
 	case scenario:
+		if *autoterm {
+			fmt.Fprintln(os.Stderr, "oltpdrive: -autoterm makes no sense under a shaped scenario (the profile varies throughput by design)")
+			os.Exit(2)
+		}
 		sc := driver.ScenarioConfig{
 			Driver: driver.Config{
 				Addr:     *addr,
@@ -130,6 +148,7 @@ func main() {
 				Pipeline: *pipeline,
 				Seed:     *seed,
 				Profile:  prof,
+				ReqLog:   *reqlog,
 			},
 			TimeScale:   *timeScale,
 			SimDuration: *simDur,
@@ -162,16 +181,20 @@ func main() {
 		}
 	default:
 		rep, err = driver.Run(driver.Config{
-			Addr:     *addr,
-			Spec:     *spec,
-			Conns:    *conns,
-			Rate:     *rate,
-			Poisson:  *poisson,
-			Pipeline: *pipeline,
-			Warmup:   *warmup,
-			Measure:  *duration,
-			Seed:     *seed,
-			Profile:  prof,
+			Addr:           *addr,
+			Spec:           *spec,
+			Conns:          *conns,
+			Rate:           *rate,
+			Poisson:        *poisson,
+			Pipeline:       *pipeline,
+			Warmup:         *warmup,
+			Measure:        *duration,
+			Seed:           *seed,
+			Profile:        prof,
+			ReqLog:         *reqlog,
+			AutoTerm:       *autoterm,
+			AutoTermWindow: *atWindow,
+			AutoTermPct:    *atPct,
 		})
 	}
 	if err != nil {
@@ -192,6 +215,8 @@ func main() {
 			Rejected   uint64
 			Shed       uint64
 			MultiPart  uint64
+			Covered    float64
+			AutoTerm   bool
 			Throughput float64
 			MeanNs     int64
 			P50Ns      int64
@@ -203,6 +228,8 @@ func main() {
 			Spec: rep.Spec, Shards: rep.Shards, Conns: rep.Conns, RateOps: rep.Rate,
 			Ops: rep.Ops, Errors: rep.Errors, Rejected: rep.Rejected, Shed: rep.Shed,
 			MultiPart:  rep.MultiPart,
+			Covered:    rep.Covered,
+			AutoTerm:   rep.AutoTerm,
 			Throughput: rep.Throughput,
 			MeanNs:     rep.Mean.Nanoseconds(), P50Ns: rep.P50.Nanoseconds(),
 			P90Ns: rep.P90.Nanoseconds(), P99Ns: rep.P99.Nanoseconds(),

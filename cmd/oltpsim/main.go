@@ -10,6 +10,8 @@
 //	oltpsim -figure all -scale quick -workers 8
 //	oltpsim -figure numa -scale quick
 //	oltpsim -figure htap -scale quick
+//	oltpsim analyze run.olog
+//	oltpsim compare old.olog new.olog
 package main
 
 import (
@@ -23,6 +25,16 @@ import (
 )
 
 func main() {
+	// Subcommands (offline request-log analysis) dispatch before the
+	// figure-reproduction flag set.
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "analyze":
+			os.Exit(runAnalyze(os.Args[2:]))
+		case "compare":
+			os.Exit(runCompare(os.Args[2:]))
+		}
+	}
 	var (
 		figures  = flag.String("figure", "", "figure ID(s) to reproduce, comma-separated, or 'all'")
 		scale    = flag.String("scale", "default", "scale profile: quick | default | full")

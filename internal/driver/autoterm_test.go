@@ -1,0 +1,67 @@
+package driver
+
+import "testing"
+
+// TestStabilizer pins the -autoterm decision core: the rolling window must
+// fill before any verdict, a flat series is stable, a noisy one is not, and
+// an idle (all-zero) window never counts as stable.
+func TestStabilizer(t *testing.T) {
+	t.Run("fires only once window is full", func(t *testing.T) {
+		s := newStabilizer(5, 4)
+		for i := 0; i < 3; i++ {
+			if s.add(1000) {
+				t.Fatalf("fired on sample %d with a 4-sample window", i+1)
+			}
+		}
+		if !s.add(1000) {
+			t.Fatal("flat series did not fire once the window filled")
+		}
+	})
+
+	t.Run("noise holds it open", func(t *testing.T) {
+		s := newStabilizer(5, 4)
+		// Alternating 500/1500 has CV ≈ 67% — far above 5%.
+		for i := 0; i < 12; i++ {
+			v := 500.0
+			if i%2 == 1 {
+				v = 1500
+			}
+			if s.add(v) {
+				t.Fatalf("fired on noisy sample %d", i+1)
+			}
+		}
+		// Once steady samples displace the noise, it fires.
+		fired := false
+		for i := 0; i < 4; i++ {
+			fired = s.add(1000)
+		}
+		if !fired {
+			t.Fatal("did not fire after the window refilled with steady samples")
+		}
+	})
+
+	t.Run("idle window is not stable", func(t *testing.T) {
+		s := newStabilizer(50, 4)
+		for i := 0; i < 8; i++ {
+			if s.add(0) {
+				t.Fatal("all-zero window declared stable")
+			}
+		}
+	})
+
+	t.Run("threshold is inclusive", func(t *testing.T) {
+		// 990/1010 alternating: mean 1000, sd 10, CV exactly 1%.
+		s := newStabilizer(1, 4)
+		fired := false
+		for i := 0; i < 4; i++ {
+			v := 990.0
+			if i%2 == 1 {
+				v = 1010
+			}
+			fired = s.add(v)
+		}
+		if !fired {
+			t.Fatal("CV exactly at the threshold must count as stable")
+		}
+	})
+}

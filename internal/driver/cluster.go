@@ -19,6 +19,7 @@ import (
 	"oltpsim/internal/catalog"
 	"oltpsim/internal/cluster"
 	"oltpsim/internal/metrics"
+	"oltpsim/internal/olog"
 	"oltpsim/internal/wire"
 	"oltpsim/internal/workload"
 )
@@ -41,6 +42,10 @@ type ClusterConfig struct {
 	Warmup, Measure time.Duration
 	// Seed drives the deterministic per-connection generators.
 	Seed uint64
+	// ReqLog, when non-empty, persists one binary olog record per call
+	// (multi-partition transactions carry FlagMultiPart) to this path at the
+	// end of the run. See internal/olog.
+	ReqLog string
 }
 
 func (c ClusterConfig) withDefaults() ClusterConfig {
@@ -95,6 +100,36 @@ func RunCluster(cfg ClusterConfig) (*Report, error) {
 		}
 	}
 
+	var rlog *olog.Log
+	if cfg.ReqLog != "" {
+		procs := cfg.Spec.ProcNames()
+		hdr := olog.Header{
+			Spec:      cfg.Spec.String(),
+			Shards:    cfg.Map.Parts,
+			Conns:     cfg.Conns,
+			Seed:      cfg.Seed,
+			WarmupNs:  cfg.Warmup.Nanoseconds(),
+			MeasureNs: cfg.Measure.Nanoseconds(),
+			Procs:     procs,
+		}
+		var err error
+		rlog, err = olog.Create(cfg.ReqLog, hdr)
+		if err != nil {
+			for _, w := range workers {
+				w.conn.Close()
+			}
+			return nil, err
+		}
+		procIdx := make(map[string]uint16, len(procs))
+		for i, name := range procs {
+			procIdx[name] = uint16(i)
+		}
+		for _, w := range workers {
+			w.rlog = rlog.NewConn()
+			w.procIdx = procIdx
+		}
+	}
+
 	base := time.Now()
 	warmEnd := cfg.Warmup.Nanoseconds()
 	end := warmEnd + cfg.Measure.Nanoseconds()
@@ -126,9 +161,11 @@ func RunCluster(cfg ClusterConfig) (*Report, error) {
 	}
 	// As in Run: a coordinator cut short (server drain, socket error)
 	// measured a shorter window than configured — report throughput over the
-	// window actually covered, not the nominal one.
+	// window actually covered and surface the fraction.
+	rep.Covered = 1
 	if covered := time.Duration(lastDone - warmEnd); covered > 0 && covered < rep.Elapsed {
 		rep.Elapsed = covered
+		rep.Covered = float64(covered) / float64(cfg.Measure)
 	}
 	if s := rep.Elapsed.Seconds(); s > 0 {
 		rep.Throughput = float64(rep.Ops) / s
@@ -139,6 +176,11 @@ func RunCluster(cfg ClusterConfig) (*Report, error) {
 	rep.P99 = time.Duration(rep.Hist.Quantile(0.99))
 	rep.P999 = time.Duration(rep.Hist.Quantile(0.999))
 	rep.Max = time.Duration(rep.Hist.Max())
+	if rlog != nil {
+		if err := rlog.Close(); err != nil {
+			return nil, err
+		}
+	}
 	return rep, nil
 }
 
@@ -150,6 +192,8 @@ type clusterWorker struct {
 	wl       workload.Workload
 	rng      *workload.Rand
 	hist     *metrics.Histogram
+	rlog     *olog.ConnLog     // request-log capture buffer; nil when ReqLog is off
+	procIdx  map[string]uint16 // procedure -> index into Spec.ProcNames()
 	ops      uint64
 	errs     uint64
 	rejected uint64 // calls refused by a draining server (not in ops)
@@ -173,6 +217,7 @@ func (w *clusterWorker) loop(base time.Time, warmEnd, end int64) {
 
 		c := w.wl.Gen(w.rng, p, parts)
 		var err error
+		var mp bool
 		switch {
 		case strings.HasPrefix(c.Proc, "olap_"):
 			err = w.conn.ExecAll(c.Proc, c.Args)
@@ -193,6 +238,7 @@ func (w *clusterWorker) loop(base time.Time, warmEnd, end int64) {
 					err = w.conn.ExecAll(c2.Proc, c2.Args)
 				}
 			} else {
+				mp = true
 				err = w.conn.ExecMulti([]cluster.Branch{
 					{Part: p, Proc: c.Proc, Args: args},
 					{Part: pp, Proc: c2.Proc, Args: c2.Args},
@@ -203,6 +249,33 @@ func (w *clusterWorker) loop(base time.Time, warmEnd, end int64) {
 		}
 		now := time.Since(base).Nanoseconds()
 		drained := err != nil && strings.Contains(err.Error(), wire.ErrDraining)
+		if w.rlog != nil {
+			st := olog.StatusOK
+			switch {
+			case drained:
+				st = olog.StatusDrain
+			case err != nil && strings.Contains(err.Error(), wire.ErrOverload):
+				st = olog.StatusOverload
+			case err != nil:
+				st = olog.StatusAbort
+			}
+			var flags uint8
+			if mp {
+				flags |= olog.FlagMultiPart
+			}
+			if start >= warmEnd && start < end {
+				flags |= olog.FlagMeasured
+			}
+			w.rlog.Record(olog.Rec{
+				Sched:  start,
+				Start:  start,
+				Done:   now,
+				Shard:  uint16(p),
+				Proc:   w.procIdx[c.Proc],
+				Status: st,
+				Flags:  flags,
+			})
+		}
 		if start >= warmEnd && start < end {
 			if drained {
 				w.rejected++

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"oltpsim/internal/metrics"
+	"oltpsim/internal/olog"
 	"oltpsim/internal/wire"
 	"oltpsim/internal/workload"
 )
@@ -53,6 +54,20 @@ type Config struct {
 	// Rate · Profile.Mult(f). nil = steady. See ParseProfile for the
 	// vocabulary and scenario.go for time-compressed replay.
 	Profile Profile
+	// ReqLog, when non-empty, persists one binary olog record per request
+	// (scheduled/start/done times, shard, archetype, status, flags) to this
+	// path at the end of the run. Capture is buffered per connection and
+	// allocation-free on the read loop; see internal/olog.
+	ReqLog string
+	// AutoTerm stops the measurement window early once throughput is stable:
+	// a monitor samples completed ops every AutoTermWindow/autotermSamples
+	// and ends traffic when the coefficient of variation over the rolling
+	// window drops to AutoTermPct percent or below (warp's -autoterm).
+	AutoTerm bool
+	// AutoTermWindow is the rolling stability window (default 2s).
+	AutoTermWindow time.Duration
+	// AutoTermPct is the CV threshold in percent (default 7.5).
+	AutoTermPct float64
 }
 
 func (c Config) withDefaults() Config {
@@ -75,6 +90,14 @@ func (c Config) withDefaults() Config {
 	if c.Spec.Kind == "" {
 		c.Spec = workload.DefaultSpec()
 	}
+	if c.AutoTerm {
+		if c.AutoTermWindow <= 0 {
+			c.AutoTermWindow = 2 * time.Second
+		}
+		if c.AutoTermPct <= 0 {
+			c.AutoTermPct = 7.5
+		}
+	}
 	return c
 }
 
@@ -95,13 +118,20 @@ type Report struct {
 	// at the drain deadline instead of being reclaimed token by token; a
 	// clean run reports 0.
 	DirtyDrains uint64
-	Throughput  float64
-	Mean        time.Duration
-	P50         time.Duration
-	P90         time.Duration
-	P99         time.Duration
-	P999        time.Duration
-	Max         time.Duration
+	// Covered is the fraction of the nominal measurement window the run
+	// actually covered (1.0 for a full window). A run cut short — server
+	// drain, socket error, or autoterm — clamps Elapsed to the covered span;
+	// Covered surfaces how much was lost instead of shrinking it silently.
+	Covered float64
+	// AutoTerm reports that the stability monitor ended the window early.
+	AutoTerm   bool
+	Throughput float64
+	Mean       time.Duration
+	P50        time.Duration
+	P90        time.Duration
+	P99        time.Duration
+	P999       time.Duration
+	Max        time.Duration
 
 	// Hist is the merged latency histogram (nanoseconds).
 	Hist *metrics.Histogram
@@ -115,7 +145,14 @@ func (r *Report) String() string {
 		mode = fmt.Sprintf("open-loop %.0f ops/s offered", r.Rate)
 	}
 	fmt.Fprintf(&b, "oltpdrive: %s  conns=%d  %s\n", r.Spec, r.Conns, mode)
-	fmt.Fprintf(&b, "  window     %.2fs measured (%d shards)\n", r.Elapsed.Seconds(), r.Shards)
+	fmt.Fprintf(&b, "  window     %.2fs measured (%d shards", r.Elapsed.Seconds(), r.Shards)
+	if r.Covered > 0 && r.Covered < 0.999 {
+		fmt.Fprintf(&b, ", %.0f%% of nominal", r.Covered*100)
+	}
+	if r.AutoTerm {
+		b.WriteString(", autoterm")
+	}
+	b.WriteString(")\n")
 	fmt.Fprintf(&b, "  throughput %.0f ops/s  (%d ops, %d errors, %d rejected, %d shed)\n",
 		r.Throughput, r.Ops, r.Errors, r.Rejected, r.Shed)
 	if r.MultiPart > 0 {
@@ -173,11 +210,40 @@ func run(cfg Config, obs *observer) (*Report, error) {
 		return nil, err
 	}
 
+	var rlog *olog.Log
+	if cfg.ReqLog != "" {
+		hdr := olog.Header{
+			Spec:      cfg.Spec.String(),
+			Shards:    shards,
+			Conns:     cfg.Conns,
+			Rate:      cfg.Rate,
+			Seed:      cfg.Seed,
+			WarmupNs:  cfg.Warmup.Nanoseconds(),
+			MeasureNs: cfg.Measure.Nanoseconds(),
+			Procs:     cfg.Spec.ProcNames(),
+		}
+		var err error
+		rlog, err = olog.Create(cfg.ReqLog, hdr)
+		if err != nil {
+			for _, c := range conns {
+				c.nc.Close()
+			}
+			return nil, err
+		}
+		for _, c := range conns {
+			c.rlog = rlog.NewConn()
+		}
+	}
+
 	base := time.Now()
 	warmEnd := cfg.Warmup.Nanoseconds()
 	end := warmEnd + cfg.Measure.Nanoseconds()
 	if obs != nil {
 		obs.start(conns, base, warmEnd, end)
+	}
+	var at *autoterm
+	if cfg.AutoTerm {
+		at = startAutoterm(cfg, conns, base, warmEnd)
 	}
 	var wg sync.WaitGroup
 	for _, c := range conns {
@@ -186,6 +252,9 @@ func run(cfg Config, obs *observer) (*Report, error) {
 		go func(c *clientConn) { defer wg.Done(); c.sendLoop(base, warmEnd, end) }(c)
 	}
 	wg.Wait()
+	if at != nil {
+		at.stop()
+	}
 	if obs != nil {
 		obs.stop()
 	}
@@ -212,11 +281,17 @@ func run(cfg Config, obs *observer) (*Report, error) {
 			lastDone = ld
 		}
 	}
-	// A run cut short (server drain, socket error) measured a shorter window
-	// than configured: report throughput over the window actually covered,
-	// not the nominal one.
+	// A run cut short (server drain, socket error, autoterm) measured a
+	// shorter window than configured: report throughput over the window
+	// actually covered, not the nominal one — and surface the fraction so an
+	// under-covered run is visible instead of silently shrunk.
+	rep.Covered = 1
 	if covered := time.Duration(lastDone - warmEnd); covered > 0 && covered < rep.Elapsed {
 		rep.Elapsed = covered
+		rep.Covered = float64(covered) / float64(cfg.Measure)
+	}
+	if at != nil && at.triggered.Load() {
+		rep.AutoTerm = true
 	}
 	if s := rep.Elapsed.Seconds(); s > 0 {
 		rep.Throughput = float64(rep.Ops) / s
@@ -227,27 +302,37 @@ func run(cfg Config, obs *observer) (*Report, error) {
 	rep.P99 = time.Duration(rep.Hist.Quantile(0.99))
 	rep.P999 = time.Duration(rep.Hist.Quantile(0.999))
 	rep.Max = time.Duration(rep.Hist.Max())
+	if rlog != nil {
+		if err := rlog.Close(); err != nil {
+			return nil, err
+		}
+	}
 	return rep, nil
 }
 
 // slot tracks one in-flight request.
 type slot struct {
-	sched   int64 // scheduled arrival, ns since base
-	measure bool  // scheduled inside the measurement window
+	sched   int64  // scheduled arrival, ns since base
+	start   int64  // actual send, ns since base (== sched in closed loop)
+	shard   uint16 // routed partition
+	proc    uint16 // procedure index into Spec.ProcNames()
+	measure bool   // scheduled inside the measurement window
 }
 
 // clientConn is one driver connection: a sender goroutine generating and
 // encoding traffic, and a reader goroutine matching responses by request ID
 // and recording latency.
 type clientConn struct {
-	cfg    Config
-	idx    int
-	nc     net.Conn
-	br     *bufio.Reader
-	wl     workload.Workload
-	rng    *workload.Rand
-	shards int
-	procID map[string]uint32
+	cfg     Config
+	idx     int
+	nc      net.Conn
+	br      *bufio.Reader
+	wl      workload.Workload
+	rng     *workload.Rand
+	shards  int
+	procID  map[string]uint32
+	procIdx map[string]uint16 // procedure -> index into Spec.ProcNames()
+	rlog    *olog.ConnLog     // request-log capture buffer; nil when -reqlog is off
 
 	wbuf   wire.Buffer
 	window int
@@ -287,14 +372,15 @@ func dial(cfg Config, idx int) (*clientConn, error) {
 		return nil, err
 	}
 	c := &clientConn{
-		cfg:    cfg,
-		idx:    idx,
-		nc:     nc,
-		br:     bufio.NewReaderSize(nc, 64<<10),
-		rng:    workload.NewRand(cfg.Seed ^ 0x5eed<<32 ^ uint64(idx)*1_000_003),
-		procID: make(map[string]uint32),
-		window: cfg.Pipeline,
-		hist:   &metrics.Histogram{},
+		cfg:     cfg,
+		idx:     idx,
+		nc:      nc,
+		br:      bufio.NewReaderSize(nc, 64<<10),
+		rng:     workload.NewRand(cfg.Seed ^ 0x5eed<<32 ^ uint64(idx)*1_000_003),
+		procID:  make(map[string]uint32),
+		procIdx: make(map[string]uint16),
+		window:  cfg.Pipeline,
+		hist:    &metrics.Histogram{},
 	}
 	c.ring = make([]slot, c.window)
 	c.tokens = make(chan int, c.window)
@@ -348,6 +434,7 @@ func dial(cfg Config, idx int) (*clientConn, error) {
 		case wire.MsgPrepared:
 			_ = pr.U32() // reqID
 			c.procID[name] = pr.U32()
+			c.procIdx[name] = uint16(i)
 		case wire.MsgErr:
 			_ = pr.U32()
 			msg := pr.Str()
@@ -415,10 +502,17 @@ func (c *clientConn) sendLoop(base time.Time, warmEnd, end int64) {
 		}
 		id = uint32(slotIdx)
 		sl := &c.ring[slotIdx]
+		start := sched
 		if c.cfg.Rate == 0 {
 			sched = time.Since(base).Nanoseconds() // closed loop: actual send
+			start = sched
+		} else {
+			start = time.Since(base).Nanoseconds() // open loop: sender may lag its schedule
 		}
 		sl.sched = sched
+		sl.start = start
+		sl.shard = uint16(p)
+		sl.proc = c.procIdx[call.Proc]
 		sl.measure = sched >= warmEnd && sched < end
 
 		c.wbuf.Reset(wire.MsgExec)
@@ -497,6 +591,30 @@ func (c *clientConn) readLoop(base time.Time, warmEnd, end int64) {
 		}
 		sl := &c.ring[id]
 		now := time.Since(base).Nanoseconds()
+		if c.rlog != nil {
+			st := olog.StatusOK
+			switch {
+			case isErr && msg == wire.ErrDraining:
+				st = olog.StatusDrain
+			case isErr && msg == wire.ErrOverload:
+				st = olog.StatusOverload
+			case isErr:
+				st = olog.StatusAbort
+			}
+			var flags uint8
+			if sl.measure {
+				flags |= olog.FlagMeasured
+			}
+			c.rlog.Record(olog.Rec{
+				Sched:  sl.sched,
+				Start:  sl.start,
+				Done:   now,
+				Shard:  sl.shard,
+				Proc:   sl.proc,
+				Status: st,
+				Flags:  flags,
+			})
+		}
 		if isErr && msg == wire.ErrDraining {
 			c.rejected.Add(1)
 			c.stop.Store(true)

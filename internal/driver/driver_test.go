@@ -4,10 +4,12 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
+	"oltpsim/internal/analyze"
 	"oltpsim/internal/core"
 	"oltpsim/internal/driver"
 	"oltpsim/internal/metrics"
@@ -146,6 +148,117 @@ func TestDriveOpenLoop(t *testing.T) {
 	}
 	if !strings.Contains(rep.String(), "open-loop") {
 		t.Fatalf("report does not mention open loop:\n%s", rep.String())
+	}
+}
+
+// TestDriveReqLog drives with -reqlog and re-analyzes the captured request
+// log offline: counters must match the live report exactly, and the exact
+// recomputed quantiles must land within the live histogram's bucket error
+// (the histogram is log-linear with ≤1/64 relative error per bucket).
+func TestDriveReqLog(t *testing.T) {
+	spec := workload.Spec{Kind: "micro", Rows: 4096, RowsPerTx: 1}
+	s := startServer(t, server.Config{System: systems.VoltDB, Shards: 2, Spec: spec})
+	path := filepath.Join(t.TempDir(), "run.olog")
+
+	rep, err := driver.Run(driver.Config{
+		Addr:    s.Addr().String(),
+		Spec:    spec,
+		Conns:   2,
+		Warmup:  50 * time.Millisecond * raceWindowScale,
+		Measure: 300 * time.Millisecond * raceWindowScale,
+		Seed:    4,
+		ReqLog:  path,
+	})
+	if err != nil {
+		t.Fatalf("driver.Run: %v", err)
+	}
+	if rep.Ops == 0 {
+		t.Fatal("driver measured zero ops")
+	}
+
+	res, err := analyze.AnalyzeFile(path, analyze.Options{})
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	if !strings.Contains(res.Spec, "micro") {
+		t.Fatalf("olog header spec = %q", res.Spec)
+	}
+	// The log's measured population is exactly the report's: serviced ops
+	// (committed + aborted), shed, and nothing lost.
+	if res.Total.Ops != rep.Ops || res.Total.Errors != rep.Errors {
+		t.Fatalf("analyze ops/errors = %d/%d, report %d/%d",
+			res.Total.Ops, res.Total.Errors, rep.Ops, rep.Errors)
+	}
+	if res.Total.Overload != rep.Shed {
+		t.Fatalf("analyze overload = %d, report shed %d", res.Total.Overload, rep.Shed)
+	}
+	// The file also holds the warmup traffic the analysis excludes.
+	if uint64(res.Records) < res.Total.Ops {
+		t.Fatalf("file has %d records for %d measured ops", res.Records, res.Total.Ops)
+	}
+	if res.Covered <= 0 || res.Covered > 1 {
+		t.Fatalf("Covered = %v, want (0, 1]", res.Covered)
+	}
+	if len(res.Shard) != 2 {
+		t.Fatalf("per-shard groups = %d, want 2", len(res.Shard))
+	}
+
+	// Quantile agreement: exact (offline) vs bucketed (live) on identical
+	// latency samples — the gap is bounded by the histogram's bucket width.
+	within := func(name string, exact, hist time.Duration) {
+		t.Helper()
+		tol := hist/16 + 2*time.Microsecond
+		diff := exact - hist
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > tol {
+			t.Fatalf("%s: analyze %v vs report %v (diff %v > tol %v)", name, exact, hist, diff, tol)
+		}
+	}
+	within("p50", res.Total.P50, rep.P50)
+	within("p99", res.Total.P99, rep.P99)
+	if res.Total.Max != time.Duration(rep.Hist.Max()) {
+		t.Fatalf("max: analyze %v vs report %v (max is exact in both)", res.Total.Max, time.Duration(rep.Hist.Max()))
+	}
+}
+
+// TestAutoTermStopsEarly: with -autoterm, a steady closed-loop run ends as
+// soon as throughput stabilizes instead of sitting out a long nominal
+// window, and the report says so.
+func TestAutoTermStopsEarly(t *testing.T) {
+	spec := workload.Spec{Kind: "micro", Rows: 4096, RowsPerTx: 1}
+	s := startServer(t, server.Config{System: systems.VoltDB, Shards: 2, Spec: spec})
+
+	measure := 20 * time.Second
+	rep, err := driver.Run(driver.Config{
+		Addr:           s.Addr().String(),
+		Spec:           spec,
+		Conns:          2,
+		Warmup:         30 * time.Millisecond * raceWindowScale,
+		Measure:        measure,
+		Seed:           5,
+		AutoTerm:       true,
+		AutoTermWindow: 200 * time.Millisecond * raceWindowScale,
+		AutoTermPct:    50, // generous: fire on the first full window
+	})
+	if err != nil {
+		t.Fatalf("driver.Run: %v", err)
+	}
+	if !rep.AutoTerm {
+		t.Fatal("stability monitor never fired on a steady loopback run")
+	}
+	if rep.Elapsed >= measure/4 {
+		t.Fatalf("autoterm run still took %v of a %v window", rep.Elapsed, measure)
+	}
+	if rep.Covered <= 0 || rep.Covered >= 0.5 {
+		t.Fatalf("Covered = %v, want an early-stopped fraction", rep.Covered)
+	}
+	if rep.Ops == 0 {
+		t.Fatal("no ops measured before the early stop")
+	}
+	if !strings.Contains(rep.String(), "autoterm") {
+		t.Fatalf("report does not mention autoterm:\n%s", rep.String())
 	}
 }
 

@@ -19,6 +19,7 @@ var gatedRoots = []struct{ dir, recv, fn string }{
 	{"internal/simmem", "Arena", "ReadU64"},     // TestTracedReadWriteU64Allocs
 	{"internal/simmem", "Arena", "WriteU64"},    // TestTracedCoherentWriteAllocs, TestTracedNUMAWriteAllocs
 	{"internal/metrics", "Histogram", "Record"}, // TestRecordAllocs
+	{"internal/olog", "ConnLog", "Record"},      // TestRecordAllocs (olog)
 	{"internal/wire", "Buffer", "Reset"},        // TestBufferReuse
 	{"internal/wire", "Buffer", "U32"},          // TestBufferReuse
 	{"internal/wire", "Buffer", "Bytes"},        // TestBufferReuse

@@ -26,24 +26,46 @@ func L(k, v string) Label { return Label{Key: k, Value: v} }
 // exposition format. Collection is pull-based: each registered family is a
 // closure invoked at scrape time, so gauges always expose the live value and
 // no background goroutine is needed.
+//
+// Families can belong to named collector groups (wmi_exporter style): a
+// scrape selects groups via /metrics?collect=engine,serving (or the
+// registry's configured default set), and only the selected groups' families
+// collect — so an expensive group (the PMU families, whose prepare hook
+// quiesces the engine) can be kept out of a high-frequency poll. Ungrouped
+// families render on every scrape.
 type Registry struct {
 	mu       sync.Mutex
 	families []*family
-	prepare  []func()
+	prepare  []*prepareHook
+	defaults []string // groups Render serves when the scrape names none; nil = all
 }
 
 type family struct {
 	name, help, typ string
+	group           string // "" = ungrouped, always rendered
 	collect         func(emit func(Sample))
+}
+
+// prepareHook is an OnScrape hook, optionally scoped to collector groups:
+// it runs only when at least one of its groups is selected (no groups =
+// every scrape).
+type prepareHook struct {
+	f      func()
+	groups []string
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry { return &Registry{} }
 
-// Register adds a metric family. typ is the Prometheus type ("counter",
-// "gauge", "summary"); collect is called on every scrape and emits the
-// family's current samples. Families render in registration order.
+// Register adds an ungrouped metric family (rendered on every scrape). typ
+// is the Prometheus type ("counter", "gauge", "summary"); collect is called
+// on every scrape and emits the family's current samples. Families render
+// in registration order.
 func (r *Registry) Register(name, typ, help string, collect func(emit func(Sample))) {
+	r.register("", name, typ, help, collect)
+}
+
+func (r *Registry) register(group, name, typ, help string, collect func(emit func(Sample))) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for _, f := range r.families {
@@ -51,7 +73,84 @@ func (r *Registry) Register(name, typ, help string, collect func(emit func(Sampl
 			panic(fmt.Sprintf("metrics: duplicate family %q", name))
 		}
 	}
-	r.families = append(r.families, &family{name: name, help: help, typ: typ, collect: collect})
+	r.families = append(r.families, &family{name: name, help: help, typ: typ, group: group, collect: collect})
+}
+
+// Group returns a registrar whose families belong to the named collector
+// group.
+func (r *Registry) Group(name string) Group { return Group{r: r, name: name} }
+
+// A Group registers families under one collector-group name.
+type Group struct {
+	r    *Registry
+	name string
+}
+
+// Register adds a metric family to the group.
+func (g Group) Register(name, typ, help string, collect func(emit func(Sample))) {
+	g.r.register(g.name, name, typ, help, collect)
+}
+
+// RegisterHistogram is Registry.RegisterHistogram scoped to the group.
+func (g Group) RegisterHistogram(name, help string, h *Histogram, scale float64, labels ...Label) {
+	g.r.registerHistogram(g.name, name, help, h, scale, labels...)
+}
+
+// OnScrape installs a hook that runs when the group is selected by a
+// scrape, once at the start of Render, before any family collects.
+func (g Group) OnScrape(f func()) { g.r.OnScrapeGroups(f, g.name) }
+
+// Groups returns the sorted distinct collector-group names.
+func (r *Registry) Groups() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	seen := make(map[string]bool)
+	var names []string
+	for _, f := range r.families {
+		if f.group != "" && !seen[f.group] {
+			seen[f.group] = true
+			names = append(names, f.group)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SetDefaultGroups restricts what Render (and a bare /metrics scrape)
+// serves to the named groups plus ungrouped families. Unknown names error.
+func (r *Registry) SetDefaultGroups(names ...string) error {
+	cleaned, err := r.cleanGroups(names)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.defaults = cleaned
+	r.mu.Unlock()
+	return nil
+}
+
+// cleanGroups trims and validates a requested group list.
+func (r *Registry) cleanGroups(names []string) ([]string, error) {
+	known := make(map[string]bool)
+	for _, g := range r.Groups() {
+		known[g] = true
+	}
+	var cleaned []string
+	for _, n := range names {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		if !known[n] {
+			return nil, fmt.Errorf("metrics: unknown collector group %q (have %s)",
+				n, strings.Join(r.Groups(), ", "))
+		}
+		cleaned = append(cleaned, n)
+	}
+	if len(cleaned) == 0 {
+		return nil, fmt.Errorf("metrics: empty collector group selection")
+	}
+	return cleaned, nil
 }
 
 // OnScrape installs a hook that runs once at the start of every Render,
@@ -60,7 +159,16 @@ func (r *Registry) Register(name, typ, help string, collect func(emit func(Sampl
 // families no longer depends on which of them happens to render first.
 func (r *Registry) OnScrape(f func()) {
 	r.mu.Lock()
-	r.prepare = append(r.prepare, f)
+	r.prepare = append(r.prepare, &prepareHook{f: f})
+	r.mu.Unlock()
+}
+
+// OnScrapeGroups installs a hook that runs only when a scrape selects at
+// least one of the named groups — the expensive-snapshot escape: a scrape
+// excluding those groups skips the snapshot entirely.
+func (r *Registry) OnScrapeGroups(f func(), groups ...string) {
+	r.mu.Lock()
+	r.prepare = append(r.prepare, &prepareHook{f: f, groups: groups})
 	r.mu.Unlock()
 }
 
@@ -68,11 +176,15 @@ func (r *Registry) OnScrape(f func()) {
 // _sum, _count and _max, with values scaled by scale (e.g. 1e-9 to export
 // nanosecond recordings in seconds). labels apply to every series.
 func (r *Registry) RegisterHistogram(name, help string, h *Histogram, scale float64, labels ...Label) {
+	r.registerHistogram("", name, help, h, scale, labels...)
+}
+
+func (r *Registry) registerHistogram(group, name, help string, h *Histogram, scale float64, labels ...Label) {
 	qs := []struct {
 		q     float64
 		label string
 	}{{0.5, "0.5"}, {0.9, "0.9"}, {0.99, "0.99"}, {0.999, "0.999"}}
-	r.Register(name, "summary", help, func(emit func(Sample)) {
+	r.register(group, name, "summary", help, func(emit func(Sample)) {
 		for _, q := range qs {
 			emit(Sample{
 				Name:   name,
@@ -86,11 +198,59 @@ func (r *Registry) RegisterHistogram(name, help string, h *Histogram, scale floa
 	})
 }
 
-// Render writes the full exposition to a string.
+// Render writes the exposition of the default group selection (all groups
+// unless SetDefaultGroups narrowed it) to a string.
 func (r *Registry) Render() string {
 	r.mu.Lock()
-	fams := append([]*family{}, r.families...)
-	hooks := append([]func(){}, r.prepare...)
+	defaults := r.defaults
+	r.mu.Unlock()
+	s, err := r.RenderGroups(defaults)
+	if err != nil {
+		// defaults were validated at SetDefaultGroups time; a group can only
+		// have vanished if families were somehow re-registered.
+		panic(err)
+	}
+	return s
+}
+
+// RenderGroups writes the exposition of the named collector groups (plus
+// ungrouped families). nil selects every group; unknown names error.
+func (r *Registry) RenderGroups(names []string) (string, error) {
+	var selected map[string]bool
+	if names != nil {
+		cleaned, err := r.cleanGroups(names)
+		if err != nil {
+			return "", err
+		}
+		selected = make(map[string]bool, len(cleaned))
+		for _, n := range cleaned {
+			selected[n] = true
+		}
+	}
+	include := func(group string) bool {
+		return group == "" || selected == nil || selected[group]
+	}
+
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		if include(f.group) {
+			fams = append(fams, f)
+		}
+	}
+	hooks := make([]func(), 0, len(r.prepare))
+	for _, h := range r.prepare {
+		run := len(h.groups) == 0
+		for _, g := range h.groups {
+			if include(g) {
+				run = true
+				break
+			}
+		}
+		if run {
+			hooks = append(hooks, h.f)
+		}
+	}
 	r.mu.Unlock()
 
 	for _, f := range hooks {
@@ -119,13 +279,26 @@ func (r *Registry) Render() string {
 			fmt.Fprintf(&b, " %g\n", s.Value)
 		})
 	}
-	return b.String()
+	return b.String(), nil
 }
 
-// ServeHTTP implements http.Handler with the text exposition format.
-func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+// ServeHTTP implements http.Handler with the text exposition format. A
+// ?collect=group,group query selects collector groups for this scrape
+// (overriding the registry's default set); unknown groups are a 400.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	body := ""
+	if q := req.URL.Query().Get("collect"); q != "" {
+		var err error
+		body, err = r.RenderGroups(strings.Split(q, ","))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	} else {
+		body = r.Render()
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	fmt.Fprint(w, r.Render())
+	fmt.Fprint(w, body)
 }
 
 // Parse reads an exposition produced by Render back into samples keyed by

@@ -1,0 +1,117 @@
+package metrics
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// testRegistry builds a registry with one ungrouped family, two grouped
+// families, and a prepare hook scoped to the "pmu" group.
+func testRegistry() (*Registry, *int) {
+	r := NewRegistry()
+	hookRuns := 0
+	gauge := func(name string, v float64) func(emit func(Sample)) {
+		return func(emit func(Sample)) { emit(Sample{Name: name, Value: v}) }
+	}
+	r.Register("always_on", "gauge", "ungrouped", gauge("always_on", 1))
+	r.Group("cheap").Register("cheap_metric", "gauge", "", gauge("cheap_metric", 2))
+	r.Group("pmu").Register("pmu_metric", "gauge", "", gauge("pmu_metric", 3))
+	r.OnScrapeGroups(func() { hookRuns++ }, "pmu")
+	return r, &hookRuns
+}
+
+func TestRenderGroupsSelects(t *testing.T) {
+	r, hookRuns := testRegistry()
+
+	all := r.Render()
+	for _, want := range []string{"always_on 1", "cheap_metric 2", "pmu_metric 3"} {
+		if !strings.Contains(all, want) {
+			t.Fatalf("full render lacks %q:\n%s", want, all)
+		}
+	}
+	if *hookRuns != 1 {
+		t.Fatalf("full render ran pmu hook %d times, want 1", *hookRuns)
+	}
+
+	cheap, err := r.RenderGroups([]string{"cheap"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(cheap, "always_on 1") || !strings.Contains(cheap, "cheap_metric 2") {
+		t.Fatalf("cheap render lacks ungrouped/cheap families:\n%s", cheap)
+	}
+	if strings.Contains(cheap, "pmu_metric") {
+		t.Fatalf("cheap render leaked pmu family:\n%s", cheap)
+	}
+	if *hookRuns != 1 {
+		t.Fatalf("cheap render ran pmu hook (runs=%d) — the scoped hook must be skipped", *hookRuns)
+	}
+
+	if _, err := r.RenderGroups([]string{"nope"}); err == nil {
+		t.Fatal("unknown group accepted")
+	}
+	if _, err := r.RenderGroups([]string{"  "}); err == nil {
+		t.Fatal("empty selection accepted")
+	}
+}
+
+func TestGroupsAndDefaults(t *testing.T) {
+	r, hookRuns := testRegistry()
+	got := r.Groups()
+	if len(got) != 2 || got[0] != "cheap" || got[1] != "pmu" {
+		t.Fatalf("Groups() = %v, want [cheap pmu]", got)
+	}
+	if err := r.SetDefaultGroups("nope"); err == nil {
+		t.Fatal("unknown default group accepted")
+	}
+	if err := r.SetDefaultGroups("cheap"); err != nil {
+		t.Fatal(err)
+	}
+	body := r.Render()
+	if strings.Contains(body, "pmu_metric") {
+		t.Fatalf("default render leaked pmu family:\n%s", body)
+	}
+	if *hookRuns != 0 {
+		t.Fatalf("default cheap render ran pmu hook %d times", *hookRuns)
+	}
+}
+
+func TestServeHTTPCollectParam(t *testing.T) {
+	r, hookRuns := testRegistry()
+
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?collect=cheap", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	body := rec.Body.String()
+	if strings.Contains(body, "pmu_metric") || !strings.Contains(body, "cheap_metric") {
+		t.Fatalf("?collect=cheap body wrong:\n%s", body)
+	}
+	if *hookRuns != 0 {
+		t.Fatalf("?collect=cheap ran pmu hook %d times", *hookRuns)
+	}
+
+	rec = httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?collect=cheap,pmu", nil))
+	if !strings.Contains(rec.Body.String(), "pmu_metric 3") {
+		t.Fatalf("?collect=cheap,pmu lacks pmu family:\n%s", rec.Body.String())
+	}
+	if *hookRuns != 1 {
+		t.Fatalf("pmu scrape ran hook %d times, want 1", *hookRuns)
+	}
+
+	rec = httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?collect=bogus", nil))
+	if rec.Code != 400 {
+		t.Fatalf("unknown group: status %d, want 400", rec.Code)
+	}
+
+	// A bare scrape serves everything (no default restriction set).
+	rec = httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if !strings.Contains(rec.Body.String(), "pmu_metric 3") {
+		t.Fatalf("bare scrape lacks pmu family:\n%s", rec.Body.String())
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package olog_test
+
+// raceEnabled reports that this binary was built with -race; the
+// AllocsPerRun gate is skipped there (race shadow bookkeeping allocates).
+const raceEnabled = true

@@ -1,0 +1,144 @@
+package olog
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+)
+
+// chunkRecs sizes one capture chunk: 4096 records × 24 bytes keeps the
+// steady-state append allocation-free for thousands of requests between
+// coldpath grows, without holding large buffers for short runs.
+const chunkRecs = 4096
+
+// ConnLog is one connection's private capture buffer. It is not
+// goroutine-safe: exactly one reader goroutine appends to it, and the Log
+// merges all connections' buffers at Close, after every reader has exited
+// (the driver's WaitGroup is the happens-before edge).
+type ConnLog struct {
+	cur    []Rec
+	chunks [][]Rec
+}
+
+// Record appends one request. The driver calls this on the read loop for
+// every completed response, inside the measurement window, so the in-chunk
+// path must not allocate.
+//
+//oltpsim:hotpath
+func (c *ConnLog) Record(r Rec) {
+	if len(c.cur) == cap(c.cur) {
+		c.grow()
+	}
+	c.cur = append(c.cur, r)
+}
+
+// grow seals the full chunk and starts a fresh one. Amortized: one
+// allocation per chunkRecs records.
+//
+//oltpsim:coldpath chunk allocation amortized over chunkRecs appends
+func (c *ConnLog) grow() {
+	if c.cur != nil {
+		c.chunks = append(c.chunks, c.cur)
+	}
+	c.cur = make([]Rec, 0, chunkRecs)
+}
+
+// Len counts captured records.
+func (c *ConnLog) Len() int {
+	n := len(c.cur)
+	for _, ch := range c.chunks {
+		n += len(ch)
+	}
+	return n
+}
+
+// Log owns a request-log file being captured. Create opens the file up
+// front (so an unwritable path fails before the run, not after it), each
+// connection gets a private ConnLog, and Close merge-sorts every
+// connection's records by (scheduled time, connection, capture order) —
+// making the on-disk order deterministic for identical record contents —
+// then encodes and writes the file.
+type Log struct {
+	f   *os.File
+	hdr Header
+
+	mu    sync.Mutex
+	conns []*ConnLog
+}
+
+// Create opens path for writing and returns a Log that will persist hdr
+// and all captured records at Close.
+func Create(path string, hdr Header) (*Log, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("olog: %w", err)
+	}
+	return &Log{f: f, hdr: hdr}, nil
+}
+
+// NewConn registers a new connection buffer.
+func (l *Log) NewConn() *ConnLog {
+	c := &ConnLog{}
+	l.mu.Lock()
+	l.conns = append(l.conns, c)
+	l.mu.Unlock()
+	return c
+}
+
+// Close merges, sorts, encodes, and writes all captured records, then
+// closes the file. It must be called only after every connection's reader
+// goroutine has finished recording.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	conns := l.conns
+	l.mu.Unlock()
+
+	type tagged struct {
+		rec  Rec
+		conn int32
+		seq  int32
+	}
+	total := 0
+	for _, c := range conns {
+		total += c.Len()
+	}
+	all := make([]tagged, 0, total)
+	for ci, c := range conns {
+		seq := int32(0)
+		for _, ch := range c.chunks {
+			for _, r := range ch {
+				all = append(all, tagged{r, int32(ci), seq})
+				seq++
+			}
+		}
+		for _, r := range c.cur {
+			all = append(all, tagged{r, int32(ci), seq})
+			seq++
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := &all[i], &all[j]
+		if a.rec.Sched != b.rec.Sched {
+			return a.rec.Sched < b.rec.Sched
+		}
+		if a.conn != b.conn {
+			return a.conn < b.conn
+		}
+		return a.seq < b.seq
+	})
+	recs := make([]Rec, len(all))
+	for i := range all {
+		recs[i] = all[i].rec
+	}
+
+	encErr := Encode(l.f, &l.hdr, recs)
+	closeErr := l.f.Close()
+	if encErr != nil {
+		return fmt.Errorf("olog: write %s: %w", l.f.Name(), encErr)
+	}
+	if closeErr != nil {
+		return fmt.Errorf("olog: close %s: %w", l.f.Name(), closeErr)
+	}
+	return nil
+}

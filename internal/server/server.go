@@ -613,8 +613,19 @@ func putRequest(r *request) { r.c = nil; requestPool.Put(r) }
 // registerMetrics wires the live telemetry: serving-path counters, per-shard
 // PMU counters and stall breakdowns read from the engine under its execution
 // lock, and per-shard service-latency summaries.
+//
+// Families are organized into named collector groups — serving (cheap
+// serving-path counters), twopc (2PC branch counters), engine / txn /
+// storage (the PMU families, whose shared refresh hook quiesces the engine)
+// — so a high-frequency poller can scrape /metrics?collect=serving without
+// ever stopping the world; only oltpd_info is ungrouped.
 func (s *Server) registerMetrics() {
 	r := s.reg
+	serving := r.Group("serving")
+	twopc := r.Group("twopc")
+	engineG := r.Group("engine")
+	txn := r.Group("txn")
+	storage := r.Group("storage")
 	shards := s.Shards()
 	shardLabel := make([]string, shards)
 	for i := range shardLabel {
@@ -631,23 +642,23 @@ func (s *Server) registerMetrics() {
 			metrics.L("placement", placementName(hcfg.Placement)),
 		}, Value: 1})
 	})
-	r.Register("oltpd_uptime_seconds", "gauge", "seconds since Start", func(emit func(metrics.Sample)) {
+	serving.Register("oltpd_uptime_seconds", "gauge", "seconds since Start", func(emit func(metrics.Sample)) {
 		if s.started.IsZero() {
 			emit(metrics.Sample{Name: "oltpd_uptime_seconds", Value: 0})
 			return
 		}
 		emit(metrics.Sample{Name: "oltpd_uptime_seconds", Value: time.Since(s.started).Seconds()})
 	})
-	r.Register("oltpd_connections", "gauge", "live client connections", func(emit func(metrics.Sample)) {
+	serving.Register("oltpd_connections", "gauge", "live client connections", func(emit func(metrics.Sample)) {
 		emit(metrics.Sample{Name: "oltpd_connections", Value: float64(s.connsLive.Load())})
 	})
-	r.Register("oltpd_connections_total", "counter", "accepted client connections", func(emit func(metrics.Sample)) {
+	serving.Register("oltpd_connections_total", "counter", "accepted client connections", func(emit func(metrics.Sample)) {
 		emit(metrics.Sample{Name: "oltpd_connections_total", Value: float64(s.connsTotal.Load())})
 	})
-	r.Register("oltpd_rejected_total", "counter", "requests refused while draining", func(emit func(metrics.Sample)) {
+	serving.Register("oltpd_rejected_total", "counter", "requests refused while draining", func(emit func(metrics.Sample)) {
 		emit(metrics.Sample{Name: "oltpd_rejected_total", Value: float64(s.rejectTotal.Load())})
 	})
-	r.Register("oltpd_concurrent", "gauge", "1 when shard workers execute concurrently on one engine, 0 when serialized", func(emit func(metrics.Sample)) {
+	serving.Register("oltpd_concurrent", "gauge", "1 when shard workers execute concurrently on one engine, 0 when serialized", func(emit func(metrics.Sample)) {
 		v := 0.0
 		if s.eng.Concurrent() {
 			v = 1.0
@@ -664,21 +675,21 @@ func (s *Server) registerMetrics() {
 			}
 		}
 	}
-	r.Register("oltpd_requests_total", "counter", "requests admitted per shard",
+	serving.Register("oltpd_requests_total", "counter", "requests admitted per shard",
 		perShard("oltpd_requests_total", func(i int) float64 { return float64(s.reqTotal[i].Load()) }))
-	r.Register("oltpd_request_errors_total", "counter", "failed requests per shard",
+	serving.Register("oltpd_request_errors_total", "counter", "failed requests per shard",
 		perShard("oltpd_request_errors_total", func(i int) float64 { return float64(s.errTotal[i].Load()) }))
-	r.Register("oltpd_batches_total", "counter", "group-execute batches per shard",
+	serving.Register("oltpd_batches_total", "counter", "group-execute batches per shard",
 		perShard("oltpd_batches_total", func(i int) float64 { return float64(s.batchTotal[i].Load()) }))
-	r.Register("oltpd_2pc_prepares_total", "counter", "2PC branches prepared (YES votes) per shard",
+	twopc.Register("oltpd_2pc_prepares_total", "counter", "2PC branches prepared (YES votes) per shard",
 		perShard("oltpd_2pc_prepares_total", func(i int) float64 { return float64(s.prep2pcTotal[i].Load()) }))
-	r.Register("oltpd_2pc_commits_total", "counter", "2PC branches committed per shard",
+	twopc.Register("oltpd_2pc_commits_total", "counter", "2PC branches committed per shard",
 		perShard("oltpd_2pc_commits_total", func(i int) float64 { return float64(s.cmt2pcTotal[i].Load()) }))
-	r.Register("oltpd_2pc_aborts_total", "counter", "2PC branches aborted per shard (NO votes, abort decisions, decision timeouts)",
+	twopc.Register("oltpd_2pc_aborts_total", "counter", "2PC branches aborted per shard (NO votes, abort decisions, decision timeouts)",
 		perShard("oltpd_2pc_aborts_total", func(i int) float64 { return float64(s.abt2pcTotal[i].Load()) }))
-	r.Register("oltpd_shed_total", "counter", "requests shed by admission control per shard (wire.ErrOverload)",
+	serving.Register("oltpd_shed_total", "counter", "requests shed by admission control per shard (wire.ErrOverload)",
 		perShard("oltpd_shed_total", func(i int) float64 { return float64(s.shedTotal[i].Load()) }))
-	r.Register("oltpd_admit_latency_ewma_seconds", "gauge", "per-shard service-latency EWMA driving latency admission control",
+	serving.Register("oltpd_admit_latency_ewma_seconds", "gauge", "per-shard service-latency EWMA driving latency admission control",
 		perShard("oltpd_admit_latency_ewma_seconds", func(i int) float64 { return float64(s.svcEWMA[i].Load()) * 1e-9 }))
 
 	// PMU families. An OnScrape hook refreshes one shared observation —
@@ -717,22 +728,22 @@ func (s *Server) registerMetrics() {
 		pmu.Unlock()
 		return out
 	}
-	r.OnScrape(refreshPMU)
-	r.Register("oltpd_tx_total", "counter", "committed transactions per shard (simulated PMU)", func(emit func(metrics.Sample)) {
+	r.OnScrapeGroups(refreshPMU, "engine", "txn", "storage")
+	txn.Register("oltpd_tx_total", "counter", "committed transactions per shard (simulated PMU)", func(emit func(metrics.Sample)) {
 		for i, p := range collectPMU() {
 			emit(metrics.Sample{Name: "oltpd_tx_total",
 				Labels: []metrics.Label{metrics.L("shard", shardLabel[i])},
 				Value:  float64(p.snap.TxCount)})
 		}
 	})
-	r.Register("oltpd_instructions_total", "counter", "retired instructions per shard (simulated PMU)", func(emit func(metrics.Sample)) {
+	engineG.Register("oltpd_instructions_total", "counter", "retired instructions per shard (simulated PMU)", func(emit func(metrics.Sample)) {
 		for i, p := range collectPMU() {
 			emit(metrics.Sample{Name: "oltpd_instructions_total",
 				Labels: []metrics.Label{metrics.L("shard", shardLabel[i])},
 				Value:  float64(p.snap.Instructions)})
 		}
 	})
-	r.Register("oltpd_cache_misses_total", "counter", "cache misses per shard and level (simulated PMU)", func(emit func(metrics.Sample)) {
+	engineG.Register("oltpd_cache_misses_total", "counter", "cache misses per shard and level (simulated PMU)", func(emit func(metrics.Sample)) {
 		for i, p := range collectPMU() {
 			d := p.snap.Misses
 			for _, lv := range []struct {
@@ -750,7 +761,7 @@ func (s *Server) registerMetrics() {
 			}
 		}
 	})
-	r.Register("oltpd_stall_cycles_total", "counter", "stall-cycle breakdown per shard (simulated PMU)", func(emit func(metrics.Sample)) {
+	engineG.Register("oltpd_stall_cycles_total", "counter", "stall-cycle breakdown per shard (simulated PMU)", func(emit func(metrics.Sample)) {
 		for i, p := range collectPMU() {
 			st := p.meas.Stalls()
 			for _, comp := range []struct {
@@ -767,33 +778,33 @@ func (s *Server) registerMetrics() {
 			}
 		}
 	})
-	r.Register("oltpd_ipc", "gauge", "instructions per cycle per shard (simulated PMU)", func(emit func(metrics.Sample)) {
+	engineG.Register("oltpd_ipc", "gauge", "instructions per cycle per shard (simulated PMU)", func(emit func(metrics.Sample)) {
 		for i, p := range collectPMU() {
 			emit(metrics.Sample{Name: "oltpd_ipc",
 				Labels: []metrics.Label{metrics.L("shard", shardLabel[i])},
 				Value:  p.meas.IPC()})
 		}
 	})
-	r.Register("oltpd_cycles_total", "counter", "modeled execution cycles per shard (simulated PMU); delta against oltpd_instructions_total yields per-interval IPC", func(emit func(metrics.Sample)) {
+	engineG.Register("oltpd_cycles_total", "counter", "modeled execution cycles per shard (simulated PMU); delta against oltpd_instructions_total yields per-interval IPC", func(emit func(metrics.Sample)) {
 		for i, p := range collectPMU() {
 			emit(metrics.Sample{Name: "oltpd_cycles_total",
 				Labels: []metrics.Label{metrics.L("shard", shardLabel[i])},
 				Value:  p.meas.Cycles()})
 		}
 	})
-	r.Register("oltpd_aborts_total", "counter", "aborted transactions (engine-wide)", func(emit func(metrics.Sample)) {
+	txn.Register("oltpd_aborts_total", "counter", "aborted transactions (engine-wide)", func(emit func(metrics.Sample)) {
 		pmu.Lock()
 		aborts := pmu.aborts
 		pmu.Unlock()
 		emit(metrics.Sample{Name: "oltpd_aborts_total", Value: float64(aborts)})
 	})
-	r.Register("oltpd_data_bytes", "gauge", "resident simulated data bytes", func(emit func(metrics.Sample)) {
+	storage.Register("oltpd_data_bytes", "gauge", "resident simulated data bytes", func(emit func(metrics.Sample)) {
 		pmu.Lock()
 		bytes := pmu.dataBytes
 		pmu.Unlock()
 		emit(metrics.Sample{Name: "oltpd_data_bytes", Value: float64(bytes)})
 	})
-	r.Register("oltpd_request_seconds", "summary",
+	serving.Register("oltpd_request_seconds", "summary",
 		"request latency from arrival to response per shard (wall clock)",
 		func(emit func(metrics.Sample)) {
 			for i := 0; i < shards; i++ {

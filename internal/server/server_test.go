@@ -2,6 +2,7 @@ package server
 
 import (
 	"net"
+	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
@@ -343,6 +344,73 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	if parsed["oltpd_connections"] != 1 {
 		t.Fatalf("oltpd_connections = %g, want 1", parsed["oltpd_connections"])
+	}
+}
+
+// TestMetricsCollectorGroups asserts the registry's family grouping: a
+// serving-only scrape carries the serving-path counters but none of the PMU
+// families (so it never pays the engine quiesce), an engine-only scrape is
+// the reverse, and unknown groups are a clean HTTP 400.
+func TestMetricsCollectorGroups(t *testing.T) {
+	s := startServer(t, microConfig(2))
+
+	groups := s.Registry().Groups()
+	want := []string{"engine", "serving", "storage", "twopc", "txn"}
+	if len(groups) != len(want) {
+		t.Fatalf("Groups() = %v, want %v", groups, want)
+	}
+	for i := range want {
+		if groups[i] != want[i] {
+			t.Fatalf("Groups() = %v, want %v", groups, want)
+		}
+	}
+
+	serving, err := s.Registry().RenderGroups([]string{"serving"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fam := range []string{"oltpd_info", "oltpd_requests_total", "oltpd_connections", "oltpd_request_seconds"} {
+		if !strings.Contains(serving, fam) {
+			t.Fatalf("serving scrape lacks %s:\n%s", fam, serving)
+		}
+	}
+	for _, fam := range []string{"oltpd_instructions_total", "oltpd_tx_total", "oltpd_data_bytes", "oltpd_2pc_prepares_total"} {
+		if strings.Contains(serving, fam) {
+			t.Fatalf("serving scrape leaked %s", fam)
+		}
+	}
+
+	engineOnly, err := s.Registry().RenderGroups([]string{"engine"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(engineOnly, "oltpd_instructions_total") || !strings.Contains(engineOnly, "oltpd_stall_cycles_total") {
+		t.Fatalf("engine scrape lacks PMU families:\n%s", engineOnly)
+	}
+	if strings.Contains(engineOnly, "oltpd_requests_total") {
+		t.Fatal("engine scrape leaked serving family")
+	}
+
+	// The HTTP surface: ?collect= selection and the 400 on unknown groups.
+	rec := httptest.NewRecorder()
+	s.Registry().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?collect=serving", nil))
+	if rec.Code != 200 || strings.Contains(rec.Body.String(), "oltpd_instructions_total") {
+		t.Fatalf("?collect=serving: status %d, engine leak %v", rec.Code,
+			strings.Contains(rec.Body.String(), "oltpd_instructions_total"))
+	}
+	rec = httptest.NewRecorder()
+	s.Registry().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?collect=bogus", nil))
+	if rec.Code != 400 {
+		t.Fatalf("?collect=bogus: status %d, want 400", rec.Code)
+	}
+
+	// oltpd -collectors: defaults narrow a bare scrape the same way.
+	if err := s.Registry().SetDefaultGroups("serving", "twopc"); err != nil {
+		t.Fatal(err)
+	}
+	body := s.Registry().Render()
+	if !strings.Contains(body, "oltpd_2pc_prepares_total") || strings.Contains(body, "oltpd_ipc") {
+		t.Fatalf("narrowed default render wrong:\n%s", body)
 	}
 }
 

@@ -1,0 +1,89 @@
+#!/bin/sh
+# analyze_smoke.sh — build oltpd + oltpdrive + oltpsim, capture a request log
+# with -reqlog, re-analyze it offline with `oltpsim analyze`, self-compare
+# with `oltpsim compare` (must pass), and assert the offline exact quantiles
+# agree with the driver's live histogram within bucket error. Also exercises
+# the named collector groups: a `?collect=serving` scrape must carry the
+# serving families and none of the PMU/engine ones. CI runs this as the
+# analyze-smoke job; `make analyze-smoke` runs it locally.
+set -eu
+cd "$(dirname "$0")/.."
+
+ADDR=127.0.0.1:17894
+MADDR=127.0.0.1:17895
+WL="-workload micro -rows 65536"
+
+tmp="$(mktemp -d)"
+OLTPD_PID=""
+trap '[ -n "$OLTPD_PID" ] && kill "$OLTPD_PID" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/oltpd" ./cmd/oltpd
+go build -o "$tmp/oltpdrive" ./cmd/oltpdrive
+go build -o "$tmp/oltpsim" ./cmd/oltpsim
+
+"$tmp/oltpd" -addr "$ADDR" -metrics-addr "$MADDR" \
+    -system voltdb -shards 2 $WL &
+OLTPD_PID=$!
+
+# Wait for the listener (population takes a moment).
+i=0
+until "$tmp/oltpdrive" -addr "$ADDR" $WL -conns 1 -warmup 10ms -duration 50ms >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "analyze_smoke: oltpd did not come up" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+echo "== oltpdrive burst with -reqlog =="
+"$tmp/oltpdrive" -addr "$ADDR" $WL -conns 4 -warmup 200ms -duration 1s \
+    -reqlog "$tmp/run.olog" -json | tee "$tmp/report.json"
+
+echo "== oltpsim analyze =="
+"$tmp/oltpsim" analyze "$tmp/run.olog"
+"$tmp/oltpsim" analyze -format json "$tmp/run.olog" > "$tmp/analyze.json"
+
+echo "== oltpsim compare (self: must pass) =="
+"$tmp/oltpsim" compare "$tmp/run.olog" "$tmp/run.olog"
+
+echo "== collector-group scrapes =="
+curl -sf "http://$MADDR/metrics?collect=serving" > "$tmp/serving.txt"
+curl -sf "http://$MADDR/metrics?collect=engine,txn" > "$tmp/engine.txt"
+if curl -sf "http://$MADDR/metrics?collect=bogus" >/dev/null 2>&1; then
+    echo "analyze_smoke: unknown collector group was not rejected" >&2
+    exit 1
+fi
+
+# Assertions: the offline analysis reproduces the live report (counts exact,
+# quantiles within the live histogram's bucket error), and the group-scoped
+# scrapes carry exactly their families.
+python3 - "$tmp/report.json" "$tmp/analyze.json" "$tmp/serving.txt" "$tmp/engine.txt" <<'EOF'
+import json, sys
+rep = json.load(open(sys.argv[1]))
+ana = json.load(open(sys.argv[2]))
+assert rep["Ops"] > 0, "driver completed zero ops"
+total = ana["total"]
+assert total["ops"] == rep["Ops"], f'analyze ops {total["ops"]} != report {rep["Ops"]}'
+assert total["errors"] == rep["Errors"], "error counts disagree"
+assert 0 < ana["covered"] <= 1, f'covered fraction {ana["covered"]} out of range'
+for q in ("p50", "p99"):
+    exact, hist = total[q + "_ns"], rep[q.upper() + "Ns"]
+    tol = hist / 16 + 2000  # log-linear histogram bucket error + 2µs slack
+    assert abs(exact - hist) <= tol, f"{q}: analyze {exact}ns vs report {hist}ns (tol {tol:.0f}ns)"
+assert len(ana["per_shard"]) == 2, "per-shard breakdown incomplete"
+serving = open(sys.argv[3]).read()
+engine = open(sys.argv[4]).read()
+assert "oltpd_requests_total" in serving, "serving scrape lacks request counters"
+assert "oltpd_instructions_total" not in serving, "serving scrape leaked engine PMU families"
+assert "oltpd_instructions_total" in engine and "oltpd_tx_total" in engine, \
+    "engine,txn scrape lacks PMU/txn families"
+assert "oltpd_requests_total" not in engine, "engine scrape leaked serving families"
+print("analyze_smoke: OK —", rep["Ops"], "ops,",
+      "offline p99", total["p99_ns"] / 1e6, "ms vs live", rep["P99Ns"] / 1e6, "ms")
+EOF
+
+# Graceful drain: SIGTERM must exit 0 after draining.
+kill -TERM "$OLTPD_PID"
+wait "$OLTPD_PID"
+echo "analyze_smoke: drain OK"
